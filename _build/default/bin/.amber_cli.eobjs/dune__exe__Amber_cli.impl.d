@@ -1,0 +1,1 @@
+bin/amber_cli.ml: Amber Arg Baselines Bench_util Cmd Cmdliner Endpoint Filename Format List Option Printf Rdf Sparql String Term Unix

@@ -1,0 +1,1 @@
+bin/amber_cli.mli:

@@ -1,0 +1,1 @@
+bin/datagen_cli.ml: Arg Cmd Cmdliner Datagen Filename List Printf Rdf Sparql Sys Term Unix

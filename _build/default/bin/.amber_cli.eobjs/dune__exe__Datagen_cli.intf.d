@@ -1,0 +1,1 @@
+bin/datagen_cli.mli:

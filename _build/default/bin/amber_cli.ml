@@ -1,0 +1,345 @@
+(* amber — command-line front end.
+
+     amber query   --data g.nt --query q.sparql [--engine amber] [--timeout S]
+     amber stats   --data g.nt
+     amber bench   --data g.nt --query q.sparql (time one query on all engines)
+     amber explain --data g.nt --query q.sparql (AMbER's matching plan)
+
+   Query text can also be passed inline with --sparql. Data files ending
+   in .ttl are parsed as Turtle, anything else as N-Triples. With
+   --extended, queries may use UNION / OPTIONAL / FILTER (amber engine
+   only). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* --- common options ------------------------------------------------- *)
+
+let data_arg =
+  Arg.(
+    required
+    & opt (some non_dir_file) None
+    & info [ "d"; "data" ] ~docv:"FILE" ~doc:"N-Triples data file.")
+
+let query_file_arg =
+  Arg.(
+    value
+    & opt (some non_dir_file) None
+    & info [ "q"; "query" ] ~docv:"FILE" ~doc:"SPARQL query file.")
+
+let sparql_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "sparql" ] ~docv:"QUERY" ~doc:"Inline SPARQL query text.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-query time budget.")
+
+let limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "limit" ] ~docv:"N" ~doc:"Cap the number of result rows.")
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (enum
+             [ ("amber", `Amber); ("xrdf3x", `Rdf3x); ("virtuoso", `Virtuoso);
+               ("jena", `Jena); ("gstore", `Gstore) ])
+        `Amber
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Engine: amber | xrdf3x | virtuoso | jena | gstore.")
+
+let open_objects_arg =
+  Arg.(
+    value & flag
+    & info [ "open-objects" ]
+        ~doc:"Enable AMbER's literal-binding extension (amber engine only).")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("table", `Table); ("csv", `Csv); ("tsv", `Tsv); ("json", `Json) ])
+        `Table
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: table | csv | tsv | json.")
+
+let extended_arg =
+  Arg.(
+    value & flag
+    & info [ "extended" ]
+        ~doc:
+          "Parse the query with UNION / OPTIONAL / FILTER support and evaluate \
+           it on the AMbER algebra engine.")
+
+let query_text query_file sparql =
+  match (sparql, query_file) with
+  | Some q, _ -> q
+  | None, Some f -> read_file f
+  | None, None ->
+      prerr_endline "error: provide --query FILE or --sparql QUERY";
+      exit 2
+
+let load_triples path =
+  let parse () =
+    if Filename.check_suffix path ".ttl" then Rdf.Turtle.parse_file path
+    else if Filename.check_suffix path ".adb" then Rdf.Binary.read_file path
+    else Rdf.Ntriples.parse_file path
+  in
+  match parse () with
+  | triples ->
+      Printf.eprintf "loaded %d triples from %s\n%!" (List.length triples) path;
+      triples
+  | exception Rdf.Ntriples.Parse_error e ->
+      Format.eprintf "%a@." Rdf.Ntriples.pp_error e;
+      exit 1
+  | exception Rdf.Turtle.Parse_error e ->
+      Format.eprintf "%a@." Rdf.Turtle.pp_error e;
+      exit 1
+  | exception Rdf.Binary.Corrupt msg ->
+      Printf.eprintf "corrupt binary database: %s\n" msg;
+      exit 1
+
+let print_answer ?(format = `Table) variables rows truncated =
+  match format with
+  | `Table ->
+      print_endline (String.concat "\t" variables);
+      List.iter
+        (fun row ->
+          print_endline
+            (String.concat "\t"
+               (List.map
+                  (function Some t -> Rdf.Term.to_string t | None -> "<unbound>")
+                  row)))
+        rows;
+      Printf.printf "-- %d row(s)%s\n" (List.length rows)
+        (if truncated then " (truncated)" else "")
+  | (`Csv | `Tsv | `Json) as fmt ->
+      let answer = { Amber.Engine.variables; rows; truncated } in
+      print_string
+        (match fmt with
+        | `Csv -> Amber.Results.to_csv answer
+        | `Tsv -> Amber.Results.to_tsv answer
+        | `Json -> Amber.Results.to_json answer ^ "\n")
+
+(* --- query ----------------------------------------------------------- *)
+
+let run_query data query_file sparql timeout limit engine open_objects extended format =
+  let triples = load_triples data in
+  let src = query_text query_file sparql in
+  if extended then begin
+    let t_build, e =
+      Bench_util.Runner.time (fun () -> Amber.Engine.build triples)
+    in
+    Printf.eprintf "amber (extended): offline stage %.2fs\n%!" t_build;
+    match
+      Bench_util.Runner.time (fun () ->
+          Amber.Extended.query_string ?timeout ?limit
+            ~open_objects e src)
+    with
+    | dt, a ->
+        print_answer ~format a.Amber.Engine.variables a.rows a.truncated;
+        Printf.eprintf "answered in %.2f ms\n" (1000. *. dt);
+        exit 0
+    | exception Amber.Deadline.Expired ->
+        Printf.eprintf "query timed out\n";
+        exit 3
+    | exception Sparql.Parser.Error { line; col; message } ->
+        Printf.eprintf "SPARQL parse error at %d:%d: %s\n" line col message;
+        exit 1
+  end;
+  let run (type e) (module E : Baselines.Engine_sig.S with type t = e) =
+    let ast =
+      match Sparql.Parser.parse_result src with
+      | Ok ast -> ast
+      | Error msg ->
+          Printf.eprintf "SPARQL parse error: %s\n" msg;
+          exit 1
+    in
+    let t_build, store = Bench_util.Runner.time (fun () -> E.load triples) in
+    Printf.eprintf "%s: offline stage %.2fs\n%!" E.name t_build;
+    match
+      Bench_util.Runner.time (fun () -> E.query ?timeout ?limit store ast)
+    with
+    | dt, answer ->
+        print_answer ~format answer.Baselines.Answer.variables answer.rows
+          answer.truncated;
+        Printf.eprintf "answered in %.2f ms\n" (1000. *. dt)
+    | exception Amber.Deadline.Expired ->
+        Printf.eprintf "query timed out\n";
+        exit 3
+  in
+  match engine with
+  | `Amber ->
+      (* The native engine dispatches on the query form (SELECT / ASK /
+         CONSTRUCT) and supports the open-objects extension. *)
+      let t_build, e =
+        Bench_util.Runner.time (fun () -> Amber.Engine.build triples)
+      in
+      Printf.eprintf "amber: offline stage %.2fs\n%!" t_build;
+      (match
+         Bench_util.Runner.time (fun () ->
+             match Sparql.Parser.parse_any src with
+             | Sparql.Parser.Q_select ast ->
+                 let a = Amber.Engine.query ?timeout ?limit ~open_objects e ast in
+                 `Rows a
+             | Sparql.Parser.Q_ask ast ->
+                 `Bool (Amber.Engine.ask ?timeout ~open_objects e ast)
+             | Sparql.Parser.Q_construct (template, ast) ->
+                 `Triples
+                   (Amber.Engine.construct ?timeout ?limit ~open_objects e
+                      ~template ast))
+       with
+      | dt, result ->
+          (match result with
+          | `Rows a ->
+              print_answer ~format a.Amber.Engine.variables a.rows a.truncated
+          | `Bool b -> print_endline (if b then "true" else "false")
+          | `Triples triples -> print_string (Rdf.Ntriples.to_string triples));
+          Printf.eprintf "answered in %.2f ms\n" (1000. *. dt)
+      | exception Amber.Deadline.Expired ->
+          Printf.eprintf "query timed out\n";
+          exit 3
+      | exception Sparql.Parser.Error { line; col; message } ->
+          Printf.eprintf "SPARQL parse error at %d:%d: %s\n" line col message;
+          exit 1)
+  | `Rdf3x -> run (module Baselines.Triple_store)
+  | `Virtuoso -> run (module Baselines.Column_store)
+  | `Jena -> run (module Baselines.Nested_loop)
+  | `Gstore -> run (module Baselines.Sig_store)
+
+let query_cmd =
+  let doc = "answer a SPARQL query over an N-Triples/Turtle file" in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(
+      const run_query $ data_arg $ query_file_arg $ sparql_arg $ timeout_arg
+      $ limit_arg $ engine_arg $ open_objects_arg $ extended_arg $ format_arg)
+
+(* --- explain ----------------------------------------------------------- *)
+
+let run_explain data query_file sparql open_objects =
+  let triples = load_triples data in
+  let src = query_text query_file sparql in
+  let ast =
+    match Sparql.Parser.parse_result src with
+    | Ok ast -> ast
+    | Error msg ->
+        Printf.eprintf "SPARQL parse error: %s\n" msg;
+        exit 1
+  in
+  let e = Amber.Engine.build triples in
+  Format.printf "%a@." Amber.Engine.pp_explanation
+    (Amber.Engine.explain ~open_objects e ast)
+
+let explain_cmd =
+  let doc = "show AMbER's decomposition and matching order for a query" in
+  Cmd.v (Cmd.info "explain" ~doc)
+    Term.(
+      const run_explain $ data_arg $ query_file_arg $ sparql_arg
+      $ open_objects_arg)
+
+(* --- serve ------------------------------------------------------------- *)
+
+let run_serve data port timeout limit open_objects =
+  let triples = load_triples data in
+  let t_build, engine =
+    Bench_util.Runner.time (fun () -> Amber.Engine.build triples)
+  in
+  Printf.eprintf "offline stage: %.2fs\n%!" t_build;
+  let config =
+    {
+      Endpoint.default_config with
+      port;
+      timeout;
+      limit;
+      open_objects;
+    }
+  in
+  let server = Endpoint.create ~config engine in
+  Printf.printf "SPARQL endpoint on http://%s:%d/sparql\n%!" config.Endpoint.host
+    (Endpoint.bound_port server);
+  Endpoint.serve server
+
+let port_arg =
+  Arg.(value & opt int 8080 & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 = ephemeral).")
+
+let serve_cmd =
+  let doc = "serve the dataset over the SPARQL protocol (HTTP)" in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run_serve $ data_arg $ port_arg $ timeout_arg $ limit_arg
+      $ open_objects_arg)
+
+(* --- compile ----------------------------------------------------------- *)
+
+let run_compile data out =
+  let triples = load_triples data in
+  Rdf.Binary.write_file out triples;
+  let size path = (Unix.stat path).Unix.st_size in
+  Printf.printf "wrote %d triples to %s (%d bytes; source %d bytes)\n"
+    (List.length triples) out (size out) (size data)
+
+let out_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output .adb file.")
+
+let compile_cmd =
+  let doc = "convert N-Triples/Turtle into the compact binary format (.adb)" in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const run_compile $ data_arg $ out_arg)
+
+(* --- stats ------------------------------------------------------------ *)
+
+let run_stats data =
+  let triples = load_triples data in
+  let db = Amber.Database.of_triples triples in
+  Format.printf "%a@." Amber.Database.pp_stats db
+
+let stats_cmd =
+  let doc = "print multigraph statistics for an N-Triples file" in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run_stats $ data_arg)
+
+(* --- bench ------------------------------------------------------------ *)
+
+let run_bench data query_file sparql timeout limit =
+  let triples = load_triples data in
+  let src = query_text query_file sparql in
+  let ast = Sparql.Parser.parse src in
+  let timeout = Option.value ~default:10.0 timeout in
+  let bench (type e) (module E : Baselines.Engine_sig.S with type t = e) =
+    let store = E.load triples in
+    match
+      Bench_util.Runner.run_query (module E) store ~timeout ?limit ast
+    with
+    | Bench_util.Runner.Answered { seconds; rows } ->
+        Printf.printf "%-14s %10.2f ms  %8d rows\n" E.name (1000. *. seconds) rows
+    | Bench_util.Runner.Unanswered -> Printf.printf "%-14s timeout\n" E.name
+  in
+  bench (module Baselines.Amber_adapter);
+  bench (module Baselines.Sig_store);
+  bench (module Baselines.Column_store);
+  bench (module Baselines.Triple_store);
+  bench (module Baselines.Nested_loop)
+
+let bench_cmd =
+  let doc = "time one query on every engine" in
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(
+      const run_bench $ data_arg $ query_file_arg $ sparql_arg $ timeout_arg
+      $ limit_arg)
+
+let () =
+  let doc = "AMbER: attributed-multigraph RDF query engine" in
+  exit
+    (Cmd.eval (Cmd.group (Cmd.info "amber" ~doc) [ query_cmd; stats_cmd; bench_cmd; explain_cmd; compile_cmd; serve_cmd ]))

@@ -1,0 +1,102 @@
+(* datagen — generate benchmark datasets and query workloads.
+
+     datagen dataset --kind lubm --out data.nt [--universities 3]
+     datagen dataset --kind dbpedia --out data.nt [--scale 0.1]
+     datagen workload --data data.nt --shape star --size 20 --count 50 --out dir/ *)
+
+open Cmdliner
+
+let out_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"PATH" ~doc:"Output file (or directory for workloads).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+(* --- dataset ---------------------------------------------------------- *)
+
+let kind_arg =
+  Arg.(
+    value
+    & opt (enum [ ("lubm", `Lubm); ("dbpedia", `Dbpedia); ("yago", `Yago) ]) `Lubm
+    & info [ "kind" ] ~docv:"KIND" ~doc:"Dataset family: lubm | dbpedia | yago.")
+
+let scale_arg =
+  Arg.(
+    value & opt float 0.1
+    & info [ "scale" ] ~docv:"F" ~doc:"Scale factor for dbpedia/yago kinds.")
+
+let universities_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "universities" ] ~docv:"N" ~doc:"University count for the lubm kind.")
+
+let run_dataset kind out seed scale universities =
+  let triples =
+    match kind with
+    | `Lubm -> Datagen.Lubm.generate ~seed ~universities ()
+    | `Dbpedia ->
+        Datagen.Scale_free.generate ~seed (Datagen.Scale_free.dbpedia_like ~scale ())
+    | `Yago ->
+        Datagen.Scale_free.generate ~seed (Datagen.Scale_free.yago_like ~scale ())
+  in
+  (* Pick the serialization from the file extension. *)
+  if Filename.check_suffix out ".adb" then Rdf.Binary.write_file out triples
+  else Rdf.Ntriples.write_file out triples;
+  Printf.printf "wrote %d triples to %s\n" (List.length triples) out
+
+let dataset_cmd =
+  let doc = "generate a benchmark dataset as N-Triples" in
+  Cmd.v (Cmd.info "dataset" ~doc)
+    Term.(
+      const run_dataset $ kind_arg $ out_arg $ seed_arg $ scale_arg
+      $ universities_arg)
+
+(* --- workload --------------------------------------------------------- *)
+
+let data_arg =
+  Arg.(
+    required
+    & opt (some non_dir_file) None
+    & info [ "d"; "data" ] ~docv:"FILE" ~doc:"N-Triples data file to carve queries from.")
+
+let shape_arg =
+  Arg.(
+    value
+    & opt (enum [ ("star", Datagen.Workload.Star); ("complex", Datagen.Workload.Complex) ])
+        Datagen.Workload.Star
+    & info [ "shape" ] ~docv:"SHAPE" ~doc:"Query shape: star | complex.")
+
+let size_arg =
+  Arg.(value & opt int 10 & info [ "size" ] ~docv:"N" ~doc:"Triple patterns per query.")
+
+let count_arg =
+  Arg.(value & opt int 20 & info [ "count" ] ~docv:"N" ~doc:"Number of queries.")
+
+let run_workload data shape size count seed out =
+  let triples = Rdf.Ntriples.parse_file data in
+  let corpus = Datagen.Workload.corpus triples in
+  let queries = Datagen.Workload.generate ~seed corpus ~shape ~size ~count in
+  if not (Sys.file_exists out) then Unix.mkdir out 0o755;
+  List.iteri
+    (fun i ast ->
+      let path = Filename.concat out (Printf.sprintf "q%03d.sparql" i) in
+      let oc = open_out path in
+      output_string oc (Sparql.Ast.to_string ast);
+      output_string oc "\n";
+      close_out oc)
+    queries;
+  Printf.printf "wrote %d queries to %s/\n" (List.length queries) out
+
+let workload_cmd =
+  let doc = "generate a star/complex SPARQL workload from a dataset" in
+  Cmd.v (Cmd.info "workload" ~doc)
+    Term.(
+      const run_workload $ data_arg $ shape_arg $ size_arg $ count_arg $ seed_arg
+      $ out_arg)
+
+let () =
+  let doc = "benchmark data and workload generators for AMbER" in
+  exit (Cmd.eval (Cmd.group (Cmd.info "datagen" ~doc) [ dataset_cmd; workload_cmd ]))

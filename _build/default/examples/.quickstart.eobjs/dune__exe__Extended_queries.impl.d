@@ -1,0 +1,1 @@
+examples/extended_queries.ml: Amber List Printf Rdf String

@@ -1,0 +1,1 @@
+examples/movie_graph.ml: Amber Array Format Lazy List Printf Rdf Sparql String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Amber Format List Printf Rdf String

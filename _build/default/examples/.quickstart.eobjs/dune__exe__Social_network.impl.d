@@ -1,0 +1,1 @@
+examples/social_network.ml: Amber Baselines Bench_util Datagen List Printf

@@ -1,0 +1,1 @@
+examples/university.ml: Amber Baselines Bench_util Datagen List Printf Rdf Sparql String

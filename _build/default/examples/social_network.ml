@@ -1,0 +1,53 @@
+(* Robustness mini-study on a scale-free "social" graph: generate star
+   and complex query workloads of growing size (the paper's Section 7.2
+   protocol) and watch each engine's answered fraction under a time
+   budget.
+
+   Run with: dune exec examples/social_network.exe *)
+
+let () =
+  let profile = Datagen.Scale_free.dbpedia_like ~scale:0.05 () in
+  let triples = Datagen.Scale_free.generate ~seed:99 profile in
+  Printf.printf "Scale-free graph: %d triples.\n%!" (List.length triples);
+  let corpus = Datagen.Workload.corpus triples in
+
+  let amber = Baselines.Amber_adapter.load triples in
+  let ts = Baselines.Triple_store.load triples in
+  let nl = Baselines.Nested_loop.load triples in
+  let timeout = 0.5 in
+
+  let run_one (name, run) queries =
+    let answered = ref 0 and total_time = ref 0.0 in
+    List.iter
+      (fun ast ->
+        match Bench_util.Runner.time (fun () -> run ast) with
+        | dt, _ ->
+            incr answered;
+            total_time := !total_time +. dt
+        | exception Amber.Deadline.Expired -> ())
+      queries;
+    Printf.printf "    %-12s answered %d/%d, mean %.1f ms\n%!" name !answered
+      (List.length queries)
+      (if !answered = 0 then 0.0 else 1000.0 *. !total_time /. float_of_int !answered)
+  in
+
+  List.iter
+    (fun (shape, shape_name) ->
+      Printf.printf "\n%s queries:\n" shape_name;
+      List.iter
+        (fun size ->
+          let queries =
+            Datagen.Workload.generate ~seed:(size * 7) corpus ~shape ~size ~count:8
+          in
+          Printf.printf "  size %d (%d queries)\n" size (List.length queries);
+          run_one
+            ("amber", fun ast -> Baselines.Amber_adapter.query ~timeout ~limit:5000 amber ast)
+            queries;
+          run_one
+            ("x-rdf3x", fun ast -> Baselines.Triple_store.query ~timeout ~limit:5000 ts ast)
+            queries;
+          run_one
+            ("jena", fun ast -> Baselines.Nested_loop.query ~timeout ~limit:5000 nl ast)
+            queries)
+        [ 5; 10; 20 ])
+    [ (Datagen.Workload.Star, "Star"); (Datagen.Workload.Complex, "Complex") ]

@@ -1,0 +1,81 @@
+(* LUBM-style workload: generate a university dataset, run classic
+   LUBM-ish queries on AMbER, and cross-check the answers (and the
+   timing) against the x-RDF-3X-style baseline.
+
+   Run with: dune exec examples/university.exe *)
+
+let ub l = "http://swat.lehigh.edu/onto/univ-bench.owl#" ^ l
+
+let queries =
+  [
+    ( "students advised by a professor of their own department",
+      Printf.sprintf
+        {|SELECT ?student ?prof ?dept WHERE {
+            ?student <%s> ?prof .
+            ?prof <%s> ?dept .
+            ?student <%s> ?dept .
+          }|}
+        (ub "advisor") (ub "worksFor") (ub "memberOf") );
+    ( "teaching assistants of courses taught by their advisor",
+      Printf.sprintf
+        {|SELECT ?ta ?course WHERE {
+            ?ta <%s> ?course .
+            ?ta <%s> ?prof .
+            ?prof <%s> ?course .
+          }|}
+        (ub "teachingAssistantOf") (ub "advisor") (ub "teacherOf") );
+    ( "co-authors (publication with two authors)",
+      Printf.sprintf
+        {|SELECT DISTINCT ?a ?b WHERE {
+            ?pub <%s> ?a .
+            ?pub <%s> ?b .
+            ?a <%s> ?d .
+            ?b <%s> ?d .
+          }|}
+        (ub "publicationAuthor") (ub "publicationAuthor") (ub "worksFor")
+        (ub "memberOf") );
+    ( "department heads and where they studied",
+      Printf.sprintf
+        {|SELECT ?prof ?dept ?university WHERE {
+            ?prof <%s> ?dept .
+            ?prof <%s> ?university .
+          }|}
+        (ub "headOf") (ub "doctoralDegreeFrom") );
+  ]
+
+let () =
+  let triples = Datagen.Lubm.generate ~universities:1 () in
+  Printf.printf "Generated %d LUBM-style triples.\n" (List.length triples);
+
+  let build_time, amber =
+    Bench_util.Runner.time (fun () -> Amber.Engine.build triples)
+  in
+  Printf.printf "AMbER offline stage: %.2fs\n" build_time;
+  let ts = Baselines.Triple_store.load triples in
+
+  List.iter
+    (fun (title, src) ->
+      let ast = Sparql.Parser.parse src in
+      let t_amber, a = Bench_util.Runner.time (fun () -> Amber.Engine.query amber ast) in
+      let t_ts, b =
+        Bench_util.Runner.time (fun () -> Baselines.Triple_store.query ts ast)
+      in
+      let rows_a = List.length a.Amber.Engine.rows in
+      let rows_b = List.length b.Baselines.Answer.rows in
+      Printf.printf "\n%s\n  amber: %4d rows in %6.2f ms | x-rdf3x-like: %4d rows in %6.2f ms%s\n"
+        title rows_a (1000. *. t_amber) rows_b (1000. *. t_ts)
+        (if rows_a = rows_b then "" else "  <-- MISMATCH");
+      (* Print a couple of sample rows. *)
+      List.iteri
+        (fun i row ->
+          if i < 2 then
+            print_endline
+              ("    "
+              ^ String.concat " | "
+                  (List.map
+                     (function
+                       | Some term -> Rdf.Term.to_string term
+                       | None -> "<unbound>")
+                     row)))
+        a.Amber.Engine.rows)
+    queries

@@ -1,0 +1,1 @@
+lib/baselines/amber_adapter.ml: Amber Answer

@@ -1,0 +1,1 @@
+lib/baselines/amber_adapter.mli: Amber Engine_sig

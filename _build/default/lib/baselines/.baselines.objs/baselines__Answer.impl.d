@@ -1,0 +1,1 @@
+lib/baselines/answer.ml: Array Encoded Hashtbl List Option Rdf Sparql Term_dict

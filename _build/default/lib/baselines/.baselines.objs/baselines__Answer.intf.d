@@ -1,0 +1,1 @@
+lib/baselines/answer.mli: Encoded Rdf Sparql Term_dict

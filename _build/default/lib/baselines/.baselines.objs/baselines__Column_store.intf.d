@@ -1,0 +1,1 @@
+lib/baselines/column_store.mli: Engine_sig

@@ -1,0 +1,1 @@
+lib/baselines/encoded.ml: Array Hashtbl List Rdf Sparql String Term_dict

@@ -1,0 +1,1 @@
+lib/baselines/encoded.mli: Sparql Term_dict

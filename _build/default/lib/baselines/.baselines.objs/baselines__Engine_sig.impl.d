@@ -1,0 +1,1 @@
+lib/baselines/engine_sig.ml: Answer Rdf Sparql

@@ -1,0 +1,1 @@
+lib/baselines/nested_loop.ml: Amber Answer Array Encoded Hashtbl Int List Option Sparql Term_dict

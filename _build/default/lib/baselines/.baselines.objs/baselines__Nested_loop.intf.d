@@ -1,0 +1,1 @@
+lib/baselines/nested_loop.mli: Engine_sig

@@ -1,0 +1,1 @@
+lib/baselines/sig_store.ml: Amber Answer Array Encoded Fun Hashtbl Int Lazy List Mgraph Sparql Term_dict

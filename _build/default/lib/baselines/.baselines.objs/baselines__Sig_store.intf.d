@@ -1,0 +1,1 @@
+lib/baselines/sig_store.mli: Engine_sig Sparql

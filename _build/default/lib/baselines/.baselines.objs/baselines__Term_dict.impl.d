@@ -1,0 +1,1 @@
+lib/baselines/term_dict.ml: Array Hashtbl List Rdf

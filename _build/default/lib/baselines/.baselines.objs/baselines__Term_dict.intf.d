@@ -1,0 +1,1 @@
+lib/baselines/term_dict.mli: Rdf

@@ -1,0 +1,1 @@
+lib/baselines/triple_store.ml: Amber Answer Array Encoded Hashtbl Int List Sparql Term_dict

@@ -1,0 +1,1 @@
+lib/baselines/triple_store.mli: Engine_sig

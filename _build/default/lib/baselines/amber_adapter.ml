@@ -1,0 +1,11 @@
+type t = Amber.Engine.t
+
+let name = "amber"
+let load triples = Amber.Engine.build triples
+let engine t = t
+
+let query ?timeout ?limit t ast =
+  let { Amber.Engine.variables; rows; truncated } =
+    Amber.Engine.query ?timeout ?limit t ast
+  in
+  { Answer.variables; rows; truncated }

@@ -1,0 +1,7 @@
+(** {!Amber.Engine} wrapped in the common baseline signature, so the
+    benchmark harness and the cross-engine tests can drive all engines
+    uniformly. *)
+
+include Engine_sig.S
+
+val engine : t -> Amber.Engine.t

@@ -1,0 +1,96 @@
+type t = {
+  variables : string list;
+  rows : Rdf.Term.t option list list;
+  truncated : bool;
+}
+
+let empty variables = { variables; rows = []; truncated = false }
+
+type collector = {
+  variables : string list;
+  slots : int option list;  (* per selected variable *)
+  dict : Term_dict.t;
+  distinct : bool;
+  order_by : (string * Sparql.Ast.sort_direction) list;
+  offset : int option;
+  limit : int option;  (* final row cap *)
+  gather_cap : int option;  (* rows to gather before modifiers *)
+  seen : (int option list, unit) Hashtbl.t;
+  mutable rows : Rdf.Term.t option list list;
+  mutable count : int;
+  mutable stopped_early : bool;
+}
+
+let collector ~dict ~encoded ~ast ~limit =
+  let variables = Sparql.Ast.selected_variables ast in
+  let effective =
+    match (limit, ast.Sparql.Ast.limit) with
+    | None, None -> None
+    | Some l, None | None, Some l -> Some l
+    | Some a, Some b -> Some (min a b)
+  in
+  let gather_cap =
+    if ast.Sparql.Ast.order_by <> [] then None
+    else
+      match effective with
+      | None -> None
+      | Some l -> Some (l + Option.value ~default:0 ast.Sparql.Ast.offset)
+  in
+  {
+    variables;
+    slots = List.map (Encoded.slot_of_var encoded) variables;
+    dict;
+    distinct = ast.Sparql.Ast.distinct;
+    order_by = ast.Sparql.Ast.order_by;
+    offset = ast.Sparql.Ast.offset;
+    limit = effective;
+    gather_cap;
+    seen = Hashtbl.create 64;
+    rows = [];
+    count = 0;
+    stopped_early = false;
+  }
+
+let add c assignment =
+  let key = List.map (Option.map (fun slot -> assignment.(slot))) c.slots in
+  let fresh =
+    if c.distinct then
+      if Hashtbl.mem c.seen key then false
+      else begin
+        Hashtbl.add c.seen key ();
+        true
+      end
+    else true
+  in
+  if fresh then begin
+    let row =
+      List.map (Option.map (fun id -> Term_dict.term c.dict id)) key
+    in
+    c.rows <- row :: c.rows;
+    c.count <- c.count + 1
+  end;
+  match c.gather_cap with
+  | Some l when c.count >= l ->
+      c.stopped_early <- true;
+      `Stop
+  | _ -> `Continue
+
+let finish c =
+  let rows = List.rev c.rows in
+  let rows =
+    if c.order_by = [] then rows
+    else List.stable_sort (Sparql.Ast.compare_rows c.order_by c.variables) rows
+  in
+  let rows =
+    match c.offset with
+    | None | Some 0 -> rows
+    | Some o -> List.filteri (fun i _ -> i >= o) rows
+  in
+  let rows, truncated =
+    match c.limit with
+    | None -> (rows, c.stopped_early)
+    | Some l ->
+        let total = List.length rows in
+        (List.filteri (fun i _ -> i < l) rows, c.stopped_early || total > l)
+  in
+  { variables = c.variables; rows; truncated }

@@ -1,0 +1,25 @@
+(** Result assembly shared by the baseline engines: projection,
+    DISTINCT and LIMIT, mirroring {!Amber.Engine.answer}. *)
+
+type t = {
+  variables : string list;
+  rows : Rdf.Term.t option list list;
+  truncated : bool;
+}
+
+val empty : string list -> t
+
+type collector
+
+val collector :
+  dict:Term_dict.t ->
+  encoded:Encoded.t ->
+  ast:Sparql.Ast.t ->
+  limit:int option ->
+  collector
+
+val add : collector -> int array -> [ `Continue | `Stop ]
+(** Feed one full assignment (slot -> term id). [`Stop] once the
+    effective limit is reached. *)
+
+val finish : collector -> t

@@ -1,0 +1,16 @@
+(** Virtuoso-style baseline: per-predicate column projections (a sorted
+    (S,O) and a sorted (O,S) table per predicate) evaluated
+    table-at-a-time with hash joins, patterns ordered statically by
+    estimated cardinality — the column-store architecture the paper
+    compares against.
+
+    Intermediate relations are materialized, as in a real column store;
+    a runaway intermediate (beyond [max_intermediate]) is reported as a
+    timeout, which is how the paper's experiments would observe it. *)
+
+include Engine_sig.S
+
+val max_intermediate : int
+(** Safety bound on materialized intermediate rows (2 million). *)
+
+val predicate_count : t -> int

@@ -1,0 +1,60 @@
+type component = Bound of int | Slot of int
+
+type pattern = { s : component; p : component; o : component }
+
+type t = { n_vars : int; var_names : string array; patterns : pattern list }
+
+type result = Encoded of t | Unsatisfiable
+
+exception Unsat
+
+let encode dict (ast : Sparql.Ast.t) =
+  let slots = Hashtbl.create 8 in
+  let names = ref [] in
+  let slot_of v =
+    match Hashtbl.find_opt slots v with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length slots in
+        Hashtbl.add slots v i;
+        names := v :: !names;
+        i
+  in
+  let component = function
+    | Sparql.Ast.Var v -> Slot (slot_of v)
+    | Sparql.Ast.Iri iri -> (
+        match Term_dict.find dict (Rdf.Term.iri iri) with
+        | Some id -> Bound id
+        | None -> raise Unsat)
+    | Sparql.Ast.Lit lit -> (
+        match Term_dict.find dict (Rdf.Term.Literal lit) with
+        | Some id -> Bound id
+        | None -> raise Unsat)
+  in
+  match
+    List.map
+      (fun { Sparql.Ast.subject; predicate; obj } ->
+        { s = component subject; p = component predicate; o = component obj })
+      ast.where
+  with
+  | exception Unsat -> Unsatisfiable
+  | patterns ->
+      Encoded
+        {
+          n_vars = Hashtbl.length slots;
+          var_names = Array.of_list (List.rev !names);
+          patterns;
+        }
+
+let slot_of_var t v =
+  let n = Array.length t.var_names in
+  let rec loop i =
+    if i >= n then None
+    else if String.equal t.var_names.(i) v then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let pattern_vars { s; p; o } =
+  let add acc = function Slot i when not (List.mem i acc) -> i :: acc | _ -> acc in
+  List.rev (add (add (add [] s) p) o)

@@ -1,0 +1,24 @@
+(** Query encoding shared by the baseline engines.
+
+    Variables get dense slots; constants are looked up in the term
+    dictionary. A constant absent from the dictionary makes the whole
+    query empty — encoded as [Unsatisfiable]. *)
+
+type component = Bound of int | Slot of int
+
+type pattern = { s : component; p : component; o : component }
+
+type t = {
+  n_vars : int;
+  var_names : string array;  (** slot -> variable name *)
+  patterns : pattern list;
+}
+
+type result = Encoded of t | Unsatisfiable
+
+val encode : Term_dict.t -> Sparql.Ast.t -> result
+
+val slot_of_var : t -> string -> int option
+
+val pattern_vars : pattern -> int list
+(** Distinct slots of a pattern. *)

@@ -1,0 +1,12 @@
+(** Common signature implemented by every baseline engine. *)
+
+module type S = sig
+  type t
+
+  val name : string
+
+  val load : Rdf.Triple.t list -> t
+
+  val query : ?timeout:float -> ?limit:int -> t -> Sparql.Ast.t -> Answer.t
+  (** @raise Amber.Deadline.Expired on timeout. *)
+end

@@ -1,0 +1,104 @@
+let name = "jena-like"
+
+type t = {
+  dict : Term_dict.t;
+  triples : (int * int * int) array;  (* deduplicated *)
+  by_s : (int, int list) Hashtbl.t;  (* component value -> triple indexes *)
+  by_p : (int, int list) Hashtbl.t;
+  by_o : (int, int list) Hashtbl.t;
+}
+
+let compare_triple (a1, a2, a3) (b1, b2, b3) =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c
+  else
+    let c = Int.compare a2 b2 in
+    if c <> 0 then c else Int.compare a3 b3
+
+let load triples =
+  let dict, encoded = Term_dict.encode_triples triples in
+  Array.sort compare_triple encoded;
+  let n = Array.length encoded in
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if !k = 0 || compare_triple encoded.(i) encoded.(!k - 1) <> 0 then begin
+      encoded.(!k) <- encoded.(i);
+      incr k
+    end
+  done;
+  let triples = Array.sub encoded 0 !k in
+  let by_s = Hashtbl.create 1024
+  and by_p = Hashtbl.create 64
+  and by_o = Hashtbl.create 1024 in
+  let push tbl key i =
+    Hashtbl.replace tbl key (i :: Option.value ~default:[] (Hashtbl.find_opt tbl key))
+  in
+  Array.iteri
+    (fun i (s, p, o) ->
+      push by_s s i;
+      push by_p p i;
+      push by_o o i)
+    triples;
+  { dict; triples; by_s; by_p; by_o }
+
+let query ?timeout ?limit t (ast : Sparql.Ast.t) =
+  let deadline =
+    match timeout with
+    | None -> Amber.Deadline.never
+    | Some s -> Amber.Deadline.after s
+  in
+  match Encoded.encode t.dict ast with
+  | Encoded.Unsatisfiable -> Answer.empty (Sparql.Ast.selected_variables ast)
+  | Encoded.Encoded enc ->
+      let collector = Answer.collector ~dict:t.dict ~encoded:enc ~ast ~limit in
+      let assignment = Array.make (max enc.n_vars 1) (-1) in
+      let value = function
+        | Encoded.Bound id -> Some id
+        | Encoded.Slot i -> if assignment.(i) >= 0 then Some assignment.(i) else None
+      in
+      let exception Stop in
+      (* find(s?, p?, o?): pick one bound component's hash bucket, then
+         filter — the classic statement-level find. *)
+      let candidates p =
+        let bucket tbl key =
+          Option.value ~default:[] (Hashtbl.find_opt tbl key)
+        in
+        match (value p.Encoded.s, value p.Encoded.p, value p.Encoded.o) with
+        | Some s, _, _ -> `Indexes (bucket t.by_s s)
+        | None, _, Some o -> `Indexes (bucket t.by_o o)
+        | None, Some pr, None -> `Indexes (bucket t.by_p pr)
+        | None, None, None -> `All
+      in
+      let rec go = function
+        | [] -> if Answer.add collector assignment = `Stop then raise Stop
+        | p :: rest ->
+            Amber.Deadline.check deadline;
+            let try_triple (s, pr, o) =
+              Amber.Deadline.check deadline;
+              let touched = ref [] in
+              let ok = ref true in
+              let bind comp actual =
+                if !ok then
+                  match comp with
+                  | Encoded.Bound id -> if id <> actual then ok := false
+                  | Encoded.Slot slot ->
+                      if assignment.(slot) = -1 then begin
+                        assignment.(slot) <- actual;
+                        touched := slot :: !touched
+                      end
+                      else if assignment.(slot) <> actual then ok := false
+              in
+              bind p.Encoded.s s;
+              bind p.Encoded.p pr;
+              bind p.Encoded.o o;
+              if !ok then go rest;
+              List.iter (fun slot -> assignment.(slot) <- -1) !touched
+            in
+            (match candidates p with
+            | `Indexes is -> List.iter (fun i -> try_triple t.triples.(i)) is
+            | `All -> Array.iter try_triple t.triples)
+      in
+      (try go enc.patterns with Stop -> ());
+      Answer.finish collector
+
+let triple_count t = Array.length t.triples

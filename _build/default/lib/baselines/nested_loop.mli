@@ -1,0 +1,10 @@
+(** Jena-style baseline: an in-memory statement table with one hash
+    index per component (find-by-subject / predicate / object),
+    evaluated as a binding-at-a-time nested-loop join in {e textual
+    pattern order} — no join reordering, like a plain [find()]-driven
+    BGP evaluator. The least robust competitor in the paper, by
+    design. *)
+
+include Engine_sig.S
+
+val triple_count : t -> int

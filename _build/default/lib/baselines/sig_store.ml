@@ -1,0 +1,335 @@
+let name = "gstore-like"
+
+let signature_words = 4
+let bits_per_word = 62
+let signature_bits = signature_words * bits_per_word
+
+(* --- bit signatures ---------------------------------------------- *)
+
+let empty_sig () = Array.make signature_words 0
+
+let set_bit s b =
+  let b = b mod signature_bits in
+  s.(b / bits_per_word) <- s.(b / bits_per_word) lor (1 lsl (b mod bits_per_word))
+
+let subset_sig ~small ~big =
+  let rec loop i =
+    i >= signature_words || (small.(i) land big.(i) = small.(i) && loop (i + 1))
+  in
+  loop 0
+
+let or_sig acc s =
+  for i = 0 to signature_words - 1 do
+    acc.(i) <- acc.(i) lor s.(i)
+  done
+
+let bit_of seed a b = Hashtbl.hash (seed, a, b)
+
+(* --- store -------------------------------------------------------- *)
+
+type t = {
+  dict : Term_dict.t;
+  n : int;
+  out_adj : (int * int) array array;  (* node -> sorted (pred, neighbour) *)
+  in_adj : (int * int) array array;
+  sigs : int array array;  (* per node *)
+  blocks : (int array * int * int) list;
+      (* VS-tree leaf level: (OR-ed signature, first node, last node) *)
+  preds : int array;  (* all predicate ids *)
+}
+
+let compare_pair (a1, a2) (b1, b2) =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c else Int.compare a2 b2
+
+let node_signature out_edges in_edges =
+  let s = empty_sig () in
+  Array.iter
+    (fun (p, o) ->
+      set_bit s (bit_of 0 p 0);
+      set_bit s (bit_of 2 p o))
+    out_edges;
+  Array.iter
+    (fun (p, v) ->
+      set_bit s (bit_of 1 p 0);
+      set_bit s (bit_of 3 p v))
+    in_edges;
+  s
+
+let block_size = 64
+
+let load triples =
+  let dict, encoded = Term_dict.encode_triples triples in
+  let n = Term_dict.size dict in
+  let out_l = Array.make (max n 1) [] and in_l = Array.make (max n 1) [] in
+  Array.iter
+    (fun (s, p, o) ->
+      out_l.(s) <- (p, o) :: out_l.(s);
+      in_l.(o) <- (p, s) :: in_l.(o))
+    encoded;
+  let freeze l =
+    let a = Array.of_list l in
+    Array.sort compare_pair a;
+    a
+  in
+  let out_adj = Array.map freeze out_l and in_adj = Array.map freeze in_l in
+  let sigs = Array.init n (fun v -> node_signature out_adj.(v) in_adj.(v)) in
+  let blocks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let last = min (n - 1) (!i + block_size - 1) in
+    let acc = empty_sig () in
+    for v = !i to last do
+      or_sig acc sigs.(v)
+    done;
+    blocks := (acc, !i, last) :: !blocks;
+    i := last + 1
+  done;
+  let pred_set = Hashtbl.create 64 in
+  Array.iter (fun (_, p, _) -> Hashtbl.replace pred_set p ()) encoded;
+  {
+    dict;
+    n;
+    out_adj;
+    in_adj;
+    sigs;
+    blocks = List.rev !blocks;
+    preds = Array.of_seq (Hashtbl.to_seq_keys pred_set);
+  }
+
+let node_count t = t.n
+
+(* Query-vertex signature from its constant context. *)
+let query_signature patterns slot =
+  let s = empty_sig () in
+  let informative = ref false in
+  List.iter
+    (fun p ->
+      match (p.Encoded.s, p.Encoded.p, p.Encoded.o) with
+      | Encoded.Slot v, Encoded.Bound pr, other when v = slot ->
+          informative := true;
+          set_bit s (bit_of 0 pr 0);
+          (match other with
+          | Encoded.Bound o -> set_bit s (bit_of 2 pr o)
+          | Encoded.Slot _ -> ())
+      | other, Encoded.Bound pr, Encoded.Slot v when v = slot ->
+          informative := true;
+          set_bit s (bit_of 1 pr 0);
+          (match other with
+          | Encoded.Bound sb -> set_bit s (bit_of 3 pr sb)
+          | Encoded.Slot _ -> ())
+      | _ -> ())
+    patterns;
+  if !informative then Some s else None
+
+(* Filter step: walk the block level, then test member signatures. *)
+let filter t qsig =
+  let out = ref [] in
+  List.iter
+    (fun (bsig, first, last) ->
+      if subset_sig ~small:qsig ~big:bsig then
+        for v = first to last do
+          if subset_sig ~small:qsig ~big:t.sigs.(v) then out := v :: !out
+        done)
+    t.blocks;
+  Mgraph.Sorted_ints.of_list !out
+
+(* Does node [a] have an edge [a -p-> b]? *)
+let has_out t a p b =
+  let adj = t.out_adj.(a) in
+  let rec search lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      let c = compare_pair adj.(mid) (p, b) in
+      if c = 0 then true else if c < 0 then search (mid + 1) hi else search lo mid
+  in
+  search 0 (Array.length adj)
+
+let preds_between t a b =
+  Array.fold_right
+    (fun (p, o) acc -> if o = b then p :: acc else acc)
+    t.out_adj.(a) []
+
+exception Stop
+
+let query ?timeout ?limit t (ast : Sparql.Ast.t) =
+  let deadline =
+    match timeout with
+    | None -> Amber.Deadline.never
+    | Some s -> Amber.Deadline.after s
+  in
+  match Encoded.encode t.dict ast with
+  | Encoded.Unsatisfiable -> Answer.empty (Sparql.Ast.selected_variables ast)
+  | Encoded.Encoded enc ->
+      let collector = Answer.collector ~dict:t.dict ~encoded:enc ~ast ~limit in
+      let assignment = Array.make (max enc.n_vars 1) (-1) in
+      (* Node variables (subject/object position) vs. predicate
+         variables (resolved last). *)
+      let node_var = Array.make (max enc.n_vars 1) false in
+      let pred_var = Array.make (max enc.n_vars 1) false in
+      List.iter
+        (fun p ->
+          let mark flags = function
+            | Encoded.Slot v -> flags.(v) <- true
+            | Encoded.Bound _ -> ()
+          in
+          mark node_var p.Encoded.s;
+          mark node_var p.Encoded.o;
+          mark pred_var p.Encoded.p)
+        enc.patterns;
+      let node_vars =
+        List.filter (fun v -> node_var.(v)) (List.init enc.n_vars Fun.id)
+      in
+      (* Initial candidate sets from the signature filter. *)
+      let all_nodes = lazy (Array.init t.n Fun.id) in
+      let candidates =
+        List.map
+          (fun v ->
+            match query_signature enc.patterns v with
+            | Some qsig -> (v, filter t qsig)
+            | None -> (v, Lazy.force all_nodes))
+          node_vars
+      in
+      (* Edges with constant predicates, for the refinement checks. *)
+      let const_edges =
+        List.filter_map
+          (fun p ->
+            match p.Encoded.p with
+            | Encoded.Bound pr -> Some (p.Encoded.s, pr, p.Encoded.o)
+            | Encoded.Slot _ -> None)
+          enc.patterns
+      in
+      let var_pred_edges =
+        List.filter_map
+          (fun p ->
+            match p.Encoded.p with
+            | Encoded.Slot pv -> Some (p.Encoded.s, pv, p.Encoded.o)
+            | Encoded.Bound _ -> None)
+          enc.patterns
+      in
+      let endpoint = function
+        | Encoded.Bound id -> Some id
+        | Encoded.Slot v -> if assignment.(v) >= 0 then Some assignment.(v) else None
+      in
+      (* Check every constant-predicate edge whose endpoints are bound. *)
+      let edges_ok () =
+        List.for_all
+          (fun (s, pr, o) ->
+            match (endpoint s, endpoint o) with
+            | Some a, Some b -> has_out t a pr b
+            | _ -> true)
+          const_edges
+      in
+      (* Resolve variable-predicate edges once all node vars are bound:
+         per predicate slot, intersect the predicate sets of its edges,
+         then emit the Cartesian product. *)
+      let resolve_pred_vars () =
+        let constraints = Hashtbl.create 4 in
+        let feasible =
+          List.for_all
+            (fun (s, pv, o) ->
+              match (endpoint s, endpoint o) with
+              | Some a, Some b ->
+                  let ps = Mgraph.Sorted_ints.of_list (preds_between t a b) in
+                  let ps =
+                    (* A slot shared between predicate and node position
+                       must agree with the node binding. *)
+                    if node_var.(pv) && assignment.(pv) >= 0 then
+                      if Mgraph.Sorted_ints.mem ps assignment.(pv) then
+                        [| assignment.(pv) |]
+                      else [||]
+                    else ps
+                  in
+                  let merged =
+                    match Hashtbl.find_opt constraints pv with
+                    | None -> ps
+                    | Some old -> Mgraph.Sorted_ints.inter old ps
+                  in
+                  Hashtbl.replace constraints pv merged;
+                  Array.length merged > 0
+              | _ -> false (* an unbound endpoint: only var-pred context *))
+            var_pred_edges
+        in
+        if not feasible then ()
+        else begin
+          let slots = Hashtbl.fold (fun k v acc -> (k, v) :: acc) constraints [] in
+          let rec product = function
+            | [] -> if Answer.add collector assignment = `Stop then raise Stop
+            | (pv, ps) :: rest ->
+                Array.iter
+                  (fun pid ->
+                    assignment.(pv) <- pid;
+                    product rest)
+                  ps;
+                assignment.(pv) <- -1
+          in
+          product slots
+        end
+      in
+      let finish_assignment () =
+        if var_pred_edges = [] then begin
+          if Answer.add collector assignment = `Stop then raise Stop
+        end
+        else resolve_pred_vars ()
+      in
+      (* Backtracking refinement over node variables; next variable =
+         smallest candidate set among those adjacent to a matched one. *)
+      let adjacent_to_matched v =
+        List.exists
+          (fun (s, _, o) ->
+            let touches c = c = Encoded.Slot v in
+            let other_bound c =
+              match c with
+              | Encoded.Bound _ -> true
+              | Encoded.Slot w -> assignment.(w) >= 0
+            in
+            (touches s && other_bound o) || (touches o && other_bound s))
+          const_edges
+      in
+      let rec refine remaining =
+        Amber.Deadline.check deadline;
+        match remaining with
+        | [] -> finish_assignment ()
+        | _ ->
+            let scored =
+              List.map
+                (fun (v, cands) ->
+                  ((v, cands), (not (adjacent_to_matched v), Array.length cands)))
+                remaining
+            in
+            let (v, cands), _ =
+              List.fold_left
+                (fun (best, bscore) (x, score) ->
+                  if score < bscore then (x, score) else (best, bscore))
+                (List.hd scored)
+                (List.tl scored)
+            in
+            let rest = List.filter (fun (w, _) -> w <> v) remaining in
+            Array.iter
+              (fun node ->
+                Amber.Deadline.check deadline;
+                assignment.(v) <- node;
+                if edges_ok () then refine rest;
+                assignment.(v) <- -1)
+              cands
+        in
+      (try
+         if node_vars = [] then begin
+           (* Ground or predicate-variable-only query. *)
+           if edges_ok () then finish_assignment ()
+         end
+         else refine candidates
+       with Stop -> ());
+      Answer.finish collector
+
+let filter_candidates t ast var =
+  match Encoded.encode t.dict ast with
+  | Encoded.Unsatisfiable -> None
+  | Encoded.Encoded enc -> (
+      match Encoded.slot_of_var enc var with
+      | None -> None
+      | Some slot -> (
+          match query_signature enc.patterns slot with
+          | None -> None
+          | Some qsig -> Some (filter t qsig)))

@@ -1,0 +1,23 @@
+(** gStore-style baseline: filter-and-refine over vertex bit
+    signatures.
+
+    Every term node gets a fixed-width bit signature encoding its
+    incident (direction, predicate) pairs and (direction, predicate,
+    neighbour) pairs; signatures are organized in a VS-tree-like
+    hierarchy of OR-ed block signatures. A query vertex's signature is
+    built from its constant context; the {e filter} step walks the tree
+    collecting nodes whose signature is a superset, and the {e refine}
+    step runs a backtracking (homomorphic) match over adjacency lists.
+    Variable predicates are resolved in a final enumeration phase. *)
+
+include Engine_sig.S
+
+val signature_words : int
+(** Width of the bit signatures, in 63-bit words. *)
+
+val node_count : t -> int
+
+val filter_candidates : t -> Sparql.Ast.t -> string -> int array option
+(** Candidate node count the filter step yields for one variable of a
+    query ([None] if the variable or query is degenerate) — exposed for
+    tests and the ablation bench. *)

@@ -1,0 +1,42 @@
+type t = {
+  ids : (string, int) Hashtbl.t;
+  mutable terms : Rdf.Term.t array;
+  mutable size : int;
+}
+
+let create () = { ids = Hashtbl.create 1024; terms = Array.make 1024 (Rdf.Term.iri ""); size = 0 }
+
+let grow t =
+  let terms = Array.make (2 * Array.length t.terms) (Rdf.Term.iri "") in
+  Array.blit t.terms 0 terms 0 t.size;
+  t.terms <- terms
+
+let intern t term =
+  let key = Rdf.Term.to_string term in
+  match Hashtbl.find_opt t.ids key with
+  | Some id -> id
+  | None ->
+      let id = t.size in
+      if id = Array.length t.terms then grow t;
+      t.terms.(id) <- term;
+      Hashtbl.add t.ids key id;
+      t.size <- id + 1;
+      id
+
+let find t term = Hashtbl.find_opt t.ids (Rdf.Term.to_string term)
+
+let term t id =
+  if id < 0 || id >= t.size then invalid_arg "Term_dict.term: unknown id"
+  else t.terms.(id)
+
+let size t = t.size
+
+let encode_triples triples =
+  let t = create () in
+  let encoded =
+    List.map
+      (fun { Rdf.Triple.subject; predicate; obj } ->
+        (intern t subject, intern t predicate, intern t obj))
+      triples
+  in
+  (t, Array.of_list encoded)

@@ -1,0 +1,22 @@
+(** Term-level dictionary shared by the baseline engines.
+
+    Unlike AMbER's multigraph encoding, the relational baselines keep
+    every RDF term — IRI, blank node or literal — as a plain node id, as
+    x-RDF-3X, Virtuoso, Jena and gStore all do. *)
+
+type t
+
+val create : unit -> t
+
+val intern : t -> Rdf.Term.t -> int
+
+val find : t -> Rdf.Term.t -> int option
+
+val term : t -> int -> Rdf.Term.t
+
+val size : t -> int
+
+val encode_triples : Rdf.Triple.t list -> t * (int * int * int) array
+(** Intern a tripleset; returns the dictionary and the encoded triples
+    in input order (duplicates preserved — engines deduplicate as their
+    architecture dictates). *)

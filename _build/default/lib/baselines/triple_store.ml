@@ -1,0 +1,211 @@
+let name = "x-rdf3x-like"
+
+(* Key orders of the six permutations. Components are addressed as
+   0 = subject, 1 = predicate, 2 = object. *)
+let orders = [| [| 0; 1; 2 |]; [| 0; 2; 1 |]; [| 1; 0; 2 |];
+                [| 1; 2; 0 |]; [| 2; 0; 1 |]; [| 2; 1; 0 |] |]
+
+type t = {
+  dict : Term_dict.t;
+  perms : (int * int * int) array array;  (* permuted key tuples, sorted *)
+  mutable scans : int;
+}
+
+let component (s, p, o) = function 0 -> s | 1 -> p | _ -> o
+
+let permute order triple =
+  (component triple order.(0), component triple order.(1), component triple order.(2))
+
+(* Recover the original (s, p, o) from a permuted tuple. *)
+let unpermute order (k1, k2, k3) =
+  let out = [| 0; 0; 0 |] in
+  out.(order.(0)) <- k1;
+  out.(order.(1)) <- k2;
+  out.(order.(2)) <- k3;
+  (out.(0), out.(1), out.(2))
+
+let compare_triple (a1, a2, a3) (b1, b2, b3) =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c
+  else
+    let c = Int.compare a2 b2 in
+    if c <> 0 then c else Int.compare a3 b3
+
+let load triples =
+  let dict, encoded = Term_dict.encode_triples triples in
+  (* Deduplicate once, in SPO order. *)
+  let spo = Array.copy encoded in
+  Array.sort compare_triple spo;
+  let dedup =
+    if Array.length spo = 0 then spo
+    else begin
+      let k = ref 1 in
+      for i = 1 to Array.length spo - 1 do
+        if compare_triple spo.(i) spo.(!k - 1) <> 0 then begin
+          spo.(!k) <- spo.(i);
+          incr k
+        end
+      done;
+      Array.sub spo 0 !k
+    end
+  in
+  let perms =
+    Array.map
+      (fun order ->
+        let a = Array.map (permute order) dedup in
+        Array.sort compare_triple a;
+        a)
+      orders
+  in
+  { dict; perms; scans = 0 }
+
+(* Smallest index whose permuted tuple has [prefix] as prefix. *)
+let lower_bound data prefix =
+  let matches_from (k1, k2, k3) =
+    (* compare prefix against tuple; prefix components are options *)
+    let cmp p k = match p with None -> 0 | Some v -> Int.compare v k in
+    let c = cmp prefix.(0) k1 in
+    if c <> 0 then c
+    else
+      let c = cmp prefix.(1) k2 in
+      if c <> 0 then c else cmp prefix.(2) k3
+  in
+  let n = Array.length data in
+  (* first index with prefix <= tuple *)
+  let rec lo_search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if matches_from data.(mid) <= 0 then lo_search lo mid else lo_search (mid + 1) hi
+  in
+  (* first index with prefix < tuple strictly (i.e. tuple beyond range) *)
+  let rec hi_search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if matches_from data.(mid) < 0 then hi_search lo mid else hi_search (mid + 1) hi
+  in
+  let lo = lo_search 0 n in
+  let hi = hi_search lo n in
+  (lo, hi)
+
+(* Pick the permutation whose key prefix covers the bound components. *)
+let perm_for bound_s bound_p bound_o =
+  match (bound_s, bound_p, bound_o) with
+  | Some _, Some _, _ -> 0 (* SPO *)
+  | Some _, None, Some _ -> 4 (* OSP: prefix (o, s) *)
+  | Some _, None, None -> 0
+  | None, Some _, Some _ -> 3 (* POS *)
+  | None, Some _, None -> 2 (* PSO *)
+  | None, None, Some _ -> 5 (* OPS *)
+  | None, None, None -> 0
+
+let range t bound_s bound_p bound_o =
+  t.scans <- t.scans + 1;
+  let pi = perm_for bound_s bound_p bound_o in
+  let order = orders.(pi) in
+  let comp = function 0 -> bound_s | 1 -> bound_p | _ -> bound_o in
+  let prefix = [| comp order.(0); comp order.(1); comp order.(2) |] in
+  (* The usable prefix must be contiguous: stop at the first unbound
+     key column. *)
+  let contiguous = Array.copy prefix in
+  let stop = ref false in
+  for i = 0 to 2 do
+    if !stop || contiguous.(i) = None then begin
+      stop := true;
+      contiguous.(i) <- None
+    end
+  done;
+  let data = t.perms.(pi) in
+  let lo, hi = lower_bound data contiguous in
+  (pi, data, lo, hi)
+
+let cardinality t bound_s bound_p bound_o =
+  let _, _, lo, hi = range t bound_s bound_p bound_o in
+  hi - lo
+
+exception Stop
+
+let query ?timeout ?limit t (ast : Sparql.Ast.t) =
+  let deadline =
+    match timeout with
+    | None -> Amber.Deadline.never
+    | Some s -> Amber.Deadline.after s
+  in
+  match Encoded.encode t.dict ast with
+  | Encoded.Unsatisfiable -> Answer.empty (Sparql.Ast.selected_variables ast)
+  | Encoded.Encoded enc ->
+      let collector = Answer.collector ~dict:t.dict ~encoded:enc ~ast ~limit in
+      let assignment = Array.make (max enc.n_vars 1) (-1) in
+      let value = function
+        | Encoded.Bound id -> Some id
+        | Encoded.Slot i -> if assignment.(i) >= 0 then Some assignment.(i) else None
+      in
+      let const = function Encoded.Bound id -> Some id | Encoded.Slot _ -> None in
+      (* Static join order, chosen once before execution from constant
+         selectivities — the statistics-driven plan of RDF-3X. (No
+         adaptive reordering during execution: a mis-estimated plan on a
+         large query runs to its timeout, which is exactly the behaviour
+         the paper observes.) *)
+      let plan =
+        let bound = Hashtbl.create 8 in
+        let connected p = List.exists (Hashtbl.mem bound) (Encoded.pattern_vars p) in
+        let base p = cardinality t (const p.Encoded.s) (const p.Encoded.p) (const p.Encoded.o) in
+        let rec build acc = function
+          | [] -> List.rev acc
+          | remaining ->
+              let score p = ((not (connected p)) || acc = [], base p) in
+              let best =
+                List.fold_left
+                  (fun best p ->
+                    match best with
+                    | None -> Some (p, score p)
+                    | Some (_, s) when score p < s -> Some (p, score p)
+                    | Some _ -> best)
+                  None remaining
+              in
+              let p = match best with Some (p, _) -> p | None -> assert false in
+              List.iter (fun v -> Hashtbl.replace bound v ()) (Encoded.pattern_vars p);
+              build (p :: acc) (List.filter (fun q -> q != p) remaining)
+        in
+        build [] enc.patterns
+      in
+      let rec go remaining =
+        Amber.Deadline.check deadline;
+        match remaining with
+        | [] -> if Answer.add collector assignment = `Stop then raise Stop
+        | p :: rest ->
+            let pi, data, lo, hi =
+              range t (value p.Encoded.s) (value p.Encoded.p) (value p.Encoded.o)
+            in
+            let order = orders.(pi) in
+            for i = lo to hi - 1 do
+              Amber.Deadline.check deadline;
+              let s, pr, o = unpermute order data.(i) in
+              (* Bind unbound slots, checking consistency (covers vars
+                 repeated inside one pattern and non-prefix bounds). *)
+              let touched = ref [] in
+              let ok = ref true in
+              let bind comp actual =
+                if !ok then
+                  match comp with
+                  | Encoded.Bound id -> if id <> actual then ok := false
+                  | Encoded.Slot slot ->
+                      if assignment.(slot) = -1 then begin
+                        assignment.(slot) <- actual;
+                        touched := slot :: !touched
+                      end
+                      else if assignment.(slot) <> actual then ok := false
+              in
+              bind p.Encoded.s s;
+              bind p.Encoded.p pr;
+              bind p.Encoded.o o;
+              if !ok then go rest;
+              List.iter (fun slot -> assignment.(slot) <- -1) !touched
+            done
+      in
+      (try go plan with Stop -> ());
+      Answer.finish collector
+
+let permutation_count t = Array.length t.perms
+let scan_count t = t.scans

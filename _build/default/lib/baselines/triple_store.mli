@@ -1,0 +1,15 @@
+(** x-RDF-3X-style baseline: one big triple table materialized in all
+    six (S,P,O) permutations, each sorted; query evaluation is an
+    index nested-loop join whose next pattern is picked greedily by the
+    exact range cardinality under the current bindings — the
+    "exhaustive indexing + selectivity-driven join ordering" design of
+    RDF-3X. *)
+
+include Engine_sig.S
+
+val permutation_count : t -> int
+(** Always 6; exposed for tests. *)
+
+val scan_count : t -> int
+(** Number of index range scans performed since [load] (statistics for
+    the ablation benchmarks). *)

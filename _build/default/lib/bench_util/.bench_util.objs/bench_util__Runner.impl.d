@@ -1,0 +1,1 @@
+lib/bench_util/runner.ml: Amber Baselines Format List Stats Unix

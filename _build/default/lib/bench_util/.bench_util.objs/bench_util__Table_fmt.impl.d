@@ -1,0 +1,1 @@
+lib/bench_util/table_fmt.ml: Buffer List Option Printf String

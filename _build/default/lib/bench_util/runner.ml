@@ -1,0 +1,56 @@
+type outcome =
+  | Answered of { seconds : float; rows : int }
+  | Unanswered
+
+type summary = {
+  engine : string;
+  answered : int;
+  unanswered : int;
+  mean_time : float;
+  median_time : float;
+  total_rows : int;
+}
+
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (Unix.gettimeofday () -. start, result)
+
+let run_query (type e) (module E : Baselines.Engine_sig.S with type t = e)
+    (engine : e) ~timeout ?limit ast =
+  match time (fun () -> E.query ~timeout ?limit engine ast) with
+  | seconds, answer ->
+      Answered { seconds; rows = List.length answer.Baselines.Answer.rows }
+  | exception Amber.Deadline.Expired -> Unanswered
+
+let run_workload (type e) (module E : Baselines.Engine_sig.S with type t = e)
+    (engine : e) ~timeout ?limit queries =
+  let times = ref [] and answered = ref 0 and unanswered = ref 0 in
+  let total_rows = ref 0 in
+  List.iter
+    (fun ast ->
+      match run_query (module E) engine ~timeout ?limit ast with
+      | Answered { seconds; rows } ->
+          incr answered;
+          times := seconds :: !times;
+          total_rows := !total_rows + rows
+      | Unanswered -> incr unanswered)
+    queries;
+  {
+    engine = E.name;
+    answered = !answered;
+    unanswered = !unanswered;
+    mean_time = Stats.mean !times;
+    median_time = Stats.median !times;
+    total_rows = !total_rows;
+  }
+
+let pp_summary ppf s =
+  let pct =
+    if s.answered + s.unanswered = 0 then 0.
+    else
+      100.0 *. float_of_int s.unanswered /. float_of_int (s.answered + s.unanswered)
+  in
+  Format.fprintf ppf "%-14s answered %3d/%3d (%5.1f%% unanswered)  mean %8.2f ms  median %8.2f ms"
+    s.engine s.answered (s.answered + s.unanswered) pct (1000. *. s.mean_time)
+    (1000. *. s.median_time)

@@ -1,0 +1,38 @@
+(** Timed, timeout-guarded query execution over any engine implementing
+    {!Baselines.Engine_sig.S} — the measurement protocol of the paper's
+    Section 7.2: run each query under a time budget, record elapsed time
+    for answered queries and count the unanswered ones. *)
+
+type outcome =
+  | Answered of { seconds : float; rows : int }
+  | Unanswered  (** the time budget expired (or the engine gave up) *)
+
+type summary = {
+  engine : string;
+  answered : int;
+  unanswered : int;
+  mean_time : float;  (** over answered queries only, as in the paper *)
+  median_time : float;
+  total_rows : int;
+}
+
+val time : (unit -> 'a) -> float * 'a
+(** Wall-clock seconds. *)
+
+val run_query :
+  (module Baselines.Engine_sig.S with type t = 'e) ->
+  'e ->
+  timeout:float ->
+  ?limit:int ->
+  Sparql.Ast.t ->
+  outcome
+
+val run_workload :
+  (module Baselines.Engine_sig.S with type t = 'e) ->
+  'e ->
+  timeout:float ->
+  ?limit:int ->
+  Sparql.Ast.t list ->
+  summary
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,25 @@
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let percentile p = function
+  | [] -> 0.
+  | xs ->
+      let sorted = List.sort Float.compare xs in
+      let n = List.length sorted in
+      let rank =
+        int_of_float (Float.round (p *. float_of_int (n - 1)))
+      in
+      List.nth sorted (max 0 (min (n - 1) rank))
+
+let median xs = percentile 0.5 xs
+
+let stddev = function
+  | [] | [ _ ] -> 0.
+  | xs ->
+      let m = mean xs in
+      let sq = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs in
+      sqrt (sq /. float_of_int (List.length xs - 1))
+
+let minimum = function [] -> 0. | xs -> List.fold_left Float.min infinity xs
+let maximum = function [] -> 0. | xs -> List.fold_left Float.max neg_infinity xs

@@ -1,0 +1,12 @@
+(** Small statistics helpers for the benchmark harness. *)
+
+val mean : float list -> float
+(** 0. on the empty list. *)
+
+val median : float list -> float
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0, 1] (nearest-rank). *)
+
+val stddev : float list -> float
+val minimum : float list -> float
+val maximum : float list -> float

@@ -1,0 +1,46 @@
+let render ~header rows =
+  let all = header :: rows in
+  let cols =
+    List.fold_left (fun m r -> max m (List.length r)) 0 all
+  in
+  let width i =
+    List.fold_left
+      (fun m row ->
+        match List.nth_opt row i with
+        | Some cell -> max m (String.length cell)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init cols width in
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i w ->
+        let cell = Option.value ~default:"" (List.nth_opt row i) in
+        Buffer.add_string buf cell;
+        Buffer.add_string buf (String.make (w - String.length cell + 2) ' '))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  emit_row header;
+  List.iteri
+    (fun i w ->
+      ignore i;
+      Buffer.add_string buf (String.make w '-');
+      Buffer.add_string buf "  ")
+    widths;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print ~header rows = print_string (render ~header rows)
+
+let ms seconds =
+  let v = 1000. *. seconds in
+  if v < 10. then Printf.sprintf "%.3f" v
+  else if v < 1000. then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.0f" v
+
+let pct ~answered ~total =
+  if total = 0 then "-"
+  else Printf.sprintf "%.0f%%" (100. *. float_of_int (total - answered) /. float_of_int total)

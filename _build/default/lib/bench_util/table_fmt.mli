@@ -1,0 +1,12 @@
+(** Plain-text table rendering for the benchmark reports. *)
+
+val render : header:string list -> string list list -> string
+(** Column-aligned table with a separator under the header. *)
+
+val print : header:string list -> string list list -> unit
+
+val ms : float -> string
+(** Format seconds as milliseconds with sensible precision. *)
+
+val pct : answered:int -> total:int -> string
+(** "% unanswered" cell. *)

@@ -1,0 +1,1 @@
+lib/core/attribute_index.ml: Array Database Mgraph

@@ -1,0 +1,1 @@
+lib/core/database.ml: Array Format List Mgraph Rdf String

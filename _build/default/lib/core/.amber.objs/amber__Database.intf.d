@@ -1,0 +1,1 @@
+lib/core/database.mli: Format Mgraph Rdf

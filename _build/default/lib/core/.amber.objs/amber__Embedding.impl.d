@@ -1,0 +1,1 @@
+lib/core/embedding.ml: Array Database Hashtbl List Literal_bindings Matcher Query_graph Rdf Seq

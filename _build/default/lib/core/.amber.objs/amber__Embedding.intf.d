@@ -1,0 +1,1 @@
+lib/core/embedding.mli: Database Literal_bindings Matcher Query_graph Rdf Seq

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Attribute_index Database Decompose Format Matcher Neighbourhood_index Rdf Sparql Synopsis_index

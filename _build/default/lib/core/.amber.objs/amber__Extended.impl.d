@@ -1,0 +1,1 @@
+lib/core/extended.ml: Deadline Engine Float Hashtbl List Rdf Sparql Str String

@@ -1,0 +1,1 @@
+lib/core/extended.mli: Engine Rdf Sparql

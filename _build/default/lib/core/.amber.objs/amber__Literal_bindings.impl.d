@@ -1,0 +1,1 @@
+lib/core/literal_bindings.ml: Array Database List Mgraph Rdf

@@ -1,0 +1,1 @@
+lib/core/literal_bindings.mli: Database Rdf

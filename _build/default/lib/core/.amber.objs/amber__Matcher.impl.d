@@ -1,0 +1,1 @@
+lib/core/matcher.ml: Array Attribute_index Database Deadline Decompose List Mgraph Neighbourhood_index Query_graph Synopsis_index

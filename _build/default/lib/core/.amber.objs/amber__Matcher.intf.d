@@ -1,0 +1,1 @@
+lib/core/matcher.mli: Attribute_index Database Deadline Decompose Neighbourhood_index Query_graph Synopsis_index

@@ -1,0 +1,1 @@
+lib/core/neighbourhood_index.mli: Database Mgraph

@@ -1,0 +1,1 @@
+lib/core/query_graph.ml: Array Database Format Hashtbl List Mgraph Option Printf Rdf Sparql String

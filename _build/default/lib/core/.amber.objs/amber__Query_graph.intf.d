@@ -1,0 +1,1 @@
+lib/core/query_graph.mli: Database Format Mgraph Sparql

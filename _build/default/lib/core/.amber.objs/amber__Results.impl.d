@@ -1,0 +1,1 @@
+lib/core/results.ml: Buffer Char Engine List Printf Rdf String

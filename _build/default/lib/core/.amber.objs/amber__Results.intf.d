@@ -1,0 +1,1 @@
+lib/core/results.mli: Engine

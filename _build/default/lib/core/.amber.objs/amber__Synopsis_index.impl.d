@@ -1,0 +1,1 @@
+lib/core/synopsis_index.ml: Array Database List Mgraph Rect Rtree

@@ -1,0 +1,1 @@
+lib/core/synopsis_index.mli: Database Mgraph

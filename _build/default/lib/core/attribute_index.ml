@@ -1,0 +1,24 @@
+type t = int array array  (* attribute id -> sorted vertex ids *)
+
+let build db =
+  let g = Database.graph db in
+  let n_attrs = Database.attribute_count db in
+  let buckets = Array.make n_attrs [] in
+  for v = Mgraph.Multigraph.vertex_count g - 1 downto 0 do
+    Array.iter
+      (fun a -> buckets.(a) <- v :: buckets.(a))
+      (Mgraph.Multigraph.attributes g v)
+  done;
+  (* Vertices were visited in decreasing order, so each bucket is
+     already sorted increasingly. *)
+  Array.map Array.of_list buckets
+
+let vertices_with t a = if a < 0 || a >= Array.length t then [||] else t.(a)
+
+let candidates t attrs =
+  if Array.length attrs = 0 then
+    invalid_arg "Attribute_index.candidates: empty attribute set";
+  let lists = Array.to_list (Array.map (vertices_with t) attrs) in
+  Mgraph.Sorted_ints.inter_many lists
+
+let attribute_count t = Array.length t

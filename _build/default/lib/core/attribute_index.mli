@@ -1,0 +1,19 @@
+(** Attribute inverted list — the index [A] (paper Section 4.1).
+
+    Maps every attribute id to the sorted list of data vertices carrying
+    it; the candidates for a query vertex with attribute set [u.A] are
+    the intersection of the per-attribute lists. *)
+
+type t
+
+val build : Database.t -> t
+
+val vertices_with : t -> int -> int array
+(** Sorted data vertices carrying one attribute ([||] if none). *)
+
+val candidates : t -> int array -> int array
+(** [candidates a attrs] — sorted data vertices carrying {e all} of
+    [attrs]. @raise Invalid_argument on an empty attribute set (callers
+    only consult [A] when the query vertex has attributes). *)
+
+val attribute_count : t -> int

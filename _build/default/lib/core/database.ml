@@ -1,0 +1,139 @@
+type t = {
+  graph : Mgraph.Multigraph.t;
+  vertices : Mgraph.Dict.t;  (* vertex key -> vertex id *)
+  edge_types : Mgraph.Dict.t;  (* predicate IRI -> edge type id *)
+  attributes : Mgraph.Dict.t;  (* attribute key -> attribute id *)
+  attribute_data : (string * Rdf.Term.literal) array;  (* id -> (pred, lit) *)
+  triple_count : int;
+}
+
+(* Vertex dictionary keys: the raw IRI for IRIs, "_:label" for bnodes
+   (an IRI can never start with "_:" so the encodings cannot clash). *)
+let vertex_key = function
+  | Rdf.Term.Iri iri -> Some iri
+  | Rdf.Term.Bnode b -> Some ("_:" ^ b)
+  | Rdf.Term.Literal _ -> None
+
+let term_of_key key =
+  if String.length key >= 2 && key.[0] = '_' && key.[1] = ':' then
+    Rdf.Term.bnode (String.sub key 2 (String.length key - 2))
+  else Rdf.Term.iri key
+
+(* Attribute dictionary keys pair the predicate with the literal's
+   canonical N-Triples rendering, separated by a NUL (never in IRIs). *)
+let attr_key pred lit =
+  pred ^ "\x00" ^ Rdf.Term.to_string (Rdf.Term.Literal lit)
+
+let of_triples triples =
+  let vertices = Mgraph.Dict.create ()
+  and edge_types = Mgraph.Dict.create ()
+  and attributes = Mgraph.Dict.create () in
+  let attribute_data = ref [] in
+  let builder = Mgraph.Multigraph.Builder.create () in
+  let count = ref 0 in
+  List.iter
+    (fun { Rdf.Triple.subject; predicate; obj } ->
+      incr count;
+      let s =
+        match vertex_key subject with
+        | Some key -> Mgraph.Dict.intern vertices key
+        | None -> assert false (* Triple.make forbids literal subjects *)
+      in
+      let pred =
+        match predicate with
+        | Rdf.Term.Iri iri -> iri
+        | Rdf.Term.Literal _ | Rdf.Term.Bnode _ -> assert false
+      in
+      match obj with
+      | Rdf.Term.Literal lit ->
+          let key = attr_key pred lit in
+          let before = Mgraph.Dict.size attributes in
+          let a = Mgraph.Dict.intern attributes key in
+          if Mgraph.Dict.size attributes > before then
+            attribute_data := (pred, lit) :: !attribute_data;
+          Mgraph.Multigraph.Builder.add_attribute builder s a
+      | Rdf.Term.Iri _ | Rdf.Term.Bnode _ ->
+          let o =
+            match vertex_key obj with
+            | Some key -> Mgraph.Dict.intern vertices key
+            | None -> assert false
+          in
+          let e = Mgraph.Dict.intern edge_types pred in
+          Mgraph.Multigraph.Builder.add_edge builder s e o)
+    triples;
+  {
+    graph = Mgraph.Multigraph.Builder.build builder;
+    vertices;
+    edge_types;
+    attributes;
+    attribute_data = Array.of_list (List.rev !attribute_data);
+    triple_count = !count;
+  }
+
+let graph t = t.graph
+
+let vertex_of_term t term =
+  match vertex_key term with
+  | None -> None
+  | Some key -> Mgraph.Dict.find_opt t.vertices key
+
+let term_of_vertex t v = term_of_key (Mgraph.Dict.value t.vertices v)
+let edge_type_of_iri t iri = Mgraph.Dict.find_opt t.edge_types iri
+let iri_of_edge_type t e = Mgraph.Dict.value t.edge_types e
+
+let attribute_of t ~pred ~lit =
+  Mgraph.Dict.find_opt t.attributes (attr_key pred lit)
+
+let attribute_data t a =
+  if a < 0 || a >= Array.length t.attribute_data then
+    invalid_arg "Database.attribute_data: unknown attribute id"
+  else t.attribute_data.(a)
+
+let vertex_count t = Mgraph.Dict.size t.vertices
+let edge_type_count t = Mgraph.Dict.size t.edge_types
+let attribute_count t = Mgraph.Dict.size t.attributes
+let triple_count t = t.triple_count
+
+let to_triples t =
+  let edge_triples =
+    Mgraph.Multigraph.fold_edges
+      (fun v types v' acc ->
+        let s = term_of_vertex t v and o = term_of_vertex t v' in
+        Array.fold_left
+          (fun acc ty ->
+            Rdf.Triple.make s (Rdf.Term.iri (iri_of_edge_type t ty)) o :: acc)
+          acc types)
+      t.graph []
+  in
+  let n = Mgraph.Multigraph.vertex_count t.graph in
+  let attr_triples = ref [] in
+  for v = n - 1 downto 0 do
+    Array.iter
+      (fun a ->
+        let pred, lit = t.attribute_data.(a) in
+        attr_triples :=
+          Rdf.Triple.make (term_of_vertex t v) (Rdf.Term.iri pred)
+            (Rdf.Term.Literal lit)
+          :: !attr_triples)
+      (Mgraph.Multigraph.attributes t.graph v)
+  done;
+  List.rev_append edge_triples !attr_triples
+
+let literals_of t ~vertex ~pred =
+  Array.fold_right
+    (fun a acc ->
+      let p, lit = t.attribute_data.(a) in
+      if String.equal p pred then lit :: acc else acc)
+    (Mgraph.Multigraph.attributes t.graph vertex)
+    []
+
+let pp_stats ppf t =
+  Format.fprintf ppf
+    "@[<v>triples: %d@,%a@,attributes: %d@,attribute vertices: %d@]"
+    t.triple_count Mgraph.Multigraph.pp_stats t.graph
+    (Mgraph.Dict.size t.attributes)
+    (Array.fold_left
+       (fun n attrs -> if Array.length attrs > 0 then n + 1 else n)
+       0
+       (Array.init (Mgraph.Multigraph.vertex_count t.graph) (fun v ->
+            Mgraph.Multigraph.attributes t.graph v)))

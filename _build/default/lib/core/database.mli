@@ -1,0 +1,53 @@
+(** The multigraph database: an RDF tripleset transformed per paper
+    Section 2.1.1.
+
+    Subjects and IRI/bnode objects become vertices; predicates between
+    two vertices become typed edges; a literal object is folded together
+    with its predicate into a vertex {e attribute} of the subject. Three
+    dictionaries (Table 2) map RDF entities to dense ids and back. *)
+
+type t
+
+val of_triples : Rdf.Triple.t list -> t
+
+val graph : t -> Mgraph.Multigraph.t
+
+(** {1 Dictionary lookups (the mapping functions M and M⁻¹)} *)
+
+val vertex_of_term : t -> Rdf.Term.t -> int option
+(** Vertex id of an IRI or blank-node term; [None] if absent or the term
+    is a literal. *)
+
+val term_of_vertex : t -> int -> Rdf.Term.t
+(** Inverse vertex mapping [M⁻¹_v]. *)
+
+val edge_type_of_iri : t -> string -> int option
+(** Edge-type id of a predicate IRI ([M_e]); [None] when the predicate
+    never links two vertices. *)
+
+val iri_of_edge_type : t -> int -> string
+
+val attribute_of : t -> pred:string -> lit:Rdf.Term.literal -> int option
+(** Attribute id of a [(predicate, literal)] pair ([M_a]). *)
+
+val attribute_data : t -> int -> string * Rdf.Term.literal
+(** Inverse attribute mapping: the [(predicate IRI, literal)] pair. *)
+
+val vertex_count : t -> int
+val edge_type_count : t -> int
+val attribute_count : t -> int
+val triple_count : t -> int
+(** Number of input triples retained (duplicates collapse). *)
+
+val to_triples : t -> Rdf.Triple.t list
+(** Reconstruct the tripleset the database denotes (edges plus folded
+    attributes). Round-trip guarantee: [of_triples (to_triples db)] is
+    semantically identical to [db] (identifiers may be reassigned but
+    every query answers the same). Duplicate input triples do not
+    reappear. *)
+
+val literals_of : t -> vertex:int -> pred:string -> Rdf.Term.literal list
+(** All literals attached to [vertex] through [pred] — supports the
+    open-object extension ({!Literal_bindings}). *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+type t = { limit : float; mutable ticks : int }
+
+exception Expired
+
+(* Poll the clock once every [interval] checks. *)
+let interval = 256
+
+let after seconds = { limit = Unix.gettimeofday () +. seconds; ticks = 0 }
+let never = { limit = infinity; ticks = 0 }
+
+let check t =
+  if t.limit <> infinity then begin
+    t.ticks <- t.ticks + 1;
+    if t.ticks >= interval then begin
+      t.ticks <- 0;
+      if Unix.gettimeofday () > t.limit then raise Expired
+    end
+  end
+
+let expired t = t.limit <> infinity && Unix.gettimeofday () > t.limit
+let remaining t = if t.limit = infinity then infinity else t.limit -. Unix.gettimeofday ()

@@ -1,0 +1,26 @@
+(** Cooperative query deadlines.
+
+    The paper's evaluation (Section 7.2) imposes a per-query time limit
+    and reports the fraction of unanswered queries. Matching is a deep
+    recursion, so the deadline is polled cooperatively: {!check} costs an
+    increment most of the time and consults the wall clock every few
+    hundred calls. *)
+
+type t
+
+exception Expired
+
+val after : float -> t
+(** [after seconds] is a deadline [seconds] from now (wall clock). *)
+
+val never : t
+(** A deadline that never fires. *)
+
+val check : t -> unit
+(** @raise Expired once the deadline has passed. *)
+
+val expired : t -> bool
+(** Non-raising variant (always consults the clock). *)
+
+val remaining : t -> float
+(** Seconds left; [infinity] for {!never}. *)

@@ -1,0 +1,163 @@
+type strategy = Paper | By_degree | Arbitrary
+
+type component = { core_order : int array }
+
+type plan = {
+  components : component array;
+  is_core : bool array;
+  satellites_of : int list array;
+  anchor_of : int array;
+}
+
+(* Distinct variable neighbours of [u] (self excluded). *)
+let var_neighbours (q : Query_graph.t) u =
+  let collect dir acc =
+    if u < Mgraph.Multigraph.vertex_count q.graph then
+      Array.fold_left
+        (fun acc (v, _) -> if v = u then acc else v :: acc)
+        acc
+        (Mgraph.Multigraph.adjacency q.graph dir u)
+    else acc
+  in
+  Mgraph.Sorted_ints.of_list
+    (collect Mgraph.Multigraph.Out (collect Mgraph.Multigraph.In []))
+
+let r2 (q : Query_graph.t) u =
+  let var_part =
+    let count dir acc =
+      if u < Mgraph.Multigraph.vertex_count q.graph then
+        Array.fold_left
+          (fun acc (v, types) -> if v = u then acc else acc + Array.length types)
+          acc
+          (Mgraph.Multigraph.adjacency q.graph dir u)
+      else acc
+    in
+    count Mgraph.Multigraph.Out (count Mgraph.Multigraph.In 0)
+  in
+  let iri_part =
+    List.fold_left (fun acc c -> acc + Array.length c.Query_graph.types) 0 q.iris.(u)
+  in
+  var_part + iri_part + Array.length q.self_loops.(u)
+
+let r1 (_q : Query_graph.t) plan u = List.length plan.satellites_of.(u)
+
+let plan ?(strategy = Paper) ?(satellites = true) (q : Query_graph.t) =
+  let n = Query_graph.vertex_count q in
+  let neighbours = Array.init n (var_neighbours q) in
+  (* Connected components over variable-variable edges. *)
+  let comp_id = Array.make n (-1) in
+  let comp_members = ref [] in
+  for u = 0 to n - 1 do
+    if comp_id.(u) = -1 then begin
+      let id = List.length !comp_members in
+      let members = ref [] in
+      let queue = Queue.create () in
+      Queue.add u queue;
+      comp_id.(u) <- id;
+      while not (Queue.is_empty queue) do
+        let x = Queue.pop queue in
+        members := x :: !members;
+        Array.iter
+          (fun y ->
+            if comp_id.(y) = -1 then begin
+              comp_id.(y) <- id;
+              Queue.add y queue
+            end)
+          neighbours.(x)
+      done;
+      comp_members := List.rev !members :: !comp_members
+    end
+  done;
+  let comp_members = Array.of_list (List.rev !comp_members) in
+  (* Core test: paper degree > 1, or a self loop (satellite matching
+     cannot check loops). *)
+  let is_core =
+    Array.init n (fun u ->
+        (not satellites)
+        || Query_graph.degree q u > 1
+        || Array.length q.self_loops.(u) > 0)
+  in
+  (* Promote the best-ranked vertex of core-less components. *)
+  Array.iter
+    (fun members ->
+      if not (List.exists (fun u -> is_core.(u)) members) then begin
+        let best =
+          List.fold_left
+            (fun best u ->
+              match best with
+              | None -> Some u
+              | Some b -> if r2 q u > r2 q b then Some u else best)
+            None members
+        in
+        match best with Some u -> is_core.(u) <- true | None -> ()
+      end)
+    comp_members;
+  (* Anchor each satellite to its (unique) core neighbour. *)
+  let satellites_of = Array.make n [] in
+  let anchor_of = Array.make n (-1) in
+  for u = 0 to n - 1 do
+    if not is_core.(u) then begin
+      match Array.to_list neighbours.(u) with
+      | [ c ] when is_core.(c) ->
+          anchor_of.(u) <- c;
+          satellites_of.(c) <- u :: satellites_of.(c)
+      | [] ->
+          (* impossible: a vertex alone in its component is promoted *)
+          assert false
+      | _ -> assert false (* a satellite has exactly one core neighbour *)
+    end
+  done;
+  let plan0 = { components = [||]; is_core; satellites_of; anchor_of } in
+  (* Order the core vertices of each component. *)
+  let rank u =
+    match strategy with
+    | Paper -> (r1 q plan0 u, r2 q u)
+    | By_degree -> (Query_graph.degree q u, 0)
+    | Arbitrary -> (0, 0)
+  in
+  let better u v =
+    (* [u] strictly better than [v]? Lexicographic rank, ties to the
+       smaller vertex id for determinism. *)
+    let ru = rank u and rv = rank v in
+    if ru <> rv then ru > rv else u < v
+  in
+  let order_component members =
+    let core = List.filter (fun u -> is_core.(u)) members in
+    match core with
+    | [] -> { core_order = [||] }
+    | _ ->
+        let chosen = Hashtbl.create 8 in
+        let order = ref [] in
+        let pick candidates =
+          List.fold_left
+            (fun best u ->
+              match best with
+              | None -> Some u
+              | Some b -> if better u b then Some u else best)
+            None candidates
+        in
+        let first =
+          match pick core with Some u -> u | None -> assert false
+        in
+        Hashtbl.add chosen first ();
+        order := [ first ];
+        let remaining = ref (List.filter (fun u -> u <> first) core) in
+        while !remaining <> [] do
+          let connected =
+            List.filter
+              (fun u ->
+                Array.exists (Hashtbl.mem chosen) neighbours.(u))
+              !remaining
+          in
+          (* The core subgraph of a component is connected, but promoted
+             singletons aside we stay defensive: fall back to any. *)
+          let pool = if connected = [] then !remaining else connected in
+          let next = match pick pool with Some u -> u | None -> assert false in
+          Hashtbl.add chosen next ();
+          order := next :: !order;
+          remaining := List.filter (fun u -> u <> next) !remaining
+        done;
+        { core_order = Array.of_list (List.rev !order) }
+  in
+  let components = Array.map order_component comp_members in
+  { plan0 with components }

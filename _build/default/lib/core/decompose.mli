@@ -1,0 +1,37 @@
+(** Core/satellite decomposition and core-vertex ordering
+    (paper Sections 3 and 5.3).
+
+    A query vertex is {e core} when its paper-degree exceeds 1 (or it
+    carries a self loop, which satellite processing cannot express);
+    otherwise it is a {e satellite}. Components with no core vertex
+    (single vertices or a lone multi-edge, the paper's [Δ(Q) = 1] case)
+    promote their best-ranked vertex. Core vertices are ordered by the
+    ranking functions [r1] (#satellites, decreasing) then [r2] (total
+    incident edge-type count, decreasing), under the constraint that
+    each vertex after the first is adjacent to an already-ordered one. *)
+
+type strategy =
+  | Paper  (** r1 then r2, the paper's heuristic *)
+  | By_degree  (** order by variable-degree only (ablation) *)
+  | Arbitrary  (** first-seen order (ablation baseline) *)
+
+type component = { core_order : int array }
+
+type plan = {
+  components : component array;
+  is_core : bool array;  (** per query vertex *)
+  satellites_of : int list array;  (** per core vertex, anchored satellites *)
+  anchor_of : int array;  (** per satellite, its core anchor; -1 for core *)
+}
+
+val plan : ?strategy:strategy -> ?satellites:bool -> Query_graph.t -> plan
+(** [satellites:false] disables the core/satellite split (every vertex
+    becomes core and is matched by recursion) — the ablation baseline for
+    the paper's Section 5.2 optimisation. Default [true]. *)
+
+val r1 : Query_graph.t -> plan -> int -> int
+(** Number of satellites anchored to a core vertex. *)
+
+val r2 : Query_graph.t -> int -> int
+(** Total count of edge types over all multi-edges incident on a
+    vertex (variable edges, IRI constraints and self loops). *)

@@ -1,0 +1,83 @@
+type slots = { names : string array; of_var : string -> int option }
+
+let slots (q : Query_graph.t) =
+  let open_names = List.map (fun o -> o.Query_graph.obj_var) q.opens in
+  let names = Array.append q.var_names (Array.of_list open_names) in
+  let index = Hashtbl.create (Array.length names) in
+  Array.iteri (fun i name -> if not (Hashtbl.mem index name) then Hashtbl.add index name i) names;
+  { names; of_var = (fun v -> Hashtbl.find_opt index v) }
+
+(* Cartesian product of satellite candidate sets, as a lazy sequence of
+   (query vertex, data vertex) lists. *)
+let rec sat_product (sats : (int * int array) list) :
+    (int * int) list Seq.t =
+  match sats with
+  | [] -> Seq.return []
+  | (u, set) :: rest ->
+      Seq.concat_map
+        (fun tail -> Seq.map (fun v -> (u, v) :: tail) (Array.to_seq set))
+        (sat_product rest)
+
+let solution_seq (sol : Matcher.solution) : (int * int) list Seq.t =
+  Seq.map (fun tail -> sol.core @ tail) (sat_product sol.sats)
+
+let component_seq sols : (int * int) list Seq.t =
+  Seq.concat_map solution_seq (List.to_seq sols)
+
+(* Combine the per-component assignment sequences by Cartesian product. *)
+let assignments (solutions : Matcher.solution list array) :
+    (int * int) list Seq.t =
+  Array.fold_left
+    (fun acc sols ->
+      Seq.concat_map
+        (fun partial ->
+          Seq.map (fun more -> List.rev_append more partial) (component_seq sols))
+        acc)
+    (Seq.return []) solutions
+
+let rows ~db ~q ~lits ~solutions =
+  let n = Query_graph.vertex_count q in
+  let opens = Array.of_list q.Query_graph.opens in
+  let total_slots = n + Array.length opens in
+  let assignment_rows pairs : Rdf.Term.t array Seq.t =
+    let arr = Array.make (max n 1) (-1) in
+    List.iter (fun (u, v) -> arr.(u) <- v) pairs;
+    let base =
+      Array.init total_slots (fun i ->
+          if i < n then Database.term_of_vertex db arr.(i)
+          else Rdf.Term.iri "" (* placeholder for open slots *))
+    in
+    let rec open_seq i row : Rdf.Term.t array Seq.t =
+      if i = Array.length opens then Seq.return row
+      else
+        let o = opens.(i) in
+        let terms =
+          Literal_bindings.bindings lits ~vertex:arr.(o.Query_graph.subject)
+            ~pred:o.Query_graph.pred
+        in
+        Seq.concat_map
+          (fun t ->
+            let row' = Array.copy row in
+            row'.(n + i) <- t;
+            open_seq (i + 1) row')
+          (List.to_seq terms)
+    in
+    open_seq 0 base
+  in
+  Seq.concat_map assignment_rows (assignments solutions)
+
+let count ~q ~lits ~db ~solutions =
+  if q.Query_graph.opens = [] then begin
+    let saturating_add a b = if a > max_int - b then max_int else a + b in
+    let saturating_mul a b =
+      if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
+    in
+    Array.fold_left
+      (fun total sols ->
+        saturating_mul total
+          (List.fold_left
+             (fun n sol -> saturating_add n (Matcher.count_embeddings sol))
+             0 sols))
+      1 solutions
+  end
+  else Seq.fold_left (fun n _ -> n + 1) 0 (rows ~db ~q ~lits ~solutions)

@@ -1,0 +1,40 @@
+(** Embedding generation — the paper's [GenEmb] step.
+
+    A matcher solution binds core vertices to singletons and satellites
+    to candidate sets; the embeddings it denotes are the Cartesian
+    product of those sets (Lemma 2). Queries may further decompose into
+    several connected components, whose solution sets also combine by
+    Cartesian product, and open-object patterns (the literal extension)
+    multiply each embedding by their binding lists.
+
+    Everything here is lazy ({!Seq.t}): a query with a huge result set
+    costs memory proportional to what the caller consumes. *)
+
+type slots = {
+  names : string array;
+      (** slot index -> variable name: the query-graph variables first,
+          then the open-object variables *)
+  of_var : string -> int option;
+}
+
+val slots : Query_graph.t -> slots
+
+val rows :
+  db:Database.t ->
+  q:Query_graph.t ->
+  lits:Literal_bindings.t ->
+  solutions:Matcher.solution list array ->
+  Rdf.Term.t array Seq.t
+(** Lazily enumerate full assignments, one term per slot. [solutions]
+    holds, per query component, the solutions the matcher emitted; an
+    empty component list yields no rows. Embeddings whose open-object
+    patterns have no binding are dropped. *)
+
+val count :
+  q:Query_graph.t ->
+  lits:Literal_bindings.t ->
+  db:Database.t ->
+  solutions:Matcher.solution list array ->
+  int
+(** Number of embeddings, computed by products without materializing
+    rows (open-object binding lists still have to be sized). *)

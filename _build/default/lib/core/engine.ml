@@ -1,0 +1,471 @@
+type t = {
+  db : Database.t;
+  attribute : Attribute_index.t;
+  synopsis : Synopsis_index.t;
+  neighbourhood : Neighbourhood_index.t;
+  literal_bindings : Literal_bindings.t;
+}
+
+exception Unsupported = Query_graph.Unsupported
+
+let build ?synopsis_mode triples =
+  let db = Database.of_triples triples in
+  {
+    db;
+    attribute = Attribute_index.build db;
+    synopsis = Synopsis_index.build ?mode:synopsis_mode db;
+    neighbourhood = Neighbourhood_index.build db;
+    literal_bindings = Literal_bindings.create db;
+  }
+
+let db t = t.db
+let attribute_index t = t.attribute
+let synopsis_index t = t.synopsis
+let neighbourhood_index t = t.neighbourhood
+
+type answer = {
+  variables : string list;
+  rows : Rdf.Term.t option list list;
+  truncated : bool;
+}
+
+let deadline_of = function
+  | None -> Deadline.never
+  | Some seconds -> Deadline.after seconds
+
+(* Gather the matcher's solutions. With a row limit, stop a component
+   once its solutions already denote [limit] embeddings (each solution
+   is a Cartesian product of satellite sets, so one solution may cover
+   the limit on its own); capping factors of a cross-component product
+   at L preserves the first L products. *)
+let collect_solutions ctx q plan limit =
+  let components = plan.Decompose.components in
+  let out = Array.make (Array.length components) [] in
+  (try
+     Array.iteri
+       (fun i comp ->
+         let embeddings = ref 0 in
+         let sols = ref [] in
+         Matcher.solve_component ctx q plan comp ~emit:(fun sol ->
+             sols := sol :: !sols;
+             embeddings := !embeddings + Matcher.count_embeddings sol;
+             match limit with
+             | Some l when !embeddings >= l -> `Stop
+             | _ -> `Continue);
+         out.(i) <- List.rev !sols;
+         if out.(i) = [] then raise Exit)
+       components
+   with Exit -> ());
+  (* A component with no solution empties the whole answer. *)
+  if Array.exists (fun sols -> sols = []) out && Array.length components > 0
+  then None
+  else Some out
+
+let empty_answer variables = { variables; rows = []; truncated = false }
+
+(* How many rows must be gathered before the solution modifiers are
+   applied: with ORDER BY everything must be materialized; otherwise
+   OFFSET skipped rows still have to be produced. *)
+let gather_cap (ast : Sparql.Ast.t) effective_limit =
+  if ast.order_by <> [] then None
+  else
+    match effective_limit with
+    | None -> None
+    | Some l -> Some (l + Option.value ~default:0 ast.offset)
+
+(* ORDER BY, then OFFSET, then LIMIT — the SPARQL solution modifiers. *)
+let apply_modifiers (ast : Sparql.Ast.t) ~selected ~effective_limit ~stopped_early
+    rows =
+  let rows =
+    if ast.order_by = [] then rows
+    else List.stable_sort (Sparql.Ast.compare_rows ast.order_by selected) rows
+  in
+  let rows =
+    match ast.offset with
+    | None | Some 0 -> rows
+    | Some o -> List.filteri (fun i _ -> i >= o) rows
+  in
+  match effective_limit with
+  | None -> (rows, stopped_early)
+  | Some l ->
+      let total = List.length rows in
+      (List.filteri (fun i _ -> i < l) rows, stopped_early || total > l)
+
+(* Enumerate embeddings, project, deduplicate under DISTINCT, apply the
+   solution modifiers. *)
+let project_answer t ~q ~(ast : Sparql.Ast.t) ~deadline ~selected
+    ~effective_limit ~solutions =
+  let slots = Embedding.slots q in
+  let all_rows = Embedding.rows ~db:t.db ~q ~lits:t.literal_bindings ~solutions in
+  (* Resolve the projection once, not per row. *)
+  let selected_slots = List.map slots.Embedding.of_var selected in
+  let project row = List.map (Option.map (fun i -> row.(i))) selected_slots in
+  let cap = gather_cap ast effective_limit in
+  let seen = Hashtbl.create 64 in
+  let stopped_early = ref false in
+  let rows = ref [] in
+  let emitted = ref 0 in
+  (try
+     Seq.iter
+       (fun row ->
+         Deadline.check deadline;
+         let projected = project row in
+         let fresh =
+           if ast.distinct then
+             if Hashtbl.mem seen projected then false
+             else begin
+               Hashtbl.add seen projected ();
+               true
+             end
+           else true
+         in
+         if fresh then begin
+           rows := projected :: !rows;
+           incr emitted;
+           match cap with
+           | Some l when !emitted >= l ->
+               stopped_early := true;
+               raise Exit
+           | _ -> ()
+         end)
+       all_rows
+   with Exit -> ());
+  let rows, truncated =
+    apply_modifiers ast ~selected ~effective_limit
+      ~stopped_early:!stopped_early (List.rev !rows)
+  in
+  { variables = selected; rows; truncated }
+
+let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects t
+    (ast : Sparql.Ast.t) =
+  let deadline = deadline_of timeout in
+  let stats = Matcher.fresh_stats () in
+  let selected = Sparql.Ast.selected_variables ast in
+  let effective_limit =
+    match (limit, ast.limit) with
+    | None, None -> None
+    | Some l, None | None, Some l -> Some l
+    | Some a, Some b -> Some (min a b)
+  in
+  match Query_graph.build ?open_objects t.db ast with
+  | Query_graph.Unsatisfiable _ -> (empty_answer selected, stats)
+  | Query_graph.Query q ->
+      let plan = Decompose.plan ?strategy ?satellites q in
+      let ctx =
+        {
+          Matcher.db = t.db;
+          attribute = t.attribute;
+          synopsis = t.synopsis;
+          neighbourhood = t.neighbourhood;
+          deadline;
+          stats;
+        }
+      in
+      (* Under DISTINCT or ORDER BY a solution cap could starve the
+         projection; with open objects a solution's embeddings can all
+         be dropped at enumeration. Cap only the final row count then. *)
+      let solution_cap =
+        if ast.distinct || q.Query_graph.opens <> [] then None
+        else gather_cap ast effective_limit
+      in
+      (match collect_solutions ctx q plan solution_cap with
+      | None -> (empty_answer selected, stats)
+      | Some solutions ->
+          ( project_answer t ~q ~ast ~deadline ~selected ~effective_limit
+              ~solutions,
+            stats ))
+
+let query ?timeout ?limit ?strategy ?satellites ?open_objects t ast =
+  fst (query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects t ast)
+
+let query_string ?timeout ?limit ?strategy ?satellites ?open_objects ?namespaces t src =
+  query ?timeout ?limit ?strategy ?satellites ?open_objects t
+    (Sparql.Parser.parse ?namespaces src)
+
+let count_embeddings ?timeout ?open_objects t ast =
+  let deadline = deadline_of timeout in
+  match Query_graph.build ?open_objects t.db ast with
+  | Query_graph.Unsatisfiable _ -> 0
+  | Query_graph.Query q ->
+      let plan = Decompose.plan q in
+      let ctx =
+        {
+          Matcher.db = t.db;
+          attribute = t.attribute;
+          synopsis = t.synopsis;
+          neighbourhood = t.neighbourhood;
+          deadline;
+          stats = Matcher.fresh_stats ();
+        }
+      in
+      (match collect_solutions ctx q plan None with
+      | None -> 0
+      | Some solutions ->
+          Embedding.count ~q ~lits:t.literal_bindings ~db:t.db ~solutions)
+
+(* ------------------------------------------------------------------ *)
+(* Plan introspection                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type core_step = {
+  variable : string;
+  r1 : int;
+  r2 : int;
+  satellite_vars : string list;
+  initial_candidates : int option;
+}
+
+type explanation =
+  | Unsat of string
+  | Plan of {
+      components : core_step list list;
+      open_objects : (string * string) list;
+    }
+
+let explain ?strategy ?satellites ?open_objects t ast =
+  match Query_graph.build ?open_objects t.db ast with
+  | Query_graph.Unsatisfiable reason -> Unsat reason
+  | Query_graph.Query q ->
+      let plan = Decompose.plan ?strategy ?satellites q in
+      let ctx =
+        {
+          Matcher.db = t.db;
+          attribute = t.attribute;
+          synopsis = t.synopsis;
+          neighbourhood = t.neighbourhood;
+          deadline = Deadline.never;
+          stats = Matcher.fresh_stats ();
+        }
+      in
+      let components =
+        Array.to_list
+          (Array.map
+             (fun (comp : Decompose.component) ->
+               Array.to_list
+                 (Array.mapi
+                    (fun i u ->
+                      let initial_candidates =
+                        if i <> 0 then None
+                        else begin
+                          let structural =
+                            Synopsis_index.candidates_of_signature t.synopsis
+                              (Query_graph.signature q u)
+                          in
+                          match Matcher.process_vertex ctx q u with
+                          | None -> Some (Array.length structural)
+                          | Some extra ->
+                              Some
+                                (Array.length
+                                   (Mgraph.Sorted_ints.inter structural extra))
+                        end
+                      in
+                      {
+                        variable = q.Query_graph.var_names.(u);
+                        r1 = Decompose.r1 q plan u;
+                        r2 = Decompose.r2 q u;
+                        satellite_vars =
+                          List.map
+                            (fun s -> q.Query_graph.var_names.(s))
+                            plan.Decompose.satellites_of.(u);
+                        initial_candidates;
+                      })
+                    comp.Decompose.core_order))
+             plan.Decompose.components)
+      in
+      Plan
+        {
+          components;
+          open_objects =
+            List.map
+              (fun (o : Query_graph.open_object) ->
+                (q.Query_graph.var_names.(o.subject), o.pred))
+              q.Query_graph.opens;
+        }
+
+let pp_explanation ppf = function
+  | Unsat reason -> Format.fprintf ppf "unsatisfiable: %s" reason
+  | Plan { components; open_objects } ->
+      Format.fprintf ppf "@[<v>";
+      List.iteri
+        (fun i steps ->
+          Format.fprintf ppf "component %d:@," i;
+          List.iter
+            (fun s ->
+              Format.fprintf ppf "  ?%s (r1=%d, r2=%d)%s%s@," s.variable s.r1
+                s.r2
+                (match s.initial_candidates with
+                | Some n -> Printf.sprintf " |C_init|=%d" n
+                | None -> "")
+                (match s.satellite_vars with
+                | [] -> ""
+                | sats ->
+                    "  satellites: "
+                    ^ String.concat ", " (List.map (fun v -> "?" ^ v) sats)))
+            steps)
+        components;
+      (match open_objects with
+      | [] -> ()
+      | opens ->
+          Format.fprintf ppf "open objects:@,";
+          List.iter
+            (fun (v, p) -> Format.fprintf ppf "  ?%s via <%s>@," v p)
+            opens);
+      Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel query processing (the paper's §8 future work)              *)
+(* ------------------------------------------------------------------ *)
+
+(* Per component: split the initial candidate set into contiguous
+   chunks, solve each chunk in its own domain, concatenate in chunk
+   order. All index structures are read-only after [build] (the OTIL
+   caches are pre-warmed), so domains share them without synchronisation;
+   only the deadline (per-domain) and the early-stop embedding counter
+   (atomic) are stateful. *)
+let collect_solutions_parallel t q plan ~domains ~timeout limit =
+  let components = plan.Decompose.components in
+  let out = Array.make (Array.length components) [] in
+  let make_ctx () =
+    {
+      Matcher.db = t.db;
+      attribute = t.attribute;
+      synopsis = t.synopsis;
+      neighbourhood = t.neighbourhood;
+      deadline = deadline_of timeout;
+      stats = Matcher.fresh_stats ();
+    }
+  in
+  let exception Component_empty in
+  (try
+     Array.iteri
+       (fun i comp ->
+         let seeds = Matcher.initial_candidates (make_ctx ()) q comp in
+         let n = Array.length seeds in
+         (* Domain spawns cost ~a millisecond; below a handful of seeds
+            per domain the parallelism cannot pay for itself. *)
+         let chunk_count = if n < 4 * domains then 1 else domains in
+         let total_embeddings = Atomic.make 0 in
+         let solve_chunk c () =
+           let lo = c * n / chunk_count and hi = (c + 1) * n / chunk_count in
+           let chunk = Array.sub seeds lo (hi - lo) in
+           let ctx = make_ctx () in
+           let sols = ref [] in
+           match
+             Matcher.solve_component_seeded ctx q plan comp ~seeds:chunk
+               ~emit:(fun sol ->
+                 sols := sol :: !sols;
+                 let count = Matcher.count_embeddings sol in
+                 let before = Atomic.fetch_and_add total_embeddings count in
+                 match limit with
+                 | Some l when before + count >= l -> `Stop
+                 | _ -> `Continue)
+           with
+           | () -> Ok (List.rev !sols)
+           | exception Deadline.Expired -> Error `Expired
+         in
+         let results =
+           if chunk_count = 1 then [ solve_chunk 0 () ]
+           else begin
+             let spawned =
+               List.init chunk_count (fun c -> Domain.spawn (solve_chunk c))
+             in
+             List.map Domain.join spawned
+           end
+         in
+         let sols =
+           List.concat_map
+             (function Ok sols -> sols | Error `Expired -> raise Deadline.Expired)
+             results
+         in
+         out.(i) <- sols;
+         if sols = [] then raise Component_empty)
+       components
+   with Component_empty -> ());
+  if Array.exists (fun sols -> sols = []) out && Array.length components > 0 then
+    None
+  else Some out
+
+let recommended_domains () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
+
+let query_parallel ?timeout ?limit ?strategy ?satellites ?open_objects ?domains
+    t (ast : Sparql.Ast.t) =
+  let domains = match domains with Some d -> max 1 d | None -> recommended_domains () in
+  let deadline = deadline_of timeout in
+  let selected = Sparql.Ast.selected_variables ast in
+  let effective_limit =
+    match (limit, ast.limit) with
+    | None, None -> None
+    | Some l, None | None, Some l -> Some l
+    | Some a, Some b -> Some (min a b)
+  in
+  match Query_graph.build ?open_objects t.db ast with
+  | Query_graph.Unsatisfiable _ -> empty_answer selected
+  | Query_graph.Query q ->
+      let plan = Decompose.plan ?strategy ?satellites q in
+      let solution_cap =
+        if ast.distinct || q.Query_graph.opens <> [] then None
+        else gather_cap ast effective_limit
+      in
+      (match
+         collect_solutions_parallel t q plan ~domains ~timeout solution_cap
+       with
+      | None -> empty_answer selected
+      | Some solutions ->
+          project_answer t ~q ~ast ~deadline ~selected ~effective_limit
+            ~solutions)
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let save t path = Rdf.Binary.write_file path (Database.to_triples t.db)
+
+let load_file ?synopsis_mode path =
+  build ?synopsis_mode (Rdf.Binary.read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* ASK and CONSTRUCT forms                                             *)
+(* ------------------------------------------------------------------ *)
+
+let ask ?timeout ?open_objects t ast =
+  let answer = query ?timeout ~limit:1 ?open_objects t ast in
+  answer.rows <> []
+
+let construct ?timeout ?limit ?open_objects t ~template (ast : Sparql.Ast.t) =
+  let answer = query ?timeout ?limit ?open_objects t ast in
+  let vars = answer.variables in
+  let instantiate binding term =
+    match term with
+    | Sparql.Ast.Iri iri -> Some (Rdf.Term.iri iri)
+    | Sparql.Ast.Lit lit -> Some (Rdf.Term.Literal lit)
+    | Sparql.Ast.Var v -> (
+        match List.assoc_opt v binding with
+        | Some (Some term) -> Some term
+        | Some None | None -> None)
+  in
+  let seen = Hashtbl.create 64 in
+  List.concat_map
+    (fun row ->
+      let binding = List.combine vars row in
+      List.filter_map
+        (fun { Sparql.Ast.subject; predicate; obj } ->
+          match
+            ( instantiate binding subject,
+              instantiate binding predicate,
+              instantiate binding obj )
+          with
+          | Some s, Some p, Some o -> (
+              (* Skip instantiations violating RDF triple invariants,
+                 as the spec requires, and deduplicate. *)
+              match Rdf.Triple.make s p o with
+              | triple ->
+                  let key = Rdf.Triple.to_string triple in
+                  if Hashtbl.mem seen key then None
+                  else begin
+                    Hashtbl.add seen key ();
+                    Some triple
+                  end
+              | exception Rdf.Triple.Invalid _ -> None)
+          | _ -> None)
+        template)
+    answer.rows

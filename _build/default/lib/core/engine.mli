@@ -1,0 +1,164 @@
+(** AMbER — the complete engine: offline build + online query.
+
+    [build] runs the paper's offline stage (multigraph transformation
+    plus the indexes [I = {A, S, N}]); [query] the online stage
+    (query-multigraph construction, decomposition, homomorphic matching,
+    embedding generation, projection). *)
+
+type t
+
+val build :
+  ?synopsis_mode:Synopsis_index.mode -> Rdf.Triple.t list -> t
+(** Transform triples into the multigraph database and build all three
+    indexes. *)
+
+val db : t -> Database.t
+val attribute_index : t -> Attribute_index.t
+val synopsis_index : t -> Synopsis_index.t
+val neighbourhood_index : t -> Neighbourhood_index.t
+
+type answer = {
+  variables : string list;  (** projected variables, in SELECT order *)
+  rows : Rdf.Term.t option list list;
+      (** one binding per variable; [None] for variables that do not
+          occur in the WHERE clause *)
+  truncated : bool;  (** a row limit stopped the enumeration *)
+}
+
+exception Unsupported of string
+(** The query is outside the supported fragment (variable predicates,
+    literal subjects). *)
+
+val query :
+  ?timeout:float ->
+  ?limit:int ->
+  ?strategy:Decompose.strategy ->
+  ?satellites:bool ->
+  ?open_objects:bool ->
+  t ->
+  Sparql.Ast.t ->
+  answer
+(** Answer a SPARQL query.
+
+    @param timeout seconds of wall clock; raises {!Deadline.Expired}
+    when exceeded — the caller decides how to record unanswered queries.
+    @param limit cap on returned rows (combined with the query's own
+    [LIMIT], whichever is smaller).
+    @param strategy core-vertex ordering heuristic (default the
+    paper's).
+    @param satellites [false] disables the core/satellite decomposition
+    (ablation; default [true]).
+    @param open_objects enable the literal-binding extension (default
+    [false] — the faithful model).
+    @raise Unsupported on out-of-fragment queries.
+    @raise Deadline.Expired on timeout. *)
+
+val query_string :
+  ?timeout:float ->
+  ?limit:int ->
+  ?strategy:Decompose.strategy ->
+  ?satellites:bool ->
+  ?open_objects:bool ->
+  ?namespaces:Rdf.Namespace.t ->
+  t ->
+  string ->
+  answer
+(** Parse and answer. @raise Sparql.Parser.Error on bad syntax. *)
+
+val count_embeddings : ?timeout:float -> ?open_objects:bool -> t -> Sparql.Ast.t -> int
+(** Total number of homomorphic embeddings, without materializing rows
+    (satellite sets and components multiply combinatorially). *)
+
+val query_with_stats :
+  ?timeout:float ->
+  ?limit:int ->
+  ?strategy:Decompose.strategy ->
+  ?satellites:bool ->
+  ?open_objects:bool ->
+  t ->
+  Sparql.Ast.t ->
+  answer * Matcher.stats
+(** Like {!query}, also returning the matcher's search counters (index
+    probes, candidates scanned, satellite rejections, solutions) — the
+    instrumentation behind the ablation experiments. *)
+
+val query_parallel :
+  ?timeout:float ->
+  ?limit:int ->
+  ?strategy:Decompose.strategy ->
+  ?satellites:bool ->
+  ?open_objects:bool ->
+  ?domains:int ->
+  t ->
+  Sparql.Ast.t ->
+  answer
+(** Multi-domain variant of {!query} — the parallel processing the paper
+    lists as future work (Section 8). The initial candidate set of each
+    query component is split into contiguous chunks solved on separate
+    domains; every index is read-only after {!build}, so domains share
+    them without locks. Without a row limit the answer (rows and their
+    order) is identical to {!query}; with a limit the prefix taken may
+    differ. [domains] defaults to the machine's recommended count
+    (capped at 8). *)
+
+(** {1 Plan introspection} *)
+
+type core_step = {
+  variable : string;
+  r1 : int;  (** #satellites anchored (the paper's first rank) *)
+  r2 : int;  (** total incident edge-type count (second rank) *)
+  satellite_vars : string list;
+  initial_candidates : int option;
+      (** |C_init| from the synopsis index ∩ ProcessVertex — only for
+          the first core vertex of its component *)
+}
+
+type explanation =
+  | Unsat of string
+  | Plan of {
+      components : core_step list list;  (** matching order per component *)
+      open_objects : (string * string) list;  (** (subject var, predicate) *)
+    }
+
+val explain :
+  ?strategy:Decompose.strategy ->
+  ?satellites:bool ->
+  ?open_objects:bool ->
+  t ->
+  Sparql.Ast.t ->
+  explanation
+(** Describe how {!query} would attack the query, without running it.
+    @raise Unsupported on out-of-fragment queries. *)
+
+val pp_explanation : Format.formatter -> explanation -> unit
+
+(** {1 Persistence} *)
+
+val save : t -> string -> unit
+(** Write the database to [path] in the compact {!Rdf.Binary} format
+    (the offline-stage artifact). Indexes are derived data and are not
+    stored; {!load_file} rebuilds them. *)
+
+val load_file : ?synopsis_mode:Synopsis_index.mode -> string -> t
+(** Load a file written by {!save} (or any {!Rdf.Binary} file) and
+    rebuild the indexes.
+    @raise Rdf.Binary.Corrupt on malformed input. *)
+
+(** {1 ASK and CONSTRUCT forms} *)
+
+val ask : ?timeout:float -> ?open_objects:bool -> t -> Sparql.Ast.t -> bool
+(** [ASK]: does the pattern have at least one solution? (Evaluated with
+    an internal row limit of 1.) *)
+
+val construct :
+  ?timeout:float ->
+  ?limit:int ->
+  ?open_objects:bool ->
+  t ->
+  template:Sparql.Ast.triple_pattern list ->
+  Sparql.Ast.t ->
+  Rdf.Triple.t list
+(** [CONSTRUCT]: instantiate [template] once per solution of the WHERE
+    clause. Instantiations with an unbound variable or violating the RDF
+    triple invariants (literal subject, non-IRI predicate) are skipped,
+    and duplicate triples are emitted once — per the SPARQL spec. *)

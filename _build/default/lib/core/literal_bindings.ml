@@ -1,0 +1,25 @@
+type t = { db : Database.t }
+
+let create db = { db }
+
+let bindings t ~vertex ~pred =
+  let db = t.db in
+  let g = Database.graph db in
+  let from_edges =
+    match Database.edge_type_of_iri db pred with
+    | None -> []
+    | Some e ->
+        Array.fold_right
+          (fun (v', types) acc ->
+            if Mgraph.Sorted_ints.mem types e then
+              Database.term_of_vertex db v' :: acc
+            else acc)
+          (Mgraph.Multigraph.adjacency g Mgraph.Multigraph.Out vertex)
+          []
+  in
+  let from_literals =
+    List.map
+      (fun lit -> Rdf.Term.Literal lit)
+      (Database.literals_of db ~vertex ~pred)
+  in
+  from_edges @ from_literals

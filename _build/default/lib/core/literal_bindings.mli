@@ -1,0 +1,15 @@
+(** Open-object bindings — the literal-variable extension.
+
+    The paper's model folds literals into vertex attributes, so a
+    variable can never bind to a literal. For patterns [?s <p> ?o] whose
+    object variable joins with nothing else, this module enumerates the
+    full SPARQL bindings of [?o] for a matched subject vertex: IRI/bnode
+    out-neighbours through [p] {e plus} literals attached via [p]. *)
+
+type t
+
+val create : Database.t -> t
+
+val bindings : t -> vertex:int -> pred:string -> Rdf.Term.t list
+(** All terms [o] such that the triple
+    [term_of_vertex vertex, pred, o] is in the data. *)

@@ -1,0 +1,199 @@
+type stats = {
+  mutable index_probes : int;
+  mutable candidates_scanned : int;
+  mutable satellite_rejections : int;
+  mutable solutions : int;
+}
+
+let fresh_stats () =
+  { index_probes = 0; candidates_scanned = 0; satellite_rejections = 0; solutions = 0 }
+
+type ctx = {
+  db : Database.t;
+  attribute : Attribute_index.t;
+  synopsis : Synopsis_index.t;
+  neighbourhood : Neighbourhood_index.t;
+  deadline : Deadline.t;
+  stats : stats;
+}
+
+type solution = {
+  core : (int * int) list;
+  sats : (int * int array) list;
+}
+
+exception Stop
+
+(* Candidates adjacent to the already-matched data vertex [v], seen from
+   query vertex [u]'s perspective: [dir = Out] means the query edge
+   leaves [u], so candidates must have an edge towards [v]. *)
+let adjacent_candidates ctx v (dir, types) =
+  ctx.stats.index_probes <- ctx.stats.index_probes + 1;
+  let probe =
+    match dir with
+    | Mgraph.Multigraph.Out -> Mgraph.Multigraph.In
+    | Mgraph.Multigraph.In -> Mgraph.Multigraph.Out
+  in
+  Neighbourhood_index.neighbours ctx.neighbourhood v probe types
+
+let inter_opt a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b -> Some (Mgraph.Sorted_ints.inter a b)
+
+let process_vertex ctx (q : Query_graph.t) u =
+  let from_attrs =
+    if Array.length q.attrs.(u) > 0 then
+      Some (Attribute_index.candidates ctx.attribute q.attrs.(u))
+    else None
+  in
+  let from_iris =
+    List.fold_left
+      (fun acc (c : Query_graph.iri_constraint) ->
+        inter_opt acc
+          (Some (adjacent_candidates ctx c.data_vertex (c.dir, c.types))))
+      None q.iris.(u)
+  in
+  inter_opt from_attrs from_iris
+
+(* Self-loop filter: the candidate must carry a data loop with all the
+   query loop's types. *)
+let satisfies_self_loop ctx (q : Query_graph.t) u v =
+  let loop = q.self_loops.(u) in
+  Array.length loop = 0
+  || Mgraph.Sorted_ints.subset loop
+       (Mgraph.Multigraph.edge_types_between (Database.graph ctx.db) v v)
+
+(* Candidates for any query vertex adjacent to a matched one. *)
+let constrained_candidates ctx q u matched_pairs =
+  (* [matched_pairs] = (query vertex, data vertex) for every matched core
+     vertex adjacent to [u]; the result intersects one neighbourhood
+     probe per directed multi-edge. *)
+  List.fold_left
+    (fun acc (un, vn) ->
+      List.fold_left
+        (fun acc (dir, types) ->
+          Deadline.check ctx.deadline;
+          inter_opt acc (Some (adjacent_candidates ctx vn (dir, types))))
+        acc
+        (Query_graph.multi_edges_between q u un))
+    None matched_pairs
+
+(* Algorithm 2: match every satellite anchored to core vertex [uc],
+   whose candidate data vertex is [vc]. [None] = no solution. *)
+let match_satellites ctx q (plan : Decompose.plan) uc vc =
+  let rec loop acc = function
+    | [] -> Some acc
+    | us :: rest -> (
+        Deadline.check ctx.deadline;
+        let structural =
+          List.fold_left
+            (fun acc (dir, types) ->
+              inter_opt acc (Some (adjacent_candidates ctx vc (dir, types))))
+            None
+            (Query_graph.multi_edges_between q us uc)
+        in
+        let refined = inter_opt structural (process_vertex ctx q us) in
+        match refined with
+        | None -> None (* a satellite always has structure; defensive *)
+        | Some [||] -> None
+        | Some cands -> loop ((us, cands) :: acc) rest)
+  in
+  loop [] plan.satellites_of.(uc)
+
+(* Saturating product: satellite sets multiply fast enough to overflow a
+   63-bit int on star queries over hubs. *)
+let count_embeddings sol =
+  List.fold_left
+    (fun n (_, set) ->
+      let k = Array.length set in
+      if n = 0 || k = 0 then 0
+      else if n > max_int / k then max_int
+      else n * k)
+    1 sol.sats
+
+let initial_candidates ctx (q : Query_graph.t) (comp : Decompose.component) =
+  match Array.length comp.core_order with
+  | 0 -> [||]
+  | _ ->
+      let u = comp.core_order.(0) in
+      let structural =
+        Synopsis_index.candidates_of_signature ctx.synopsis
+          (Query_graph.signature q u)
+      in
+      (match inter_opt (Some structural) (process_vertex ctx q u) with
+      | Some c -> c
+      | None -> [||])
+
+let solve_component_seeded ctx (q : Query_graph.t) (plan : Decompose.plan)
+    (comp : Decompose.component) ~seeds ~emit =
+  let order = comp.core_order in
+  let k = Array.length order in
+  if k = 0 then ()
+  else begin
+    let assigned = Array.make k (-1) in
+    (* Matched (query, data) pairs among the first [depth] core
+       vertices that are adjacent to [u]. *)
+    let matched_neighbours depth u =
+      let pairs = ref [] in
+      for i = depth - 1 downto 0 do
+        let un = order.(i) in
+        if Query_graph.multi_edges_between q u un <> [] then
+          pairs := (un, assigned.(i)) :: !pairs
+      done;
+      !pairs
+    in
+    let rec extend depth sats_acc =
+      Deadline.check ctx.deadline;
+      if depth = k then begin
+        ctx.stats.solutions <- ctx.stats.solutions + 1;
+        let core =
+          List.init k (fun i -> (order.(i), assigned.(i)))
+        in
+        match emit { core; sats = List.rev sats_acc } with
+        | `Continue -> ()
+        | `Stop -> raise Stop
+      end
+      else begin
+        let u = order.(depth) in
+        let candidates =
+          if depth = 0 then seeds
+          else begin
+            let structural =
+              match constrained_candidates ctx q u (matched_neighbours depth u) with
+              | Some _ as c -> c
+              | None ->
+                  (* Core subgraphs are connected, so this only happens
+                     for promoted singletons or defensive fallback: use S. *)
+                  Some
+                    (Synopsis_index.candidates_of_signature ctx.synopsis
+                       (Query_graph.signature q u))
+            in
+            match inter_opt structural (process_vertex ctx q u) with
+            | Some c -> c
+            | None -> [||]
+          end
+        in
+        Array.iter
+          (fun v ->
+            Deadline.check ctx.deadline;
+            ctx.stats.candidates_scanned <- ctx.stats.candidates_scanned + 1;
+            if satisfies_self_loop ctx q u v then begin
+              match match_satellites ctx q plan u v with
+              | None ->
+                  ctx.stats.satellite_rejections <- ctx.stats.satellite_rejections + 1
+              | Some sats ->
+                  assigned.(depth) <- v;
+                  extend (depth + 1) (List.rev_append sats sats_acc);
+                  assigned.(depth) <- -1
+            end)
+          candidates
+      end
+    in
+    try extend 0 [] with Stop -> ()
+  end
+
+let solve_component ctx q plan comp ~emit =
+  solve_component_seeded ctx q plan comp
+    ~seeds:(initial_candidates ctx q comp)
+    ~emit

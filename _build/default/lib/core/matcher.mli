@@ -1,0 +1,76 @@
+(** The sub-multigraph homomorphism search (paper Section 5,
+    Algorithms 1–4).
+
+    Matching runs per connected component of the query graph. Within a
+    component the recursion walks the ordered core vertices; when a core
+    vertex is assigned a data vertex, its anchored satellites are
+    matched in one shot ({!MatchSatVertices}) — each satellite yields a
+    {e set} of data vertices, and Lemma 2 lets the sets combine by
+    Cartesian product instead of recursion. A reported solution
+    therefore binds every core vertex to a single data vertex and every
+    satellite to a non-empty candidate set. *)
+
+type stats = {
+  mutable index_probes : int;
+      (** neighbourhood-index lookups (the paper's [QueryNeighIndex]) *)
+  mutable candidates_scanned : int;
+      (** data vertices tried as a core-vertex candidate *)
+  mutable satellite_rejections : int;
+      (** candidates discarded because a satellite had no match *)
+  mutable solutions : int;  (** solutions emitted *)
+}
+
+val fresh_stats : unit -> stats
+
+type ctx = {
+  db : Database.t;
+  attribute : Attribute_index.t;
+  synopsis : Synopsis_index.t;
+  neighbourhood : Neighbourhood_index.t;
+  deadline : Deadline.t;
+  stats : stats;
+}
+
+type solution = {
+  core : (int * int) list;  (** (query vertex, data vertex), core order *)
+  sats : (int * int array) list;
+      (** (satellite vertex, sorted candidate data vertices) *)
+}
+
+val process_vertex : ctx -> Query_graph.t -> int -> int array option
+(** Algorithm 1: candidates implied by vertex attributes and IRI
+    constraints alone. [None] when the vertex has neither (no
+    information, not an empty candidate set). *)
+
+val solve_component :
+  ctx ->
+  Query_graph.t ->
+  Decompose.plan ->
+  Decompose.component ->
+  emit:(solution -> [ `Continue | `Stop ]) ->
+  unit
+(** Algorithms 3 and 4 on one component. [emit] receives each solution;
+    returning [`Stop] aborts the search (used for row limits).
+    @raise Deadline.Expired when the context deadline passes. *)
+
+val initial_candidates : ctx -> Query_graph.t -> Decompose.component -> int array
+(** Candidate data vertices of the component's initial core vertex: the
+    synopsis index probe refined by {!process_vertex} (Algorithm 3,
+    lines 4-5). *)
+
+val solve_component_seeded :
+  ctx ->
+  Query_graph.t ->
+  Decompose.plan ->
+  Decompose.component ->
+  seeds:int array ->
+  emit:(solution -> [ `Continue | `Stop ]) ->
+  unit
+(** {!solve_component} restricted to the given initial candidates — the
+    work-partitioning primitive of the parallel engine: the seed set can
+    be split across domains, and the union of the emissions over a
+    partition of {!initial_candidates} equals the sequential run. *)
+
+val count_embeddings : solution -> int
+(** Number of embeddings the solution denotes: the product of its
+    satellite set sizes (1 for a purely-core solution). *)

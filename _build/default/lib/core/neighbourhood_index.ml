@@ -1,0 +1,36 @@
+type t = {
+  incoming : Otil.t array;  (* N+ : per vertex, multi-edges of in-neighbours *)
+  outgoing : Otil.t array;  (* N− : per vertex, multi-edges of out-neighbours *)
+}
+
+let build db =
+  let g = Database.graph db in
+  let n = Mgraph.Multigraph.vertex_count g in
+  let incoming = Array.init n (fun _ -> Otil.create ())
+  and outgoing = Array.init n (fun _ -> Otil.create ()) in
+  for v = 0 to n - 1 do
+    Array.iter
+      (fun (v', types) -> Otil.add incoming.(v) types v')
+      (Mgraph.Multigraph.adjacency g Mgraph.Multigraph.In v);
+    Array.iter
+      (fun (v', types) -> Otil.add outgoing.(v) types v')
+      (Mgraph.Multigraph.adjacency g Mgraph.Multigraph.Out v)
+  done;
+  (* Materialize the inverted-list caches so queries are read-only and
+     the index can serve several domains concurrently. *)
+  Array.iter Otil.prepare incoming;
+  Array.iter Otil.prepare outgoing;
+  { incoming; outgoing }
+
+let neighbours t v dir types =
+  if Array.length types = 0 then
+    invalid_arg "Neighbourhood_index.neighbours: empty edge type set";
+  let trie =
+    match dir with
+    | Mgraph.Multigraph.Out -> t.outgoing.(v)
+    | Mgraph.Multigraph.In -> t.incoming.(v)
+  in
+  if Array.length types = 1 then Otil.with_symbol trie types.(0)
+  else Otil.supersets trie types
+
+let vertex_count t = Array.length t.incoming

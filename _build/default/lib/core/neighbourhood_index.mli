@@ -1,0 +1,21 @@
+(** Vertex neighbourhood index — the index [N] (paper Section 4.3).
+
+    For every data vertex two OTIL tries are kept: [N+] over the
+    multi-edges of incoming neighbours and [N−] over outgoing ones.
+    [neighbours idx v dir types] returns the data vertices [v'] adjacent
+    to [v] in direction [dir] whose connecting multi-edge is a superset
+    of [types] — the primitive used both for satellite matching and for
+    extending partial core matches while preserving query structure. *)
+
+type t
+
+val build : Database.t -> t
+
+val neighbours :
+  t -> int -> Mgraph.Multigraph.direction -> int array -> int array
+(** [neighbours t v dir types]: with [dir = Out], vertices [v'] such
+    that the multi-edge [v → v'] contains all of [types]; with
+    [dir = In], such that [v' → v] does. [types] must be sorted and
+    non-empty. The result is sorted and duplicate-free. *)
+
+val vertex_count : t -> int

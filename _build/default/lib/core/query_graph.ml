@@ -1,0 +1,279 @@
+type iri_constraint = {
+  dir : Mgraph.Multigraph.direction;
+  types : int array;
+  data_vertex : int;
+}
+
+type open_object = { subject : int; pred : string; obj_var : string }
+
+type t = {
+  var_names : string array;
+  graph : Mgraph.Multigraph.t;
+  attrs : int array array;
+  iris : iri_constraint list array;
+  self_loops : int array array;
+  opens : open_object list;
+}
+
+type result = Query of t | Unsatisfiable of string
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+exception Unsat of string
+
+let unsat fmt = Printf.ksprintf (fun s -> raise (Unsat s)) fmt
+
+(* Count how many times each variable occurs across all positions. *)
+let occurrence_counts patterns =
+  let counts = Hashtbl.create 16 in
+  let bump = function
+    | Sparql.Ast.Var v ->
+        Hashtbl.replace counts v
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+    | Sparql.Ast.Iri _ | Sparql.Ast.Lit _ -> ()
+  in
+  List.iter
+    (fun { Sparql.Ast.subject; predicate; obj } ->
+      bump subject;
+      bump predicate;
+      bump obj)
+    patterns;
+  counts
+
+let subject_vars patterns =
+  let set = Hashtbl.create 16 in
+  List.iter
+    (fun { Sparql.Ast.subject; _ } ->
+      match subject with
+      | Sparql.Ast.Var v -> Hashtbl.replace set v ()
+      | Sparql.Ast.Iri _ | Sparql.Ast.Lit _ -> ())
+    patterns;
+  set
+
+let build ?(open_objects = false) db (query : Sparql.Ast.t) =
+  let patterns = query.where in
+  let counts = occurrence_counts patterns in
+  let subjects = subject_vars patterns in
+  (* A variable object is lifted out of the graph when the extension is
+     on and the variable has no other occurrence to join on. *)
+  let liftable v subj =
+    open_objects
+    && (not (String.equal v subj))
+    && Hashtbl.find_opt counts v = Some 1
+    && not (Hashtbl.mem subjects v)
+  in
+  let var_ids = Hashtbl.create 16 in
+  let var_names = ref [] in
+  let vertex_of_var v =
+    match Hashtbl.find_opt var_ids v with
+    | Some id -> id
+    | None ->
+        let id = Hashtbl.length var_ids in
+        Hashtbl.add var_ids v id;
+        var_names := v :: !var_names;
+        id
+  in
+  let builder = Mgraph.Multigraph.Builder.create () in
+  let attrs_tbl : (int, int list) Hashtbl.t = Hashtbl.create 8 in
+  (* (u, data_vertex, dir) -> accumulated edge types *)
+  let iri_tbl : (int * int * Mgraph.Multigraph.direction, int list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let loops_tbl : (int, int list) Hashtbl.t = Hashtbl.create 4 in
+  let opens = ref [] in
+  let push tbl key v =
+    let old = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+    if not (List.mem v old) then Hashtbl.replace tbl key (v :: old)
+  in
+  let data_vertex_of iri =
+    match Database.vertex_of_term db (Rdf.Term.iri iri) with
+    | Some v -> v
+    | None -> unsat "IRI <%s> does not occur in the data" iri
+  in
+  let edge_type_of pred =
+    match Database.edge_type_of_iri db pred with
+    | Some e -> e
+    | None -> unsat "predicate <%s> never links two resources" pred
+  in
+  let process { Sparql.Ast.subject; predicate; obj } =
+    let pred =
+      match predicate with
+      | Sparql.Ast.Iri p -> p
+      | Sparql.Ast.Var v -> unsupported "variable predicate ?%s" v
+      | Sparql.Ast.Lit _ -> unsupported "literal in predicate position"
+    in
+    match (subject, obj) with
+    | Sparql.Ast.Lit _, _ -> unsupported "literal in subject position"
+    | Sparql.Ast.Var s, Sparql.Ast.Var o when String.equal s o ->
+        let u = vertex_of_var s in
+        Mgraph.Multigraph.Builder.add_vertex builder u;
+        push loops_tbl u (edge_type_of pred)
+    | Sparql.Ast.Var s, Sparql.Ast.Var o ->
+        if liftable o s then begin
+          let u = vertex_of_var s in
+          Mgraph.Multigraph.Builder.add_vertex builder u;
+          opens := { subject = u; pred; obj_var = o } :: !opens
+        end
+        else begin
+          let us = vertex_of_var s and uo = vertex_of_var o in
+          Mgraph.Multigraph.Builder.add_edge builder us (edge_type_of pred) uo
+        end
+    | Sparql.Ast.Var s, Sparql.Ast.Iri oi ->
+        let u = vertex_of_var s in
+        Mgraph.Multigraph.Builder.add_vertex builder u;
+        push iri_tbl (u, data_vertex_of oi, Mgraph.Multigraph.Out)
+          (edge_type_of pred)
+    | Sparql.Ast.Var s, Sparql.Ast.Lit lit ->
+        let u = vertex_of_var s in
+        Mgraph.Multigraph.Builder.add_vertex builder u;
+        (match Database.attribute_of db ~pred ~lit with
+        | Some a -> push attrs_tbl u a
+        | None ->
+            unsat "literal %s with predicate <%s> does not occur"
+              (Rdf.Term.to_string (Rdf.Term.Literal lit))
+              pred)
+    | Sparql.Ast.Iri si, Sparql.Ast.Var o ->
+        let u = vertex_of_var o in
+        Mgraph.Multigraph.Builder.add_vertex builder u;
+        push iri_tbl (u, data_vertex_of si, Mgraph.Multigraph.In)
+          (edge_type_of pred)
+    | Sparql.Ast.Iri si, Sparql.Ast.Iri oi ->
+        let vs = data_vertex_of si and vo = data_vertex_of oi in
+        if not (Mgraph.Multigraph.has_edge (Database.graph db) vs (edge_type_of pred) vo)
+        then unsat "ground pattern <%s> <%s> <%s> does not hold" si pred oi
+    | Sparql.Ast.Iri si, Sparql.Ast.Lit lit -> (
+        let vs = data_vertex_of si in
+        match Database.attribute_of db ~pred ~lit with
+        | Some a
+          when Mgraph.Sorted_ints.mem
+                 (Mgraph.Multigraph.attributes (Database.graph db) vs)
+                 a ->
+            ()
+        | Some _ | None ->
+            unsat "ground pattern <%s> <%s> %s does not hold" si pred
+              (Rdf.Term.to_string (Rdf.Term.Literal lit)))
+  in
+  match List.iter process patterns with
+  | exception Unsat reason -> Unsatisfiable reason
+  | () ->
+      let graph = Mgraph.Multigraph.Builder.build builder in
+      let n = Hashtbl.length var_ids in
+      (* The builder only knows vertices that got structure; make the
+         arrays span every variable vertex. *)
+      assert (Mgraph.Multigraph.vertex_count graph <= n || n = 0);
+      let attrs =
+        Array.init n (fun u ->
+            Mgraph.Sorted_ints.of_list
+              (Option.value ~default:[] (Hashtbl.find_opt attrs_tbl u)))
+      in
+      let iris = Array.make n [] in
+      Hashtbl.iter
+        (fun (u, data_vertex, dir) types ->
+          iris.(u) <-
+            { dir; types = Mgraph.Sorted_ints.of_list types; data_vertex }
+            :: iris.(u))
+        iri_tbl;
+      let self_loops =
+        Array.init n (fun u ->
+            Mgraph.Sorted_ints.of_list
+              (Option.value ~default:[] (Hashtbl.find_opt loops_tbl u)))
+      in
+      Query
+        {
+          var_names = Array.of_list (List.rev !var_names);
+          graph;
+          attrs;
+          iris;
+          self_loops;
+          opens = List.rev !opens;
+        }
+
+let vertex_count t = Array.length t.var_names
+
+let vertex_of_var t v =
+  let n = vertex_count t in
+  let rec loop i =
+    if i >= n then None
+    else if String.equal t.var_names.(i) v then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+(* Adjacency helpers tolerate vertices absent from the builder graph
+   (isolated variables beyond its vertex count). *)
+let graph_adjacency t dir u =
+  if u < Mgraph.Multigraph.vertex_count t.graph then
+    Mgraph.Multigraph.adjacency t.graph dir u
+  else [||]
+
+let degree t u =
+  let var_neighbours =
+    let merge dir acc =
+      Array.fold_left
+        (fun acc (v, _) -> if v = u then acc else v :: acc)
+        acc
+        (graph_adjacency t dir u)
+    in
+    Mgraph.Sorted_ints.of_list (merge Mgraph.Multigraph.Out (merge Mgraph.Multigraph.In []))
+  in
+  let iri_neighbours =
+    Mgraph.Sorted_ints.of_list (List.map (fun c -> c.data_vertex) t.iris.(u))
+  in
+  Array.length var_neighbours + Array.length iri_neighbours
+
+let multi_edges_between t u u' =
+  if u = u' then []
+  else begin
+    let find dir =
+      Array.fold_left
+        (fun acc (v, types) -> if v = u' then Some types else acc)
+        None
+        (graph_adjacency t dir u)
+    in
+    let out = find Mgraph.Multigraph.Out and incoming = find Mgraph.Multigraph.In in
+    List.filter_map
+      (fun (dir, types) ->
+        match types with None -> None | Some ts -> Some (dir, ts))
+      [ (Mgraph.Multigraph.Out, out); (Mgraph.Multigraph.In, incoming) ]
+  end
+
+let signature t u =
+  let side dir =
+    let from_vars =
+      Array.fold_right
+        (fun (v, types) acc -> if v = u then acc else types :: acc)
+        (graph_adjacency t dir u)
+        []
+    in
+    let from_iris =
+      List.filter_map
+        (fun c -> if c.dir = dir then Some c.types else None)
+        t.iris.(u)
+    in
+    let from_loops =
+      if Array.length t.self_loops.(u) > 0 then [ t.self_loops.(u) ] else []
+    in
+    from_vars @ from_iris @ from_loops
+  in
+  (* A self loop shows up on both sides, like in the data graph; [dir]
+     here is from the vertex's own perspective: [Out] = outgoing. *)
+  {
+    Mgraph.Signature.incoming = side Mgraph.Multigraph.In;
+    outgoing = side Mgraph.Multigraph.Out;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>query graph: %d vertices@," (vertex_count t);
+  Array.iteri
+    (fun u name ->
+      Format.fprintf ppf "  u%d = ?%s attrs=[%s] iris=%d loops=%d deg=%d@," u
+        name
+        (String.concat ","
+           (List.map string_of_int (Array.to_list t.attrs.(u))))
+        (List.length t.iris.(u))
+        (Array.length t.self_loops.(u))
+        (degree t u))
+    t.var_names;
+  Format.fprintf ppf "  opens=%d@]" (List.length t.opens)

@@ -1,0 +1,70 @@
+(** Query multigraph — the translation of a SPARQL basic graph pattern
+    into the paper's query representation (Section 2.2.1).
+
+    Variables become query vertices; constant IRIs in subject/object
+    position become {e IRI constraints} on the adjacent variable vertex
+    (the paper's shaded [u^iri] vertices — each matches exactly one data
+    vertex); a [(predicate, literal)] object pair becomes a vertex
+    attribute. Fully ground patterns are checked at build time.
+
+    With [~open_objects:true] a pattern [?s <p> ?o] whose object
+    variable occurs nowhere else is lifted out of the graph structure
+    and answered from both edges and literal attributes — the
+    literal-binding extension discussed in DESIGN.md. *)
+
+type iri_constraint = {
+  dir : Mgraph.Multigraph.direction;
+      (** [Out]: the variable's match must have an edge {e towards} the
+          constant; [In]: an edge {e from} it. *)
+  types : int array;  (** sorted edge-type ids of the multi-edge *)
+  data_vertex : int;  (** the constant's (unique) data vertex *)
+}
+
+type open_object = {
+  subject : int;  (** query vertex of the subject variable *)
+  pred : string;  (** predicate IRI *)
+  obj_var : string;  (** the lifted object variable *)
+}
+
+type t = {
+  var_names : string array;  (** query vertex -> variable name *)
+  graph : Mgraph.Multigraph.t;
+      (** variable-variable structure; edge types are {e data} edge-type
+          ids *)
+  attrs : int array array;  (** sorted attribute ids per query vertex *)
+  iris : iri_constraint list array;  (** per query vertex *)
+  self_loops : int array array;
+      (** per query vertex, sorted types of the loop [u → u] ([||] if
+          none) *)
+  opens : open_object list;
+}
+
+type result =
+  | Query of t
+  | Unsatisfiable of string
+      (** well-formed, but a constant (predicate, literal pair or IRI)
+          does not occur in the data: the answer set is empty *)
+
+exception Unsupported of string
+(** Raised for patterns outside the engine's fragment (variable or
+    literal predicates, literal subjects). *)
+
+val build : ?open_objects:bool -> Database.t -> Sparql.Ast.t -> result
+
+val vertex_count : t -> int
+val vertex_of_var : t -> string -> int option
+val degree : t -> int -> int
+(** Paper degree: distinct variable neighbours + distinct IRI-constraint
+    neighbours. *)
+
+val multi_edges_between :
+  t -> int -> int -> (Mgraph.Multigraph.direction * int array) list
+(** Directed multi-edges between two query vertices, from the first
+    vertex's perspective; at most one entry per direction, excluding
+    self loops. *)
+
+val signature : t -> int -> Mgraph.Signature.t
+(** Full signature of a query vertex: variable edges, IRI-constraint
+    edges and self loops (both orientations). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+(* JSON string escaping per RFC 8259. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04X" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_term = function
+  | Rdf.Term.Iri iri -> Printf.sprintf {|{"type":"uri","value":"%s"}|} (json_escape iri)
+  | Rdf.Term.Bnode b -> Printf.sprintf {|{"type":"bnode","value":"%s"}|} (json_escape b)
+  | Rdf.Term.Literal { value; datatype; lang } ->
+      let extra =
+        match (datatype, lang) with
+        | Some dt, _ -> Printf.sprintf {|,"datatype":"%s"|} (json_escape dt)
+        | None, Some l -> Printf.sprintf {|,"xml:lang":"%s"|} (json_escape l)
+        | None, None -> ""
+      in
+      Printf.sprintf {|{"type":"literal","value":"%s"%s}|} (json_escape value) extra
+
+let to_json (a : Engine.answer) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf {|{"head":{"vars":[|};
+  Buffer.add_string buf
+    (String.concat ","
+       (List.map (fun v -> Printf.sprintf {|"%s"|} (json_escape v)) a.variables));
+  Buffer.add_string buf {|]},"results":{"bindings":[|};
+  let first_row = ref true in
+  List.iter
+    (fun row ->
+      if not !first_row then Buffer.add_char buf ',';
+      first_row := false;
+      Buffer.add_char buf '{';
+      let first_cell = ref true in
+      List.iter2
+        (fun var cell ->
+          match cell with
+          | None -> () (* unbound: omitted *)
+          | Some term ->
+              if not !first_cell then Buffer.add_char buf ',';
+              first_cell := false;
+              Buffer.add_string buf
+                (Printf.sprintf {|"%s":%s|} (json_escape var) (json_term term)))
+        a.variables row;
+      Buffer.add_char buf '}')
+    a.rows;
+  Buffer.add_string buf "]}}";
+  Buffer.contents buf
+
+let csv_field s =
+  if String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) s
+  then begin
+    let buf = Buffer.create (String.length s + 4) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let csv_term = function
+  | Rdf.Term.Iri iri -> iri
+  | Rdf.Term.Bnode b -> "_:" ^ b
+  | Rdf.Term.Literal { value; _ } -> value
+
+let to_csv (a : Engine.answer) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," (List.map csv_field a.variables));
+  Buffer.add_string buf "\r\n";
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat ","
+           (List.map
+              (function None -> "" | Some t -> csv_field (csv_term t))
+              row));
+      Buffer.add_string buf "\r\n")
+    a.rows;
+  Buffer.contents buf
+
+let to_tsv (a : Engine.answer) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (String.concat "\t" (List.map (fun v -> "?" ^ v) a.variables));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat "\t"
+           (List.map
+              (function None -> "" | Some t -> Rdf.Term.to_string t)
+              row));
+      Buffer.add_char buf '\n')
+    a.rows;
+  Buffer.contents buf
+
+let ask_json b =
+  Printf.sprintf {|{"head":{},"boolean":%b}|} b

@@ -1,0 +1,19 @@
+(** Serialization of query answers: W3C SPARQL 1.1 results JSON, and
+    CSV/TSV per the SPARQL 1.1 Query Results CSV/TSV formats. *)
+
+val to_json : Engine.answer -> string
+(** [application/sparql-results+json]: head/vars + results/bindings,
+    with [uri] / [literal] (plus [xml:lang] or [datatype]) / [bnode]
+    term objects. Unbound variables are omitted from their binding, as
+    the spec requires. *)
+
+val to_csv : Engine.answer -> string
+(** Header row of variable names, then one row per result. IRIs appear
+    bare, literals as their lexical form; fields containing commas,
+    quotes or newlines are quoted and escaped. Unbound = empty field. *)
+
+val to_tsv : Engine.answer -> string
+(** Header of [?var] names; terms in N-Triples syntax, tab separated. *)
+
+val ask_json : bool -> string
+(** W3C SPARQL results JSON for an ASK answer. *)

@@ -1,0 +1,60 @@
+type mode = Rtree | Scan
+
+type t = {
+  mode : mode;
+  synopses : Mgraph.Synopsis.t array;  (* per data vertex *)
+  lower : int array;  (* componentwise minimum over all synopses *)
+  tree : int Rtree.t;  (* populated in Rtree mode *)
+}
+
+(* The R-tree encodes the dominance test [∀i. q_i ≤ d_i] as rectangle
+   containment: every data synopsis [d] is stored as the box
+   [lower .. d] where [lower] is the per-dimension minimum over the
+   dataset, and a query synopsis [q] probes with the point box
+   [q' .. q'] where [q'_i = max(q_i, lower_i)]. Clamping is sound: when
+   [q_i < lower_i] every data vertex already satisfies the inequality on
+   dimension [i]. *)
+
+let build ?(mode = Rtree) ?(max_entries = 16) db =
+  let g = Database.graph db in
+  let n = Mgraph.Multigraph.vertex_count g in
+  let synopses = Array.init n (fun v -> Mgraph.Synopsis.of_vertex g v) in
+  let lower = Array.make Mgraph.Synopsis.dims 0 in
+  Array.iter
+    (fun syn ->
+      for i = 0 to Mgraph.Synopsis.dims - 1 do
+        if syn.(i) < lower.(i) then lower.(i) <- syn.(i)
+      done)
+    synopses;
+  let tree =
+    match mode with
+    | Scan -> Rtree.empty ()
+    | Rtree ->
+        Rtree.bulk_load ~max_entries
+          (List.init n (fun v ->
+               (Rect.make ~lo:lower ~hi:synopses.(v), v)))
+  in
+  { mode; synopses; lower; tree }
+
+let mode t = t.mode
+
+let candidates t query =
+  match t.mode with
+  | Scan ->
+      let out = ref [] in
+      for v = Array.length t.synopses - 1 downto 0 do
+        if Mgraph.Synopsis.dominates ~data:t.synopses.(v) ~query then
+          out := v :: !out
+      done;
+      Array.of_list !out
+  | Rtree ->
+      let clamped =
+        Array.init Mgraph.Synopsis.dims (fun i -> max query.(i) t.lower.(i))
+      in
+      let box = Rect.make ~lo:clamped ~hi:clamped in
+      let vs = Rtree.fold_containing box (fun v acc -> v :: acc) t.tree [] in
+      Mgraph.Sorted_ints.of_list vs
+
+let candidates_of_signature t s = candidates t (Mgraph.Synopsis.of_signature s)
+
+let vertex_synopsis t v = t.synopses.(v)

@@ -1,0 +1,23 @@
+(** Vertex signature index — the index [S] (paper Section 4.2).
+
+    Stores the 8-feature synopsis of every data vertex in an R-tree;
+    querying with a query vertex's synopsis returns every data vertex
+    whose synopsis rectangle contains the query rectangle (Lemma 1
+    guarantees no valid candidate is lost). A linear-scan mode is kept
+    for the ablation benchmark. *)
+
+type t
+
+type mode = Rtree | Scan
+
+val build : ?mode:mode -> ?max_entries:int -> Database.t -> t
+
+val mode : t -> mode
+
+val candidates : t -> Mgraph.Synopsis.t -> int array
+(** Sorted data vertices whose synopsis dominates the query synopsis. *)
+
+val candidates_of_signature : t -> Mgraph.Signature.t -> int array
+
+val vertex_synopsis : t -> int -> Mgraph.Synopsis.t
+(** The stored synopsis of a data vertex. *)

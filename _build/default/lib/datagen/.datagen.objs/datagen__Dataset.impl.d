@@ -1,0 +1,1 @@
+lib/datagen/dataset.ml: Lubm Printf Rdf Scale_free

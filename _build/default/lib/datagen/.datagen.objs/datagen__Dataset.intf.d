@@ -1,0 +1,1 @@
+lib/datagen/dataset.mli: Rdf

@@ -1,0 +1,1 @@
+lib/datagen/lubm.ml: Array Filename Hashtbl List Printf Prng Rdf

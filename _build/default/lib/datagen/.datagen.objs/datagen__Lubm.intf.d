@@ -1,0 +1,1 @@
+lib/datagen/lubm.mli: Rdf

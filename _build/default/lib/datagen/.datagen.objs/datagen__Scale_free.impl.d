@@ -1,0 +1,1 @@
+lib/datagen/scale_free.ml: Array Float List Printf Prng Rdf

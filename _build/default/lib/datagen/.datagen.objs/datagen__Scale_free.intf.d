@@ -1,0 +1,1 @@
+lib/datagen/scale_free.mli: Rdf

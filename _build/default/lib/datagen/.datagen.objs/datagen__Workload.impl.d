@@ -1,0 +1,1 @@
+lib/datagen/workload.ml: Array Hashtbl List Option Printf Prng Rdf Sparql String

@@ -1,0 +1,36 @@
+type spec = {
+  name : string;
+  description : string;
+  load : unit -> Rdf.Triple.t list;
+}
+
+let dbpedia_like ?(scale = 1.0) ?(seed = 11) () =
+  {
+    name = "dbpedia-like";
+    description =
+      Printf.sprintf
+        "scale-free multigraph, many predicates, heavy skew (scale %.2f)" scale;
+    load = (fun () -> Scale_free.generate ~seed (Scale_free.dbpedia_like ~scale ()));
+  }
+
+let yago_like ?(scale = 1.0) ?(seed = 13) () =
+  {
+    name = "yago-like";
+    description =
+      Printf.sprintf "scale-free multigraph, 44 predicates (scale %.2f)" scale;
+    load = (fun () -> Scale_free.generate ~seed (Scale_free.yago_like ~scale ()));
+  }
+
+let lubm ?(universities = 3) ?(seed = 17) () =
+  {
+    name = Printf.sprintf "lubm%d" universities;
+    description = Printf.sprintf "LUBM-style, %d universities" universities;
+    load = (fun () -> Lubm.generate ~seed ~universities ());
+  }
+
+let all ?(scale = 1.0) () =
+  [
+    dbpedia_like ~scale ();
+    yago_like ~scale ();
+    lubm ~universities:(max 1 (int_of_float (3.0 *. scale))) ();
+  ]

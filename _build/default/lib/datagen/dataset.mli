@@ -1,0 +1,18 @@
+(** Named benchmark datasets: the three corpora of the paper's Section 7
+    (DBPEDIA, YAGO, LUBM100) at configurable scale. *)
+
+type spec = {
+  name : string;
+  description : string;
+  load : unit -> Rdf.Triple.t list;
+}
+
+val dbpedia_like : ?scale:float -> ?seed:int -> unit -> spec
+val yago_like : ?scale:float -> ?seed:int -> unit -> spec
+
+val lubm : ?universities:int -> ?seed:int -> unit -> spec
+(** Default 3 universities (≈ 35 k triples). *)
+
+val all : ?scale:float -> unit -> spec list
+(** The three datasets at a common scale factor (LUBM's university count
+    scales proportionally, minimum 1). *)

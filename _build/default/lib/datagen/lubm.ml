@@ -1,0 +1,203 @@
+let namespace = "http://swat.lehigh.edu/onto/univ-bench.owl#"
+let rdf_type = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+
+let ub local = namespace ^ local
+
+let object_properties =
+  [
+    rdf_type;
+    ub "subOrganizationOf";
+    ub "worksFor";
+    ub "headOf";
+    ub "memberOf";
+    ub "teacherOf";
+    ub "takesCourse";
+    ub "teachingAssistantOf";
+    ub "advisor";
+    ub "publicationAuthor";
+    ub "undergraduateDegreeFrom";
+    ub "mastersDegreeFrom";
+    ub "doctoralDegreeFrom";
+  ]
+
+let datatype_properties =
+  [ ub "name"; ub "emailAddress"; ub "telephone"; ub "researchInterest" ]
+
+type emitter = { mutable triples : Rdf.Triple.t list; mutable count : int }
+
+let emit e s p o =
+  e.triples <- Rdf.Triple.spo s p o :: e.triples;
+  e.count <- e.count + 1
+
+let obj iri = Rdf.Term.iri iri
+let lit s = Rdf.Term.literal s
+
+(* Entity IRIs mirror the official generator's layout. *)
+let univ_iri u = Printf.sprintf "http://www.university%d.edu" u
+let dept_iri u d = Printf.sprintf "http://www.department%d.university%d.edu" d u
+
+let entity u d kind i =
+  Printf.sprintf "%s/%s%d" (dept_iri u d) kind i
+
+let generate ?(seed = 42) ~universities () =
+  let rng = Prng.create seed in
+  let e = { triples = []; count = 0 } in
+  let classes =
+    [| ub "University"; ub "Department"; ub "FullProfessor";
+       ub "AssociateProfessor"; ub "AssistantProfessor"; ub "Lecturer";
+       ub "UndergraduateStudent"; ub "GraduateStudent"; ub "Course";
+       ub "GraduateCourse"; ub "Publication" |]
+  in
+  let class_university = classes.(0)
+  and class_department = classes.(1)
+  and class_lecturer = classes.(5)
+  and class_undergrad = classes.(6)
+  and class_grad = classes.(7)
+  and class_course = classes.(8)
+  and class_grad_course = classes.(9)
+  and class_publication = classes.(10) in
+  let interests =
+    [| "databases"; "machine learning"; "graphics"; "systems"; "theory";
+       "networks"; "security"; "hci"; "compilers"; "robotics" |]
+  in
+  let any_university () = univ_iri (Prng.int rng universities) in
+  let describe iri name_hint =
+    emit e iri (ub "name") (lit name_hint);
+    if Prng.bool rng 0.8 then
+      emit e iri (ub "emailAddress") (lit (name_hint ^ "@example.edu"));
+    if Prng.bool rng 0.5 then
+      emit e iri (ub "telephone")
+        (lit (Printf.sprintf "+1-555-%04d" (Prng.int rng 10000)))
+  in
+  for u = 0 to universities - 1 do
+    let univ = univ_iri u in
+    emit e univ rdf_type (obj class_university);
+    emit e univ (ub "name") (lit (Printf.sprintf "University%d" u));
+    let departments = 10 + Prng.int rng 5 in
+    for d = 0 to departments - 1 do
+      let dept = dept_iri u d in
+      emit e dept rdf_type (obj class_department);
+      emit e dept (ub "subOrganizationOf") (obj univ);
+      emit e dept (ub "name") (lit (Printf.sprintf "Department%d-%d" u d));
+      (* Faculty: professors of three ranks plus lecturers. *)
+      let professors = ref [] in
+      let faculty_ranks =
+        [ (2, 3 + Prng.int rng 3); (3, 4 + Prng.int rng 3); (4, 3 + Prng.int rng 3) ]
+      in
+      List.iter
+        (fun (class_idx, count) ->
+          for i = 0 to count - 1 do
+            let prof =
+              entity u d
+                (match class_idx with
+                | 2 -> "FullProfessor"
+                | 3 -> "AssociateProfessor"
+                | _ -> "AssistantProfessor")
+                i
+            in
+            professors := prof :: !professors;
+            emit e prof rdf_type (obj classes.(class_idx));
+            emit e prof (ub "worksFor") (obj dept);
+            emit e prof (ub "undergraduateDegreeFrom") (obj (any_university ()));
+            emit e prof (ub "mastersDegreeFrom") (obj (any_university ()));
+            emit e prof (ub "doctoralDegreeFrom") (obj (any_university ()));
+            emit e prof (ub "researchInterest") (lit (Prng.choice rng interests));
+            describe prof (Filename.basename prof)
+          done)
+        faculty_ranks;
+      let professors = Array.of_list !professors in
+      (* A department head. *)
+      emit e (Prng.choice rng professors) (ub "headOf") (obj dept);
+      let lecturers =
+        Array.init (2 + Prng.int rng 3) (fun i -> entity u d "Lecturer" i)
+      in
+      Array.iter
+        (fun l ->
+          emit e l rdf_type (obj class_lecturer);
+          emit e l (ub "worksFor") (obj dept);
+          describe l (Filename.basename l))
+        lecturers;
+      let teachers = Array.append professors lecturers in
+      (* Courses, remembering who teaches what so teaching assistants
+         can be assigned to their advisor's courses. *)
+      let course_teacher = Hashtbl.create 32 in
+      let courses =
+        Array.init (12 + Prng.int rng 6) (fun i -> entity u d "Course" i)
+      in
+      Array.iter
+        (fun c ->
+          emit e c rdf_type (obj class_course);
+          emit e c (ub "name") (lit (Filename.basename c));
+          let teacher = Prng.choice rng teachers in
+          Hashtbl.replace course_teacher c teacher;
+          emit e teacher (ub "teacherOf") (obj c))
+        courses;
+      let grad_courses =
+        Array.init (6 + Prng.int rng 4) (fun i -> entity u d "GraduateCourse" i)
+      in
+      Array.iter
+        (fun c ->
+          emit e c rdf_type (obj class_grad_course);
+          emit e c (ub "name") (lit (Filename.basename c));
+          emit e (Prng.choice rng professors) (ub "teacherOf") (obj c))
+        grad_courses;
+      (* Students. *)
+      let undergrads =
+        Array.init (40 + Prng.int rng 20) (fun i ->
+            entity u d "UndergraduateStudent" i)
+      in
+      Array.iter
+        (fun s ->
+          emit e s rdf_type (obj class_undergrad);
+          emit e s (ub "memberOf") (obj dept);
+          List.iter
+            (fun c -> emit e s (ub "takesCourse") (obj c))
+            (Prng.sample rng courses (2 + Prng.int rng 3));
+          describe s (Filename.basename s))
+        undergrads;
+      let grads =
+        Array.init (12 + Prng.int rng 8) (fun i -> entity u d "GraduateStudent" i)
+      in
+      Array.iter
+        (fun s ->
+          emit e s rdf_type (obj class_grad);
+          emit e s (ub "memberOf") (obj dept);
+          emit e s (ub "undergraduateDegreeFrom") (obj (any_university ()));
+          let advisor = Prng.choice rng professors in
+          emit e s (ub "advisor") (obj advisor);
+          List.iter
+            (fun c -> emit e s (ub "takesCourse") (obj c))
+            (Prng.sample rng grad_courses (1 + Prng.int rng 3));
+          if Prng.bool rng 0.3 then begin
+            (* Prefer a course the advisor teaches, as LUBM does. *)
+            let advised =
+              Array.of_list
+                (Array.to_list courses
+                |> List.filter (fun c -> Hashtbl.find_opt course_teacher c = Some advisor))
+            in
+            let course =
+              if Array.length advised > 0 && Prng.bool rng 0.7 then
+                Prng.choice rng advised
+              else Prng.choice rng courses
+            in
+            emit e s (ub "teachingAssistantOf") (obj course)
+          end;
+          describe s (Filename.basename s))
+        grads;
+      (* Publications: authored by faculty and graduate students. *)
+      let publications =
+        Array.init (Array.length professors * (2 + Prng.int rng 3)) (fun i ->
+            entity u d "Publication" i)
+      in
+      Array.iteri
+        (fun i p ->
+          emit e p rdf_type (obj class_publication);
+          emit e p (ub "name") (lit (Filename.basename p));
+          emit e p (ub "publicationAuthor")
+            (obj professors.(i mod Array.length professors));
+          if Array.length grads > 0 && Prng.bool rng 0.4 then
+            emit e p (ub "publicationAuthor") (obj (Prng.choice rng grads)))
+        publications
+    done
+  done;
+  List.rev e.triples

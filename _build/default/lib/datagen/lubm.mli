@@ -1,0 +1,24 @@
+(** LUBM-style university benchmark data generator.
+
+    Re-implements the shape of the Lehigh University Benchmark data:
+    universities containing departments, faculty, students, courses and
+    publications, linked by the usual LUBM object properties (13 — the
+    edge-type count the paper reports for LUBM100 in Table 4) plus
+    datatype properties (name, email, telephone, research interest)
+    that AMbER folds into vertex attributes.
+
+    Object properties and datatype properties are strictly disjoint, so
+    a variable in object position can only ever bind to an IRI — keeping
+    all engines' semantics aligned (see DESIGN.md §4). *)
+
+val namespace : string
+(** Base IRI of the generated vocabulary. *)
+
+val object_properties : string list
+(** The 13 object property IRIs. *)
+
+val datatype_properties : string list
+
+val generate : ?seed:int -> universities:int -> unit -> Rdf.Triple.t list
+(** Deterministic for a given [seed] (default 42). One university emits
+    roughly 8–10 k triples. *)

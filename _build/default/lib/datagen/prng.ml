@@ -1,0 +1,58 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed =
+  { state = Int64.add (Int64.of_int seed) 0x1234_5678_9ABC_DEFL }
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Keep 62 bits: a 63-bit value can overflow OCaml's native int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  r mod bound
+
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t < p
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choice: empty array"
+  else arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t arr k =
+  let k = min k (Array.length arr) in
+  let copy = Array.copy arr in
+  shuffle t copy;
+  Array.to_list (Array.sub copy 0 k)
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Prng.zipf: n must be positive";
+  (* Inverse transform over the truncated harmonic weights. Weight
+     tables are tiny (n = #predicates), so a linear walk is fine. *)
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let target = float t *. total in
+  let rec walk i acc =
+    if i >= n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if acc >= target then i else walk (i + 1) acc
+  in
+  walk 0 0.0

@@ -1,0 +1,36 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    All generators and workloads take an explicit seed so every dataset,
+    query set and benchmark run is reproducible bit-for-bit. *)
+
+type t
+
+val create : int -> t
+(** [create seed]. Distinct seeds give independent streams. *)
+
+val next : t -> int64
+(** Raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0 .. bound-1]. [bound] must be > 0. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is [true] with probability [p]. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample : t -> 'a array -> int -> 'a list
+(** [sample t arr k] — [k] distinct elements (Fisher–Yates on a copy);
+    [k] is clamped to the array length. *)
+
+val zipf : t -> n:int -> s:float -> int
+(** Zipf-distributed rank in [0 .. n-1] with exponent [s] (by inverse
+    transform on the truncated harmonic CDF; heavier head for larger
+    [s]). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)

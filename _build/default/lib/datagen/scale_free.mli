@@ -1,0 +1,33 @@
+(** Synthetic scale-free RDF multigraphs standing in for the DBPEDIA and
+    YAGO dumps (see DESIGN.md §4).
+
+    Edges are laid down by preferential attachment (heavy-tailed
+    degrees, like encyclopedic knowledge graphs), predicates are drawn
+    from a Zipf distribution over a configurable vocabulary, and a
+    separate pool of datatype properties attaches literals. Object and
+    datatype properties never mix, so every engine sees the same
+    bindings for variables in object position. *)
+
+type profile = {
+  entities : int;
+  edges : int;  (** IRI-to-IRI edges (multi-edges arise naturally) *)
+  object_predicates : int;
+  literal_predicates : int;
+  zipf_exponent : float;  (** skew of predicate usage *)
+  literal_rate : float;  (** expected literals per entity *)
+}
+
+val dbpedia_like : ?scale:float -> unit -> profile
+(** Many predicates, strong skew. [scale] multiplies entity/edge counts
+    (default 1.0 ≈ 60 k entities / 180 k edges). *)
+
+val yago_like : ?scale:float -> unit -> profile
+(** Few predicates (44), moderate skew. *)
+
+val generate : ?seed:int -> profile -> Rdf.Triple.t list
+
+val entity_iri : int -> string
+(** IRI of the [i]-th generated entity (exposed for workload tooling). *)
+
+val predicate_iri : int -> string
+val literal_predicate_iri : int -> string

@@ -1,0 +1,153 @@
+type shape = Star | Complex
+
+type item =
+  | Structural of { s : string; p : string; o : string }
+  | Lit_triple of { s : string; p : string; lit : Rdf.Term.literal }
+
+let item_key = function
+  | Structural { s; p; o } -> s ^ "\x00" ^ p ^ "\x00" ^ o
+  | Lit_triple { s; p; lit } ->
+      s ^ "\x00" ^ p ^ "\x01" ^ Rdf.Term.to_string (Rdf.Term.Literal lit)
+
+type corpus = {
+  incidence : (string, item array) Hashtbl.t;
+  entities : string array;
+}
+
+let corpus triples =
+  let lists : (string, item list) Hashtbl.t = Hashtbl.create 4096 in
+  let push entity item =
+    Hashtbl.replace lists entity
+      (item :: Option.value ~default:[] (Hashtbl.find_opt lists entity))
+  in
+  List.iter
+    (fun { Rdf.Triple.subject; predicate; obj } ->
+      match (subject, predicate, obj) with
+      | Rdf.Term.Iri s, Rdf.Term.Iri p, Rdf.Term.Iri o ->
+          let item = Structural { s; p; o } in
+          push s item;
+          if not (String.equal s o) then push o item
+      | Rdf.Term.Iri s, Rdf.Term.Iri p, Rdf.Term.Literal lit ->
+          push s (Lit_triple { s; p; lit })
+      | _ -> () (* blank nodes are not used as workload seeds *))
+    triples;
+  let incidence = Hashtbl.create (Hashtbl.length lists) in
+  let entities = ref [] in
+  Hashtbl.iter
+    (fun entity items ->
+      entities := entity :: !entities;
+      Hashtbl.replace incidence entity (Array.of_list items))
+    lists;
+  { incidence; entities = Array.of_list !entities }
+
+let entity_count c = Array.length c.entities
+
+let incident c entity =
+  Option.value ~default:[||] (Hashtbl.find_opt c.incidence entity)
+
+(* Degree of each entity within the selected item set. *)
+let selection_degrees items =
+  let deg = Hashtbl.create 16 in
+  let bump entity =
+    Hashtbl.replace deg entity
+      (1 + Option.value ~default:0 (Hashtbl.find_opt deg entity))
+  in
+  List.iter
+    (function
+      | Structural { s; o; _ } ->
+          bump s;
+          if not (String.equal s o) then bump o
+      | Lit_triple { s; _ } -> bump s)
+    items;
+  deg
+
+(* Turn a selected item set into a SELECT * query. *)
+let assemble rng ~iri_rate ~seed_entity items =
+  let degrees = selection_degrees items in
+  let terms = Hashtbl.create 16 in
+  let counter = ref 0 in
+  let term_of entity =
+    match Hashtbl.find_opt terms entity with
+    | Some t -> t
+    | None ->
+        let degree = Option.value ~default:0 (Hashtbl.find_opt degrees entity) in
+        let keep_constant =
+          (not (String.equal entity seed_entity))
+          && degree <= 1 && Prng.bool rng iri_rate
+        in
+        let t =
+          if keep_constant then Sparql.Ast.Iri entity
+          else begin
+            let v = Printf.sprintf "X%d" !counter in
+            incr counter;
+            Sparql.Ast.Var v
+          end
+        in
+        Hashtbl.add terms entity t;
+        t
+  in
+  let patterns =
+    List.map
+      (function
+        | Structural { s; p; o } ->
+            Sparql.Ast.pattern (term_of s) (Sparql.Ast.Iri p) (term_of o)
+        | Lit_triple { s; p; lit } ->
+            Sparql.Ast.pattern (term_of s) (Sparql.Ast.Iri p) (Sparql.Ast.Lit lit))
+      items
+  in
+  Sparql.Ast.make Sparql.Ast.Select_all patterns
+
+let try_star rng c size =
+  let seed_entity = Prng.choice rng c.entities in
+  let items = incident c seed_entity in
+  if Array.length items < size then None
+  else Some (seed_entity, Prng.sample rng items size)
+
+let try_complex rng c size =
+  let seed_entity = Prng.choice rng c.entities in
+  let visited = ref [ seed_entity ] in
+  let used = Hashtbl.create size in
+  let selected = ref [] in
+  let selected_count = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = 40 * size in
+  while !selected_count < size && !attempts < max_attempts do
+    incr attempts;
+    let entity = List.nth !visited (Prng.int rng (List.length !visited)) in
+    let items = incident c entity in
+    if Array.length items > 0 then begin
+      let item = Prng.choice rng items in
+      let key = item_key item in
+      if not (Hashtbl.mem used key) then begin
+        Hashtbl.add used key ();
+        selected := item :: !selected;
+        incr selected_count;
+        match item with
+        | Structural { s; o; _ } ->
+            if not (List.mem s !visited) then visited := s :: !visited;
+            if not (List.mem o !visited) then visited := o :: !visited
+        | Lit_triple _ -> ()
+      end
+    end
+  done;
+  if !selected_count = size then Some (seed_entity, List.rev !selected) else None
+
+let generate ?(seed = 1) ?(iri_rate = 0.15) c ~shape ~size ~count =
+  if size < 1 then invalid_arg "Workload.generate: size must be >= 1";
+  let rng = Prng.create seed in
+  let queries = ref [] in
+  let produced = ref 0 and failures = ref 0 in
+  let max_failures = 200 * count in
+  while !produced < count && !failures < max_failures do
+    let attempt =
+      match shape with
+      | Star -> try_star rng c size
+      | Complex -> try_complex rng c size
+    in
+    match attempt with
+    | None -> incr failures
+    | Some (seed_entity, items) ->
+        queries := assemble rng ~iri_rate ~seed_entity items :: !queries;
+        incr produced
+  done;
+  List.rev !queries

@@ -1,0 +1,33 @@
+(** Query workload generation (paper Section 7.2).
+
+    Queries are carved out of the dataset itself, so they are satisfiable
+    by construction. Star-shaped queries pick an initial entity with at
+    least [size] incident triples and keep [size] of them; complex-shaped
+    queries random-walk the neighbourhood of the initial entity through
+    predicate links until [size] triples are collected. Literal objects
+    are injected as constants; entities that touch only one selected
+    triple may stay as constant IRIs (probability [iri_rate]); every
+    other entity becomes a variable. *)
+
+type shape = Star | Complex
+
+type corpus
+(** Preprocessed dataset: per-entity incidence lists. *)
+
+val corpus : Rdf.Triple.t list -> corpus
+
+val entity_count : corpus -> int
+
+val generate :
+  ?seed:int ->
+  ?iri_rate:float ->
+  corpus ->
+  shape:shape ->
+  size:int ->
+  count:int ->
+  Sparql.Ast.t list
+(** [generate c ~shape ~size ~count] — [count] queries of exactly [size]
+    triple patterns ([SELECT *], no DISTINCT/LIMIT). Entities unable to
+    seed a query of the requested size are re-drawn; gives up on a seed
+    after enough failures, so fewer than [count] queries can be returned
+    on very small datasets. [iri_rate] defaults to 0.15. *)

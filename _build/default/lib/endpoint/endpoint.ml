@@ -1,0 +1,311 @@
+type config = {
+  host : string;
+  port : int;
+  timeout : float option;
+  limit : int option;
+  open_objects : bool;
+}
+
+let default_config =
+  { host = "127.0.0.1"; port = 8080; timeout = Some 30.0; limit = Some 100_000;
+    open_objects = true }
+
+type t = {
+  config : config;
+  engine : Amber.Engine.t;
+  socket : Unix.file_descr;
+  port : int;
+}
+
+(* --- small HTTP/URL helpers ---------------------------------------- *)
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> -1
+
+let url_decode s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec loop i =
+    if i < n then begin
+      (match s.[i] with
+      | '+' ->
+          Buffer.add_char buf ' ';
+          loop (i + 1)
+      | '%' when i + 2 < n && hex_value s.[i + 1] >= 0 && hex_value s.[i + 2] >= 0 ->
+          Buffer.add_char buf
+            (Char.chr ((16 * hex_value s.[i + 1]) + hex_value s.[i + 2]));
+          loop (i + 3)
+      | c ->
+          Buffer.add_char buf c;
+          loop (i + 1))
+    end
+  in
+  loop 0;
+  Buffer.contents buf
+
+(* Split "path?k=v&k2=v2" into path and decoded params. *)
+let parse_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+      let path = String.sub target 0 i in
+      let qs = String.sub target (i + 1) (String.length target - i - 1) in
+      let params =
+        List.filter_map
+          (fun kv ->
+            match String.index_opt kv '=' with
+            | None -> if kv = "" then None else Some (url_decode kv, "")
+            | Some j ->
+                Some
+                  ( url_decode (String.sub kv 0 j),
+                    url_decode (String.sub kv (j + 1) (String.length kv - j - 1)) ))
+          (String.split_on_char '&' qs)
+      in
+      (path, params)
+
+let header headers name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name
+    (List.map (fun (k, v) -> (String.lowercase_ascii k, v)) headers)
+
+(* Queries using algebra operators route to the extended evaluator. *)
+let needs_algebra src =
+  let tokens =
+    match Sparql.Lexer.tokenize src with
+    | ts -> ts
+    | exception Sparql.Lexer.Error _ -> []
+  in
+  List.exists
+    (fun { Sparql.Lexer.token; _ } ->
+      match token with
+      | Sparql.Lexer.KW_filter | Sparql.Lexer.KW_union | Sparql.Lexer.KW_optional ->
+          true
+      | _ -> false)
+    tokens
+
+let service_description =
+  {|AMbER SPARQL endpoint
+GET  /sparql?query=<urlencoded SPARQL>
+POST /sparql   (application/x-www-form-urlencoded or application/sparql-query)
+Accept: application/sparql-results+json | text/csv | text/tab-separated-values
+|}
+
+let negotiate headers =
+  match header headers "accept" with
+  | Some accept when String.length accept > 0 -> (
+      let wants s =
+        let n = String.length s and h = String.length accept in
+        let rec loop i = i + n <= h && (String.sub accept i n = s || loop (i + 1)) in
+        loop 0
+      in
+      if wants "text/csv" then `Csv
+      else if wants "text/tab-separated-values" then `Tsv
+      else `Json)
+  | _ -> `Json
+
+let handle_request config engine ~meth ~target ~headers ~body =
+  let path, params = parse_target target in
+  match (meth, path) with
+  | "GET", "/" -> (200, "text/plain", service_description)
+  | ("GET" | "POST"), "/sparql" -> (
+      let query_text =
+        match meth with
+        | "GET" -> List.assoc_opt "query" params
+        | _ -> (
+            match header headers "content-type" with
+            | Some ct
+              when String.length ct >= 24
+                   && String.sub ct 0 24 = "application/sparql-query" ->
+                Some body
+            | _ ->
+                let _, form = parse_target ("?" ^ body) in
+                List.assoc_opt "query" form)
+      in
+      match query_text with
+      | None | Some "" ->
+          (400, "text/plain", "missing 'query' parameter\n")
+      | Some src -> (
+          let fmt = negotiate headers in
+          let open_objects = config.open_objects in
+          let render_rows answer =
+            match fmt with
+            | `Json ->
+                (200, "application/sparql-results+json", Amber.Results.to_json answer)
+            | `Csv -> (200, "text/csv", Amber.Results.to_csv answer)
+            | `Tsv -> (200, "text/tab-separated-values", Amber.Results.to_tsv answer)
+          in
+          let respond () =
+            if needs_algebra src then
+              render_rows
+                (Amber.Extended.query_string ?timeout:config.timeout
+                   ?limit:config.limit ~open_objects engine src)
+            else
+              match Sparql.Parser.parse_any src with
+              | Sparql.Parser.Q_select ast ->
+                  render_rows
+                    (Amber.Engine.query ?timeout:config.timeout
+                       ?limit:config.limit ~open_objects engine ast)
+              | Sparql.Parser.Q_ask ast ->
+                  ( 200,
+                    "application/sparql-results+json",
+                    Amber.Results.ask_json
+                      (Amber.Engine.ask ?timeout:config.timeout ~open_objects
+                         engine ast) )
+              | Sparql.Parser.Q_construct (template, ast) ->
+                  ( 200,
+                    "application/n-triples",
+                    Rdf.Ntriples.to_string
+                      (Amber.Engine.construct ?timeout:config.timeout
+                         ?limit:config.limit ~open_objects engine ~template ast)
+                  )
+          in
+          match respond () with
+          | response -> response
+          | exception Sparql.Parser.Error { line; col; message } ->
+              ( 400,
+                "text/plain",
+                Printf.sprintf "SPARQL parse error at %d:%d: %s\n" line col message )
+          | exception Amber.Engine.Unsupported msg ->
+              (400, "text/plain", "unsupported query: " ^ msg ^ "\n")
+          | exception Amber.Deadline.Expired ->
+              (503, "text/plain", "query timed out\n")))
+  | _, "/sparql" -> (405, "text/plain", "method not allowed\n")
+  | _ -> (404, "text/plain", "not found\n")
+
+(* --- socket plumbing ------------------------------------------------ *)
+
+let create ?(config = default_config) engine =
+  let socket = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt socket Unix.SO_REUSEADDR true;
+  Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+  Unix.listen socket 16;
+  let port =
+    match Unix.getsockname socket with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> config.port
+  in
+  { config; engine; socket; port }
+
+let bound_port t = t.port
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+(* Read a full request: head until CRLFCRLF, then Content-Length bytes. *)
+let read_request fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec read_head () =
+    let head = Buffer.contents buf in
+    match
+      (* find the header terminator *)
+      let rec find i =
+        if i + 3 >= String.length head then None
+        else if String.sub head i 4 = "\r\n\r\n" then Some (i + 4)
+        else find (i + 1)
+      in
+      find 0
+    with
+    | Some body_start -> Some (head, body_start)
+    | None ->
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then None
+        else begin
+          Buffer.add_subbytes buf chunk 0 n;
+          read_head ()
+        end
+  in
+  match read_head () with
+  | None -> None
+  | Some (head_and_more, body_start) ->
+      let head = String.sub head_and_more 0 body_start in
+      let lines = String.split_on_char '\n' head in
+      let lines = List.map (fun l -> String.trim l) lines in
+      (match lines with
+      | request_line :: header_lines -> (
+          match String.split_on_char ' ' request_line with
+          | meth :: target :: _ ->
+              let headers =
+                List.filter_map
+                  (fun line ->
+                    match String.index_opt line ':' with
+                    | Some i ->
+                        Some
+                          ( String.sub line 0 i,
+                            String.trim
+                              (String.sub line (i + 1) (String.length line - i - 1))
+                          )
+                    | None -> None)
+                  header_lines
+              in
+              let content_length =
+                match header headers "content-length" with
+                | Some v -> ( match int_of_string_opt v with Some n -> n | None -> 0)
+                | None -> 0
+              in
+              let already = Buffer.length buf - body_start in
+              let body_buf = Buffer.create content_length in
+              Buffer.add_string body_buf
+                (String.sub (Buffer.contents buf) body_start already);
+              let rec fill () =
+                if Buffer.length body_buf < content_length then begin
+                  let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+                  if n > 0 then begin
+                    Buffer.add_subbytes body_buf chunk 0 n;
+                    fill ()
+                  end
+                end
+              in
+              fill ();
+              Some (meth, target, headers, Buffer.contents body_buf)
+          | _ -> None)
+      | [] -> None)
+
+let write_response fd status content_type body =
+  let response =
+    Printf.sprintf
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+       close\r\n\r\n%s"
+      status (status_text status) content_type (String.length body) body
+  in
+  let bytes = Bytes.of_string response in
+  let rec write_all off =
+    if off < Bytes.length bytes then
+      let n = Unix.write fd bytes off (Bytes.length bytes - off) in
+      write_all (off + n)
+  in
+  write_all 0
+
+let handle_connection t fd =
+  match read_request fd with
+  | None -> ()
+  | Some (meth, target, headers, body) ->
+      let status, content_type, response_body =
+        try handle_request t.config t.engine ~meth ~target ~headers ~body
+        with e ->
+          (500, "text/plain", "internal error: " ^ Printexc.to_string e ^ "\n")
+      in
+      write_response fd status content_type response_body
+
+let serve ?max_requests t =
+  let served = ref 0 in
+  let continue () =
+    match max_requests with None -> true | Some n -> !served < n
+  in
+  while continue () do
+    let fd, _ = Unix.accept t.socket in
+    incr served;
+    (try handle_connection t fd with _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  done
+
+let stop t = try Unix.close t.socket with Unix.Unix_error _ -> ()

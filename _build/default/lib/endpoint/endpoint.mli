@@ -1,0 +1,57 @@
+(** Minimal SPARQL-protocol HTTP endpoint over an AMbER engine.
+
+    Implements the useful core of the W3C SPARQL 1.1 Protocol:
+
+    - [GET /sparql?query=<urlencoded>]
+    - [POST /sparql] with [application/x-www-form-urlencoded]
+      ([query=...]) or [application/sparql-query] (raw query) bodies;
+
+    content negotiation via [Accept]: [application/sparql-results+json]
+    (default), [text/csv], [text/tab-separated-values]. [GET /] serves a
+    small service description. Extended queries (UNION / OPTIONAL /
+    FILTER) are detected and routed to {!Amber.Extended}; [ASK] answers
+    with results-JSON booleans and [CONSTRUCT] with
+    [application/n-triples].
+
+    The server is single-threaded and handles one connection at a time —
+    plenty for the embedded use it targets; run it in its own domain if
+    the application must not block. *)
+
+type config = {
+  host : string;  (** default "127.0.0.1" *)
+  port : int;  (** 0 = ephemeral, see {!bound_port} *)
+  timeout : float option;  (** per-query budget *)
+  limit : int option;  (** per-query row cap *)
+  open_objects : bool;
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> Amber.Engine.t -> t
+(** Bind and listen. @raise Unix.Unix_error when binding fails. *)
+
+val bound_port : t -> int
+(** Actual port (useful with [port = 0]). *)
+
+val serve : ?max_requests:int -> t -> unit
+(** Accept loop. With [max_requests] the loop returns after that many
+    connections (used by the tests); otherwise it runs forever. *)
+
+val stop : t -> unit
+(** Close the listening socket; a blocked {!serve} raises and returns. *)
+
+(** {1 Request handling, exposed for tests} *)
+
+val handle_request :
+  config ->
+  Amber.Engine.t ->
+  meth:string ->
+  target:string ->
+  headers:(string * string) list ->
+  body:string ->
+  int * string * string
+(** [(status, content_type, body)] for one parsed HTTP request. *)
+
+val url_decode : string -> string

@@ -1,0 +1,1 @@
+lib/mgraph/dict.ml: Array Hashtbl List Printf

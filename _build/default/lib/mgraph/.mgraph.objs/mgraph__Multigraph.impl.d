@@ -1,0 +1,1 @@
+lib/mgraph/multigraph.ml: Array Format Hashtbl Int List Printf Sorted_ints

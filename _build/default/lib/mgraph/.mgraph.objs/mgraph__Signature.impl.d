@@ -1,0 +1,1 @@
+lib/mgraph/signature.ml: Array Format List Multigraph Sorted_ints String

@@ -1,0 +1,1 @@
+lib/mgraph/signature.mli: Format Multigraph

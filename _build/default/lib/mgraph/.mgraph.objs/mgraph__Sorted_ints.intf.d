@@ -1,0 +1,1 @@
+lib/mgraph/sorted_ints.mli:

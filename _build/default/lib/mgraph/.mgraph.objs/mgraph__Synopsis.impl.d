@@ -1,0 +1,1 @@
+lib/mgraph/synopsis.ml: Array Format List Signature Sorted_ints String

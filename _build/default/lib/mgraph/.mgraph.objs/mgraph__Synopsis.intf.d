@@ -1,0 +1,1 @@
+lib/mgraph/synopsis.mli: Format Multigraph Signature

@@ -1,0 +1,46 @@
+type t = {
+  ids : (string, int) Hashtbl.t;
+  mutable values : string array;  (* id -> string, grown geometrically *)
+  mutable size : int;
+}
+
+let create ?(initial_capacity = 64) () =
+  {
+    ids = Hashtbl.create initial_capacity;
+    values = Array.make (max 1 initial_capacity) "";
+    size = 0;
+  }
+
+let grow d =
+  let values = Array.make (2 * Array.length d.values) "" in
+  Array.blit d.values 0 values 0 d.size;
+  d.values <- values
+
+let intern d s =
+  match Hashtbl.find_opt d.ids s with
+  | Some id -> id
+  | None ->
+      let id = d.size in
+      if id = Array.length d.values then grow d;
+      d.values.(id) <- s;
+      Hashtbl.add d.ids s id;
+      d.size <- id + 1;
+      id
+
+let find_opt d s = Hashtbl.find_opt d.ids s
+
+let value d id =
+  if id < 0 || id >= d.size then
+    invalid_arg (Printf.sprintf "Dict.value: unknown id %d (size %d)" id d.size)
+  else d.values.(id)
+
+let size d = d.size
+let mem d s = Hashtbl.mem d.ids s
+
+let iter f d =
+  for id = 0 to d.size - 1 do
+    f d.values.(id) id
+  done
+
+let to_list d =
+  List.init d.size (fun id -> (d.values.(id), id))

@@ -1,0 +1,33 @@
+(** Bidirectional string↔id dictionaries.
+
+    The paper (Table 2) keeps three dictionaries — vertices, edge types
+    and vertex attributes — each mapping an RDF entity (the [key]) to a
+    dense integer identifier (the [value]). This module provides the
+    shared implementation: interning assigns consecutive ids starting
+    from 0, and the inverse mapping [M⁻¹] is O(1). *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+val intern : t -> string -> int
+(** [intern d s] is the id of [s], assigning the next fresh id when [s]
+    has not been seen before. *)
+
+val find_opt : t -> string -> int option
+(** [find_opt d s] is [Some id] without interning, [None] if unknown. *)
+
+val value : t -> int -> string
+(** [value d id] is the string interned with [id] — the inverse mapping.
+    @raise Invalid_argument when [id] was never assigned. *)
+
+val size : t -> int
+(** Number of distinct interned strings; ids are [0 .. size - 1]. *)
+
+val mem : t -> string -> bool
+
+val iter : (string -> int -> unit) -> t -> unit
+(** Iterate over all bindings in id order. *)
+
+val to_list : t -> (string * int) list
+(** All bindings in id order. *)

@@ -1,0 +1,158 @@
+type vertex = int
+type edge_type = int
+type attribute = int
+type direction = Out | In
+
+type t = {
+  vertex_count : int;
+  edge_type_count : int;
+  out_adj : (vertex * edge_type array) array array;
+  in_adj : (vertex * edge_type array) array array;
+  attrs : attribute array array;
+  multi_edge_count : int;
+  triple_edge_count : int;
+}
+
+module Int_pair = struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash (a, b) = Hashtbl.hash (a, b)
+end
+
+module Pair_tbl = Hashtbl.Make (Int_pair)
+
+module Builder = struct
+  type t = {
+    edges : int list Pair_tbl.t;  (* (v, v') -> reversed type list *)
+    vertex_attrs : (int, int list) Hashtbl.t;
+    mutable max_vertex : int;  (* -1 when no vertex yet *)
+  }
+
+  let create ?(vertex_hint = 256) () =
+    {
+      edges = Pair_tbl.create (4 * vertex_hint);
+      vertex_attrs = Hashtbl.create vertex_hint;
+      max_vertex = -1;
+    }
+
+  let add_vertex b v =
+    if v < 0 then invalid_arg "Builder.add_vertex: negative vertex id";
+    if v > b.max_vertex then b.max_vertex <- v
+
+  let add_edge b v ty v' =
+    if ty < 0 then invalid_arg "Builder.add_edge: negative edge type";
+    add_vertex b v;
+    add_vertex b v';
+    let key = (v, v') in
+    let existing = try Pair_tbl.find b.edges key with Not_found -> [] in
+    if not (List.mem ty existing) then
+      Pair_tbl.replace b.edges key (ty :: existing)
+
+  let add_attribute b v attr =
+    if attr < 0 then invalid_arg "Builder.add_attribute: negative attribute";
+    add_vertex b v;
+    let existing = try Hashtbl.find b.vertex_attrs v with Not_found -> [] in
+    if not (List.mem attr existing) then
+      Hashtbl.replace b.vertex_attrs v (attr :: existing)
+
+  let build b =
+    let n = b.max_vertex + 1 in
+    let out_lists = Array.make n [] and in_lists = Array.make n [] in
+    let edge_type_count = ref 0 in
+    let multi_edge_count = ref 0 in
+    let triple_edge_count = ref 0 in
+    Pair_tbl.iter
+      (fun (v, v') tys ->
+        let types = Sorted_ints.of_list tys in
+        incr multi_edge_count;
+        triple_edge_count := !triple_edge_count + Array.length types;
+        Array.iter
+          (fun ty -> if ty + 1 > !edge_type_count then edge_type_count := ty + 1)
+          types;
+        out_lists.(v) <- (v', types) :: out_lists.(v);
+        in_lists.(v') <- (v, types) :: in_lists.(v'))
+      b.edges;
+    let sort_adj lst =
+      let a = Array.of_list lst in
+      Array.sort (fun (x, _) (y, _) -> Int.compare x y) a;
+      a
+    in
+    let attrs =
+      Array.init n (fun v ->
+          match Hashtbl.find_opt b.vertex_attrs v with
+          | None -> [||]
+          | Some l -> Sorted_ints.of_list l)
+    in
+    {
+      vertex_count = n;
+      edge_type_count = !edge_type_count;
+      out_adj = Array.map sort_adj out_lists;
+      in_adj = Array.map sort_adj in_lists;
+      attrs;
+      multi_edge_count = !multi_edge_count;
+      triple_edge_count = !triple_edge_count;
+    }
+end
+
+let vertex_count g = g.vertex_count
+let edge_type_count g = g.edge_type_count
+let multi_edge_count g = g.multi_edge_count
+let triple_edge_count g = g.triple_edge_count
+
+let check_vertex g v =
+  if v < 0 || v >= g.vertex_count then
+    invalid_arg (Printf.sprintf "Multigraph: vertex %d out of range" v)
+
+let attributes g v =
+  check_vertex g v;
+  g.attrs.(v)
+
+let adjacency g dir v =
+  check_vertex g v;
+  match dir with Out -> g.out_adj.(v) | In -> g.in_adj.(v)
+
+let edge_types_between g v v' =
+  check_vertex g v;
+  check_vertex g v';
+  let adj = g.out_adj.(v) in
+  let rec search lo hi =
+    if lo >= hi then [||]
+    else
+      let mid = (lo + hi) / 2 in
+      let u, tys = adj.(mid) in
+      if u = v' then tys else if u < v' then search (mid + 1) hi else search lo mid
+  in
+  search 0 (Array.length adj)
+
+let has_edge g v ty v' = Sorted_ints.mem (edge_types_between g v v') ty
+
+let degree g v =
+  check_vertex g v;
+  (* Count distinct neighbours across both adjacency lists (each is
+     sorted by neighbour id), merging to avoid double counting. *)
+  let a = g.out_adj.(v) and b = g.in_adj.(v) in
+  let na = Array.length a and nb = Array.length b in
+  let rec loop i j n =
+    if i >= na && j >= nb then n
+    else if j >= nb then n + (na - i)
+    else if i >= na then n + (nb - j)
+    else
+      let x = fst a.(i) and y = fst b.(j) in
+      if x = y then loop (i + 1) (j + 1) (n + 1)
+      else if x < y then loop (i + 1) j (n + 1)
+      else loop i (j + 1) (n + 1)
+  in
+  loop 0 0 0
+
+let fold_edges f g init =
+  let acc = ref init in
+  Array.iteri
+    (fun v adj -> Array.iter (fun (v', tys) -> acc := f v tys v' !acc) adj)
+    g.out_adj;
+  !acc
+
+let pp_stats ppf g =
+  Format.fprintf ppf
+    "@[<v>vertices: %d@,multi-edges: %d@,atomic edges: %d@,edge types: %d@]"
+    g.vertex_count g.multi_edge_count g.triple_edge_count g.edge_type_count

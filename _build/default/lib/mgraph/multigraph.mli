@@ -1,0 +1,81 @@
+(** Directed, vertex-attributed multigraph (paper Definition 1).
+
+    A multigraph [G = (V, E, L_V, L_E)]: vertices are dense ints
+    [0 .. vertex_count-1]; between an ordered pair [(v, v')] there is at
+    most one {e multi-edge}, labelled with a non-empty sorted set of edge
+    types; every vertex carries a (possibly empty) sorted set of
+    attribute ids. The structure is immutable once built — construct it
+    with {!Builder}. *)
+
+type vertex = int
+type edge_type = int
+type attribute = int
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : ?vertex_hint:int -> unit -> t
+
+  val add_vertex : t -> vertex -> unit
+  (** Ensure [vertex] exists (vertices are also created implicitly by
+      {!add_edge} / {!add_attribute}). *)
+
+  val add_edge : t -> vertex -> edge_type -> vertex -> unit
+  (** [add_edge b v t v'] adds type [t] to the multi-edge [v → v'].
+      Duplicate insertions are idempotent. *)
+
+  val add_attribute : t -> vertex -> attribute -> unit
+
+  val build : t -> graph
+  (** Freeze into an immutable multigraph. The builder must not be used
+      afterwards. *)
+end
+
+(** {1 Accessors} *)
+
+type direction = Out | In
+(** [Out] = edges leaving the vertex (paper's negative '−'); [In] =
+    edges arriving at it (paper's positive '+'). *)
+
+val vertex_count : t -> int
+val edge_type_count : t -> int
+(** 1 + the largest edge type id present (0 for an edgeless graph). *)
+
+val multi_edge_count : t -> int
+(** Number of ordered vertex pairs connected by a multi-edge — the
+    paper's |E|. *)
+
+val triple_edge_count : t -> int
+(** Total number of (v, t, v') atomic edges — one per RDF triple with an
+    IRI object. *)
+
+val attributes : t -> vertex -> attribute array
+(** Sorted attribute ids of a vertex. *)
+
+val adjacency : t -> direction -> vertex -> (vertex * edge_type array) array
+(** Neighbours with their multi-edge type sets, sorted by neighbour id.
+    [adjacency g Out v] lists [v'] with [v → v']; [In] lists [v'] with
+    [v' → v]. *)
+
+val edge_types_between : t -> vertex -> vertex -> edge_type array
+(** [edge_types_between g v v'] is the multi-edge [v → v'] ([||] when
+    absent). *)
+
+val has_edge : t -> vertex -> edge_type -> vertex -> bool
+(** [has_edge g v t v'] — does the atomic edge [v →t v'] exist? *)
+
+val degree : t -> vertex -> int
+(** Number of distinct neighbour vertices, irrespective of edge
+    direction or multi-edge cardinality — the degree used by the paper's
+    core/satellite decomposition (a vertex linked to one neighbour by
+    edges in both directions still has degree 1). *)
+
+val fold_edges : (vertex -> edge_type array -> vertex -> 'a -> 'a) -> t -> 'a -> 'a
+(** Fold over all multi-edges [(v, types, v')] in [Out] orientation. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+type t = { incoming : int array list; outgoing : int array list }
+
+let empty = { incoming = []; outgoing = [] }
+
+let of_vertex g v =
+  let collect dir =
+    Array.fold_right
+      (fun (_, tys) acc -> tys :: acc)
+      (Multigraph.adjacency g dir v)
+      []
+  in
+  { incoming = collect Multigraph.In; outgoing = collect Multigraph.Out }
+
+let make ~incoming ~outgoing =
+  let norm = List.map (fun a -> Sorted_ints.of_list (Array.to_list a)) in
+  { incoming = norm incoming; outgoing = norm outgoing }
+
+let side s = function
+  | Multigraph.In -> s.incoming
+  | Multigraph.Out -> s.outgoing
+
+let pp_side ppf (label, sets) =
+  Format.fprintf ppf "%s{" label;
+  List.iteri
+    (fun i tys ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "{%s}"
+        (String.concat "," (List.map string_of_int (Array.to_list tys))))
+    sets;
+  Format.fprintf ppf "}"
+
+let pp ppf s =
+  Format.fprintf ppf "%a %a" pp_side ("+", s.incoming) pp_side ("-", s.outgoing)

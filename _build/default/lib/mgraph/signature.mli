@@ -1,0 +1,24 @@
+(** Vertex signatures (paper Definition 3).
+
+    The signature of a vertex is the multiset of multi-edges incident on
+    it, kept separately for incoming ('+' in the paper) and outgoing
+    ('−') directions. Each multi-edge is a sorted set of edge types. *)
+
+type t = {
+  incoming : int array list;  (** one sorted type set per in-neighbour *)
+  outgoing : int array list;  (** one sorted type set per out-neighbour *)
+}
+
+val empty : t
+
+val of_vertex : Multigraph.t -> Multigraph.vertex -> t
+(** Signature of a data vertex, read off the adjacency lists. *)
+
+val make : incoming:int array list -> outgoing:int array list -> t
+(** Build a signature directly (used for query vertices). Type sets are
+    sorted/deduplicated by this function. *)
+
+val side : t -> Multigraph.direction -> int array list
+(** [side s In] is [s.incoming]; [side s Out] is [s.outgoing]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,110 @@
+let of_list l =
+  let a = Array.of_list l in
+  Array.sort Int.compare a;
+  let n = Array.length a in
+  if n = 0 then a
+  else begin
+    (* Compact duplicates in place, then truncate. *)
+    let k = ref 1 in
+    for i = 1 to n - 1 do
+      if a.(i) <> a.(!k - 1) then begin
+        a.(!k) <- a.(i);
+        incr k
+      end
+    done;
+    Array.sub a 0 !k
+  end
+
+let is_sorted a =
+  let n = Array.length a in
+  let rec loop i = i >= n || (a.(i - 1) < a.(i) && loop (i + 1)) in
+  loop 1
+
+let mem a x =
+  let rec loop lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = x then true
+      else if a.(mid) < x then loop (mid + 1) hi
+      else loop lo mid
+  in
+  loop 0 (Array.length a)
+
+let subset a b =
+  let na = Array.length a and nb = Array.length b in
+  let rec loop i j =
+    if i >= na then true
+    else if j >= nb then false
+    else if a.(i) = b.(j) then loop (i + 1) (j + 1)
+    else if a.(i) > b.(j) then loop i (j + 1)
+    else false
+  in
+  loop 0 0
+
+let inter a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make (min na nb) 0 in
+  let rec loop i j k =
+    if i >= na || j >= nb then k
+    else if a.(i) = b.(j) then begin
+      out.(k) <- a.(i);
+      loop (i + 1) (j + 1) (k + 1)
+    end
+    else if a.(i) < b.(j) then loop (i + 1) j k
+    else loop i (j + 1) k
+  in
+  let k = loop 0 0 0 in
+  Array.sub out 0 k
+
+let union a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make (na + nb) 0 in
+  let rec loop i j k =
+    if i >= na && j >= nb then k
+    else if j >= nb || (i < na && a.(i) < b.(j)) then begin
+      out.(k) <- a.(i);
+      loop (i + 1) j (k + 1)
+    end
+    else if i >= na || a.(i) > b.(j) then begin
+      out.(k) <- b.(j);
+      loop i (j + 1) (k + 1)
+    end
+    else begin
+      out.(k) <- a.(i);
+      loop (i + 1) (j + 1) (k + 1)
+    end
+  in
+  let k = loop 0 0 0 in
+  Array.sub out 0 k
+
+let diff a b =
+  let na = Array.length a and nb = Array.length b in
+  let out = Array.make na 0 in
+  let rec loop i j k =
+    if i >= na then k
+    else if j >= nb || a.(i) < b.(j) then begin
+      out.(k) <- a.(i);
+      loop (i + 1) j (k + 1)
+    end
+    else if a.(i) = b.(j) then loop (i + 1) (j + 1) k
+    else loop i (j + 1) k
+  in
+  let k = loop 0 0 0 in
+  Array.sub out 0 k
+
+let inter_many = function
+  | [] -> invalid_arg "Sorted_ints.inter_many: empty list"
+  | sets ->
+      let sorted =
+        List.sort (fun a b -> Int.compare (Array.length a) (Array.length b)) sets
+      in
+      (match sorted with
+      | [] -> assert false
+      | first :: rest -> List.fold_left inter first rest)
+
+let equal a b =
+  Array.length a = Array.length b
+  &&
+  let rec loop i = i >= Array.length a || (a.(i) = b.(i) && loop (i + 1)) in
+  loop 0

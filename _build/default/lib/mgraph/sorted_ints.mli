@@ -1,0 +1,28 @@
+(** Operations on strictly increasing integer arrays.
+
+    Candidate sets, multi-edge type sets and attribute sets are all kept
+    as sorted, duplicate-free [int array]s; set algebra on them is linear
+    merging. All functions assume (and preserve) strict ordering. *)
+
+val of_list : int list -> int array
+(** Sort and deduplicate. *)
+
+val is_sorted : int array -> bool
+(** Strictly increasing (hence duplicate-free)? *)
+
+val mem : int array -> int -> bool
+(** Binary search. *)
+
+val subset : int array -> int array -> bool
+(** [subset a b] — is every element of [a] in [b]? *)
+
+val inter : int array -> int array -> int array
+val union : int array -> int array -> int array
+val diff : int array -> int array -> int array
+
+val inter_many : int array list -> int array
+(** Intersection of all sets; the intersection of [[]] is undefined and
+    raises [Invalid_argument]. Smallest set first is fastest, the
+    function sorts by length internally. *)
+
+val equal : int array -> int array -> bool

@@ -1,0 +1,36 @@
+type t = int array
+
+let dims = 8
+let f3_empty = min_int / 4
+
+(* f1..f4 of one side of a signature. The paper zero-fills all four
+   features of an empty side, but that is unsound for [f3] (the negated
+   minimum type index): a query side with no edges would then prune any
+   data vertex whose minimum type index exceeds 0, violating Lemma 1.
+   We use a low sentinel instead so an empty query side never prunes. *)
+let side_features sets =
+  match sets with
+  | [] -> (0, 0, f3_empty, 0)
+  | _ ->
+      let max_card = List.fold_left (fun m s -> max m (Array.length s)) 0 sets in
+      let all_types = List.fold_left Sorted_ints.union [||] sets in
+      let distinct = Array.length all_types in
+      if distinct = 0 then (max_card, 0, f3_empty, 0)
+      else
+        let min_ty = all_types.(0) and max_ty = all_types.(distinct - 1) in
+        (max_card, distinct, -min_ty, max_ty)
+
+let of_signature (s : Signature.t) =
+  let f1p, f2p, f3p, f4p = side_features s.incoming in
+  let f1n, f2n, f3n, f4n = side_features s.outgoing in
+  [| f1p; f2p; f3p; f4p; f1n; f2n; f3n; f4n |]
+
+let of_vertex g v = of_signature (Signature.of_vertex g v)
+
+let dominates ~data ~query =
+  let rec loop i = i >= dims || (query.(i) <= data.(i) && loop (i + 1)) in
+  loop 0
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]"
+    (String.concat " " (List.map string_of_int (Array.to_list t)))

@@ -1,0 +1,39 @@
+(** Signature synopses (paper Section 4.2, Table 3).
+
+    A synopsis condenses a vertex signature into 8 integer features —
+    four per direction:
+
+    - [f1] maximum cardinality of a multi-edge type set;
+    - [f2] number of distinct edge types appearing on that side;
+    - [f3] −(minimum edge type index) — negated so that every feature
+      obeys the same [query ≤ data] containment inequality (Lemma 1);
+    - [f4] maximum edge type index.
+
+    Sides with no edges contribute [0] in all four fields. A data vertex
+    [v] can match a query vertex [u] only if
+    [∀i. f_i(u) ≤ f_i(v)] — rectangle containment in 8-dim space. *)
+
+type t = int array
+(** Length-{!dims} feature vector, layout
+    [[f1+; f2+; f3+; f4+; f1−; f2−; f3−; f4−]] where '+' is incoming. *)
+
+val dims : int
+(** Number of features (8). *)
+
+val f3_empty : int
+(** Sentinel stored in [f3] for a side with no edges. The paper
+    zero-fills empty sides, which is unsound for the negated-minimum
+    feature (an empty {e query} side would prune data vertices whose
+    minimum type index exceeds 0, breaking Lemma 1); the sentinel is
+    below every legal [−min] value, so an empty query side never
+    prunes. *)
+
+val of_signature : Signature.t -> t
+
+val of_vertex : Multigraph.t -> Multigraph.vertex -> t
+
+val dominates : data:t -> query:t -> bool
+(** [dominates ~data ~query] — may a vertex with synopsis [data] match a
+    query vertex with synopsis [query]? (i.e. [∀i. query.(i) ≤ data.(i)]) *)
+
+val pp : Format.formatter -> t -> unit

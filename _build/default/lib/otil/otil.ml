@@ -1,0 +1,139 @@
+type node = {
+  label : int;
+  mutable children : node list;  (* sorted by increasing label *)
+  mutable values : int list;  (* values whose word terminates here *)
+}
+
+type inverted = {
+  mutable items : int list;
+  mutable sorted : int array option;  (* cache, invalidated on insert *)
+}
+
+type t = {
+  mutable roots : node list;  (* sorted by increasing label *)
+  by_symbol : (int, inverted) Hashtbl.t;
+  mutable cardinal : int;
+}
+
+let create () = { roots = []; by_symbol = Hashtbl.create 16; cardinal = 0 }
+
+(* Find or create the child with [label] in a sorted sibling list. *)
+let rec locate siblings label =
+  match siblings with
+  | [] ->
+      let n = { label; children = []; values = [] } in
+      (n, [ n ])
+  | x :: rest ->
+      if x.label = label then (x, siblings)
+      else if x.label > label then
+        let n = { label; children = []; values = [] } in
+        (n, n :: siblings)
+      else
+        let n, rest' = locate rest label in
+        (n, x :: rest')
+
+let add t word value =
+  let k = Array.length word in
+  if k = 0 then invalid_arg "Otil.add: empty word";
+  if not (Mgraph.Sorted_ints.is_sorted word) then
+    invalid_arg "Otil.add: word must be strictly increasing";
+  (* Walk/extend the trie along the word. *)
+  let node = ref None in
+  let siblings = ref t.roots in
+  Array.iter
+    (fun symbol ->
+      let n, siblings' = locate !siblings symbol in
+      (match !node with
+      | None -> t.roots <- siblings'
+      | Some parent -> parent.children <- siblings');
+      node := Some n;
+      siblings := n.children;
+      (* Per-symbol inverted list. *)
+      let lst =
+        match Hashtbl.find_opt t.by_symbol symbol with
+        | Some l -> l
+        | None ->
+            let l = { items = []; sorted = None } in
+            Hashtbl.add t.by_symbol symbol l;
+            l
+      in
+      lst.items <- value :: lst.items;
+      lst.sorted <- None)
+    word;
+  (match !node with
+  | None -> assert false
+  | Some terminal -> terminal.values <- value :: terminal.values);
+  t.cardinal <- t.cardinal + 1
+
+let cardinal t = t.cardinal
+
+(* Collect every terminal value in the subtree rooted at [n]. *)
+let rec collect_all n acc =
+  let acc = List.rev_append n.values acc in
+  List.fold_left (fun acc c -> collect_all c acc) acc n.children
+
+(* DFS with pruning: labels are increasing along every path, so once a
+   sibling's label exceeds the next needed query symbol, no deeper word in
+   that subtree can contain it. *)
+let rec search query node qi acc =
+  let qn = Array.length query in
+  if qi >= qn then collect_all node acc
+  else begin
+    let needed = query.(qi) in
+    let qi' = if node.label = needed then qi + 1 else qi in
+    if qi' >= qn then collect_all node acc
+    else
+      let needed' = query.(qi') in
+      List.fold_left
+        (fun acc child ->
+          if child.label <= needed' then search query child qi' acc else acc)
+        acc node.children
+  end
+
+let supersets t query =
+  if not (Mgraph.Sorted_ints.is_sorted query) then
+    invalid_arg "Otil.supersets: query must be strictly increasing";
+  let acc =
+    if Array.length query = 0 then
+      List.fold_left (fun acc r -> collect_all r acc) [] t.roots
+    else
+      let needed = query.(0) in
+      List.fold_left
+        (fun acc root ->
+          if root.label <= needed then search query root 0 acc else acc)
+        [] t.roots
+  in
+  Mgraph.Sorted_ints.of_list acc
+
+let with_symbol t s =
+  match Hashtbl.find_opt t.by_symbol s with
+  | None -> [||]
+  | Some l -> (
+      match l.sorted with
+      | Some a -> a
+      | None ->
+          let a = Mgraph.Sorted_ints.of_list l.items in
+          l.sorted <- Some a;
+          a)
+
+let prepare t =
+  Hashtbl.iter
+    (fun _ l ->
+      match l.sorted with
+      | Some _ -> ()
+      | None -> l.sorted <- Some (Mgraph.Sorted_ints.of_list l.items))
+    t.by_symbol
+
+let words t =
+  let out = ref [] in
+  let rec walk prefix n =
+    let word = n.label :: prefix in
+    if n.values <> [] then
+      out :=
+        ( Array.of_list (List.rev word),
+          Mgraph.Sorted_ints.of_list n.values )
+        :: !out;
+    List.iter (walk word) n.children
+  in
+  List.iter (walk []) t.roots;
+  List.rev !out

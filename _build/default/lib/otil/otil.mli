@@ -1,0 +1,40 @@
+(** Ordered Trie with Inverted Lists (paper Section 4.3, after
+    Terrovitis et al., CIKM 2006).
+
+    An OTIL indexes a set of (word, value) pairs where each {e word} is a
+    strictly increasing sequence of integers (a multi-edge type set) and
+    each value is an opaque integer (a neighbour vertex id). It answers
+    {e superset queries}: given a query set [T'], return every value
+    whose word is a superset of [T']. Additionally each symbol keeps an
+    inverted list of all values whose word contains it, giving O(1)
+    access for singleton queries — the common case in SPARQL BGPs. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int array -> int -> unit
+(** [add t word v] inserts the pair. [word] must be strictly increasing
+    and non-empty; @raise Invalid_argument otherwise. Inserting the same
+    (word, value) twice is idempotent in query results (the inverted
+    lists deduplicate lazily). *)
+
+val cardinal : t -> int
+(** Number of [add] calls retained. *)
+
+val supersets : t -> int array -> int array
+(** [supersets t q] — sorted, duplicate-free values whose word contains
+    every element of the (strictly increasing) query [q]. An empty query
+    returns every stored value. *)
+
+val with_symbol : t -> int -> int array
+(** [with_symbol t s] — sorted values whose word contains the symbol
+    [s]; the per-symbol inverted list. *)
+
+val prepare : t -> unit
+(** Materialize every per-symbol sorted inverted list. After [prepare]
+    (and until the next {!add}) all queries are read-only, so a prepared
+    trie can be probed from several domains concurrently. *)
+
+val words : t -> (int array * int array) list
+(** All (word, sorted values) pairs, for tests and debugging. *)

@@ -1,0 +1,1 @@
+lib/rdf/binary.ml: Array Buffer Char Hashtbl List Printf String Term Triple

@@ -1,0 +1,1 @@
+lib/rdf/binary.mli: Buffer Triple

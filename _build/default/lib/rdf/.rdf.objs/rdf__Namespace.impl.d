@@ -1,0 +1,1 @@
+lib/rdf/namespace.ml: List Map String

@@ -1,0 +1,1 @@
+lib/rdf/ntriples.ml: Buffer Char Format List Printf String Term Triple

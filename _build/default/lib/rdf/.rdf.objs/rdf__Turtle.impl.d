@@ -1,0 +1,1 @@
+lib/rdf/turtle.ml: Buffer Format List Namespace Printf String Term Triple

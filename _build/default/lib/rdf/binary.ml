@@ -1,0 +1,152 @@
+let magic = "AMBERDB1"
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+module Varint = struct
+  (* LEB128, unsigned. OCaml ints are non-negative here (lengths and
+     dictionary indexes). *)
+  let write buf n =
+    if n < 0 then invalid_arg "Binary.Varint.write: negative";
+    let rec loop n =
+      if n < 0x80 then Buffer.add_char buf (Char.chr n)
+      else begin
+        Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7F)));
+        loop (n lsr 7)
+      end
+    in
+    loop n
+
+  let read src pos =
+    let rec loop shift acc =
+      if !pos >= String.length src then corrupt "truncated varint";
+      if shift > 56 then corrupt "varint overflow";
+      let byte = Char.code src.[!pos] in
+      incr pos;
+      let acc = acc lor ((byte land 0x7F) lsl shift) in
+      if byte land 0x80 = 0 then acc else loop (shift + 7) acc
+    in
+    loop 0 0
+end
+
+let write_string buf s =
+  Varint.write buf (String.length s);
+  Buffer.add_string buf s
+
+let read_string src pos =
+  let len = Varint.read src pos in
+  if !pos + len > String.length src then corrupt "truncated string";
+  let s = String.sub src !pos len in
+  pos := !pos + len;
+  s
+
+(* Term tags. *)
+let tag_iri = 0
+let tag_plain = 1
+let tag_typed = 2
+let tag_lang = 3
+let tag_bnode = 4
+
+let write_term buf = function
+  | Term.Iri iri ->
+      Varint.write buf tag_iri;
+      write_string buf iri
+  | Term.Literal { value; datatype = None; lang = None } ->
+      Varint.write buf tag_plain;
+      write_string buf value
+  | Term.Literal { value; datatype = Some dt; lang = None } ->
+      Varint.write buf tag_typed;
+      write_string buf value;
+      write_string buf dt
+  | Term.Literal { value; datatype = None; lang = Some l } ->
+      Varint.write buf tag_lang;
+      write_string buf value;
+      write_string buf l
+  | Term.Literal { datatype = Some _; lang = Some _; _ } ->
+      assert false (* Term.literal forbids this combination *)
+  | Term.Bnode b ->
+      Varint.write buf tag_bnode;
+      write_string buf b
+
+let read_term src pos =
+  let tag = Varint.read src pos in
+  if tag = tag_iri then Term.iri (read_string src pos)
+  else if tag = tag_plain then Term.literal (read_string src pos)
+  else if tag = tag_typed then begin
+    let value = read_string src pos in
+    Term.literal ~datatype:(read_string src pos) value
+  end
+  else if tag = tag_lang then begin
+    let value = read_string src pos in
+    Term.literal ~lang:(read_string src pos) value
+  end
+  else if tag = tag_bnode then Term.bnode (read_string src pos)
+  else corrupt "unknown term tag %d" tag
+
+let write buf triples =
+  Buffer.add_string buf magic;
+  (* Dictionary: distinct terms in first-occurrence order. *)
+  let ids = Hashtbl.create 1024 in
+  let dictionary = ref [] in
+  let dict_size = ref 0 in
+  let id_of term =
+    let key = Term.to_string term in
+    match Hashtbl.find_opt ids key with
+    | Some id -> id
+    | None ->
+        let id = !dict_size in
+        Hashtbl.add ids key id;
+        dictionary := term :: !dictionary;
+        incr dict_size;
+        id
+  in
+  let encoded =
+    List.map
+      (fun { Triple.subject; predicate; obj } ->
+        (id_of subject, id_of predicate, id_of obj))
+      triples
+  in
+  Varint.write buf !dict_size;
+  List.iter (write_term buf) (List.rev !dictionary);
+  Varint.write buf (List.length encoded);
+  List.iter
+    (fun (s, p, o) ->
+      Varint.write buf s;
+      Varint.write buf p;
+      Varint.write buf o)
+    encoded
+
+let read src ~pos =
+  let n = String.length magic in
+  if String.length src < pos + n || String.sub src pos n <> magic then
+    corrupt "bad magic (not an AMbER binary RDF file)";
+  let cursor = ref (pos + n) in
+  let dict_size = Varint.read src cursor in
+  let dictionary = Array.init dict_size (fun _ -> read_term src cursor) in
+  let term id =
+    if id < 0 || id >= dict_size then corrupt "term index %d out of range" id
+    else dictionary.(id)
+  in
+  let count = Varint.read src cursor in
+  List.init count (fun _ ->
+      let s = Varint.read src cursor in
+      let p = Varint.read src cursor in
+      let o = Varint.read src cursor in
+      match Triple.make (term s) (term p) (term o) with
+      | t -> t
+      | exception Triple.Invalid msg -> corrupt "invalid triple: %s" msg)
+
+let write_file path triples =
+  let buf = Buffer.create (1 lsl 16) in
+  write buf triples;
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  read src ~pos:0

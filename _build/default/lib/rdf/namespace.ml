@@ -1,0 +1,49 @@
+module String_map = Map.Make (String)
+
+type t = string String_map.t
+
+let empty = String_map.empty
+let add t ~prefix ~iri = String_map.add prefix iri t
+
+let common =
+  List.fold_left
+    (fun t (prefix, iri) -> add t ~prefix ~iri)
+    empty
+    [
+      ("rdf", "http://www.w3.org/1999/02/22-rdf-syntax-ns#");
+      ("rdfs", "http://www.w3.org/2000/01/rdf-schema#");
+      ("xsd", "http://www.w3.org/2001/XMLSchema#");
+      ("owl", "http://www.w3.org/2002/07/owl#");
+      ("foaf", "http://xmlns.com/foaf/0.1/");
+      ("dbr", "http://dbpedia.org/resource/");
+      ("dbo", "http://dbpedia.org/ontology/");
+    ]
+
+let expand t s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+      let prefix = String.sub s 0 i in
+      let local = String.sub s (i + 1) (String.length s - i - 1) in
+      match String_map.find_opt prefix t with
+      | None -> None
+      | Some base -> Some (base ^ local))
+
+let compact t iri =
+  let best =
+    String_map.fold
+      (fun prefix base acc ->
+        let blen = String.length base in
+        if blen <= String.length iri && String.sub iri 0 blen = base then
+          match acc with
+          | Some (_, best_len) when best_len >= blen -> acc
+          | _ -> Some (prefix, blen)
+        else acc)
+      t None
+  in
+  match best with
+  | None -> None
+  | Some (prefix, blen) ->
+      Some (prefix ^ ":" ^ String.sub iri blen (String.length iri - blen))
+
+let bindings t = String_map.bindings t

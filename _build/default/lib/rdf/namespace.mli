@@ -1,0 +1,29 @@
+(** Prefix tables for compact IRI notation.
+
+    A namespace table maps prefixes such as ["dbo"] to base IRIs such as
+    ["http://dbpedia.org/ontology/"], supporting both expansion
+    ([dbo:birthPlace] → full IRI) and compaction (full IRI → shortest
+    prefixed name). *)
+
+type t
+
+val empty : t
+
+val common : t
+(** Table preloaded with [rdf], [rdfs], [xsd], [owl], [foaf] and the
+    DBpedia prefixes [dbr] (resource) and [dbo] (ontology). *)
+
+val add : t -> prefix:string -> iri:string -> t
+(** [add t ~prefix ~iri] binds [prefix] to the base IRI [iri], replacing
+    any previous binding of [prefix]. *)
+
+val expand : t -> string -> string option
+(** [expand t "p:local"] is [Some full_iri] when [p] is bound; [None] when
+    the string has no [:] or the prefix is unbound. *)
+
+val compact : t -> string -> string option
+(** [compact t iri] is [Some "p:local"] for the longest matching base IRI
+    bound in [t], [None] when no base is a prefix of [iri]. *)
+
+val bindings : t -> (string * string) list
+(** All [(prefix, base_iri)] bindings, sorted by prefix. *)

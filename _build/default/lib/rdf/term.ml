@@ -1,0 +1,86 @@
+type literal = {
+  value : string;
+  datatype : string option;
+  lang : string option;
+}
+
+type t = Iri of string | Literal of literal | Bnode of string
+
+let iri s = Iri s
+
+let literal ?datatype ?lang value =
+  match (datatype, lang) with
+  | Some _, Some _ ->
+      invalid_arg "Term.literal: a literal cannot have both datatype and lang"
+  | _ -> Literal { value; datatype; lang }
+
+let bnode label = Bnode label
+let is_iri = function Iri _ -> true | Literal _ | Bnode _ -> false
+let is_literal = function Literal _ -> true | Iri _ | Bnode _ -> false
+let is_bnode = function Bnode _ -> true | Iri _ | Literal _ -> false
+
+let compare_literal l1 l2 =
+  let c = String.compare l1.value l2.value in
+  if c <> 0 then c
+  else
+    let c = Option.compare String.compare l1.datatype l2.datatype in
+    if c <> 0 then c else Option.compare String.compare l1.lang l2.lang
+
+(* Rank keeps the order promised by the interface: IRI < literal < bnode. *)
+let rank = function Iri _ -> 0 | Literal _ -> 1 | Bnode _ -> 2
+
+let compare t1 t2 =
+  match (t1, t2) with
+  | Iri a, Iri b -> String.compare a b
+  | Literal a, Literal b -> compare_literal a b
+  | Bnode a, Bnode b -> String.compare a b
+  | _ -> Int.compare (rank t1) (rank t2)
+
+let equal t1 t2 = compare t1 t2 = 0
+
+(* SPARQL ORDER BY: bnode < IRI < literal; numeric literals numerically. *)
+let order_rank = function Bnode _ -> 0 | Iri _ -> 1 | Literal _ -> 2
+
+let order_compare t1 t2 =
+  match (t1, t2) with
+  | Bnode a, Bnode b -> String.compare a b
+  | Iri a, Iri b -> String.compare a b
+  | Literal l1, Literal l2 -> (
+      match (float_of_string_opt l1.value, float_of_string_opt l2.value) with
+      | Some f1, Some f2 ->
+          let c = Float.compare f1 f2 in
+          if c <> 0 then c else compare_literal l1 l2
+      | _ -> compare_literal l1 l2)
+  | _ -> Int.compare (order_rank t1) (order_rank t2)
+
+let hash = function
+  | Iri s -> Hashtbl.hash (0, s)
+  | Literal { value; datatype; lang } -> Hashtbl.hash (1, value, datatype, lang)
+  | Bnode s -> Hashtbl.hash (2, s)
+
+(* Escape per N-Triples: backslash, quote, and control characters. *)
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let pp ppf = function
+  | Iri s -> Format.fprintf ppf "<%s>" s
+  | Bnode b -> Format.fprintf ppf "_:%s" b
+  | Literal { value; datatype; lang } -> (
+      Format.fprintf ppf "\"%s\"" (escape_string value);
+      match (datatype, lang) with
+      | Some dt, _ -> Format.fprintf ppf "^^<%s>" dt
+      | None, Some l -> Format.fprintf ppf "@%s" l
+      | None, None -> ())
+
+let to_string t = Format.asprintf "%a" pp t

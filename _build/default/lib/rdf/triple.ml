@@ -1,0 +1,30 @@
+type t = { subject : Term.t; predicate : Term.t; obj : Term.t }
+
+exception Invalid of string
+
+let make subject predicate obj =
+  (match subject with
+  | Term.Literal _ -> raise (Invalid "subject cannot be a literal")
+  | Term.Iri _ | Term.Bnode _ -> ());
+  (match predicate with
+  | Term.Iri _ -> ()
+  | Term.Literal _ | Term.Bnode _ -> raise (Invalid "predicate must be an IRI"));
+  { subject; predicate; obj }
+
+let spo s p o = make (Term.iri s) (Term.iri p) o
+
+let compare t1 t2 =
+  let c = Term.compare t1.subject t2.subject in
+  if c <> 0 then c
+  else
+    let c = Term.compare t1.predicate t2.predicate in
+    if c <> 0 then c else Term.compare t1.obj t2.obj
+
+let equal t1 t2 = compare t1 t2 = 0
+let hash t = Hashtbl.hash (Term.hash t.subject, Term.hash t.predicate, Term.hash t.obj)
+
+let pp ppf t =
+  Format.fprintf ppf "%a %a %a ." Term.pp t.subject Term.pp t.predicate
+    Term.pp t.obj
+
+let to_string t = Format.asprintf "%a" pp t

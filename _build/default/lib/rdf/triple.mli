@@ -1,0 +1,24 @@
+(** RDF triples [<subject, predicate, object>].
+
+    Invariants (checked by {!make}): the subject is an IRI or a blank
+    node, the predicate is an IRI, the object is any term. *)
+
+type t = { subject : Term.t; predicate : Term.t; obj : Term.t }
+
+exception Invalid of string
+(** Raised by {!make} when a component violates the RDF triple invariants. *)
+
+val make : Term.t -> Term.t -> Term.t -> t
+(** [make s p o] is the triple [<s, p, o>].
+    @raise Invalid if [s] is a literal or [p] is not an IRI. *)
+
+val spo : string -> string -> Term.t -> t
+(** [spo s p o] is [make (Iri s) (Iri p) o] — convenient for test data. *)
+
+val compare : t -> t -> int
+(** Lexicographic (subject, predicate, object) order. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,24 @@
+(** Turtle reader (a practical subset).
+
+    Supported: [@prefix] / SPARQL-style [PREFIX] declarations, [@base],
+    prefixed names, [a] for [rdf:type], predicate lists with [;], object
+    lists with [,], string literals with escapes / language tags /
+    datatypes, integer, decimal and boolean shorthands, labelled blank
+    nodes ([_:b]), anonymous blank nodes ([ ... ]), and comments.
+
+    Not supported (raises {!Parse_error}): collections [( ... )],
+    multi-line [""" """] strings, and [@base]-relative resolution beyond
+    simple concatenation. *)
+
+type error = { line : int; message : string }
+
+exception Parse_error of error
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_string : ?namespaces:Namespace.t -> string -> Triple.t list
+(** Parse a Turtle document. Prefixes declared in the document extend
+    [namespaces] (default {!Namespace.empty}).
+    @raise Parse_error on malformed or unsupported input. *)
+
+val parse_file : ?namespaces:Namespace.t -> string -> Triple.t list

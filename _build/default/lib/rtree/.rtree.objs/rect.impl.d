@@ -1,0 +1,1 @@
+lib/rtree/rect.ml: Array Format List Printf String

@@ -1,0 +1,74 @@
+type t = { lo : int array; hi : int array }
+
+let make ~lo ~hi =
+  let k = Array.length lo in
+  if Array.length hi <> k then invalid_arg "Rect.make: dimension mismatch";
+  for i = 0 to k - 1 do
+    if lo.(i) > hi.(i) then
+      invalid_arg
+        (Printf.sprintf "Rect.make: lo.(%d) = %d > hi.(%d) = %d" i lo.(i) i
+           hi.(i))
+  done;
+  { lo; hi }
+
+let origin_box hi =
+  let k = Array.length hi in
+  let lo = Array.make k 0 and top = Array.make k 0 in
+  for i = 0 to k - 1 do
+    if hi.(i) >= 0 then top.(i) <- hi.(i) else lo.(i) <- hi.(i)
+  done;
+  { lo; hi = top }
+
+let dims r = Array.length r.lo
+
+let contains outer inner =
+  let k = dims outer in
+  let rec loop i =
+    i >= k
+    || (outer.lo.(i) <= inner.lo.(i) && inner.hi.(i) <= outer.hi.(i) && loop (i + 1))
+  in
+  dims inner = k && loop 0
+
+let contains_point r p =
+  let k = dims r in
+  let rec loop i =
+    i >= k || (r.lo.(i) <= p.(i) && p.(i) <= r.hi.(i) && loop (i + 1))
+  in
+  Array.length p = k && loop 0
+
+let intersects a b =
+  let k = dims a in
+  let rec loop i =
+    i >= k || (a.lo.(i) <= b.hi.(i) && b.lo.(i) <= a.hi.(i) && loop (i + 1))
+  in
+  dims b = k && loop 0
+
+let union a b =
+  let k = dims a in
+  if dims b <> k then invalid_arg "Rect.union: dimension mismatch";
+  {
+    lo = Array.init k (fun i -> min a.lo.(i) b.lo.(i));
+    hi = Array.init k (fun i -> max a.hi.(i) b.hi.(i));
+  }
+
+let area r =
+  let k = dims r in
+  let a = ref 1.0 in
+  for i = 0 to k - 1 do
+    a := !a *. float_of_int (r.hi.(i) - r.lo.(i))
+  done;
+  !a
+
+let enlargement r extra = area (union r extra) -. area r
+
+let equal a b =
+  dims a = dims b
+  &&
+  let rec loop i =
+    i >= dims a || (a.lo.(i) = b.lo.(i) && a.hi.(i) = b.hi.(i) && loop (i + 1))
+  in
+  loop 0
+
+let pp ppf r =
+  let show a = String.concat "," (List.map string_of_int (Array.to_list a)) in
+  Format.fprintf ppf "[%s]..[%s]" (show r.lo) (show r.hi)

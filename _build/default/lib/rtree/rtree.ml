@@ -1,0 +1,299 @@
+type 'a node =
+  | Leaf of (Rect.t * 'a) array
+  | Inner of (Rect.t * 'a node) array
+
+type 'a t = { root : 'a node option; max_entries : int; size : int }
+
+let default_max = 16
+
+let empty ?(max_entries = default_max) () =
+  { root = None; max_entries = max max_entries 4; size = 0 }
+
+let mbr_of_entries rects =
+  match Array.length rects with
+  | 0 -> invalid_arg "Rtree: empty node"
+  | _ ->
+      let r0 = fst rects.(0) in
+      Array.fold_left (fun acc (r, _) -> Rect.union acc r) r0 rects
+
+let node_mbr = function Leaf es -> mbr_of_entries es | Inner es -> mbr_of_entries es
+
+(* ------------------------------------------------------------------ *)
+(* Sort-Tile-Recursive packing                                         *)
+(* ------------------------------------------------------------------ *)
+
+let center rect i = rect.Rect.lo.(i) + rect.Rect.hi.(i)
+
+(* Partition [entries] into groups of at most [max_entries], tiling
+   dimension [dim] first and cycling through the remaining ones. *)
+let rec tile : 'b. (Rect.t * 'b) array -> int -> int -> int -> (Rect.t * 'b) array list =
+  fun entries dim k max_entries ->
+   let n = Array.length entries in
+   if n <= max_entries then [ entries ]
+   else begin
+     let sorted = Array.copy entries in
+     Array.sort
+       (fun (r1, _) (r2, _) -> Int.compare (center r1 dim) (center r2 dim))
+       sorted;
+     let leaves_needed = (n + max_entries - 1) / max_entries in
+     let dims_left = max 1 (k - dim) in
+     let slabs =
+       if dims_left = 1 then leaves_needed
+       else
+         let s =
+           int_of_float
+             (Float.ceil
+                (Float.pow (float_of_int leaves_needed) (1.0 /. float_of_int dims_left)))
+         in
+         max 1 (min s leaves_needed)
+     in
+     let per_slab = (n + slabs - 1) / slabs in
+     let groups = ref [] in
+     let pos = ref 0 in
+     while !pos < n do
+       let len = min per_slab (n - !pos) in
+       let slab = Array.sub sorted !pos len in
+       pos := !pos + len;
+       let next_dim = if dim + 1 >= k then k - 1 else dim + 1 in
+       groups := tile slab next_dim k max_entries @ !groups
+     done;
+     List.rev !groups
+   end
+
+let bulk_load ?(max_entries = default_max) entries =
+  let max_entries = max max_entries 4 in
+  match entries with
+  | [] -> { root = None; max_entries; size = 0 }
+  | (r0, _) :: _ ->
+      let k = Rect.dims r0 in
+      List.iter
+        (fun (r, _) ->
+          if Rect.dims r <> k then
+            invalid_arg "Rtree.bulk_load: mixed dimensionalities")
+        entries;
+      let arr = Array.of_list entries in
+      let leaf_groups = tile arr 0 k max_entries in
+      let level =
+        List.map (fun g -> (mbr_of_entries g, Leaf g)) leaf_groups
+      in
+      let rec build level =
+        match level with
+        | [ (_, node) ] -> node
+        | _ ->
+            let arr = Array.of_list level in
+            let groups = tile arr 0 k max_entries in
+            build (List.map (fun g -> (mbr_of_entries g, Inner g)) groups)
+      in
+      { root = Some (build level); max_entries; size = Array.length arr }
+
+(* ------------------------------------------------------------------ *)
+(* Insertion with quadratic split                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Quadratic split of an overflowing entry array into two arrays. *)
+let quadratic_split entries min_fill =
+  let n = Array.length entries in
+  (* Pick the pair of seeds wasting the most area together. *)
+  let worst = ref neg_infinity and s1 = ref 0 and s2 = ref 1 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ri = fst entries.(i) and rj = fst entries.(j) in
+      let waste = Rect.area (Rect.union ri rj) -. Rect.area ri -. Rect.area rj in
+      if waste > !worst then begin
+        worst := waste;
+        s1 := i;
+        s2 := j
+      end
+    done
+  done;
+  let g1 = ref [ entries.(!s1) ] and g2 = ref [ entries.(!s2) ] in
+  let m1 = ref (fst entries.(!s1)) and m2 = ref (fst entries.(!s2)) in
+  let remaining = ref [] in
+  Array.iteri
+    (fun i e -> if i <> !s1 && i <> !s2 then remaining := e :: !remaining)
+    entries;
+  let count lst = List.length lst in
+  List.iter
+    (fun (r, v) ->
+      let left = n - count !g1 - count !g2 in
+      ignore left;
+      (* Force-feed a group that must reach min fill. *)
+      let need1 = min_fill - count !g1
+      and need2 = min_fill - count !g2
+      and rest =
+        List.length !remaining (* includes current, conservative *)
+      in
+      if need1 >= rest then begin
+        g1 := (r, v) :: !g1;
+        m1 := Rect.union !m1 r
+      end
+      else if need2 >= rest then begin
+        g2 := (r, v) :: !g2;
+        m2 := Rect.union !m2 r
+      end
+      else begin
+        let e1 = Rect.enlargement !m1 r and e2 = Rect.enlargement !m2 r in
+        if e1 < e2 || (e1 = e2 && Rect.area !m1 <= Rect.area !m2) then begin
+          g1 := (r, v) :: !g1;
+          m1 := Rect.union !m1 r
+        end
+        else begin
+          g2 := (r, v) :: !g2;
+          m2 := Rect.union !m2 r
+        end
+      end;
+      remaining := List.tl !remaining)
+    !remaining;
+  (Array.of_list !g1, Array.of_list !g2)
+
+(* Insert, returning either one node or a split pair. *)
+let rec insert_node node rect value max_entries =
+  match node with
+  | Leaf entries ->
+      let entries' = Array.append entries [| (rect, value) |] in
+      if Array.length entries' <= max_entries then `One (Leaf entries')
+      else
+        let g1, g2 = quadratic_split entries' (max_entries / 2) in
+        `Two (Leaf g1, Leaf g2)
+  | Inner children ->
+      (* Choose the child needing least enlargement (ties: smaller area). *)
+      let best = ref 0 and best_enl = ref infinity and best_area = ref infinity in
+      Array.iteri
+        (fun i (r, _) ->
+          let enl = Rect.enlargement r rect in
+          let ar = Rect.area r in
+          if enl < !best_enl || (enl = !best_enl && ar < !best_area) then begin
+            best := i;
+            best_enl := enl;
+            best_area := ar
+          end)
+        children;
+      let _, chosen = children.(!best) in
+      let replace arr i xs =
+        Array.concat
+          [ Array.sub arr 0 i; Array.of_list xs; Array.sub arr (i + 1) (Array.length arr - i - 1) ]
+      in
+      (match insert_node chosen rect value max_entries with
+      | `One n ->
+          `One (Inner (replace children !best [ (node_mbr n, n) ]))
+      | `Two (n1, n2) ->
+          let children' =
+            replace children !best [ (node_mbr n1, n1); (node_mbr n2, n2) ]
+          in
+          if Array.length children' <= max_entries then `One (Inner children')
+          else
+            let g1, g2 = quadratic_split children' (max_entries / 2) in
+            `Two (Inner g1, Inner g2))
+
+let insert t rect value =
+  match t.root with
+  | None ->
+      { t with root = Some (Leaf [| (rect, value) |]); size = 1 }
+  | Some root -> (
+      match insert_node root rect value t.max_entries with
+      | `One n -> { t with root = Some n; size = t.size + 1 }
+      | `Two (n1, n2) ->
+          let root' = Inner [| (node_mbr n1, n1); (node_mbr n2, n2) |] in
+          { t with root = Some root'; size = t.size + 1 })
+
+(* ------------------------------------------------------------------ *)
+(* Searches                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let size t = t.size
+
+let height t =
+  let rec depth = function
+    | Leaf _ -> 1
+    | Inner children -> 1 + depth (snd children.(0))
+  in
+  match t.root with None -> 0 | Some n -> depth n
+
+let fold_containing query f t init =
+  let rec go node acc =
+    match node with
+    | Leaf entries ->
+        Array.fold_left
+          (fun acc (r, v) -> if Rect.contains r query then f v acc else acc)
+          acc entries
+    | Inner children ->
+        Array.fold_left
+          (fun acc (mbr, child) ->
+            (* A child can contain [query] only if the subtree MBR does. *)
+            if Rect.contains mbr query then go child acc else acc)
+          acc children
+  in
+  match t.root with None -> init | Some n -> go n init
+
+let search_containing t query =
+  List.rev (fold_containing query (fun v acc -> v :: acc) t [])
+
+let search_intersecting t query =
+  let rec go node acc =
+    match node with
+    | Leaf entries ->
+        Array.fold_left
+          (fun acc (r, v) -> if Rect.intersects r query then v :: acc else acc)
+          acc entries
+    | Inner children ->
+        Array.fold_left
+          (fun acc (mbr, child) ->
+            if Rect.intersects mbr query then go child acc else acc)
+          acc children
+  in
+  match t.root with None -> [] | Some n -> List.rev (go n [])
+
+let to_list t =
+  let rec go node acc =
+    match node with
+    | Leaf entries -> Array.fold_left (fun acc e -> e :: acc) acc entries
+    | Inner children -> Array.fold_left (fun acc (_, c) -> go c acc) acc children
+  in
+  match t.root with None -> [] | Some n -> go n []
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  match t.root with
+  | None -> if t.size = 0 then Ok () else fail "empty root but size %d" t.size
+  | Some root ->
+      let exception Bad of string in
+      let rec check node depth =
+        let entries_mbr, count, depths =
+          match node with
+          | Leaf entries ->
+              if Array.length entries = 0 then raise (Bad "empty leaf");
+              (mbr_of_entries entries, Array.length entries, [ depth ])
+          | Inner children ->
+              if Array.length children = 0 then raise (Bad "empty inner node");
+              let depths = ref [] and count = ref 0 in
+              Array.iter
+                (fun (mbr, child) ->
+                  let actual = node_mbr child in
+                  if not (Rect.equal actual mbr) then
+                    raise (Bad "stored MBR differs from children union");
+                  let c, ds = check child (depth + 1) in
+                  count := !count + c;
+                  depths := ds @ !depths)
+                children;
+              (mbr_of_entries children, !count, !depths)
+        in
+        ignore entries_mbr;
+        let fanout =
+          match node with
+          | Leaf e -> Array.length e
+          | Inner c -> Array.length c
+        in
+        if fanout > t.max_entries then
+          raise (Bad (Printf.sprintf "fan-out %d exceeds max %d" fanout t.max_entries));
+        (count, depths)
+      in
+      (try
+         let count, depths = check root 0 in
+         if count <> t.size then fail "size %d but %d entries found" t.size count
+         else
+           match depths with
+           | [] -> fail "no leaves"
+           | d :: rest ->
+               if List.for_all (Int.equal d) rest then Ok ()
+               else fail "leaves at differing depths"
+       with Bad msg -> Error msg)

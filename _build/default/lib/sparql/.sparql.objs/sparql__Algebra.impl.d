@@ -1,0 +1,1 @@
+lib/sparql/algebra.ml: Ast Format Hashtbl List Printf Rdf String

@@ -1,0 +1,1 @@
+lib/sparql/algebra.mli: Ast Format Rdf

@@ -1,0 +1,1 @@
+lib/sparql/ast.ml: Format Hashtbl List Option Printf Rdf String

@@ -1,0 +1,1 @@
+lib/sparql/ast.mli: Format Rdf

@@ -1,0 +1,1 @@
+lib/sparql/lexer.ml: Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/sparql/parser.ml: Algebra Ast Format Lexer List Option Printf Rdf Result

@@ -1,0 +1,133 @@
+type expr =
+  | E_var of string
+  | E_const of Rdf.Term.t
+  | E_eq of expr * expr
+  | E_neq of expr * expr
+  | E_lt of expr * expr
+  | E_le of expr * expr
+  | E_gt of expr * expr
+  | E_ge of expr * expr
+  | E_and of expr * expr
+  | E_or of expr * expr
+  | E_not of expr
+  | E_bound of string
+  | E_regex of expr * string
+
+type pattern =
+  | Bgp of Ast.triple_pattern list
+  | Join of pattern * pattern
+  | Union of pattern * pattern
+  | Optional of pattern * pattern
+  | Filter of expr * pattern
+
+type t = {
+  select : Ast.selection;
+  distinct : bool;
+  pattern : pattern;
+  order_by : (string * Ast.sort_direction) list;
+  limit : int option;
+  offset : int option;
+}
+
+let variables t =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let add v =
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.add seen v ();
+      out := v :: !out
+    end
+  in
+  let visit_term = function
+    | Ast.Var v -> add v
+    | Ast.Iri _ | Ast.Lit _ -> ()
+  in
+  let rec visit_expr = function
+    | E_var v | E_bound v -> add v
+    | E_const _ -> ()
+    | E_eq (a, b) | E_neq (a, b) | E_lt (a, b) | E_le (a, b) | E_gt (a, b)
+    | E_ge (a, b) | E_and (a, b) | E_or (a, b) ->
+        visit_expr a;
+        visit_expr b
+    | E_not a | E_regex (a, _) -> visit_expr a
+  in
+  let rec visit = function
+    | Bgp patterns ->
+        List.iter
+          (fun { Ast.subject; predicate; obj } ->
+            visit_term subject;
+            visit_term predicate;
+            visit_term obj)
+          patterns
+    | Join (a, b) | Union (a, b) | Optional (a, b) ->
+        visit a;
+        visit b
+    | Filter (e, p) ->
+        visit p;
+        visit_expr e
+  in
+  visit t.pattern;
+  List.rev !out
+
+let selected_variables t =
+  match t.select with Ast.Select_all -> variables t | Ast.Select_vars vs -> vs
+
+let of_basic (q : Ast.t) =
+  {
+    select = q.select;
+    distinct = q.distinct;
+    pattern = Bgp q.where;
+    order_by = q.order_by;
+    limit = q.limit;
+    offset = q.offset;
+  }
+
+let rec pp_expr ppf = function
+  | E_var v -> Format.fprintf ppf "?%s" v
+  | E_const term -> Rdf.Term.pp ppf term
+  | E_eq (a, b) -> Format.fprintf ppf "(%a = %a)" pp_expr a pp_expr b
+  | E_neq (a, b) -> Format.fprintf ppf "(%a != %a)" pp_expr a pp_expr b
+  | E_lt (a, b) -> Format.fprintf ppf "(%a < %a)" pp_expr a pp_expr b
+  | E_le (a, b) -> Format.fprintf ppf "(%a <= %a)" pp_expr a pp_expr b
+  | E_gt (a, b) -> Format.fprintf ppf "(%a > %a)" pp_expr a pp_expr b
+  | E_ge (a, b) -> Format.fprintf ppf "(%a >= %a)" pp_expr a pp_expr b
+  | E_and (a, b) -> Format.fprintf ppf "(%a && %a)" pp_expr a pp_expr b
+  | E_or (a, b) -> Format.fprintf ppf "(%a || %a)" pp_expr a pp_expr b
+  | E_not a -> Format.fprintf ppf "(!%a)" pp_expr a
+  | E_bound v -> Format.fprintf ppf "BOUND(?%s)" v
+  | E_regex (a, pat) -> Format.fprintf ppf "REGEX(%a, %S)" pp_expr a pat
+
+let rec pp_pattern ppf = function
+  | Bgp patterns ->
+      Format.fprintf ppf "{@[<v 1>";
+      List.iter (fun p -> Format.fprintf ppf "@,%a" Ast.pp_pattern p) patterns;
+      Format.fprintf ppf "@]@,}"
+  | Join (a, b) -> Format.fprintf ppf "%a %a" pp_pattern a pp_pattern b
+  | Union (a, b) -> Format.fprintf ppf "{ %a UNION %a }" pp_pattern a pp_pattern b
+  | Optional (a, b) ->
+      Format.fprintf ppf "%a OPTIONAL %a" pp_pattern a pp_pattern b
+  | Filter (e, p) -> Format.fprintf ppf "%a FILTER %a" pp_pattern p pp_expr e
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>SELECT %s%s WHERE %a"
+    (if t.distinct then "DISTINCT " else "")
+    (match t.select with
+    | Ast.Select_all -> "*"
+    | Ast.Select_vars vs -> String.concat " " (List.map (fun v -> "?" ^ v) vs))
+    pp_pattern t.pattern;
+  (match t.order_by with
+  | [] -> ()
+  | keys ->
+      Format.fprintf ppf "@,ORDER BY %s"
+        (String.concat " "
+           (List.map
+              (fun (v, dir) ->
+                match dir with
+                | Ast.Asc -> "?" ^ v
+                | Ast.Desc -> Printf.sprintf "DESC(?%s)" v)
+              keys)));
+  (match t.limit with None -> () | Some n -> Format.fprintf ppf "@,LIMIT %d" n);
+  (match t.offset with None -> () | Some n -> Format.fprintf ppf "@,OFFSET %d" n);
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t

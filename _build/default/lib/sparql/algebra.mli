@@ -1,0 +1,50 @@
+(** Extended SPARQL algebra: [UNION], [OPTIONAL] and [FILTER] on top of
+    basic graph patterns — the "other SPARQL operations" the paper
+    defers to future work (Section 8).
+
+    Patterns form the usual algebra tree; expressions cover the
+    comparison/boolean core plus [BOUND], [REGEX] (OCaml [Str] syntax)
+    and numeric-aware comparisons. *)
+
+type expr =
+  | E_var of string
+  | E_const of Rdf.Term.t
+  | E_eq of expr * expr
+  | E_neq of expr * expr
+  | E_lt of expr * expr
+  | E_le of expr * expr
+  | E_gt of expr * expr
+  | E_ge of expr * expr
+  | E_and of expr * expr
+  | E_or of expr * expr
+  | E_not of expr
+  | E_bound of string
+  | E_regex of expr * string  (** value, Str-syntax pattern *)
+
+type pattern =
+  | Bgp of Ast.triple_pattern list
+  | Join of pattern * pattern
+  | Union of pattern * pattern
+  | Optional of pattern * pattern  (** left OPTIONAL { right } *)
+  | Filter of expr * pattern
+
+type t = {
+  select : Ast.selection;
+  distinct : bool;
+  pattern : pattern;
+  order_by : (string * Ast.sort_direction) list;
+  limit : int option;
+  offset : int option;
+}
+
+val variables : t -> string list
+(** Variables of the whole pattern tree, in first-occurrence order. *)
+
+val selected_variables : t -> string list
+
+val of_basic : Ast.t -> t
+(** Lift a basic query into the algebra ([Bgp] of its WHERE clause). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_expr : Format.formatter -> expr -> unit
+val to_string : t -> string

@@ -1,0 +1,57 @@
+(** Tokenizer for the SPARQL fragment. *)
+
+type token =
+  | KW_prefix
+  | KW_select
+  | KW_distinct
+  | KW_where
+  | KW_limit
+  | KW_a  (** the [a] abbreviation for [rdf:type] *)
+  | KW_filter
+  | KW_union
+  | KW_optional
+  | KW_bound
+  | KW_regex
+  | KW_order
+  | KW_by
+  | KW_asc
+  | KW_desc
+  | KW_offset
+  | KW_ask
+  | KW_construct
+  | Var of string
+  | Iri_ref of string  (** contents of [<...>] *)
+  | Pname of string * string  (** prefix, local part (either may be "") *)
+  | String_lit of string  (** unescaped contents *)
+  | Integer of string
+  | Decimal of string
+  | Lang_tag of string  (** [@en] *)
+  | Datatype_marker  (** [^^] *)
+  | Lbrace
+  | Rbrace
+  | Dot
+  | Semicolon
+  | Comma
+  | Star
+  | Lparen
+  | Rparen
+  | Op_eq
+  | Op_neq
+  | Op_lt  (** ["< "] — a [<] not opening an IRI *)
+  | Op_le
+  | Op_gt
+  | Op_ge
+  | Op_and
+  | Op_or
+  | Op_not
+  | Eof
+
+type located = { token : token; line : int; col : int }
+
+exception Error of { line : int; col : int; message : string }
+
+val tokenize : string -> located list
+(** @raise Error on unrecognized input. Comments ([# ... end of line])
+    and whitespace are skipped. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,42 @@
+(** Recursive-descent parser for the SPARQL fragment.
+
+    Grammar:
+    {v
+    query    ::= prefix* SELECT DISTINCT? ('*' | var+) WHERE? '{' triples '}' (LIMIT int)?
+    prefix   ::= PREFIX pname: <iri>
+    triples  ::= block ('.' block?)*
+    block    ::= subject props
+    props    ::= verb objects (';' verb objects)*
+    objects  ::= object (',' object)*
+    v}
+    Predicate position accepts [a] for [rdf:type]. Prefixed names are
+    expanded against the declared prefixes plus {!Rdf.Namespace.common}
+    defaults. *)
+
+exception Error of { line : int; col : int; message : string }
+
+val parse : ?namespaces:Rdf.Namespace.t -> string -> Ast.t
+(** @raise Error on syntax errors or unbound prefixes. *)
+
+val parse_result : ?namespaces:Rdf.Namespace.t -> string -> (Ast.t, string) result
+
+val parse_algebra : ?namespaces:Rdf.Namespace.t -> string -> Algebra.t
+(** Parse the extended fragment: groups with [UNION], [OPTIONAL] and
+    [FILTER] (comparisons, [&&]/[||]/[!], [BOUND], [REGEX]). FILTERs
+    scope over their enclosing group, as in SPARQL.
+    @raise Error on syntax errors or unbound prefixes. *)
+
+val parse_algebra_result :
+  ?namespaces:Rdf.Namespace.t -> string -> (Algebra.t, string) result
+
+(** {1 Other query forms} *)
+
+type any_query =
+  | Q_select of Ast.t
+  | Q_ask of Ast.t  (** the WHERE clause, as a [SELECT *] *)
+  | Q_construct of Ast.triple_pattern list * Ast.t
+      (** template, and the WHERE clause as a [SELECT *] *)
+
+val parse_any : ?namespaces:Rdf.Namespace.t -> string -> any_query
+(** Dispatch on the query form: SELECT, ASK or CONSTRUCT.
+    @raise Error on syntax errors. *)

@@ -1,0 +1,1 @@
+test/reference.ml: Hashtbl List Rdf Sparql

@@ -1,0 +1,1 @@
+test/test_algebra_ref.ml: Alcotest Amber Datagen List Printf QCheck QCheck_alcotest Rdf Reference Sparql

@@ -1,0 +1,1 @@
+test/test_amber.ml: Alcotest Amber Array Datagen Fixtures Format List Mgraph Option Printf Rdf Reference String

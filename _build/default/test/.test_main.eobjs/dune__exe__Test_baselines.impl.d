@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Amber Array Baselines Datagen Fixtures List Printf Reference

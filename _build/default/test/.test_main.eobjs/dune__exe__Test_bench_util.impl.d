@@ -1,0 +1,1 @@
+test/test_bench_util.ml: Alcotest Baselines Bench_util Fixtures List String

@@ -1,0 +1,1 @@
+test/test_cross.ml: Alcotest Amber Baselines Datagen Fixtures List Printf Rdf Reference Sparql String

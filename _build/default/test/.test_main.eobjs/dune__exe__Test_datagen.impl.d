@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Amber Array Baselines Datagen Fun Hashtbl Lazy List Mgraph Rdf Sparql

@@ -1,0 +1,1 @@
+test/test_endpoint.ml: Alcotest Amber Buffer Bytes Char Domain Endpoint Fixtures Lazy Printf String Unix

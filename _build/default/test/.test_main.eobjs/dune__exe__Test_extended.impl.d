@@ -1,0 +1,1 @@
+test/test_extended.ml: Alcotest Amber Datagen Fixtures Lazy List Printf Rdf Reference Sparql

@@ -1,0 +1,1 @@
+test/test_forms.ml: Alcotest Amber Buffer Char Endpoint Fixtures Lazy List Printf Rdf Sparql String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Amber Buffer Bytes Char Datagen Fixtures Lazy List QCheck QCheck_alcotest Rdf Sparql String

@@ -1,0 +1,1 @@
+test/test_matcher.ml: Alcotest Amber Array Fixtures Fun List Mgraph Option Printf Rdf Seq

@@ -1,0 +1,1 @@
+test/test_mgraph.ml: Alcotest Amber Array Bool Fixtures Fun Gen Int List Mgraph QCheck QCheck_alcotest Rdf Set

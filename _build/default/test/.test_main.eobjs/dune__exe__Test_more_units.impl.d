@@ -1,0 +1,1 @@
+test/test_more_units.ml: Alcotest Amber Array Datagen Fixtures List Mgraph QCheck QCheck_alcotest Rdf Rect Rtree Sparql

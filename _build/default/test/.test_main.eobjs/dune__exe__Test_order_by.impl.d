@@ -1,0 +1,1 @@
+test/test_order_by.ml: Alcotest Amber Baselines Fixtures Lazy List Printf Rdf Sparql

@@ -1,0 +1,1 @@
+test/test_otil.ml: Alcotest Datagen Fun List Mgraph Otil QCheck QCheck_alcotest

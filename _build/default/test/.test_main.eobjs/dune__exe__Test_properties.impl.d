@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Amber Array Datagen Fun Hashtbl List Printf QCheck QCheck_alcotest Rdf Reference Sparql

@@ -1,0 +1,1 @@
+test/test_rdf.ml: Alcotest Filename Fixtures List Option QCheck QCheck_alcotest Rdf String Sys

@@ -1,0 +1,1 @@
+test/test_rtree.ml: Alcotest Array Datagen Fun List Printf QCheck QCheck_alcotest Rect Rtree

@@ -1,0 +1,1 @@
+test/test_sparql.ml: Alcotest Fixtures List Option Printf QCheck QCheck_alcotest Rdf Sparql

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Amber Buffer Datagen Filename Fixtures List Printf QCheck QCheck_alcotest Rdf Reference Sparql String Sys Unix

@@ -1,0 +1,1 @@
+test/test_turtle.ml: Alcotest Amber Fixtures List Option Rdf

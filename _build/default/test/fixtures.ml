@@ -1,0 +1,75 @@
+(* Shared test data, centred on the paper's running example
+   (Figure 1a): the London / Amy Winehouse / Christopher Nolan
+   tripleset. *)
+
+let x res = "http://dbpedia.org/resource/" ^ res
+let y prop = "http://dbpedia.org/ontology/" ^ prop
+
+let iri = Rdf.Term.iri
+let lit s = Rdf.Term.literal s
+
+(* The sixteen triples of Figure 1a. *)
+let paper_triples =
+  [
+    Rdf.Triple.spo (x "London") (y "isPartOf") (iri (x "England"));
+    Rdf.Triple.spo (x "England") (y "hasCapital") (iri (x "London"));
+    Rdf.Triple.spo (x "Christopher_Nolan") (y "wasBornIn") (iri (x "London"));
+    Rdf.Triple.spo (x "Christopher_Nolan") (y "livedIn") (iri (x "England"));
+    Rdf.Triple.spo (x "Christopher_Nolan") (y "isPartOf")
+      (iri (x "Dark_Knight_Trilogy"));
+    Rdf.Triple.spo (x "London") (y "hasStadium") (iri (x "WembleyStadium"));
+    Rdf.Triple.spo (x "WembleyStadium") (y "hasCapacityOf") (lit "90000");
+    Rdf.Triple.spo (x "Amy_Winehouse") (y "wasBornIn") (iri (x "London"));
+    Rdf.Triple.spo (x "Amy_Winehouse") (y "diedIn") (iri (x "London"));
+    Rdf.Triple.spo (x "Amy_Winehouse") (y "wasPartOf") (iri (x "Music_Band"));
+    Rdf.Triple.spo (x "Music_Band") (y "hasName") (lit "MCA_Band");
+    Rdf.Triple.spo (x "Music_Band") (y "foundedIn") (lit "1994");
+    Rdf.Triple.spo (x "Music_Band") (y "wasFormedIn") (iri (x "London"));
+    Rdf.Triple.spo (x "Amy_Winehouse") (y "livedIn") (iri (x "United_States"));
+    Rdf.Triple.spo (x "Amy_Winehouse") (y "wasMarriedTo")
+      (iri (x "Blake_Fielder-Civil"));
+    Rdf.Triple.spo (x "Blake_Fielder-Civil") (y "livedIn")
+      (iri (x "United_States"));
+  ]
+
+(* The SPARQL query of Figure 2a, adjusted to the facts above so it has
+   exactly one embedding (the paper's figure mixes 1934/1994 and
+   hasName/hasAName typos; we use the data's values). *)
+let paper_query_text =
+  Printf.sprintf
+    {|
+    SELECT ?X0 ?X1 ?X2 ?X3 ?X4 ?X5 ?X6 WHERE {
+      ?X0 <%s> ?X1 .
+      ?X1 <%s> ?X2 .
+      ?X2 <%s> ?X1 .
+      ?X1 <%s> ?X4 .
+      ?X3 <%s> ?X1 .
+      ?X3 <%s> ?X1 .
+      ?X3 <%s> ?X6 .
+      ?X3 <%s> ?X5 .
+      ?X5 <%s> ?X1 .
+      ?X4 <%s> "90000" .
+      ?X5 <%s> "MCA_Band" .
+      ?X5 <%s> "1994" .
+      ?X3 <%s> <%s> .
+    }|}
+    (y "wasBornIn") (y "isPartOf") (y "hasCapital") (y "hasStadium")
+    (y "wasBornIn") (y "diedIn") (y "wasMarriedTo") (y "wasPartOf")
+    (y "wasFormedIn") (y "hasCapacityOf") (y "hasName") (y "foundedIn")
+    (y "livedIn") (x "United_States")
+
+(* A small social-network style dataset exercised by several suites. *)
+let social_triples =
+  let knows = "http://xmlns.com/foaf/0.1/knows" in
+  let name = "http://xmlns.com/foaf/0.1/name" in
+  let person i = Printf.sprintf "http://example.org/p%d" i in
+  List.concat
+    [
+      List.concat_map
+        (fun (a, b) -> [ Rdf.Triple.spo (person a) knows (iri (person b)) ])
+        [ (0, 1); (1, 2); (2, 0); (0, 2); (3, 0); (3, 1); (4, 3); (2, 4) ];
+      List.init 5 (fun i ->
+          Rdf.Triple.spo (person i) name (lit (Printf.sprintf "person-%d" i)));
+    ]
+
+let parse_query src = Sparql.Parser.parse src

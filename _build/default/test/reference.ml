@@ -1,0 +1,74 @@
+(* Brute-force SPARQL BGP evaluator used as ground truth: backtracking
+   directly over the triple list at term level, written independently of
+   every engine under test. Exponential and proud of it. *)
+
+type binding = (string * Rdf.Term.t) list
+
+let term_matches binding pattern actual =
+  match pattern with
+  | Sparql.Ast.Iri i ->
+      if Rdf.Term.equal (Rdf.Term.iri i) actual then Some binding else None
+  | Sparql.Ast.Lit l ->
+      if Rdf.Term.equal (Rdf.Term.Literal l) actual then Some binding else None
+  | Sparql.Ast.Var v -> (
+      match List.assoc_opt v binding with
+      | Some existing ->
+          if Rdf.Term.equal existing actual then Some binding else None
+      | None -> Some ((v, actual) :: binding))
+
+let solutions triples (ast : Sparql.Ast.t) : binding list =
+  let triples = List.sort_uniq Rdf.Triple.compare triples in
+  let rec go patterns binding =
+    match patterns with
+    | [] -> [ binding ]
+    | { Sparql.Ast.subject; predicate; obj } :: rest ->
+        List.concat_map
+          (fun { Rdf.Triple.subject = s; predicate = p; obj = o } ->
+            match term_matches binding subject s with
+            | None -> []
+            | Some b1 -> (
+                match term_matches b1 predicate p with
+                | None -> []
+                | Some b2 -> (
+                    match term_matches b2 obj o with
+                    | None -> []
+                    | Some b3 -> go rest b3)))
+          triples
+  in
+  (* Distinct full-variable mappings (pattern reordering must not change
+     the answer set). *)
+  let canon b =
+    List.sort compare (List.map (fun (v, t) -> (v, Rdf.Term.to_string t)) b)
+  in
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun b ->
+      let key = canon b in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    (go ast.where [])
+
+(* Canonical string form of a projected row, for set comparisons. *)
+let canon_row row =
+  List.map (function None -> "<unbound>" | Some t -> Rdf.Term.to_string t) row
+
+(* Project like the engines do: selected variables, [None] when unbound;
+   returns canonical (sorted) string rows. *)
+let canonical_answer triples ast : string list list =
+  let selected = Sparql.Ast.selected_variables ast in
+  let project b = List.map (fun v -> List.assoc_opt v b) selected in
+  let all = List.map (fun b -> canon_row (project b)) (solutions triples ast) in
+  let all = if ast.Sparql.Ast.distinct then List.sort_uniq compare all else all in
+  let all =
+    match ast.Sparql.Ast.limit with
+    | None -> all
+    | Some l -> List.filteri (fun i _ -> i < l) all
+  in
+  List.sort compare all
+
+(* Canonicalize an engine's rows the same way. *)
+let canonical_rows (rows : Rdf.Term.t option list list) =
+  List.sort compare (List.map canon_row rows)

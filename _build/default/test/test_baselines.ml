@@ -1,0 +1,152 @@
+(* Tests for the four baseline engines: each against the brute-force
+   reference, plus engine-specific behaviours. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let x res = "http://dbpedia.org/resource/" ^ res
+let y prop = "http://dbpedia.org/ontology/" ^ prop
+
+let queries =
+  [
+    ("paper query", Fixtures.paper_query_text);
+    ( "star",
+      Printf.sprintf {|SELECT * WHERE { ?p <%s> ?c . ?p <%s> ?c2 . ?p <%s> ?b }|}
+        (y "wasBornIn") (y "diedIn") (y "wasPartOf") );
+    ( "cycle",
+      Printf.sprintf {|SELECT * WHERE { ?a <%s> ?b . ?b <%s> ?a }|} (y "isPartOf")
+        (y "hasCapital") );
+    ( "literal object",
+      Printf.sprintf {|SELECT * WHERE { ?band <%s> "MCA_Band" . ?band <%s> ?city }|}
+        (y "hasName") (y "wasFormedIn") );
+    ( "literal variable",
+      Printf.sprintf {|SELECT ?n WHERE { ?band <%s> ?n }|} (y "hasName") );
+    ( "ground true",
+      Printf.sprintf {|SELECT * WHERE { <%s> <%s> <%s> }|} (x "London")
+        (y "isPartOf") (x "England") );
+    ( "ground false",
+      Printf.sprintf {|SELECT * WHERE { <%s> <%s> <%s> }|} (x "England")
+        (y "isPartOf") (x "London") );
+    ( "variable predicate",
+      Printf.sprintf {|SELECT * WHERE { <%s> ?p ?o }|} (x "Amy_Winehouse") );
+    ( "unknown constant",
+      {|SELECT * WHERE { ?a <http://no-such-predicate> ?b }|} );
+    ( "distinct",
+      Printf.sprintf {|SELECT DISTINCT ?c WHERE { ?p <%s> ?c . ?p <%s> ?c2 }|}
+        (y "wasBornIn") (y "diedIn") );
+    ( "disconnected",
+      Printf.sprintf {|SELECT * WHERE { ?a <%s> ?b . ?c <%s> ?d }|}
+        (y "hasStadium") (y "wasMarriedTo") );
+    ( "repeated var in pattern",
+      Printf.sprintf {|SELECT * WHERE { ?a <%s> ?a }|} (y "isPartOf") );
+  ]
+
+let check_engine (type e) (module E : Baselines.Engine_sig.S with type t = e) () =
+  let store = E.load Fixtures.paper_triples in
+  List.iter
+    (fun (name, src) ->
+      let ast = Fixtures.parse_query src in
+      let answer = E.query store ast in
+      Alcotest.(check (list (list string)))
+        (E.name ^ ": " ^ name)
+        (Reference.canonical_answer Fixtures.paper_triples ast)
+        (Reference.canonical_rows answer.Baselines.Answer.rows))
+    queries
+
+let test_triple_store_specifics () =
+  let store = Baselines.Triple_store.load Fixtures.paper_triples in
+  checki "six permutations" 6 (Baselines.Triple_store.permutation_count store);
+  let before = Baselines.Triple_store.scan_count store in
+  ignore
+    (Baselines.Triple_store.query store
+       (Fixtures.parse_query
+          (Printf.sprintf {|SELECT * WHERE { ?a <%s> ?b }|} (y "isPartOf"))));
+  checkb "scans happened" true (Baselines.Triple_store.scan_count store > before)
+
+let test_column_store_specifics () =
+  let store = Baselines.Column_store.load Fixtures.paper_triples in
+  (* 9 object predicates + 3 datatype predicates: the column store keeps
+     literals as ordinary nodes. *)
+  checki "twelve predicate tables" 12 (Baselines.Column_store.predicate_count store)
+
+let test_nested_loop_specifics () =
+  let store = Baselines.Nested_loop.load Fixtures.paper_triples in
+  checki "16 distinct triples" 16 (Baselines.Nested_loop.triple_count store);
+  (* Duplicates collapse at load. *)
+  let dup = Baselines.Nested_loop.load (Fixtures.paper_triples @ Fixtures.paper_triples) in
+  checki "dedup" 16 (Baselines.Nested_loop.triple_count dup)
+
+let test_sig_store_specifics () =
+  let store = Baselines.Sig_store.load Fixtures.paper_triples in
+  checkb "nodes include literals" true (Baselines.Sig_store.node_count store > 9);
+  let ast =
+    Fixtures.parse_query
+      (Printf.sprintf {|SELECT * WHERE { ?p <%s> ?c . ?p <%s> ?c2 }|}
+         (y "wasBornIn") (y "diedIn"))
+  in
+  match Baselines.Sig_store.filter_candidates store ast "p" with
+  | Some cands ->
+      (* The filter must keep Amy (the only one who was born and died
+         somewhere), and may keep a few false positives. *)
+      checkb "amy survives filter" true (Array.length cands >= 1)
+  | None -> Alcotest.fail "expected candidates"
+
+let test_timeouts () =
+  let big = Datagen.Lubm.generate ~universities:1 () in
+  let star =
+    Fixtures.parse_query
+      "SELECT * WHERE { ?a <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> ?t . \
+       ?b <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> ?t . ?c \
+       <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> ?t }"
+  in
+  let expect_timeout (type e) (module E : Baselines.Engine_sig.S with type t = e) =
+    let store = E.load big in
+    match E.query ~timeout:0.0 store star with
+    | exception Amber.Deadline.Expired -> ()
+    | _ -> Alcotest.failf "%s: expected timeout" E.name
+  in
+  expect_timeout (module Baselines.Triple_store);
+  expect_timeout (module Baselines.Nested_loop);
+  expect_timeout (module Baselines.Sig_store);
+  expect_timeout (module Baselines.Column_store)
+
+let test_limits () =
+  let check_limit (type e) (module E : Baselines.Engine_sig.S with type t = e) =
+    let store = E.load Fixtures.paper_triples in
+    let ast =
+      Fixtures.parse_query
+        (Printf.sprintf {|SELECT * WHERE { ?a <%s> ?b }|} (y "livedIn"))
+    in
+    let a = E.query ~limit:1 store ast in
+    checki (E.name ^ " limit") 1 (List.length a.Baselines.Answer.rows);
+    checkb (E.name ^ " truncated") true a.Baselines.Answer.truncated
+  in
+  check_limit (module Baselines.Triple_store);
+  check_limit (module Baselines.Nested_loop);
+  check_limit (module Baselines.Sig_store);
+  check_limit (module Baselines.Column_store);
+  check_limit (module Baselines.Amber_adapter)
+
+let suite =
+  [
+    ( "baselines.reference-agreement",
+      [
+        Alcotest.test_case "triple store" `Quick
+          (check_engine (module Baselines.Triple_store));
+        Alcotest.test_case "column store" `Quick
+          (check_engine (module Baselines.Column_store));
+        Alcotest.test_case "nested loop" `Quick
+          (check_engine (module Baselines.Nested_loop));
+        Alcotest.test_case "sig store" `Quick
+          (check_engine (module Baselines.Sig_store));
+      ] );
+    ( "baselines.specifics",
+      [
+        Alcotest.test_case "triple store" `Quick test_triple_store_specifics;
+        Alcotest.test_case "column store" `Quick test_column_store_specifics;
+        Alcotest.test_case "nested loop" `Quick test_nested_loop_specifics;
+        Alcotest.test_case "sig store" `Quick test_sig_store_specifics;
+        Alcotest.test_case "timeouts" `Quick test_timeouts;
+        Alcotest.test_case "row limits" `Quick test_limits;
+      ] );
+  ]

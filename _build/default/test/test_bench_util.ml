@@ -1,0 +1,94 @@
+(* Tests for the benchmark utility library. *)
+
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+let checki = Alcotest.(check int)
+
+let test_stats_basics () =
+  checkf "mean" 2.0 (Bench_util.Stats.mean [ 1.0; 2.0; 3.0 ]);
+  checkf "mean empty" 0.0 (Bench_util.Stats.mean []);
+  checkf "median odd" 2.0 (Bench_util.Stats.median [ 3.0; 1.0; 2.0 ]);
+  checkf "median singleton" 7.0 (Bench_util.Stats.median [ 7.0 ]);
+  checkf "min" 1.0 (Bench_util.Stats.minimum [ 3.0; 1.0; 2.0 ]);
+  checkf "max" 3.0 (Bench_util.Stats.maximum [ 3.0; 1.0; 2.0 ]);
+  checkf "p0 is min" 1.0 (Bench_util.Stats.percentile 0.0 [ 3.0; 1.0; 2.0 ]);
+  checkf "p100 is max" 3.0 (Bench_util.Stats.percentile 1.0 [ 3.0; 1.0; 2.0 ]);
+  checkf "stddev of constant" 0.0 (Bench_util.Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  checkf "stddev" 1.0 (Bench_util.Stats.stddev [ 1.0; 2.0; 3.0 ])
+
+let test_table_render () =
+  let text =
+    Bench_util.Table_fmt.render ~header:[ "a"; "bb" ]
+      [ [ "one"; "2" ]; [ "3" ] ]
+  in
+  let lines = String.split_on_char '\n' text in
+  checki "four lines (incl trailing)" 5 (List.length lines);
+  checkb "separator" true
+    (String.length (List.nth lines 1) > 0 && (List.nth lines 1).[0] = '-');
+  (* Missing cells render as blanks, no exception. *)
+  checkb "ragged rows ok" true (String.length (List.nth lines 3) > 0)
+
+let test_table_ms_pct () =
+  Alcotest.(check string) "sub-10ms keeps precision" "1.234"
+    (Bench_util.Table_fmt.ms 0.001234);
+  Alcotest.(check string) "mid range" "123.5" (Bench_util.Table_fmt.ms 0.12345);
+  Alcotest.(check string) "big values rounded" "2345" (Bench_util.Table_fmt.ms 2.345);
+  Alcotest.(check string) "pct" "25%" (Bench_util.Table_fmt.pct ~answered:9 ~total:12);
+  Alcotest.(check string) "pct empty" "-" (Bench_util.Table_fmt.pct ~answered:0 ~total:0)
+
+let test_runner_outcomes () =
+  let store = Baselines.Triple_store.load Fixtures.paper_triples in
+  let ok_query =
+    Fixtures.parse_query
+      {|SELECT * WHERE { ?a <http://dbpedia.org/ontology/livedIn> ?b }|}
+  in
+  (match
+     Bench_util.Runner.run_query
+       (module Baselines.Triple_store)
+       store ~timeout:10.0 ok_query
+   with
+  | Bench_util.Runner.Answered { rows; seconds } ->
+      checki "rows" 3 rows;
+      checkb "positive time" true (seconds >= 0.0)
+  | Bench_util.Runner.Unanswered -> Alcotest.fail "should answer");
+  match
+    Bench_util.Runner.run_query
+      (module Baselines.Triple_store)
+      store ~timeout:0.0 ok_query
+  with
+  | Bench_util.Runner.Unanswered -> ()
+  | Bench_util.Runner.Answered _ ->
+      (* A tiny query may finish before the first deadline poll; accept
+         either but ensure the summary path works below. *)
+      ()
+
+let test_runner_workload_summary () =
+  let store = Baselines.Triple_store.load Fixtures.paper_triples in
+  let queries =
+    List.map Fixtures.parse_query
+      [
+        {|SELECT * WHERE { ?a <http://dbpedia.org/ontology/livedIn> ?b }|};
+        {|SELECT * WHERE { ?a <http://dbpedia.org/ontology/wasBornIn> ?b }|};
+      ]
+  in
+  let s =
+    Bench_util.Runner.run_workload
+      (module Baselines.Triple_store)
+      store ~timeout:10.0 queries
+  in
+  checki "all answered" 2 s.Bench_util.Runner.answered;
+  checki "none unanswered" 0 s.Bench_util.Runner.unanswered;
+  checki "row total" 5 s.Bench_util.Runner.total_rows;
+  checkb "engine name" true (s.Bench_util.Runner.engine = "x-rdf3x-like")
+
+let suite =
+  [
+    ( "bench_util",
+      [
+        Alcotest.test_case "stats" `Quick test_stats_basics;
+        Alcotest.test_case "table render" `Quick test_table_render;
+        Alcotest.test_case "ms and pct cells" `Quick test_table_ms_pct;
+        Alcotest.test_case "runner outcomes" `Quick test_runner_outcomes;
+        Alcotest.test_case "workload summary" `Quick test_runner_workload_summary;
+      ] );
+  ]

@@ -1,0 +1,236 @@
+(* Tests for the data and workload generators. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* --- Prng ------------------------------------------------------------ *)
+
+let test_prng_determinism () =
+  let a = Datagen.Prng.create 42 and b = Datagen.Prng.create 42 in
+  let xs = List.init 100 (fun _ -> Datagen.Prng.next a) in
+  let ys = List.init 100 (fun _ -> Datagen.Prng.next b) in
+  checkb "same stream" true (xs = ys);
+  let c = Datagen.Prng.create 43 in
+  let zs = List.init 100 (fun _ -> Datagen.Prng.next c) in
+  checkb "different seed differs" true (xs <> zs)
+
+let test_prng_bounds () =
+  let rng = Datagen.Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Datagen.Prng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done;
+  for _ = 1 to 10_000 do
+    let f = Datagen.Prng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_prng_zipf_skew () =
+  let rng = Datagen.Prng.create 11 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 20_000 do
+    let i = Datagen.Prng.zipf rng ~n:10 ~s:1.2 in
+    counts.(i) <- counts.(i) + 1
+  done;
+  checkb "head heavier than tail" true (counts.(0) > 3 * counts.(9));
+  checkb "monotone-ish" true (counts.(0) > counts.(4))
+
+let test_prng_sample () =
+  let rng = Datagen.Prng.create 3 in
+  let arr = Array.init 10 Fun.id in
+  let s = Datagen.Prng.sample rng arr 4 in
+  checki "four distinct" 4 (List.length (List.sort_uniq compare s));
+  checki "clamped" 10 (List.length (Datagen.Prng.sample rng arr 99))
+
+(* --- LUBM ------------------------------------------------------------- *)
+
+let test_lubm_shape () =
+  let triples = Datagen.Lubm.generate ~universities:2 () in
+  checkb "plausible volume" true (List.length triples > 5_000);
+  let db = Amber.Database.of_triples triples in
+  checki "13 object properties" 13 (Amber.Database.edge_type_count db);
+  checkb "attributes present" true (Amber.Database.attribute_count db > 100);
+  (* Deterministic. *)
+  let again = Datagen.Lubm.generate ~universities:2 () in
+  checkb "deterministic" true
+    (List.for_all2 Rdf.Triple.equal triples again)
+
+let test_lubm_predicate_discipline () =
+  (* No predicate may have both IRI and literal objects. *)
+  let triples = Datagen.Lubm.generate ~universities:1 () in
+  let kinds = Hashtbl.create 32 in
+  List.iter
+    (fun { Rdf.Triple.predicate; obj; _ } ->
+      let p = Rdf.Term.to_string predicate in
+      let k = if Rdf.Term.is_literal obj then `Lit else `Iri in
+      match Hashtbl.find_opt kinds p with
+      | None -> Hashtbl.add kinds p k
+      | Some k' -> if k <> k' then Alcotest.failf "mixed predicate %s" p)
+    triples
+
+(* --- Scale free -------------------------------------------------------- *)
+
+let test_scale_free_shape () =
+  let profile = Datagen.Scale_free.dbpedia_like ~scale:0.02 () in
+  let triples = Datagen.Scale_free.generate ~seed:5 profile in
+  let db = Amber.Database.of_triples triples in
+  checkb "edges near target" true
+    (Mgraph.Multigraph.triple_edge_count (Amber.Database.graph db)
+    >= profile.Datagen.Scale_free.edges / 2);
+  checkb "many predicates" true (Amber.Database.edge_type_count db > 50);
+  (* Heavy tail: the max degree should far exceed the average. *)
+  let g = Amber.Database.graph db in
+  let n = Mgraph.Multigraph.vertex_count g in
+  let max_deg = ref 0 and total = ref 0 in
+  for v = 0 to n - 1 do
+    let d = Mgraph.Multigraph.degree g v in
+    total := !total + d;
+    if d > !max_deg then max_deg := d
+  done;
+  let avg = float_of_int !total /. float_of_int n in
+  checkb "skewed degrees" true (float_of_int !max_deg > 10.0 *. avg)
+
+let test_yago_predicate_count () =
+  let profile = Datagen.Scale_free.yago_like ~scale:0.02 () in
+  let triples = Datagen.Scale_free.generate ~seed:6 profile in
+  let db = Amber.Database.of_triples triples in
+  checkb "at most 38 object predicates" true (Amber.Database.edge_type_count db <= 38)
+
+(* --- Workload ----------------------------------------------------------- *)
+
+let lubm_corpus = lazy (Datagen.Workload.corpus (Datagen.Lubm.generate ~universities:1 ()))
+
+let query_size ast = List.length ast.Sparql.Ast.where
+
+(* Connectivity of the query pattern through shared variables/constants. *)
+let connected ast =
+  let patterns = ast.Sparql.Ast.where in
+  let key = function
+    | Sparql.Ast.Var v -> Some ("v:" ^ v)
+    | Sparql.Ast.Iri i -> Some ("i:" ^ i)
+    | Sparql.Ast.Lit _ -> None
+  in
+  let nodes p =
+    List.filter_map key [ p.Sparql.Ast.subject; p.Sparql.Ast.obj ]
+  in
+  match patterns with
+  | [] -> true
+  | first :: _ ->
+      let reached = Hashtbl.create 16 in
+      List.iter (fun k -> Hashtbl.replace reached k ()) (nodes first);
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun p ->
+            let ks = nodes p in
+            if List.exists (Hashtbl.mem reached) ks then
+              List.iter
+                (fun k ->
+                  if not (Hashtbl.mem reached k) then begin
+                    Hashtbl.replace reached k ();
+                    changed := true
+                  end)
+                ks)
+          patterns
+      done;
+      List.for_all (fun p -> List.exists (Hashtbl.mem reached) (nodes p)) patterns
+
+let test_workload_star () =
+  let corpus = Lazy.force lubm_corpus in
+  let queries =
+    Datagen.Workload.generate ~seed:9 corpus ~shape:Datagen.Workload.Star ~size:6
+      ~count:10
+  in
+  checki "ten queries" 10 (List.length queries);
+  List.iter
+    (fun ast ->
+      checki "size respected" 6 (query_size ast);
+      checkb "connected" true (connected ast);
+      (* Star: some variable or constant occurs in every pattern. *)
+      let occurs t p =
+        Sparql.Ast.term_equal p.Sparql.Ast.subject t
+        || Sparql.Ast.term_equal p.Sparql.Ast.obj t
+      in
+      let candidates =
+        List.concat_map
+          (fun p -> [ p.Sparql.Ast.subject; p.Sparql.Ast.obj ])
+          ast.Sparql.Ast.where
+      in
+      checkb "has a centre" true
+        (List.exists
+           (fun t ->
+             (match t with Sparql.Ast.Lit _ -> false | _ -> true)
+             && List.for_all (occurs t) ast.Sparql.Ast.where)
+           candidates))
+    queries
+
+let test_workload_complex () =
+  let corpus = Lazy.force lubm_corpus in
+  let queries =
+    Datagen.Workload.generate ~seed:10 corpus ~shape:Datagen.Workload.Complex
+      ~size:10 ~count:10
+  in
+  checki "ten queries" 10 (List.length queries);
+  List.iter
+    (fun ast ->
+      checki "size respected" 10 (query_size ast);
+      checkb "connected" true (connected ast))
+    queries
+
+let test_workload_satisfiable () =
+  (* Carved from the data, queries must have at least one answer (on the
+     engine that is easiest to trust here: the triple store). *)
+  let triples = Datagen.Lubm.generate ~universities:1 () in
+  let corpus = Datagen.Workload.corpus triples in
+  let store = Baselines.Triple_store.load triples in
+  let queries =
+    Datagen.Workload.generate ~seed:21 corpus ~shape:Datagen.Workload.Complex
+      ~size:5 ~count:5
+  in
+  List.iter
+    (fun ast ->
+      let a = Baselines.Triple_store.query ~limit:1 store ast in
+      checkb "satisfiable" true (a.Baselines.Answer.rows <> []))
+    queries
+
+let test_workload_determinism () =
+  let corpus = Lazy.force lubm_corpus in
+  let q1 =
+    Datagen.Workload.generate ~seed:5 corpus ~shape:Datagen.Workload.Star ~size:4
+      ~count:5
+  in
+  let q2 =
+    Datagen.Workload.generate ~seed:5 corpus ~shape:Datagen.Workload.Star ~size:4
+      ~count:5
+  in
+  checkb "same queries" true
+    (List.for_all2 (fun a b -> Sparql.Ast.to_string a = Sparql.Ast.to_string b) q1 q2)
+
+let suite =
+  [
+    ( "datagen.prng",
+      [
+        Alcotest.test_case "determinism" `Quick test_prng_determinism;
+        Alcotest.test_case "bounds" `Quick test_prng_bounds;
+        Alcotest.test_case "zipf skew" `Quick test_prng_zipf_skew;
+        Alcotest.test_case "sample" `Quick test_prng_sample;
+      ] );
+    ( "datagen.lubm",
+      [
+        Alcotest.test_case "shape" `Quick test_lubm_shape;
+        Alcotest.test_case "predicate discipline" `Quick test_lubm_predicate_discipline;
+      ] );
+    ( "datagen.scale_free",
+      [
+        Alcotest.test_case "dbpedia-like shape" `Quick test_scale_free_shape;
+        Alcotest.test_case "yago-like predicates" `Quick test_yago_predicate_count;
+      ] );
+    ( "datagen.workload",
+      [
+        Alcotest.test_case "star" `Quick test_workload_star;
+        Alcotest.test_case "complex" `Quick test_workload_complex;
+        Alcotest.test_case "satisfiable" `Quick test_workload_satisfiable;
+        Alcotest.test_case "determinism" `Quick test_workload_determinism;
+      ] );
+  ]

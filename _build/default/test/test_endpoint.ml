@@ -1,0 +1,142 @@
+(* SPARQL endpoint tests: pure request handling plus one real socket
+   round trip served from a separate domain. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let engine = lazy (Amber.Engine.build Fixtures.paper_triples)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec loop i = i + n <= h && (String.sub haystack i n = needle || loop (i + 1)) in
+  loop 0
+
+let config = { Endpoint.default_config with timeout = Some 5.0 }
+
+let handle ?(meth = "GET") ?(headers = []) ?(body = "") target =
+  Endpoint.handle_request config (Lazy.force engine) ~meth ~target ~headers ~body
+
+let test_url_decode () =
+  checks "plus is space" "a b" (Endpoint.url_decode "a+b");
+  checks "percent" "a&b=c" (Endpoint.url_decode "a%26b%3Dc");
+  checks "utf8 bytes" "\xc3\xa9" (Endpoint.url_decode "%C3%A9");
+  checks "broken escape passes through" "%zz" (Endpoint.url_decode "%zz")
+
+let encode s =
+  let buf = Buffer.create (String.length s * 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | '~' ->
+          Buffer.add_char buf c
+      | c -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let simple_query =
+  {|SELECT ?p WHERE { ?p <http://dbpedia.org/ontology/wasBornIn> ?c }|}
+
+let test_get_query_json () =
+  let status, ctype, body = handle ("/sparql?query=" ^ encode simple_query) in
+  checki "200" 200 status;
+  checks "json type" "application/sparql-results+json" ctype;
+  checkb "amy in results" true (contains body "Amy_Winehouse");
+  checkb "nolan in results" true (contains body "Christopher_Nolan")
+
+let test_content_negotiation () =
+  let _, ctype, body =
+    handle ~headers:[ ("Accept", "text/csv") ] ("/sparql?query=" ^ encode simple_query)
+  in
+  checks "csv type" "text/csv" ctype;
+  checkb "csv header row" true (contains body "p\r\n");
+  let _, ctype, _ =
+    handle
+      ~headers:[ ("accept", "text/tab-separated-values") ]
+      ("/sparql?query=" ^ encode simple_query)
+  in
+  checks "tsv type" "text/tab-separated-values" ctype
+
+let test_post_forms () =
+  let status, _, body =
+    handle ~meth:"POST"
+      ~headers:[ ("Content-Type", "application/x-www-form-urlencoded") ]
+      ~body:("query=" ^ encode simple_query)
+      "/sparql"
+  in
+  checki "urlencoded post" 200 status;
+  checkb "has rows" true (contains body "Amy_Winehouse");
+  let status, _, body =
+    handle ~meth:"POST"
+      ~headers:[ ("Content-Type", "application/sparql-query") ]
+      ~body:simple_query "/sparql"
+  in
+  checki "raw post" 200 status;
+  checkb "has rows too" true (contains body "Amy_Winehouse")
+
+let test_extended_routing () =
+  let src =
+    {|SELECT ?p WHERE { { ?p <http://dbpedia.org/ontology/wasBornIn> ?c } UNION { ?p <http://dbpedia.org/ontology/diedIn> ?c } }|}
+  in
+  let status, _, body = handle ("/sparql?query=" ^ encode src) in
+  checki "union accepted" 200 status;
+  checkb "rows" true (contains body "Amy_Winehouse")
+
+let test_errors () =
+  let status, _, _ = handle "/sparql" in
+  checki "missing query" 400 status;
+  let status, _, _ = handle ("/sparql?query=" ^ encode "SELEC nope") in
+  checki "parse error" 400 status;
+  let status, _, _ = handle "/nowhere" in
+  checki "not found" 404 status;
+  let status, _, _ = handle ~meth:"DELETE" "/sparql" in
+  checki "method not allowed" 405 status;
+  let status, _, body = handle "/" in
+  checki "service description" 200 status;
+  checkb "mentions /sparql" true (contains body "/sparql")
+
+(* One full HTTP round trip over a real socket. *)
+let test_socket_roundtrip () =
+  let server =
+    Endpoint.create ~config:{ config with port = 0 } (Lazy.force engine)
+  in
+  let port = Endpoint.bound_port server in
+  let server_domain = Domain.spawn (fun () -> Endpoint.serve ~max_requests:1 server) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let request =
+    Printf.sprintf "GET /sparql?query=%s HTTP/1.1\r\nHost: localhost\r\nAccept: text/csv\r\n\r\n"
+      (encode simple_query)
+  in
+  let _ = Unix.write fd (Bytes.of_string request) 0 (String.length request) in
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+    end
+  in
+  drain ();
+  Unix.close fd;
+  Domain.join server_domain;
+  Endpoint.stop server;
+  let response = Buffer.contents buf in
+  checkb "status line" true (contains response "HTTP/1.1 200 OK");
+  checkb "content type" true (contains response "text/csv");
+  checkb "payload" true (contains response "Amy_Winehouse")
+
+let suite =
+  [
+    ( "endpoint",
+      [
+        Alcotest.test_case "url decode" `Quick test_url_decode;
+        Alcotest.test_case "GET json" `Quick test_get_query_json;
+        Alcotest.test_case "content negotiation" `Quick test_content_negotiation;
+        Alcotest.test_case "POST forms" `Quick test_post_forms;
+        Alcotest.test_case "extended routing" `Quick test_extended_routing;
+        Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip;
+      ] );
+  ]

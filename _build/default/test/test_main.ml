@@ -1,0 +1,28 @@
+(* Aggregates every suite into one alcotest binary. *)
+
+let () =
+  Alcotest.run "amber"
+    (List.concat
+       [
+         Test_rdf.suite;
+         Test_turtle.suite;
+         Test_mgraph.suite;
+         Test_rtree.suite;
+         Test_otil.suite;
+         Test_sparql.suite;
+         Test_amber.suite;
+         Test_matcher.suite;
+         Test_extended.suite;
+         Test_storage.suite;
+         Test_endpoint.suite;
+         Test_order_by.suite;
+         Test_forms.suite;
+         Test_more_units.suite;
+         Test_bench_util.suite;
+         Test_baselines.suite;
+         Test_datagen.suite;
+         Test_cross.suite;
+         Test_properties.suite;
+         Test_fuzz.suite;
+         Test_algebra_ref.suite;
+       ])

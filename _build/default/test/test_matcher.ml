@@ -1,0 +1,237 @@
+(* Unit tests for the matcher internals (Algorithms 1-2) and the
+   embedding generator. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check_arr = Alcotest.(check (array int))
+
+let x res = "http://dbpedia.org/resource/" ^ res
+let y prop = "http://dbpedia.org/ontology/" ^ prop
+
+let make_ctx () =
+  let db = Amber.Database.of_triples Fixtures.paper_triples in
+  {
+    Amber.Matcher.db;
+    attribute = Amber.Attribute_index.build db;
+    synopsis = Amber.Synopsis_index.build db;
+    neighbourhood = Amber.Neighbourhood_index.build db;
+    deadline = Amber.Deadline.never;
+    stats = Amber.Matcher.fresh_stats ();
+  }
+
+let vertex ctx name =
+  Option.get
+    (Amber.Database.vertex_of_term ctx.Amber.Matcher.db (Rdf.Term.iri (x name)))
+
+let build_query ctx src =
+  match
+    Amber.Query_graph.build ctx.Amber.Matcher.db (Fixtures.parse_query src)
+  with
+  | Amber.Query_graph.Query q -> q
+  | Amber.Query_graph.Unsatisfiable r -> Alcotest.failf "unsat: %s" r
+
+(* --- ProcessVertex (Algorithm 1) ------------------------------------- *)
+
+let test_process_vertex_attributes () =
+  let ctx = make_ctx () in
+  let q =
+    build_query ctx
+      (Printf.sprintf
+         {|SELECT * WHERE { ?b <%s> "MCA_Band" . ?b <%s> "1994" . ?b <%s> ?c }|}
+         (y "hasName") (y "foundedIn") (y "wasFormedIn"))
+  in
+  let u = Option.get (Amber.Query_graph.vertex_of_var q "b") in
+  (* Paper's C^A_{u5} example: both attributes pin Music_Band. *)
+  match Amber.Matcher.process_vertex ctx q u with
+  | Some cands -> check_arr "music band only" [| vertex ctx "Music_Band" |] cands
+  | None -> Alcotest.fail "expected attribute candidates"
+
+let test_process_vertex_iri () =
+  let ctx = make_ctx () in
+  let q =
+    build_query ctx
+      (Printf.sprintf {|SELECT * WHERE { ?p <%s> <%s> . ?p <%s> ?o }|}
+         (y "livedIn") (x "United_States") (y "wasBornIn"))
+  in
+  let u = Option.get (Amber.Query_graph.vertex_of_var q "p") in
+  (* Paper's C^I example: who livedIn United_States. *)
+  match Amber.Matcher.process_vertex ctx q u with
+  | Some cands ->
+      check_arr "amy and blake"
+        (Mgraph.Sorted_ints.of_list
+           [ vertex ctx "Amy_Winehouse"; vertex ctx "Blake_Fielder-Civil" ])
+        cands
+  | None -> Alcotest.fail "expected IRI candidates"
+
+let test_process_vertex_unconstrained () =
+  let ctx = make_ctx () in
+  let q =
+    build_query ctx
+      (Printf.sprintf {|SELECT * WHERE { ?a <%s> ?b }|} (y "livedIn"))
+  in
+  let u = Option.get (Amber.Query_graph.vertex_of_var q "a") in
+  checkb "no vertex-local info" true (Amber.Matcher.process_vertex ctx q u = None)
+
+(* --- initial candidates / seeded solving ------------------------------ *)
+
+let test_initial_candidates () =
+  let ctx = make_ctx () in
+  let q = build_query ctx Fixtures.paper_query_text in
+  let plan = Amber.Decompose.plan q in
+  let comp = plan.Amber.Decompose.components.(0) in
+  let seeds = Amber.Matcher.initial_candidates ctx q comp in
+  (* The initial core vertex is X1 = London (rich star structure). *)
+  check_arr "london seeds the search" [| vertex ctx "London" |] seeds
+
+let collect ctx q plan comp ~seeds =
+  let sols = ref [] in
+  Amber.Matcher.solve_component_seeded ctx q plan comp ~seeds ~emit:(fun s ->
+      sols := s :: !sols;
+      `Continue);
+  List.rev !sols
+
+let test_seed_partition_equals_whole () =
+  let ctx = make_ctx () in
+  let q =
+    build_query ctx
+      (Printf.sprintf {|SELECT * WHERE { ?a <%s> ?b . ?c <%s> ?b . ?a <%s> ?d }|}
+         (y "livedIn") (y "livedIn") (y "wasBornIn"))
+  in
+  let plan = Amber.Decompose.plan q in
+  let comp = plan.Amber.Decompose.components.(0) in
+  let seeds = Amber.Matcher.initial_candidates ctx q comp in
+  let whole = collect ctx q plan comp ~seeds in
+  let n = Array.length seeds in
+  let left = Array.sub seeds 0 (n / 2)
+  and right = Array.sub seeds (n / 2) (n - (n / 2)) in
+  let split = collect ctx q plan comp ~seeds:left @ collect ctx q plan comp ~seeds:right in
+  checkb "partition covers the search space" true (whole = split);
+  checkb "solutions found" true (whole <> [])
+
+let test_emit_stop () =
+  let ctx = make_ctx () in
+  let q =
+    build_query ctx
+      (Printf.sprintf {|SELECT * WHERE { ?a <%s> ?b . ?a <%s> ?c }|} (y "livedIn")
+         (y "livedIn"))
+  in
+  let plan = Amber.Decompose.plan q in
+  let comp = plan.Amber.Decompose.components.(0) in
+  let seen = ref 0 in
+  Amber.Matcher.solve_component_seeded ctx q plan comp
+    ~seeds:(Amber.Matcher.initial_candidates ctx q comp)
+    ~emit:(fun _ ->
+      incr seen;
+      `Stop);
+  checki "stopped after the first solution" 1 !seen
+
+(* --- count_embeddings -------------------------------------------------- *)
+
+let test_count_embeddings () =
+  let sol core sats = { Amber.Matcher.core; sats } in
+  checki "core only" 1 (Amber.Matcher.count_embeddings (sol [ (0, 1) ] []));
+  checki "two satellites" 6
+    (Amber.Matcher.count_embeddings
+       (sol [ (0, 1) ] [ (1, [| 1; 2 |]); (2, [| 3; 4; 5 |]) ]));
+  checki "empty satellite" 0
+    (Amber.Matcher.count_embeddings (sol [ (0, 1) ] [ (1, [||]) ]));
+  let huge = Array.init 100_000 Fun.id in
+  checki "saturates instead of overflowing" max_int
+    (Amber.Matcher.count_embeddings
+       (sol []
+          [ (0, huge); (1, huge); (2, huge); (3, huge); (4, huge); (5, huge);
+            (6, huge); (7, huge); (8, huge); (9, huge); (10, huge); (11, huge);
+            (12, huge) ]))
+
+(* --- Embedding --------------------------------------------------------- *)
+
+let test_embedding_cartesian () =
+  let db = Amber.Database.of_triples Fixtures.paper_triples in
+  let ctx = make_ctx () in
+  let q =
+    build_query ctx
+      (Printf.sprintf {|SELECT * WHERE { ?p <%s> ?c . ?p <%s> ?w }|}
+         (y "wasBornIn") (y "livedIn"))
+  in
+  let plan = Amber.Decompose.plan q in
+  let comp = plan.Amber.Decompose.components.(0) in
+  let sols =
+    collect ctx q plan comp
+      ~seeds:(Amber.Matcher.initial_candidates ctx q comp)
+  in
+  let lits = Amber.Literal_bindings.create db in
+  let rows =
+    List.of_seq (Amber.Embedding.rows ~db ~q ~lits ~solutions:[| sols |])
+  in
+  let expected =
+    List.fold_left (fun n s -> n + Amber.Matcher.count_embeddings s) 0 sols
+  in
+  checki "rows = sum of products" expected (List.length rows);
+  checki "count agrees" expected
+    (Amber.Embedding.count ~q ~lits ~db ~solutions:[| sols |]);
+  (* Each row binds every slot with a term. *)
+  checkb "rows fully bound" true
+    (List.for_all (fun row -> Array.length row = Amber.Query_graph.vertex_count q) rows)
+
+let test_embedding_empty_component () =
+  let db = Amber.Database.of_triples Fixtures.paper_triples in
+  let ctx = make_ctx () in
+  let q =
+    build_query ctx
+      (Printf.sprintf {|SELECT * WHERE { ?a <%s> ?b . ?c <%s> ?d }|}
+         (y "hasStadium") (y "wasMarriedTo"))
+  in
+  let lits = Amber.Literal_bindings.create db in
+  (* One populated component, one empty: no rows. *)
+  let plan = Amber.Decompose.plan q in
+  let comp = plan.Amber.Decompose.components.(0) in
+  let sols =
+    collect ctx q plan comp ~seeds:(Amber.Matcher.initial_candidates ctx q comp)
+  in
+  checki "no rows with an empty component" 0
+    (Seq.fold_left (fun n _ -> n + 1) 0
+       (Amber.Embedding.rows ~db ~q ~lits ~solutions:[| sols; [] |]))
+
+(* --- Literal_bindings ---------------------------------------------------- *)
+
+let test_literal_bindings () =
+  let db = Amber.Database.of_triples Fixtures.paper_triples in
+  let lits = Amber.Literal_bindings.create db in
+  let band =
+    Option.get (Amber.Database.vertex_of_term db (Rdf.Term.iri (x "Music_Band")))
+  in
+  (* Literal-only predicate. *)
+  (match Amber.Literal_bindings.bindings lits ~vertex:band ~pred:(y "hasName") with
+  | [ Rdf.Term.Literal { value; _ } ] -> Alcotest.(check string) "name" "MCA_Band" value
+  | _ -> Alcotest.fail "expected one literal");
+  (* Edge predicate. *)
+  let amy =
+    Option.get (Amber.Database.vertex_of_term db (Rdf.Term.iri (x "Amy_Winehouse")))
+  in
+  (match Amber.Literal_bindings.bindings lits ~vertex:amy ~pred:(y "livedIn") with
+  | [ Rdf.Term.Iri i ] -> Alcotest.(check string) "us" (x "United_States") i
+  | _ -> Alcotest.fail "expected one IRI");
+  (* Nothing. *)
+  checki "no bindings" 0
+    (List.length (Amber.Literal_bindings.bindings lits ~vertex:amy ~pred:"http://nope"))
+
+let suite =
+  [
+    ( "amber.matcher",
+      [
+        Alcotest.test_case "process_vertex attributes" `Quick test_process_vertex_attributes;
+        Alcotest.test_case "process_vertex iri" `Quick test_process_vertex_iri;
+        Alcotest.test_case "process_vertex unconstrained" `Quick
+          test_process_vertex_unconstrained;
+        Alcotest.test_case "initial candidates" `Quick test_initial_candidates;
+        Alcotest.test_case "seed partition" `Quick test_seed_partition_equals_whole;
+        Alcotest.test_case "emit stop" `Quick test_emit_stop;
+        Alcotest.test_case "count embeddings" `Quick test_count_embeddings;
+      ] );
+    ( "amber.embedding",
+      [
+        Alcotest.test_case "cartesian rows" `Quick test_embedding_cartesian;
+        Alcotest.test_case "empty component" `Quick test_embedding_empty_component;
+        Alcotest.test_case "literal bindings" `Quick test_literal_bindings;
+      ] );
+  ]

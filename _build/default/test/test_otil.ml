@@ -1,0 +1,122 @@
+(* OTIL tests: insertion validation, superset search against a
+   brute-force oracle, and the per-symbol inverted lists. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let check_arr = Alcotest.(check (array int))
+
+let add t word v = Otil.add t (Mgraph.Sorted_ints.of_list word) v
+
+let sample_trie () =
+  let t = Otil.create () in
+  add t [ 1 ] 10;
+  add t [ 1; 3 ] 11;
+  add t [ 2; 3 ] 12;
+  add t [ 1; 2; 3 ] 13;
+  add t [ 3 ] 14;
+  add t [ 0; 5 ] 15;
+  t
+
+let test_basics () =
+  let t = sample_trie () in
+  checki "cardinal" 6 (Otil.cardinal t);
+  check_arr "singleton {3}" [| 11; 12; 13; 14 |] (Otil.supersets t [| 3 |]);
+  check_arr "pair {1;3}" [| 11; 13 |] (Otil.supersets t [| 1; 3 |]);
+  check_arr "pair {2;3}" [| 12; 13 |] (Otil.supersets t [| 2; 3 |]);
+  check_arr "triple" [| 13 |] (Otil.supersets t [| 1; 2; 3 |]);
+  check_arr "no match" [||] (Otil.supersets t [| 4 |]);
+  check_arr "empty query matches all" [| 10; 11; 12; 13; 14; 15 |]
+    (Otil.supersets t [||])
+
+let test_inverted_lists () =
+  let t = sample_trie () in
+  check_arr "with_symbol 3" [| 11; 12; 13; 14 |] (Otil.with_symbol t 3);
+  check_arr "with_symbol 0" [| 15 |] (Otil.with_symbol t 0);
+  check_arr "with_symbol absent" [||] (Otil.with_symbol t 99)
+
+let test_validation () =
+  let t = Otil.create () in
+  Alcotest.check_raises "empty word" (Invalid_argument "Otil.add: empty word")
+    (fun () -> Otil.add t [||] 1);
+  Alcotest.check_raises "unsorted word"
+    (Invalid_argument "Otil.add: word must be strictly increasing") (fun () ->
+      Otil.add t [| 3; 1 |] 1);
+  Alcotest.check_raises "unsorted query"
+    (Invalid_argument "Otil.supersets: query must be strictly increasing")
+    (fun () ->
+      Otil.add t [| 1 |] 1;
+      ignore (Otil.supersets t [| 2; 2 |]))
+
+let test_words () =
+  let t = sample_trie () in
+  let words = Otil.words t in
+  checki "distinct words" 6 (List.length words);
+  checkb "word {1;2;3} holds 13" true
+    (List.exists
+       (fun (w, vs) -> w = [| 1; 2; 3 |] && vs = [| 13 |])
+       words)
+
+(* Oracle comparison on random words. *)
+let prop_supersets =
+  QCheck.Test.make ~name:"supersets agrees with brute force" ~count:120
+    (QCheck.make QCheck.Gen.(pair (int_range 0 120) int))
+    (fun (n, seed) ->
+      let rng = Datagen.Prng.create seed in
+      let t = Otil.create () in
+      let words =
+        List.init n (fun v ->
+            let size = 1 + Datagen.Prng.int rng 4 in
+            let word =
+              Mgraph.Sorted_ints.of_list
+                (List.init size (fun _ -> Datagen.Prng.int rng 12))
+            in
+            Otil.add t word v;
+            (word, v))
+      in
+      let queries =
+        List.init 25 (fun _ ->
+            Mgraph.Sorted_ints.of_list
+              (List.init (Datagen.Prng.int rng 3 + 1) (fun _ ->
+                   Datagen.Prng.int rng 12)))
+      in
+      List.for_all
+        (fun q ->
+          let expected =
+            Mgraph.Sorted_ints.of_list
+              (List.filter_map
+                 (fun (w, v) ->
+                   if Mgraph.Sorted_ints.subset q w then Some v else None)
+                 words)
+          in
+          Mgraph.Sorted_ints.equal (Otil.supersets t q) expected)
+        queries)
+
+let prop_inverted_consistency =
+  QCheck.Test.make ~name:"with_symbol equals singleton supersets" ~count:120
+    (QCheck.make QCheck.Gen.(pair (int_range 0 100) int))
+    (fun (n, seed) ->
+      let rng = Datagen.Prng.create (seed + 1) in
+      let t = Otil.create () in
+      for v = 0 to n - 1 do
+        let size = 1 + Datagen.Prng.int rng 4 in
+        Otil.add t
+          (Mgraph.Sorted_ints.of_list (List.init size (fun _ -> Datagen.Prng.int rng 10)))
+          v
+      done;
+      List.for_all
+        (fun s ->
+          Mgraph.Sorted_ints.equal (Otil.with_symbol t s) (Otil.supersets t [| s |]))
+        (List.init 10 Fun.id))
+
+let suite =
+  [
+    ( "otil",
+      [
+        Alcotest.test_case "basics" `Quick test_basics;
+        Alcotest.test_case "inverted lists" `Quick test_inverted_lists;
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "words" `Quick test_words;
+        QCheck_alcotest.to_alcotest prop_supersets;
+        QCheck_alcotest.to_alcotest prop_inverted_consistency;
+      ] );
+  ]

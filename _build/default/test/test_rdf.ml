@@ -1,0 +1,256 @@
+(* Unit and property tests for the rdf library. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+(* --- Term ---------------------------------------------------------- *)
+
+let test_term_constructors () =
+  checkb "iri is iri" true (Rdf.Term.is_iri (Rdf.Term.iri "http://a"));
+  checkb "literal is literal" true (Rdf.Term.is_literal (Rdf.Term.literal "x"));
+  checkb "bnode is bnode" true (Rdf.Term.is_bnode (Rdf.Term.bnode "b0"));
+  checkb "iri is not literal" false (Rdf.Term.is_literal (Rdf.Term.iri "http://a"))
+
+let test_term_literal_exclusive () =
+  Alcotest.check_raises "datatype and lang together rejected"
+    (Invalid_argument "Term.literal: a literal cannot have both datatype and lang")
+    (fun () -> ignore (Rdf.Term.literal ~datatype:"dt" ~lang:"en" "v"))
+
+let test_term_order () =
+  let i = Rdf.Term.iri "http://a"
+  and l = Rdf.Term.literal "a"
+  and b = Rdf.Term.bnode "a" in
+  checkb "iri < literal" true (Rdf.Term.compare i l < 0);
+  checkb "literal < bnode" true (Rdf.Term.compare l b < 0);
+  checkb "equal iris" true (Rdf.Term.equal i (Rdf.Term.iri "http://a"));
+  checkb "literals differ by datatype" false
+    (Rdf.Term.equal (Rdf.Term.literal "1") (Rdf.Term.literal ~datatype:"d" "1"))
+
+let test_term_pp () =
+  checks "iri syntax" "<http://a>" (Rdf.Term.to_string (Rdf.Term.iri "http://a"));
+  checks "plain literal" "\"hi\"" (Rdf.Term.to_string (Rdf.Term.literal "hi"));
+  checks "typed literal" "\"1\"^^<http://dt>"
+    (Rdf.Term.to_string (Rdf.Term.literal ~datatype:"http://dt" "1"));
+  checks "lang literal" "\"hi\"@en"
+    (Rdf.Term.to_string (Rdf.Term.literal ~lang:"en" "hi"));
+  checks "bnode" "_:b0" (Rdf.Term.to_string (Rdf.Term.bnode "b0"));
+  checks "escaped quote" {|"a\"b"|} (Rdf.Term.to_string (Rdf.Term.literal {|a"b|}));
+  checks "escaped newline" {|"a\nb"|} (Rdf.Term.to_string (Rdf.Term.literal "a\nb"))
+
+(* --- Triple -------------------------------------------------------- *)
+
+let test_triple_invariants () =
+  checkb "iri subject ok" true
+    (Rdf.Triple.make (Rdf.Term.iri "s") (Rdf.Term.iri "p") (Rdf.Term.literal "o")
+     |> fun t -> Rdf.Term.is_iri t.Rdf.Triple.subject);
+  Alcotest.check_raises "literal subject rejected"
+    (Rdf.Triple.Invalid "subject cannot be a literal") (fun () ->
+      ignore (Rdf.Triple.make (Rdf.Term.literal "s") (Rdf.Term.iri "p") (Rdf.Term.iri "o")));
+  Alcotest.check_raises "bnode predicate rejected"
+    (Rdf.Triple.Invalid "predicate must be an IRI") (fun () ->
+      ignore (Rdf.Triple.make (Rdf.Term.iri "s") (Rdf.Term.bnode "p") (Rdf.Term.iri "o")))
+
+let test_triple_order () =
+  let t1 = Rdf.Triple.spo "a" "p" (Rdf.Term.iri "x")
+  and t2 = Rdf.Triple.spo "b" "p" (Rdf.Term.iri "x") in
+  checkb "subject-major order" true (Rdf.Triple.compare t1 t2 < 0);
+  checkb "equal triples" true (Rdf.Triple.equal t1 t1)
+
+(* --- Namespace ----------------------------------------------------- *)
+
+let test_namespace_expand () =
+  let ns = Rdf.Namespace.common in
+  check
+    Alcotest.(option string)
+    "expand dbo" (Some "http://dbpedia.org/ontology/birthPlace")
+    (Rdf.Namespace.expand ns "dbo:birthPlace");
+  check Alcotest.(option string) "unknown prefix" None (Rdf.Namespace.expand ns "zzz:x");
+  check Alcotest.(option string) "no colon" None (Rdf.Namespace.expand ns "plain")
+
+let test_namespace_compact () =
+  let ns = Rdf.Namespace.common in
+  check
+    Alcotest.(option string)
+    "compact dbpedia resource" (Some "dbr:London")
+    (Rdf.Namespace.compact ns "http://dbpedia.org/resource/London");
+  check Alcotest.(option string) "no match" None
+    (Rdf.Namespace.compact ns "urn:nothing")
+
+let test_namespace_longest_match () =
+  let ns =
+    Rdf.Namespace.empty
+    |> fun ns ->
+    Rdf.Namespace.add ns ~prefix:"a" ~iri:"http://x/"
+    |> fun ns -> Rdf.Namespace.add ns ~prefix:"b" ~iri:"http://x/deep/"
+  in
+  check
+    Alcotest.(option string)
+    "longest base wins" (Some "b:leaf")
+    (Rdf.Namespace.compact ns "http://x/deep/leaf")
+
+let test_namespace_rebind () =
+  let ns = Rdf.Namespace.add Rdf.Namespace.empty ~prefix:"p" ~iri:"http://one/" in
+  let ns = Rdf.Namespace.add ns ~prefix:"p" ~iri:"http://two/" in
+  check
+    Alcotest.(option string)
+    "later binding replaces" (Some "http://two/x")
+    (Rdf.Namespace.expand ns "p:x")
+
+(* --- N-Triples ----------------------------------------------------- *)
+
+let test_ntriples_parse_basic () =
+  let t =
+    Rdf.Ntriples.parse_line "<http://s> <http://p> <http://o> ."
+    |> Option.get
+  in
+  checks "subject" "<http://s>" (Rdf.Term.to_string t.Rdf.Triple.subject);
+  checks "object" "<http://o>" (Rdf.Term.to_string t.Rdf.Triple.obj)
+
+let test_ntriples_parse_literals () =
+  let t =
+    Rdf.Ntriples.parse_line
+      {|<http://s> <http://p> "90000"^^<http://www.w3.org/2001/XMLSchema#integer> .|}
+    |> Option.get
+  in
+  (match t.Rdf.Triple.obj with
+  | Rdf.Term.Literal { value; datatype = Some dt; lang = None } ->
+      checks "value" "90000" value;
+      checks "datatype" "http://www.w3.org/2001/XMLSchema#integer" dt
+  | _ -> Alcotest.fail "expected typed literal");
+  let t2 =
+    Rdf.Ntriples.parse_line {|<http://s> <http://p> "bonjour"@fr .|} |> Option.get
+  in
+  match t2.Rdf.Triple.obj with
+  | Rdf.Term.Literal { lang = Some "fr"; _ } -> ()
+  | _ -> Alcotest.fail "expected lang literal"
+
+let test_ntriples_skip_noise () =
+  let doc = "# comment\n\n<http://s> <http://p> _:b . # trailing\n" in
+  let ts = Rdf.Ntriples.parse_string doc in
+  Alcotest.(check int) "one triple" 1 (List.length ts)
+
+let test_ntriples_escapes () =
+  let t =
+    Rdf.Ntriples.parse_line {|<http://s> <http://p> "a\"b\nc\\d" .|} |> Option.get
+  in
+  match t.Rdf.Triple.obj with
+  | Rdf.Term.Literal { value; _ } -> checks "unescaped" "a\"b\nc\\d" value
+  | _ -> Alcotest.fail "expected literal"
+
+let test_ntriples_unicode_escape () =
+  let t =
+    Rdf.Ntriples.parse_line
+      {|<http://s> <http://p> "caf\u00E9 \u2603" .|}
+    |> Option.get
+  in
+  match t.Rdf.Triple.obj with
+  | Rdf.Term.Literal { value; _ } ->
+      checks "utf8 of \\u escapes" "caf\xc3\xa9 \xe2\x98\x83" value
+  | _ -> Alcotest.fail "expected literal"
+
+let test_ntriples_errors () =
+  let bad line =
+    match Rdf.Ntriples.parse_line line with
+    | exception Rdf.Ntriples.Parse_error _ -> true
+    | _ -> false
+  in
+  checkb "missing dot" true (bad "<http://s> <http://p> <http://o>");
+  checkb "unterminated iri" true (bad "<http://s> <http://p> <http://o .");
+  checkb "unterminated literal" true (bad {|<http://s> <http://p> "abc .|});
+  checkb "literal subject" true (bad {|"s" <http://p> <http://o> .|});
+  checkb "trailing garbage" true (bad "<http://s> <http://p> <http://o> . x")
+
+let test_ntriples_file_roundtrip () =
+  let path = Filename.temp_file "amber_test" ".nt" in
+  Rdf.Ntriples.write_file path Fixtures.paper_triples;
+  let back = Rdf.Ntriples.parse_file path in
+  Sys.remove path;
+  Alcotest.(check int)
+    "triple count survives" (List.length Fixtures.paper_triples)
+    (List.length back);
+  checkb "triples equal" true (List.for_all2 Rdf.Triple.equal Fixtures.paper_triples back)
+
+(* --- properties ---------------------------------------------------- *)
+
+let gen_iri =
+  QCheck.Gen.(
+    map
+      (fun parts -> "http://example.org/" ^ String.concat "/" parts)
+      (list_size (int_range 1 3) (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))))
+
+let gen_literal_string =
+  QCheck.Gen.(string_size ~gen:(char_range ' ' '~') (int_range 0 20))
+
+let gen_term =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map Rdf.Term.iri gen_iri);
+        (2, map Rdf.Term.literal gen_literal_string);
+        (1, map (fun s -> Rdf.Term.literal ~datatype:("http://dt/" ^ s) "v")
+             (string_size ~gen:(char_range 'a' 'z') (int_range 1 5)));
+        (1, map (fun s -> Rdf.Term.bnode s)
+             (string_size ~gen:(char_range 'a' 'z') (int_range 1 6)));
+      ])
+
+let gen_triple =
+  QCheck.Gen.(
+    map2
+      (fun (s, p) o ->
+        Rdf.Triple.make (Rdf.Term.iri s) (Rdf.Term.iri p) o)
+      (pair gen_iri gen_iri) gen_term)
+
+let arb_triple = QCheck.make ~print:Rdf.Triple.to_string gen_triple
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"ntriples print/parse roundtrip" ~count:500 arb_triple
+    Rdf.Ntriples.roundtrip_safe
+
+let prop_term_order_total =
+  QCheck.Test.make ~name:"term compare is antisymmetric" ~count:300
+    (QCheck.pair (QCheck.make gen_term) (QCheck.make gen_term))
+    (fun (a, b) ->
+      let c1 = Rdf.Term.compare a b and c2 = Rdf.Term.compare b a in
+      (c1 = 0 && c2 = 0) || (c1 < 0 && c2 > 0) || (c1 > 0 && c2 < 0))
+
+let prop_term_hash_consistent =
+  QCheck.Test.make ~name:"equal terms hash equally" ~count:300
+    (QCheck.make gen_term)
+    (fun t -> Rdf.Term.hash t = Rdf.Term.hash t)
+
+let suite =
+  [
+    ( "rdf.term",
+      [
+        Alcotest.test_case "constructors" `Quick test_term_constructors;
+        Alcotest.test_case "literal exclusivity" `Quick test_term_literal_exclusive;
+        Alcotest.test_case "ordering" `Quick test_term_order;
+        Alcotest.test_case "printing" `Quick test_term_pp;
+      ] );
+    ( "rdf.triple",
+      [
+        Alcotest.test_case "invariants" `Quick test_triple_invariants;
+        Alcotest.test_case "ordering" `Quick test_triple_order;
+      ] );
+    ( "rdf.namespace",
+      [
+        Alcotest.test_case "expand" `Quick test_namespace_expand;
+        Alcotest.test_case "compact" `Quick test_namespace_compact;
+        Alcotest.test_case "longest match" `Quick test_namespace_longest_match;
+        Alcotest.test_case "rebind" `Quick test_namespace_rebind;
+      ] );
+    ( "rdf.ntriples",
+      [
+        Alcotest.test_case "basic" `Quick test_ntriples_parse_basic;
+        Alcotest.test_case "literals" `Quick test_ntriples_parse_literals;
+        Alcotest.test_case "comments and blanks" `Quick test_ntriples_skip_noise;
+        Alcotest.test_case "escapes" `Quick test_ntriples_escapes;
+        Alcotest.test_case "unicode escape" `Quick test_ntriples_unicode_escape;
+        Alcotest.test_case "errors" `Quick test_ntriples_errors;
+        Alcotest.test_case "file roundtrip" `Quick test_ntriples_file_roundtrip;
+        QCheck_alcotest.to_alcotest prop_roundtrip;
+        QCheck_alcotest.to_alcotest prop_term_order_total;
+        QCheck_alcotest.to_alcotest prop_term_hash_consistent;
+      ] );
+  ]

@@ -1,0 +1,197 @@
+(* SPARQL lexer/parser/pretty-printer tests. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let parse = Sparql.Parser.parse
+
+let test_select_basic () =
+  let q = parse "SELECT ?x WHERE { ?x <http://p> <http://o> . }" in
+  (match q.Sparql.Ast.select with
+  | Sparql.Ast.Select_vars [ "x" ] -> ()
+  | _ -> Alcotest.fail "bad selection");
+  checki "one pattern" 1 (List.length q.where);
+  checkb "no distinct" true (not q.distinct);
+  Alcotest.(check (option int)) "no limit" None q.limit
+
+let test_select_star_distinct_limit () =
+  let q = parse "SELECT DISTINCT * WHERE { ?a <http://p> ?b } LIMIT 7" in
+  checkb "star" true (q.Sparql.Ast.select = Sparql.Ast.Select_all);
+  checkb "distinct" true q.distinct;
+  Alcotest.(check (option int)) "limit" (Some 7) q.limit
+
+let test_prefixes () =
+  let q =
+    parse
+      {|PREFIX ex: <http://example.org/>
+        SELECT ?x WHERE { ?x ex:knows ex:alice . }|}
+  in
+  match q.Sparql.Ast.where with
+  | [ { predicate = Sparql.Ast.Iri p; obj = Sparql.Ast.Iri o; _ } ] ->
+      checks "predicate expanded" "http://example.org/knows" p;
+      checks "object expanded" "http://example.org/alice" o
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_default_prefixes () =
+  let q = parse "SELECT ?x WHERE { ?x rdf:type foaf:Person . }" in
+  match q.Sparql.Ast.where with
+  | [ { predicate = Sparql.Ast.Iri p; obj = Sparql.Ast.Iri o; _ } ] ->
+      checks "rdf default" "http://www.w3.org/1999/02/22-rdf-syntax-ns#type" p;
+      checks "foaf default" "http://xmlns.com/foaf/0.1/Person" o
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_a_keyword () =
+  let q = parse "SELECT ?x WHERE { ?x a <http://C> . }" in
+  match q.Sparql.Ast.where with
+  | [ { predicate = Sparql.Ast.Iri p; _ } ] ->
+      checks "a = rdf:type" "http://www.w3.org/1999/02/22-rdf-syntax-ns#type" p
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_literals () =
+  let q =
+    parse
+      {|SELECT ?x WHERE {
+          ?x <http://p1> "plain" .
+          ?x <http://p2> "tagged"@en .
+          ?x <http://p3> "1"^^xsd:integer .
+          ?x <http://p4> 42 .
+          ?x <http://p5> 3.25 .
+        }|}
+  in
+  let lits =
+    List.filter_map
+      (fun { Sparql.Ast.obj; _ } ->
+        match obj with Sparql.Ast.Lit l -> Some l | _ -> None)
+      q.Sparql.Ast.where
+  in
+  checki "five literals" 5 (List.length lits);
+  let nth i = List.nth lits i in
+  checkb "plain" true ((nth 0).Rdf.Term.datatype = None && (nth 0).lang = None);
+  checkb "lang" true ((nth 1).lang = Some "en");
+  checks "explicit datatype" "http://www.w3.org/2001/XMLSchema#integer"
+    (Option.get (nth 2).datatype);
+  checks "int literal value" "42" (nth 3).value;
+  checks "int datatype" "http://www.w3.org/2001/XMLSchema#integer"
+    (Option.get (nth 3).datatype);
+  checks "decimal datatype" "http://www.w3.org/2001/XMLSchema#decimal"
+    (Option.get (nth 4).datatype)
+
+let test_semicolon_comma () =
+  let q =
+    parse
+      {|SELECT * WHERE {
+          ?x <http://p> ?a , ?b ;
+             <http://q> ?c .
+          ?y <http://r> ?x
+        }|}
+  in
+  checki "expanded to four patterns" 4 (List.length q.Sparql.Ast.where);
+  let subjects =
+    List.map
+      (fun { Sparql.Ast.subject; _ } ->
+        match subject with Sparql.Ast.Var v -> v | _ -> "?")
+      q.Sparql.Ast.where
+  in
+  checkb "x subject thrice" true (subjects = [ "x"; "x"; "x"; "y" ])
+
+let test_variables_order () =
+  let q = parse "SELECT * WHERE { ?b <http://p> ?a . ?a <http://q> ?c }" in
+  checkb "first-occurrence order" true (Sparql.Ast.variables q = [ "b"; "a"; "c" ]);
+  checkb "select * projects all" true
+    (Sparql.Ast.selected_variables q = [ "b"; "a"; "c" ])
+
+let test_is_basic () =
+  let ok = parse "SELECT * WHERE { ?x <http://p> ?y }" in
+  checkb "basic" true (Sparql.Ast.is_basic ok);
+  let varpred = parse "SELECT * WHERE { ?x ?p ?y }" in
+  checkb "variable predicate not basic" false (Sparql.Ast.is_basic varpred)
+
+let test_errors () =
+  let bad src =
+    match Sparql.Parser.parse_result src with Error _ -> true | Ok _ -> false
+  in
+  checkb "missing where block" true (bad "SELECT ?x");
+  checkb "unbound prefix" true (bad "SELECT ?x WHERE { ?x zz:p ?y }");
+  checkb "garbage" true (bad "SELEC ?x WHERE { }");
+  checkb "trailing tokens" true (bad "SELECT ?x WHERE { ?x <http://p> ?y } xyz");
+  checkb "unterminated block" true (bad "SELECT ?x WHERE { ?x <http://p> ?y");
+  checkb "no vars in select" true (bad "SELECT WHERE { ?x <http://p> ?y }")
+
+let test_pretty_roundtrip () =
+  let original = Fixtures.parse_query Fixtures.paper_query_text in
+  let printed = Sparql.Ast.to_string original in
+  let reparsed = parse printed in
+  checki "same pattern count" (List.length original.Sparql.Ast.where)
+    (List.length reparsed.Sparql.Ast.where);
+  checkb "same patterns" true
+    (List.for_all2
+       (fun p1 p2 ->
+         Sparql.Ast.term_equal p1.Sparql.Ast.subject p2.Sparql.Ast.subject
+         && Sparql.Ast.term_equal p1.predicate p2.predicate
+         && Sparql.Ast.term_equal p1.obj p2.obj)
+       original.where reparsed.where);
+  checkb "same selection" true (original.select = reparsed.select)
+
+(* Property: pretty-printing any generated AST reparses to the same AST. *)
+let gen_ast =
+  QCheck.Gen.(
+    let var = map (Printf.sprintf "X%d") (int_range 0 5) in
+    let iri = map (Printf.sprintf "http://t/%d") (int_range 0 9) in
+    let term =
+      frequency
+        [
+          (3, map (fun v -> Sparql.Ast.Var v) var);
+          (2, map (fun i -> Sparql.Ast.Iri i) iri);
+          (1, map (fun n -> Sparql.Ast.Lit
+                     { Rdf.Term.value = string_of_int n; datatype = None; lang = None })
+               (int_range 0 99));
+        ]
+    in
+    let pattern =
+      map3
+        (fun s p o -> Sparql.Ast.pattern s (Sparql.Ast.Iri p) o)
+        term iri term
+    in
+    let fix_subject p =
+      match p.Sparql.Ast.subject with
+      | Sparql.Ast.Lit _ -> { p with Sparql.Ast.subject = Sparql.Ast.Var "S" }
+      | _ -> p
+    in
+    map2
+      (fun patterns distinct ->
+        Sparql.Ast.make ~distinct Sparql.Ast.Select_all (List.map fix_subject patterns))
+      (list_size (int_range 1 8) pattern)
+      bool)
+
+let prop_print_parse =
+  QCheck.Test.make ~name:"pretty print reparses identically" ~count:300
+    (QCheck.make ~print:Sparql.Ast.to_string gen_ast) (fun ast ->
+      let back = parse (Sparql.Ast.to_string ast) in
+      List.length back.Sparql.Ast.where = List.length ast.Sparql.Ast.where
+      && List.for_all2
+           (fun p1 p2 ->
+             Sparql.Ast.term_equal p1.Sparql.Ast.subject p2.Sparql.Ast.subject
+             && Sparql.Ast.term_equal p1.predicate p2.predicate
+             && Sparql.Ast.term_equal p1.obj p2.obj)
+           back.where ast.where
+      && back.distinct = ast.distinct)
+
+let suite =
+  [
+    ( "sparql.parser",
+      [
+        Alcotest.test_case "select basic" `Quick test_select_basic;
+        Alcotest.test_case "star/distinct/limit" `Quick test_select_star_distinct_limit;
+        Alcotest.test_case "prefixes" `Quick test_prefixes;
+        Alcotest.test_case "default prefixes" `Quick test_default_prefixes;
+        Alcotest.test_case "'a' keyword" `Quick test_a_keyword;
+        Alcotest.test_case "literal forms" `Quick test_literals;
+        Alcotest.test_case "semicolon and comma" `Quick test_semicolon_comma;
+        Alcotest.test_case "variable order" `Quick test_variables_order;
+        Alcotest.test_case "is_basic" `Quick test_is_basic;
+        Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "paper query roundtrip" `Quick test_pretty_roundtrip;
+        QCheck_alcotest.to_alcotest prop_print_parse;
+      ] );
+  ]

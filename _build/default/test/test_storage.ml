@@ -1,0 +1,219 @@
+(* Tests for the binary RDF codec, database round-tripping, engine
+   persistence and the result serializers. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* --- varints ----------------------------------------------------------- *)
+
+let test_varint_roundtrip () =
+  List.iter
+    (fun n ->
+      let buf = Buffer.create 8 in
+      Rdf.Binary.Varint.write buf n;
+      let pos = ref 0 in
+      checki (Printf.sprintf "varint %d" n) n
+        (Rdf.Binary.Varint.read (Buffer.contents buf) pos);
+      checki "consumed all" (Buffer.length buf) !pos)
+    [ 0; 1; 127; 128; 255; 300; 16383; 16384; 1_000_000; max_int / 2 ]
+
+let test_varint_corrupt () =
+  let truncated = "\x80\x80" in
+  (match Rdf.Binary.Varint.read truncated (ref 0) with
+  | exception Rdf.Binary.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt on truncated varint");
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Binary.Varint.write: negative") (fun () ->
+      Rdf.Binary.Varint.write (Buffer.create 4) (-1))
+
+(* --- binary triples ------------------------------------------------------ *)
+
+let test_binary_roundtrip_fixture () =
+  let buf = Buffer.create 256 in
+  Rdf.Binary.write buf Fixtures.paper_triples;
+  let back = Rdf.Binary.read (Buffer.contents buf) ~pos:0 in
+  checkb "identical triples, same order" true
+    (List.for_all2 Rdf.Triple.equal Fixtures.paper_triples back)
+
+let test_binary_file_roundtrip () =
+  let path = Filename.temp_file "amber" ".adb" in
+  let triples = Datagen.Lubm.generate ~universities:1 () in
+  Rdf.Binary.write_file path triples;
+  let back = Rdf.Binary.read_file path in
+  let nt_size = String.length (Rdf.Ntriples.to_string triples) in
+  let bin_size = (Unix.stat path).Unix.st_size in
+  Sys.remove path;
+  checkb "identical" true (List.for_all2 Rdf.Triple.equal triples back);
+  checkb "compact (at least 3x smaller than N-Triples)" true
+    (bin_size * 3 < nt_size)
+
+let test_binary_corrupt_inputs () =
+  let bad src =
+    match Rdf.Binary.read src ~pos:0 with
+    | exception Rdf.Binary.Corrupt _ -> true
+    | _ -> false
+  in
+  checkb "bad magic" true (bad "NOTAMBER\x00");
+  checkb "empty" true (bad "");
+  (* Valid header but truncated body. *)
+  let buf = Buffer.create 64 in
+  Rdf.Binary.write buf Fixtures.paper_triples;
+  let full = Buffer.contents buf in
+  checkb "truncated body" true (bad (String.sub full 0 (String.length full / 2)))
+
+let gen_term =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun s -> Rdf.Term.iri ("http://x/" ^ s))
+             (string_size ~gen:(char_range 'a' 'z') (int_range 0 10)));
+        (2, map Rdf.Term.literal (string_size ~gen:(char_range ' ' '~') (int_range 0 12)));
+        (1, map (fun s -> Rdf.Term.literal ~lang:"en" s)
+             (string_size ~gen:(char_range 'a' 'z') (int_range 0 6)));
+        (1, map (fun s -> Rdf.Term.literal ~datatype:"http://dt" s)
+             (string_size ~gen:(char_range '0' '9') (int_range 1 6)));
+        (1, map Rdf.Term.bnode (string_size ~gen:(char_range 'a' 'z') (int_range 1 6)));
+      ])
+
+let gen_triples =
+  QCheck.Gen.(
+    list_size (int_range 0 40)
+      (map3
+         (fun s p o -> Rdf.Triple.make (Rdf.Term.iri ("http://s/" ^ s)) (Rdf.Term.iri ("http://p/" ^ p)) o)
+         (string_size ~gen:(char_range 'a' 'c') (int_range 1 2))
+         (string_size ~gen:(char_range 'a' 'c') (int_range 1 2))
+         gen_term))
+
+let prop_binary_roundtrip =
+  QCheck.Test.make ~name:"binary write/read roundtrip" ~count:300
+    (QCheck.make gen_triples) (fun triples ->
+      let buf = Buffer.create 128 in
+      Rdf.Binary.write buf triples;
+      let back = Rdf.Binary.read (Buffer.contents buf) ~pos:0 in
+      List.length back = List.length triples
+      && List.for_all2 Rdf.Triple.equal triples back)
+
+(* --- Database.to_triples -------------------------------------------------- *)
+
+let test_database_to_triples () =
+  let db = Amber.Database.of_triples Fixtures.paper_triples in
+  let back = Amber.Database.to_triples db in
+  checki "same count (no duplicates in fixture)"
+    (List.length Fixtures.paper_triples)
+    (List.length back);
+  let canon ts = List.sort Rdf.Triple.compare ts in
+  checkb "same set" true
+    (List.for_all2 Rdf.Triple.equal
+       (canon Fixtures.paper_triples)
+       (canon back))
+
+let prop_db_roundtrip_preserves_answers =
+  QCheck.Test.make ~name:"of_triples ∘ to_triples preserves answers" ~count:40
+    (QCheck.make QCheck.Gen.int) (fun seed ->
+      let rng = Datagen.Prng.create seed in
+      let n = 6 + Datagen.Prng.int rng 6 in
+      let e i = Printf.sprintf "http://t/e%d" i in
+      let p i = Printf.sprintf "http://t/p%d" i in
+      let triples =
+        List.init (20 + Datagen.Prng.int rng 20) (fun _ ->
+            Rdf.Triple.spo
+              (e (Datagen.Prng.int rng n))
+              (p (Datagen.Prng.int rng 3))
+              (Rdf.Term.iri (e (Datagen.Prng.int rng n))))
+        @ List.init n (fun v ->
+              Rdf.Triple.spo (e v) "http://t/lp"
+                (Rdf.Term.literal (string_of_int (Datagen.Prng.int rng 3))))
+      in
+      let e1 = Amber.Engine.build triples in
+      let e2 =
+        Amber.Engine.build (Amber.Database.to_triples (Amber.Engine.db e1))
+      in
+      let ast =
+        Sparql.Parser.parse
+          {|SELECT * WHERE { ?a <http://t/p0> ?b . ?b <http://t/p1> ?c }|}
+      in
+      Reference.canonical_rows (Amber.Engine.query e1 ast).Amber.Engine.rows
+      = Reference.canonical_rows (Amber.Engine.query e2 ast).Amber.Engine.rows)
+
+(* --- Engine save/load ------------------------------------------------------ *)
+
+let test_engine_save_load () =
+  let path = Filename.temp_file "amber" ".adb" in
+  let original = Amber.Engine.build Fixtures.paper_triples in
+  Amber.Engine.save original path;
+  let loaded = Amber.Engine.load_file path in
+  Sys.remove path;
+  let a1 = Amber.Engine.query_string original Fixtures.paper_query_text in
+  let a2 = Amber.Engine.query_string loaded Fixtures.paper_query_text in
+  checkb "answers survive persistence" true
+    (Reference.canonical_rows a1.Amber.Engine.rows
+    = Reference.canonical_rows a2.Amber.Engine.rows);
+  checki "two embeddings still" 2 (List.length a2.Amber.Engine.rows)
+
+(* --- Results serializers ---------------------------------------------------- *)
+
+let sample_answer () =
+  {
+    Amber.Engine.variables = [ "x"; "y" ];
+    rows =
+      [
+        [ Some (Rdf.Term.iri "http://a"); Some (Rdf.Term.literal "v,1") ];
+        [ Some (Rdf.Term.literal ~lang:"en" "hi"); None ];
+        [ Some (Rdf.Term.literal ~datatype:"http://dt" "7"); Some (Rdf.Term.bnode "b0") ];
+      ];
+    truncated = false;
+  }
+
+let test_results_json () =
+  let json = Amber.Results.to_json (sample_answer ()) in
+  let contains needle =
+    let n = String.length needle and h = String.length json in
+    let rec loop i = i + n <= h && (String.sub json i n = needle || loop (i + 1)) in
+    loop 0
+  in
+  checkb "head vars" true (contains {|"vars":["x","y"]|});
+  checkb "uri binding" true (contains {|"x":{"type":"uri","value":"http://a"}|});
+  checkb "lang literal" true (contains {|"xml:lang":"en"|});
+  checkb "datatype" true (contains {|"datatype":"http://dt"|});
+  checkb "bnode" true (contains {|{"type":"bnode","value":"b0"}|});
+  (* Unbound y in the second row: the key must not appear there. *)
+  checkb "unbound omitted" true (contains {|{"x":{"type":"literal","value":"hi","xml:lang":"en"}}|})
+
+let test_results_csv () =
+  let csv = Amber.Results.to_csv (sample_answer ()) in
+  let lines = String.split_on_char '\n' csv in
+  checks "header" "x,y\r" (List.nth lines 0);
+  checks "quoted comma field" "http://a,\"v,1\"\r" (List.nth lines 1);
+  checks "unbound empty" "hi,\r" (List.nth lines 2)
+
+let test_results_tsv () =
+  let tsv = Amber.Results.to_tsv (sample_answer ()) in
+  let lines = String.split_on_char '\n' tsv in
+  checks "header" "?x\t?y" (List.nth lines 0);
+  checks "nt terms" "<http://a>\t\"v,1\"" (List.nth lines 1)
+
+let suite =
+  [
+    ( "rdf.binary",
+      [
+        Alcotest.test_case "varint roundtrip" `Quick test_varint_roundtrip;
+        Alcotest.test_case "varint corrupt" `Quick test_varint_corrupt;
+        Alcotest.test_case "fixture roundtrip" `Quick test_binary_roundtrip_fixture;
+        Alcotest.test_case "file roundtrip + compactness" `Quick test_binary_file_roundtrip;
+        Alcotest.test_case "corrupt inputs" `Quick test_binary_corrupt_inputs;
+        QCheck_alcotest.to_alcotest prop_binary_roundtrip;
+      ] );
+    ( "amber.persistence",
+      [
+        Alcotest.test_case "to_triples" `Quick test_database_to_triples;
+        QCheck_alcotest.to_alcotest prop_db_roundtrip_preserves_answers;
+        Alcotest.test_case "engine save/load" `Quick test_engine_save_load;
+      ] );
+    ( "amber.results",
+      [
+        Alcotest.test_case "json" `Quick test_results_json;
+        Alcotest.test_case "csv" `Quick test_results_csv;
+        Alcotest.test_case "tsv" `Quick test_results_tsv;
+      ] );
+  ]
