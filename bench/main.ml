@@ -20,6 +20,7 @@ type config = {
   seed : int;
   only : string list;  (* empty = all *)
   micro : bool;
+  json_path : string option;
 }
 
 let default_config =
@@ -33,15 +34,19 @@ let default_config =
     seed = 2016;
     only = [];
     micro = false;
+    json_path = None;
   }
 
 let usage () =
   print_endline
     {|usage: bench [--only ids] [--scale F] [--timeout S] [--queries N]
              [--sizes a,b,c] [--limit N] [--seed N] [--quick] [--micro]
+             [--json FILE]
 
-  ids: table1 table4 table5 fig6..fig11 ablation (comma separated)
-  --quick: small preset (scale 0.04, 5 queries/point, sizes 10,20,30)|};
+  ids: table1 table4 table5 fig6..fig11 ablation profile (comma separated)
+  --quick: small preset (scale 0.04, 5 queries/point, sizes 10,20,30)
+  --json:  also write a machine-readable report (summaries with
+           p95/p99, per-phase breakdowns, metrics registry) to FILE|};
   exit 0
 
 let parse_args () =
@@ -85,6 +90,9 @@ let parse_args () =
     | "--micro" :: rest ->
         cfg := { !cfg with micro = true };
         go rest
+    | "--json" :: v :: rest ->
+        cfg := { !cfg with json_path = Some v };
+        go rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\n" arg;
         exit 1
@@ -96,6 +104,35 @@ let wants cfg id = cfg.only = [] || List.mem id cfg.only
 
 let section title =
   Printf.printf "\n=== %s ===\n%!" title
+
+(* --- machine-readable report (--json) ------------------------------- *)
+
+(* Experiments append (key, json-value) pairs; the report is one object
+   in insertion order, written once at the end of the run. *)
+let json_entries : (string * string) list ref = ref []
+let add_json key value = json_entries := (key, value) :: !json_entries
+
+let write_json_report cfg =
+  match cfg.json_path with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"config":{"scale":%g,"timeout":%g,"queries_per_point":%d,"row_limit":%d,"seed":%d}|}
+           cfg.scale cfg.timeout cfg.queries_per_point cfg.row_limit cfg.seed);
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf {|,"%s":%s|} k v))
+        (List.rev !json_entries);
+      (* The engine-side counters accumulated over the whole run. *)
+      Buffer.add_string buf
+        (Printf.sprintf {|,"metrics":%s}|}
+           (Obs.Metrics.render_json Obs.Metrics.default));
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote JSON report to %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Engines under comparison                                            *)
@@ -240,22 +277,35 @@ let bench_table1 cfg dbpedia =
   in
   Printf.printf "(%d queries generated; timeout %.1fs)\n" (List.length queries)
     cfg.timeout;
-  let rows =
+  let summaries =
     List.map
       (fun (name, inst) ->
-        let s =
-          run_workload inst ~timeout:cfg.timeout ~limit:cfg.row_limit queries
-        in
+        (name, run_workload inst ~timeout:cfg.timeout ~limit:cfg.row_limit queries))
+      (Lazy.force dbpedia.engines)
+  in
+  let rows =
+    List.map
+      (fun (name, s) ->
         [
           name;
           (if s.Bench_util.Runner.answered = 0 then "> timeout"
            else Bench_util.Table_fmt.ms s.Bench_util.Runner.mean_time);
+          (if s.Bench_util.Runner.answered = 0 then "-"
+           else Bench_util.Table_fmt.ms s.Bench_util.Runner.p95_time);
+          (if s.Bench_util.Runner.answered = 0 then "-"
+           else Bench_util.Table_fmt.ms s.Bench_util.Runner.p99_time);
           Printf.sprintf "%d/%d" s.Bench_util.Runner.answered
             (s.Bench_util.Runner.answered + s.Bench_util.Runner.unanswered);
         ])
-      (Lazy.force dbpedia.engines)
+      summaries
   in
-  Bench_util.Table_fmt.print ~header:[ "Engine"; "Mean time (ms)"; "Answered" ] rows
+  Bench_util.Table_fmt.print
+    ~header:[ "Engine"; "Mean time (ms)"; "p95 (ms)"; "p99 (ms)"; "Answered" ]
+    rows;
+  add_json "table1"
+    (Printf.sprintf {|{"dataset":"%s","engines":[%s]}|} dbpedia.ds_name
+       (String.concat ","
+          (List.map (fun (_, s) -> Bench_util.Runner.summary_json s) summaries)))
 
 (* ------------------------------------------------------------------ *)
 (* Figures 6-11: time + robustness across query sizes                  *)
@@ -331,7 +381,22 @@ let bench_figure cfg ~fig ~ds ~shape =
       results
   in
   Printf.printf "(b) %% unanswered queries\n";
-  Bench_util.Table_fmt.print ~header:([ "size"; "n" ] @ engine_names) robust_rows
+  Bench_util.Table_fmt.print ~header:([ "size"; "n" ] @ engine_names) robust_rows;
+  add_json
+    (Printf.sprintf "fig%d" fig)
+    (Printf.sprintf {|{"dataset":"%s","shape":"%s","points":[%s]}|} ds.ds_name
+       shape_name
+       (String.concat ","
+          (List.map
+             (fun (size, nq, per_engine) ->
+               Printf.sprintf {|{"size":%d,"queries":%d,"engines":[%s]}|} size
+                 nq
+                 (String.concat ","
+                    (List.filter_map
+                       (fun (_, s) ->
+                         Option.map Bench_util.Runner.summary_json s)
+                       per_engine)))
+             results)))
 
 (* ------------------------------------------------------------------ *)
 (* Ablations: the design choices called out in DESIGN.md §6            *)
@@ -419,6 +484,101 @@ let bench_ablation cfg ds =
         ~header:
           [ "Variant"; "Mean time (ms)"; "% unanswered"; "mean candidates" ]
         rows)
+    [ (Datagen.Workload.Star, "Star"); (Datagen.Workload.Complex, "Complex") ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-phase breakdown: where does a query's time go?                  *)
+(* ------------------------------------------------------------------ *)
+
+let profile_phases = [ "parse"; "decompose"; "candidates"; "match"; "enumerate" ]
+
+let bench_profile cfg ds =
+  section
+    (Printf.sprintf
+       "Per-phase breakdown: AMbER on %s (size 30, %d queries/shape, timeout \
+        %.1fs)"
+       ds.ds_name cfg.queries_per_point cfg.timeout);
+  let engine = Amber.Engine.build (Lazy.force ds.triples) in
+  List.iter
+    (fun (shape, shape_name) ->
+      let queries =
+        Datagen.Workload.generate ~seed:(cfg.seed + 123) (Lazy.force ds.corpus)
+          ~shape ~size:30 ~count:cfg.queries_per_point
+      in
+      let phase_total = Hashtbl.create 8 in
+      let bump name dt =
+        Hashtbl.replace phase_total name
+          (dt +. Option.value ~default:0. (Hashtbl.find_opt phase_total name))
+      in
+      let total = ref 0. and answered = ref 0 and unanswered = ref 0 in
+      let stats_total = Amber.Matcher.fresh_stats () in
+      List.iter
+        (fun ast ->
+          match
+            Amber.Engine.query_profiled ~timeout:cfg.timeout
+              ~limit:cfg.row_limit engine ast
+          with
+          | _, p ->
+              incr answered;
+              total := !total +. Obs.Span.duration p.Amber.Profile.span;
+              List.iter
+                (fun kid -> bump (Obs.Span.name kid) (Obs.Span.duration kid))
+                (Obs.Span.children p.Amber.Profile.span);
+              let s = p.Amber.Profile.stats in
+              stats_total.Amber.Matcher.index_probes <-
+                stats_total.Amber.Matcher.index_probes
+                + s.Amber.Matcher.index_probes;
+              stats_total.Amber.Matcher.candidates_scanned <-
+                stats_total.Amber.Matcher.candidates_scanned
+                + s.Amber.Matcher.candidates_scanned;
+              stats_total.Amber.Matcher.satellite_rejections <-
+                stats_total.Amber.Matcher.satellite_rejections
+                + s.Amber.Matcher.satellite_rejections;
+              stats_total.Amber.Matcher.solutions <-
+                stats_total.Amber.Matcher.solutions + s.Amber.Matcher.solutions
+          | exception Amber.Deadline.Expired -> incr unanswered)
+        queries;
+      Printf.printf "%s queries (answered %d/%d):\n" shape_name !answered
+        (!answered + !unanswered);
+      let n = max 1 !answered in
+      let rows =
+        List.map
+          (fun phase ->
+            let t = Option.value ~default:0. (Hashtbl.find_opt phase_total phase) in
+            [
+              phase;
+              Bench_util.Table_fmt.ms (t /. float_of_int n);
+              (if !total > 0. then Printf.sprintf "%.1f%%" (100. *. t /. !total)
+               else "-");
+            ])
+          profile_phases
+        @ [
+            [ "total"; Bench_util.Table_fmt.ms (!total /. float_of_int n); "100%" ];
+          ]
+      in
+      Bench_util.Table_fmt.print ~header:[ "Phase"; "Mean (ms)"; "Share" ] rows;
+      add_json
+        (Printf.sprintf "profile_%s" (String.lowercase_ascii shape_name))
+        (Printf.sprintf
+           {|{"dataset":"%s","shape":"%s","queries":%d,"answered":%d,"mean_total_s":%.9g,"phases_mean_s":{%s},"stats_mean":{"index_probes":%.1f,"candidates_scanned":%.1f,"satellite_rejections":%.1f,"solutions":%.1f}}|}
+           ds.ds_name shape_name
+           (!answered + !unanswered)
+           !answered
+           (!total /. float_of_int n)
+           (String.concat ","
+              (List.map
+                 (fun phase ->
+                   Printf.sprintf {|"%s":%.9g|} phase
+                     (Option.value ~default:0.
+                        (Hashtbl.find_opt phase_total phase)
+                     /. float_of_int n))
+                 profile_phases))
+           (float_of_int stats_total.Amber.Matcher.index_probes /. float_of_int n)
+           (float_of_int stats_total.Amber.Matcher.candidates_scanned
+           /. float_of_int n)
+           (float_of_int stats_total.Amber.Matcher.satellite_rejections
+           /. float_of_int n)
+           (float_of_int stats_total.Amber.Matcher.solutions /. float_of_int n)))
     [ (Datagen.Workload.Star, "Star"); (Datagen.Workload.Complex, "Complex") ]
 
 (* ------------------------------------------------------------------ *)
@@ -523,5 +683,7 @@ let () =
   if wants cfg "fig11" then
     bench_figure cfg ~fig:11 ~ds:lubm ~shape:Datagen.Workload.Complex;
   if wants cfg "ablation" then bench_ablation cfg dbpedia;
+  if wants cfg "profile" then bench_profile cfg dbpedia;
   if cfg.micro then micro_benchmarks ();
+  write_json_report cfg;
   print_newline ()

@@ -8,7 +8,9 @@
    Query text can also be passed inline with --sparql. Data files ending
    in .ttl are parsed as Turtle, anything else as N-Triples. With
    --extended, queries may use UNION / OPTIONAL / FILTER (amber engine
-   only). *)
+   only). `query --profile` prints the per-query profile (phase tree,
+   candidate counts, matcher counters); `query --explain` the matching
+   plan. *)
 
 open Cmdliner
 
@@ -82,6 +84,24 @@ let extended_arg =
           "Parse the query with UNION / OPTIONAL / FILTER support and evaluate \
            it on the AMbER algebra engine.")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Print a per-query profile after the results: phase tree (parse, \
+           decompose, candidates, match, enumerate), per-vertex candidate \
+           counts before/after pruning, and the matcher's search counters \
+           (amber engine, SELECT queries).")
+
+let explain_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:
+          "Print the decomposition and matching order before answering \
+           (amber engine only).")
+
 let query_text query_file sparql =
   match (sparql, query_file) with
   | Some q, _ -> q
@@ -134,9 +154,13 @@ let print_answer ?(format = `Table) variables rows truncated =
 
 (* --- query ----------------------------------------------------------- *)
 
-let run_query data query_file sparql timeout limit engine open_objects extended format =
+let run_query data query_file sparql timeout limit engine open_objects extended
+    format profile explain =
   let triples = load_triples data in
   let src = query_text query_file sparql in
+  if (profile || explain) && (extended || engine <> `Amber) then
+    prerr_endline
+      "note: --profile/--explain apply to the plain amber engine only; ignored";
   if extended then begin
     let t_build, e =
       Bench_util.Runner.time (fun () -> Amber.Engine.build triples)
@@ -187,32 +211,64 @@ let run_query data query_file sparql timeout limit engine open_objects extended 
         Bench_util.Runner.time (fun () -> Amber.Engine.build triples)
       in
       Printf.eprintf "amber: offline stage %.2fs\n%!" t_build;
-      (match
-         Bench_util.Runner.time (fun () ->
-             match Sparql.Parser.parse_any src with
-             | Sparql.Parser.Q_select ast ->
-                 let a = Amber.Engine.query ?timeout ?limit ~open_objects e ast in
-                 `Rows a
-             | Sparql.Parser.Q_ask ast ->
-                 `Bool (Amber.Engine.ask ?timeout ~open_objects e ast)
-             | Sparql.Parser.Q_construct (template, ast) ->
-                 `Triples
-                   (Amber.Engine.construct ?timeout ?limit ~open_objects e
-                      ~template ast))
-       with
-      | dt, result ->
-          (match result with
-          | `Rows a ->
-              print_answer ~format a.Amber.Engine.variables a.rows a.truncated
-          | `Bool b -> print_endline (if b then "true" else "false")
-          | `Triples triples -> print_string (Rdf.Ntriples.to_string triples));
-          Printf.eprintf "answered in %.2f ms\n" (1000. *. dt)
-      | exception Amber.Deadline.Expired ->
-          Printf.eprintf "query timed out\n";
-          exit 3
-      | exception Sparql.Parser.Error { line; col; message } ->
-          Printf.eprintf "SPARQL parse error at %d:%d: %s\n" line col message;
-          exit 1)
+      if explain then begin
+        match Sparql.Parser.parse_result src with
+        | Ok ast ->
+            Format.printf "%a@." Amber.Engine.pp_explanation
+              (Amber.Engine.explain ~open_objects e ast)
+        | Error _ -> () (* the query path reports the parse error below *)
+      end;
+      let is_select =
+        match Sparql.Parser.parse_any src with
+        | Sparql.Parser.Q_select _ -> true
+        | _ -> false
+        | exception Sparql.Parser.Error _ -> false
+      in
+      if profile && is_select then begin
+        (* Re-parses under the profiler so the parse phase is timed. *)
+        match
+          Bench_util.Runner.time (fun () ->
+              Amber.Engine.query_string_profiled ?timeout ?limit ~open_objects
+                e src)
+        with
+        | dt, (a, p) ->
+            print_answer ~format a.Amber.Engine.variables a.rows a.truncated;
+            Format.printf "%a@." Amber.Profile.pp p;
+            Printf.eprintf "answered in %.2f ms\n" (1000. *. dt)
+        | exception Amber.Deadline.Expired ->
+            Printf.eprintf "query timed out\n";
+            exit 3
+      end
+      else begin
+        if profile then
+          prerr_endline "note: --profile applies to SELECT queries only";
+        match
+          Bench_util.Runner.time (fun () ->
+              match Sparql.Parser.parse_any src with
+              | Sparql.Parser.Q_select ast ->
+                  let a = Amber.Engine.query ?timeout ?limit ~open_objects e ast in
+                  `Rows a
+              | Sparql.Parser.Q_ask ast ->
+                  `Bool (Amber.Engine.ask ?timeout ~open_objects e ast)
+              | Sparql.Parser.Q_construct (template, ast) ->
+                  `Triples
+                    (Amber.Engine.construct ?timeout ?limit ~open_objects e
+                       ~template ast))
+        with
+        | dt, result ->
+            (match result with
+            | `Rows a ->
+                print_answer ~format a.Amber.Engine.variables a.rows a.truncated
+            | `Bool b -> print_endline (if b then "true" else "false")
+            | `Triples triples -> print_string (Rdf.Ntriples.to_string triples));
+            Printf.eprintf "answered in %.2f ms\n" (1000. *. dt)
+        | exception Amber.Deadline.Expired ->
+            Printf.eprintf "query timed out\n";
+            exit 3
+        | exception Sparql.Parser.Error { line; col; message } ->
+            Printf.eprintf "SPARQL parse error at %d:%d: %s\n" line col message;
+            exit 1
+      end
   | `Rdf3x -> run (module Baselines.Triple_store)
   | `Virtuoso -> run (module Baselines.Column_store)
   | `Jena -> run (module Baselines.Nested_loop)
@@ -223,7 +279,8 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run_query $ data_arg $ query_file_arg $ sparql_arg $ timeout_arg
-      $ limit_arg $ engine_arg $ open_objects_arg $ extended_arg $ format_arg)
+      $ limit_arg $ engine_arg $ open_objects_arg $ extended_arg $ format_arg
+      $ profile_arg $ explain_flag_arg)
 
 (* --- explain ----------------------------------------------------------- *)
 

@@ -8,6 +8,8 @@ type summary = {
   unanswered : int;
   mean_time : float;
   median_time : float;
+  p95_time : float;
+  p99_time : float;
   total_rows : int;
 }
 
@@ -42,6 +44,8 @@ let run_workload (type e) (module E : Baselines.Engine_sig.S with type t = e)
     unanswered = !unanswered;
     mean_time = Stats.mean !times;
     median_time = Stats.median !times;
+    p95_time = Stats.p95 !times;
+    p99_time = Stats.p99 !times;
     total_rows = !total_rows;
   }
 
@@ -51,6 +55,14 @@ let pp_summary ppf s =
     else
       100.0 *. float_of_int s.unanswered /. float_of_int (s.answered + s.unanswered)
   in
-  Format.fprintf ppf "%-14s answered %3d/%3d (%5.1f%% unanswered)  mean %8.2f ms  median %8.2f ms"
+  Format.fprintf ppf
+    "%-14s answered %3d/%3d (%5.1f%% unanswered)  mean %8.2f ms  median %8.2f \
+     ms  p95 %8.2f ms  p99 %8.2f ms"
     s.engine s.answered (s.answered + s.unanswered) pct (1000. *. s.mean_time)
-    (1000. *. s.median_time)
+    (1000. *. s.median_time) (1000. *. s.p95_time) (1000. *. s.p99_time)
+
+let summary_json s =
+  Printf.sprintf
+    {|{"engine":"%s","answered":%d,"unanswered":%d,"mean_s":%.9g,"median_s":%.9g,"p95_s":%.9g,"p99_s":%.9g,"total_rows":%d}|}
+    s.engine s.answered s.unanswered s.mean_time s.median_time s.p95_time
+    s.p99_time s.total_rows

@@ -13,6 +13,8 @@ type summary = {
   unanswered : int;
   mean_time : float;  (** over answered queries only, as in the paper *)
   median_time : float;
+  p95_time : float;  (** tail latency over answered queries *)
+  p99_time : float;
   total_rows : int;
 }
 
@@ -36,3 +38,7 @@ val run_workload :
   summary
 
 val pp_summary : Format.formatter -> summary -> unit
+
+val summary_json : summary -> string
+(** One JSON object per summary — the benchmark harness's [--json]
+    report embeds these. *)

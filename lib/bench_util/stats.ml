@@ -13,6 +13,8 @@ let percentile p = function
       List.nth sorted (max 0 (min (n - 1) rank))
 
 let median xs = percentile 0.5 xs
+let p95 xs = percentile 0.95 xs
+let p99 xs = percentile 0.99 xs
 
 let stddev = function
   | [] | [ _ ] -> 0.

@@ -7,6 +7,10 @@ val median : float list -> float
 val percentile : float -> float list -> float
 (** [percentile p xs] with [p] in [0, 1] (nearest-rank). *)
 
+val p95 : float list -> float
+val p99 : float list -> float
+(** Tail-latency percentiles ([percentile 0.95] / [0.99]). *)
+
 val stddev : float list -> float
 val minimum : float list -> float
 val maximum : float list -> float

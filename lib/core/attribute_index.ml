@@ -1,4 +1,8 @@
-type t = int array array  (* attribute id -> sorted vertex ids *)
+type t = {
+  lists : int array array;  (* attribute id -> sorted vertex ids *)
+  mutable probes : int;  (* lifetime lookup count; racy under domains,
+                            lost increments are acceptable *)
+}
 
 let build db =
   let g = Database.graph db in
@@ -11,14 +15,17 @@ let build db =
   done;
   (* Vertices were visited in decreasing order, so each bucket is
      already sorted increasingly. *)
-  Array.map Array.of_list buckets
+  { lists = Array.map Array.of_list buckets; probes = 0 }
 
-let vertices_with t a = if a < 0 || a >= Array.length t then [||] else t.(a)
+let vertices_with t a =
+  if a < 0 || a >= Array.length t.lists then [||] else t.lists.(a)
 
 let candidates t attrs =
   if Array.length attrs = 0 then
     invalid_arg "Attribute_index.candidates: empty attribute set";
+  t.probes <- t.probes + 1;
   let lists = Array.to_list (Array.map (vertices_with t) attrs) in
   Mgraph.Sorted_ints.inter_many lists
 
-let attribute_count t = Array.length t
+let attribute_count t = Array.length t.lists
+let probes t = t.probes

@@ -17,3 +17,7 @@ val candidates : t -> int array -> int array
     only consult [A] when the query vertex has attributes). *)
 
 val attribute_count : t -> int
+
+val probes : t -> int
+(** Lifetime number of {!candidates} lookups — exported by the
+    observability layer ([amber_attribute_index_probes_total]). *)

@@ -4,6 +4,7 @@ exception Expired
 
 (* Poll the clock once every [interval] checks. *)
 let interval = 256
+let poll_interval = interval
 
 let after seconds = { limit = Unix.gettimeofday () +. seconds; ticks = 0 }
 let never = { limit = infinity; ticks = 0 }

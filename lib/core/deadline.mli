@@ -24,3 +24,7 @@ val expired : t -> bool
 
 val remaining : t -> float
 (** Seconds left; [infinity] for {!never}. *)
+
+val poll_interval : int
+(** {!check} consults the wall clock once every [poll_interval] calls —
+    an expired deadline fires within that many checks, never later. *)

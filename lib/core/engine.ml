@@ -136,8 +136,63 @@ let project_answer t ~q ~(ast : Sparql.Ast.t) ~deadline ~selected
   in
   { variables = selected; rows; truncated }
 
+(* ------------------------------------------------------------------ *)
+(* Default-registry metrics                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Always-on instrumentation: a handful of integer bumps and one
+   histogram observation per query. The registry is the process-wide
+   one; the endpoint exposes it at GET /metrics. *)
+let m = Obs.Metrics.default
+
+let m_queries =
+  Obs.Metrics.counter m "amber_queries_total" ~help:"Queries answered"
+
+let m_seconds =
+  Obs.Metrics.histogram m "amber_query_seconds"
+    ~help:"Per-query wall-clock latency in seconds"
+
+let m_index_probes =
+  Obs.Metrics.counter m "amber_matcher_index_probes_total"
+    ~help:"Neighbourhood-index lookups during matching"
+
+let m_scanned =
+  Obs.Metrics.counter m "amber_matcher_candidates_scanned_total"
+    ~help:"Data vertices tried as core-vertex candidates"
+
+let m_sat_rejections =
+  Obs.Metrics.counter m "amber_matcher_satellite_rejections_total"
+    ~help:"Candidates discarded because a satellite had no match"
+
+let m_solutions =
+  Obs.Metrics.counter m "amber_matcher_solutions_total"
+    ~help:"Solutions emitted by the matcher"
+
+let record_query_metrics ~seconds (stats : Matcher.stats) =
+  Obs.Metrics.incr m_queries;
+  Obs.Metrics.observe m_seconds seconds;
+  Obs.Metrics.add m_index_probes stats.Matcher.index_probes;
+  Obs.Metrics.add m_scanned stats.Matcher.candidates_scanned;
+  Obs.Metrics.add m_sat_rejections stats.Matcher.satellite_rejections;
+  Obs.Metrics.add m_solutions stats.Matcher.solutions
+
+let sync_index_metrics t =
+  let set name help v =
+    Obs.Metrics.set (Obs.Metrics.counter m name ~help) v
+  in
+  set "amber_attribute_index_probes_total"
+    "Lifetime attribute inverted-list lookups (index A)"
+    (Attribute_index.probes t.attribute);
+  set "amber_synopsis_index_probes_total"
+    "Lifetime synopsis R-tree/scan lookups (index S)"
+    (Synopsis_index.probes t.synopsis);
+  set "amber_neighbourhood_index_probes_total"
+    "Lifetime neighbourhood OTIL lookups (index N)"
+    (Neighbourhood_index.probes t.neighbourhood)
+
 let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects t
     (ast : Sparql.Ast.t) =
+  let t0 = Unix.gettimeofday () in
   let deadline = deadline_of timeout in
   let stats = Matcher.fresh_stats () in
   let selected = Sparql.Ast.selected_variables ast in
@@ -147,8 +202,12 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects t
     | Some l, None | None, Some l -> Some l
     | Some a, Some b -> Some (min a b)
   in
+  let finish answer =
+    record_query_metrics ~seconds:(Unix.gettimeofday () -. t0) stats;
+    (answer, stats)
+  in
   match Query_graph.build ?open_objects t.db ast with
-  | Query_graph.Unsatisfiable _ -> (empty_answer selected, stats)
+  | Query_graph.Unsatisfiable _ -> finish (empty_answer selected)
   | Query_graph.Query q ->
       let plan = Decompose.plan ?strategy ?satellites q in
       let ctx =
@@ -169,11 +228,11 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects t
         else gather_cap ast effective_limit
       in
       (match collect_solutions ctx q plan solution_cap with
-      | None -> (empty_answer selected, stats)
+      | None -> finish (empty_answer selected)
       | Some solutions ->
-          ( project_answer t ~q ~ast ~deadline ~selected ~effective_limit
-              ~solutions,
-            stats ))
+          finish
+            (project_answer t ~q ~ast ~deadline ~selected ~effective_limit
+               ~solutions))
 
 let query ?timeout ?limit ?strategy ?satellites ?open_objects t ast =
   fst (query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects t ast)
@@ -311,6 +370,148 @@ let pp_explanation ppf = function
             (fun (v, p) -> Format.fprintf ppf "  ?%s via <%s>@," v p)
             opens);
       Format.fprintf ppf "@]"
+
+(* ------------------------------------------------------------------ *)
+(* Profiled execution                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Candidate-set sizes before/after pruning, for every query vertex.
+   The extra probes go through a throwaway stats record so the profile's
+   matcher counters describe the run itself, not the report. *)
+let vertex_reports t q (plan : Decompose.plan) =
+  let probe_ctx =
+    {
+      Matcher.db = t.db;
+      attribute = t.attribute;
+      synopsis = t.synopsis;
+      neighbourhood = t.neighbourhood;
+      deadline = Deadline.never;
+      stats = Matcher.fresh_stats ();
+    }
+  in
+  List.init (Query_graph.vertex_count q) (fun u ->
+      let structural =
+        Synopsis_index.candidates_of_signature t.synopsis
+          (Query_graph.signature q u)
+      in
+      let refined =
+        match Matcher.process_vertex probe_ctx q u with
+        | None -> Array.length structural
+        | Some extra ->
+            Array.length (Mgraph.Sorted_ints.inter structural extra)
+      in
+      {
+        Profile.variable = q.Query_graph.var_names.(u);
+        core = plan.Decompose.is_core.(u);
+        structural = Array.length structural;
+        refined;
+      })
+
+(* [query] with the phase tree, candidate report and matcher counters
+   collected — the sequential path only. [parse] runs under the root
+   span so query_string_profiled attributes parsing time too. *)
+let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects t
+    ~(parse : unit -> Sparql.Ast.t) =
+  let deadline = deadline_of timeout in
+  let stats = Matcher.fresh_stats () in
+  let (answer, shape), span =
+    Obs.Span.root ~name:"query" (fun () ->
+        let ast = Obs.Span.with_ ~name:"parse" parse in
+        let selected = Sparql.Ast.selected_variables ast in
+        let effective_limit =
+          match (limit, ast.Sparql.Ast.limit) with
+          | None, None -> None
+          | Some l, None | None, Some l -> Some l
+          | Some a, Some b -> Some (min a b)
+        in
+        let built =
+          Obs.Span.with_ ~name:"decompose" (fun () ->
+              match Query_graph.build ?open_objects t.db ast with
+              | Query_graph.Unsatisfiable reason ->
+                  Obs.Span.annotate "unsatisfiable" reason;
+                  None
+              | Query_graph.Query q ->
+                  let plan = Decompose.plan ?strategy ?satellites q in
+                  Obs.Span.annotate "components"
+                    (string_of_int (Array.length plan.Decompose.components));
+                  Some (q, plan))
+        in
+        match built with
+        | None -> (empty_answer selected, None)
+        | Some (q, plan) ->
+            let vertices =
+              Obs.Span.with_ ~name:"candidates" (fun () ->
+                  vertex_reports t q plan)
+            in
+            let ctx =
+              {
+                Matcher.db = t.db;
+                attribute = t.attribute;
+                synopsis = t.synopsis;
+                neighbourhood = t.neighbourhood;
+                deadline;
+                stats;
+              }
+            in
+            let solution_cap =
+              if ast.Sparql.Ast.distinct || q.Query_graph.opens <> [] then None
+              else gather_cap ast effective_limit
+            in
+            let solutions =
+              Obs.Span.with_ ~name:"match" (fun () ->
+                  let sols = collect_solutions ctx q plan solution_cap in
+                  Obs.Span.annotate "solutions"
+                    (string_of_int stats.Matcher.solutions);
+                  sols)
+            in
+            let answer =
+              match solutions with
+              | None -> empty_answer selected
+              | Some solutions ->
+                  Obs.Span.with_ ~name:"enumerate" (fun () ->
+                      let a =
+                        project_answer t ~q ~ast ~deadline ~selected
+                          ~effective_limit ~solutions
+                      in
+                      Obs.Span.annotate "rows"
+                        (string_of_int (List.length a.rows));
+                      a)
+            in
+            (answer, Some (q, plan, vertices)))
+  in
+  record_query_metrics ~seconds:(Obs.Span.duration span) stats;
+  let core_order, vertices =
+    match shape with
+    | None -> ([], [])
+    | Some (q, plan, vertices) ->
+        ( Array.to_list
+            (Array.map
+               (fun (comp : Decompose.component) ->
+                 Array.to_list
+                   (Array.map
+                      (fun u -> q.Query_graph.var_names.(u))
+                      comp.Decompose.core_order))
+               plan.Decompose.components),
+          vertices )
+  in
+  ( answer,
+    {
+      Profile.core_order;
+      vertices;
+      stats;
+      span;
+      rows = List.length answer.rows;
+      truncated = answer.truncated;
+    } )
+
+let query_profiled ?timeout ?limit ?strategy ?satellites ?open_objects t ast =
+  profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects t
+    ~parse:(fun () -> ast)
+
+let query_string_profiled ?timeout ?limit ?strategy ?satellites ?open_objects
+    ?namespaces t src =
+  profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects t
+    ~parse:(fun () -> Sparql.Parser.parse ?namespaces src)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel query processing (the paper's §8 future work)              *)

@@ -82,6 +82,46 @@ val query_with_stats :
     probes, candidates scanned, satellite rejections, solutions) — the
     instrumentation behind the ablation experiments. *)
 
+(** {1 Profiled execution}
+
+    The observability entry points: like {!query} /
+    {!query_string}, but additionally building a {!Profile.t} — the
+    per-query phase tree (parse → decompose → candidates → match →
+    enumerate), the chosen core order, per-vertex candidate-set sizes
+    before/after synopsis pruning, and the matcher's counters (the
+    {!Matcher.stats} the plain paths record into the default metric
+    registry but do not return). Profiling adds a few extra index probes
+    for the candidate report; use the plain paths when benchmarking. *)
+
+val query_profiled :
+  ?timeout:float ->
+  ?limit:int ->
+  ?strategy:Decompose.strategy ->
+  ?satellites:bool ->
+  ?open_objects:bool ->
+  t ->
+  Sparql.Ast.t ->
+  answer * Profile.t
+
+val query_string_profiled :
+  ?timeout:float ->
+  ?limit:int ->
+  ?strategy:Decompose.strategy ->
+  ?satellites:bool ->
+  ?open_objects:bool ->
+  ?namespaces:Rdf.Namespace.t ->
+  t ->
+  string ->
+  answer * Profile.t
+(** Parse and answer under the profiler; parsing time appears as the
+    [parse] phase. @raise Sparql.Parser.Error on bad syntax. *)
+
+val sync_index_metrics : t -> unit
+(** Copy the indexes' lifetime probe counters
+    ([amber_{attribute,synopsis,neighbourhood}_index_probes_total]) into
+    the default metric registry — called by the endpoint before
+    rendering [GET /metrics]. *)
+
 val query_parallel :
   ?timeout:float ->
   ?limit:int ->

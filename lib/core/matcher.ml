@@ -1,12 +1,21 @@
 type stats = {
   mutable index_probes : int;
+  mutable synopsis_probes : int;
+  mutable attribute_probes : int;
   mutable candidates_scanned : int;
   mutable satellite_rejections : int;
   mutable solutions : int;
 }
 
 let fresh_stats () =
-  { index_probes = 0; candidates_scanned = 0; satellite_rejections = 0; solutions = 0 }
+  {
+    index_probes = 0;
+    synopsis_probes = 0;
+    attribute_probes = 0;
+    candidates_scanned = 0;
+    satellite_rejections = 0;
+    solutions = 0;
+  }
 
 type ctx = {
   db : Database.t;
@@ -43,8 +52,10 @@ let inter_opt a b =
 
 let process_vertex ctx (q : Query_graph.t) u =
   let from_attrs =
-    if Array.length q.attrs.(u) > 0 then
+    if Array.length q.attrs.(u) > 0 then begin
+      ctx.stats.attribute_probes <- ctx.stats.attribute_probes + 1;
       Some (Attribute_index.candidates ctx.attribute q.attrs.(u))
+    end
     else None
   in
   let from_iris =
@@ -117,6 +128,7 @@ let initial_candidates ctx (q : Query_graph.t) (comp : Decompose.component) =
   | 0 -> [||]
   | _ ->
       let u = comp.core_order.(0) in
+      ctx.stats.synopsis_probes <- ctx.stats.synopsis_probes + 1;
       let structural =
         Synopsis_index.candidates_of_signature ctx.synopsis
           (Query_graph.signature q u)
@@ -165,6 +177,7 @@ let solve_component_seeded ctx (q : Query_graph.t) (plan : Decompose.plan)
               | None ->
                   (* Core subgraphs are connected, so this only happens
                      for promoted singletons or defensive fallback: use S. *)
+                  ctx.stats.synopsis_probes <- ctx.stats.synopsis_probes + 1;
                   Some
                     (Synopsis_index.candidates_of_signature ctx.synopsis
                        (Query_graph.signature q u))

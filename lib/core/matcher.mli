@@ -13,6 +13,10 @@
 type stats = {
   mutable index_probes : int;
       (** neighbourhood-index lookups (the paper's [QueryNeighIndex]) *)
+  mutable synopsis_probes : int;
+      (** synopsis (R-tree / scan) lookups — index [S] *)
+  mutable attribute_probes : int;
+      (** attribute inverted-list lookups — index [A] *)
   mutable candidates_scanned : int;
       (** data vertices tried as a core-vertex candidate *)
   mutable satellite_rejections : int;

@@ -1,6 +1,8 @@
 type t = {
   incoming : Otil.t array;  (* N+ : per vertex, multi-edges of in-neighbours *)
   outgoing : Otil.t array;  (* N− : per vertex, multi-edges of out-neighbours *)
+  mutable probes : int;  (* lifetime lookup count; racy under domains,
+                            lost increments are acceptable *)
 }
 
 let build db =
@@ -20,11 +22,12 @@ let build db =
      the index can serve several domains concurrently. *)
   Array.iter Otil.prepare incoming;
   Array.iter Otil.prepare outgoing;
-  { incoming; outgoing }
+  { incoming; outgoing; probes = 0 }
 
 let neighbours t v dir types =
   if Array.length types = 0 then
     invalid_arg "Neighbourhood_index.neighbours: empty edge type set";
+  t.probes <- t.probes + 1;
   let trie =
     match dir with
     | Mgraph.Multigraph.Out -> t.outgoing.(v)
@@ -34,3 +37,4 @@ let neighbours t v dir types =
   else Otil.supersets trie types
 
 let vertex_count t = Array.length t.incoming
+let probes t = t.probes

@@ -19,3 +19,7 @@ val neighbours :
     non-empty. The result is sorted and duplicate-free. *)
 
 val vertex_count : t -> int
+
+val probes : t -> int
+(** Lifetime number of {!neighbours} lookups — exported by the
+    observability layer ([amber_neighbourhood_index_probes_total]). *)

@@ -1,0 +1,98 @@
+type vertex_report = {
+  variable : string;
+  core : bool;
+  structural : int;
+  refined : int;
+}
+
+type t = {
+  core_order : string list list;
+  vertices : vertex_report list;
+  stats : Matcher.stats;
+  span : Obs.Span.t;
+  rows : int;
+  truncated : bool;
+}
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Format.fprintf ppf "rows: %d%s@," t.rows
+    (if t.truncated then " (truncated)" else "");
+  Format.fprintf ppf "phases:@,";
+  (* Span.pp prints its own newlines; capture and indent. *)
+  let tree = Format.asprintf "%a" Obs.Span.pp t.span in
+  List.iter
+    (fun line -> if line <> "" then Format.fprintf ppf "  %s@," line)
+    (String.split_on_char '\n' tree);
+  List.iteri
+    (fun i order ->
+      Format.fprintf ppf "core order (component %d): %s@," i
+        (if order = [] then "-"
+         else String.concat " -> " (List.map (fun v -> "?" ^ v) order)))
+    t.core_order;
+  if t.vertices <> [] then begin
+    Format.fprintf ppf "candidates (synopsis -> refined):@,";
+    List.iter
+      (fun v ->
+        Format.fprintf ppf "  ?%-12s %-9s %8d -> %d@," v.variable
+          (if v.core then "core" else "satellite")
+          v.structural v.refined)
+      t.vertices
+  end;
+  let s = t.stats in
+  Format.fprintf ppf
+    "matcher: index_probes=%d synopsis_probes=%d attribute_probes=%d \
+     candidates_scanned=%d satellite_rejections=%d solutions=%d@]"
+    s.Matcher.index_probes s.Matcher.synopsis_probes s.Matcher.attribute_probes
+    s.Matcher.candidates_scanned s.Matcher.satellite_rejections
+    s.Matcher.solutions
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04X" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"rows":%d,"truncated":%b,"core_order":[|} t.rows
+       t.truncated);
+  List.iteri
+    (fun i order ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun j v ->
+          if j > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf {|"%s"|} (json_escape v)))
+        order;
+      Buffer.add_char buf ']')
+    t.core_order;
+  Buffer.add_string buf {|],"vertices":[|};
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"variable":"%s","core":%b,"synopsis_candidates":%d,"refined_candidates":%d}|}
+           (json_escape v.variable) v.core v.structural v.refined))
+    t.vertices;
+  let s = t.stats in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|],"stats":{"index_probes":%d,"synopsis_probes":%d,"attribute_probes":%d,"candidates_scanned":%d,"satellite_rejections":%d,"solutions":%d},"phases":|}
+       s.Matcher.index_probes s.Matcher.synopsis_probes
+       s.Matcher.attribute_probes s.Matcher.candidates_scanned
+       s.Matcher.satellite_rejections s.Matcher.solutions);
+  Buffer.add_string buf (Obs.Span.to_json t.span);
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -1,0 +1,36 @@
+(** Per-query profile report — EXPLAIN ANALYZE for the engine.
+
+    Produced by {!Engine.query_profiled}: the phase tree of the run
+    (parse → decompose → candidates → match → enumerate), the chosen
+    core order, per-query-vertex candidate-set sizes before and after
+    synopsis/attribute pruning, and the matcher's search counters. This
+    is the observable form of the paper's Section 7.2 instrumentation:
+    index pruning power and where the time goes, per query. *)
+
+type vertex_report = {
+  variable : string;
+  core : bool;  (** core vertex ([false] = satellite) *)
+  structural : int;
+      (** candidate-set size from the synopsis index alone (index [S]) *)
+  refined : int;
+      (** after intersecting attribute / IRI-constraint candidates
+          (indexes [A] and [N]) — the set the matcher actually scans *)
+}
+
+type t = {
+  core_order : string list list;
+      (** matching order of the core vertices, per component *)
+  vertices : vertex_report list;  (** every query vertex, vertex order *)
+  stats : Matcher.stats;  (** the run's search counters *)
+  span : Obs.Span.t;  (** phase tree with wall-clock durations *)
+  rows : int;
+  truncated : bool;
+}
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable report: phase tree, core order, candidate table,
+    matcher counters. *)
+
+val to_json : t -> string
+(** Machine-readable form, embedded in endpoint responses
+    ([?profile=1]) and benchmark JSON. *)

@@ -5,6 +5,8 @@ type t = {
   synopses : Mgraph.Synopsis.t array;  (* per data vertex *)
   lower : int array;  (* componentwise minimum over all synopses *)
   tree : int Rtree.t;  (* populated in Rtree mode *)
+  mutable probes : int;  (* lifetime lookup count; racy under domains,
+                            lost increments are acceptable *)
 }
 
 (* The R-tree encodes the dominance test [∀i. q_i ≤ d_i] as rectangle
@@ -34,11 +36,12 @@ let build ?(mode = Rtree) ?(max_entries = 16) db =
           (List.init n (fun v ->
                (Rect.make ~lo:lower ~hi:synopses.(v), v)))
   in
-  { mode; synopses; lower; tree }
+  { mode; synopses; lower; tree; probes = 0 }
 
 let mode t = t.mode
 
 let candidates t query =
+  t.probes <- t.probes + 1;
   match t.mode with
   | Scan ->
       let out = ref [] in
@@ -58,3 +61,4 @@ let candidates t query =
 let candidates_of_signature t s = candidates t (Mgraph.Synopsis.of_signature s)
 
 let vertex_synopsis t v = t.synopses.(v)
+let probes t = t.probes

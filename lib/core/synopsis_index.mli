@@ -21,3 +21,7 @@ val candidates_of_signature : t -> Mgraph.Signature.t -> int array
 
 val vertex_synopsis : t -> int -> Mgraph.Synopsis.t
 (** The stored synopsis of a data vertex. *)
+
+val probes : t -> int
+(** Lifetime number of {!candidates} lookups (either mode) — exported by
+    the observability layer ([amber_synopsis_index_probes_total]). *)

@@ -89,10 +89,35 @@ let needs_algebra src =
 
 let service_description =
   {|AMbER SPARQL endpoint
-GET  /sparql?query=<urlencoded SPARQL>
+GET  /sparql?query=<urlencoded SPARQL>[&profile=1]
 POST /sparql   (application/x-www-form-urlencoded or application/sparql-query)
+GET  /metrics  (Prometheus text exposition)
 Accept: application/sparql-results+json | text/csv | text/tab-separated-values
+profile=1 embeds a per-query profile (phase timings, candidate counts)
+in the JSON results.
 |}
+
+(* --- metrics --------------------------------------------------------- *)
+
+let m = Obs.Metrics.default
+
+let m_requests =
+  Obs.Metrics.counter m "amber_http_requests_total"
+    ~help:"HTTP requests received"
+
+let m_errors =
+  Obs.Metrics.counter m "amber_http_errors_total"
+    ~help:"HTTP responses with a 4xx/5xx status"
+
+let m_timeouts =
+  Obs.Metrics.counter m "amber_query_timeouts_total"
+    ~help:"Queries aborted by the per-query time budget"
+
+(* Results JSON is a single object; the profile report splices in as a
+   top-level "profile" member. *)
+let embed_profile json profile =
+  String.sub json 0 (String.length json - 1)
+  ^ {|,"profile":|} ^ Amber.Profile.to_json profile ^ "}"
 
 let negotiate headers =
   match header headers "accept" with
@@ -107,23 +132,32 @@ let negotiate headers =
       else `Json)
   | _ -> `Json
 
-let handle_request config engine ~meth ~target ~headers ~body =
+let truthy = function
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let handle_request_inner config engine ~meth ~target ~headers ~body =
   let path, params = parse_target target in
   match (meth, path) with
   | "GET", "/" -> (200, "text/plain", service_description)
+  | "GET", "/metrics" ->
+      Amber.Engine.sync_index_metrics engine;
+      ( 200,
+        "text/plain; version=0.0.4",
+        Obs.Metrics.render_prometheus Obs.Metrics.default )
   | ("GET" | "POST"), "/sparql" -> (
-      let query_text =
+      let query_text, form_params =
         match meth with
-        | "GET" -> List.assoc_opt "query" params
+        | "GET" -> (List.assoc_opt "query" params, [])
         | _ -> (
             match header headers "content-type" with
             | Some ct
               when String.length ct >= 24
                    && String.sub ct 0 24 = "application/sparql-query" ->
-                Some body
+                (Some body, [])
             | _ ->
                 let _, form = parse_target ("?" ^ body) in
-                List.assoc_opt "query" form)
+                (List.assoc_opt "query" form, form))
       in
       match query_text with
       | None | Some "" ->
@@ -131,6 +165,10 @@ let handle_request config engine ~meth ~target ~headers ~body =
       | Some src -> (
           let fmt = negotiate headers in
           let open_objects = config.open_objects in
+          let profile_requested =
+            truthy (List.assoc_opt "profile" params)
+            || truthy (List.assoc_opt "profile" form_params)
+          in
           let render_rows answer =
             match fmt with
             | `Json ->
@@ -146,9 +184,21 @@ let handle_request config engine ~meth ~target ~headers ~body =
             else
               match Sparql.Parser.parse_any src with
               | Sparql.Parser.Q_select ast ->
-                  render_rows
-                    (Amber.Engine.query ?timeout:config.timeout
-                       ?limit:config.limit ~open_objects engine ast)
+                  (* The profile rides inside the results JSON; other
+                     formats have no extension point and ignore it. *)
+                  if profile_requested && fmt = `Json then begin
+                    let answer, profile =
+                      Amber.Engine.query_profiled ?timeout:config.timeout
+                        ?limit:config.limit ~open_objects engine ast
+                    in
+                    ( 200,
+                      "application/sparql-results+json",
+                      embed_profile (Amber.Results.to_json answer) profile )
+                  end
+                  else
+                    render_rows
+                      (Amber.Engine.query ?timeout:config.timeout
+                         ?limit:config.limit ~open_objects engine ast)
               | Sparql.Parser.Q_ask ast ->
                   ( 200,
                     "application/sparql-results+json",
@@ -172,9 +222,18 @@ let handle_request config engine ~meth ~target ~headers ~body =
           | exception Amber.Engine.Unsupported msg ->
               (400, "text/plain", "unsupported query: " ^ msg ^ "\n")
           | exception Amber.Deadline.Expired ->
+              Obs.Metrics.incr m_timeouts;
               (503, "text/plain", "query timed out\n")))
   | _, "/sparql" -> (405, "text/plain", "method not allowed\n")
   | _ -> (404, "text/plain", "not found\n")
+
+let handle_request config engine ~meth ~target ~headers ~body =
+  Obs.Metrics.incr m_requests;
+  let (status, _, _) as response =
+    handle_request_inner config engine ~meth ~target ~headers ~body
+  in
+  if status >= 400 then Obs.Metrics.incr m_errors;
+  response
 
 (* --- socket plumbing ------------------------------------------------ *)
 

@@ -13,6 +13,14 @@
     with results-JSON booleans and [CONSTRUCT] with
     [application/n-triples].
 
+    Observability: [GET /metrics] renders the default {!Obs.Metrics}
+    registry in the Prometheus text exposition format (HTTP/query
+    counters, a query-latency histogram, and the engine's lifetime
+    index-probe counters). Adding [profile=1] to a SELECT request embeds
+    the {!Amber.Profile} report (phase timings, per-vertex candidate
+    counts, matcher counters) as a top-level ["profile"] member of the
+    JSON results.
+
     The server is single-threaded and handles one connection at a time —
     plenty for the embedded use it targets; run it in its own domain if
     the application must not block. *)

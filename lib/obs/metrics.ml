@@ -1,0 +1,166 @@
+type counter = { c_name : string; c_help : string; mutable value : int }
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  bounds : float array;  (* sorted upper bounds, +Inf implicit *)
+  buckets : int array;  (* per-bound raw counts; last slot is +Inf *)
+  mutable sum : float;
+  mutable count : int;
+}
+
+type metric = Counter of counter | Histogram of histogram
+
+type t = {
+  tbl : (string, metric) Hashtbl.t;
+  mutable order : string list;  (* registration order, reversed *)
+}
+
+let create () = { tbl = Hashtbl.create 16; order = [] }
+let default = create ()
+
+let register t name metric =
+  Hashtbl.add t.tbl name metric;
+  t.order <- name :: t.order
+
+let counter ?(help = "") t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> c
+  | Some (Histogram _) ->
+      invalid_arg ("Metrics.counter: " ^ name ^ " is a histogram")
+  | None ->
+      let c = { c_name = name; c_help = help; value = 0 } in
+      register t name (Counter c);
+      c
+
+let incr c = c.value <- c.value + 1
+let add c n = c.value <- c.value + n
+let set c n = c.value <- n
+let counter_value c = c.value
+
+let log_buckets ~lo ~ratio ~count =
+  Array.init count (fun i -> lo *. (ratio ** float_of_int i))
+
+let default_latency_buckets = log_buckets ~lo:1e-5 ~ratio:2.0 ~count:18
+
+let histogram ?(help = "") ?(buckets = default_latency_buckets) t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Histogram h) -> h
+  | Some (Counter _) ->
+      invalid_arg ("Metrics.histogram: " ^ name ^ " is a counter")
+  | None ->
+      let h =
+        {
+          h_name = name;
+          h_help = help;
+          bounds = Array.copy buckets;
+          buckets = Array.make (Array.length buckets + 1) 0;
+          sum = 0.;
+          count = 0;
+        }
+      in
+      register t name (Histogram h);
+      h
+
+let bucket_index h v =
+  (* First bound >= v; the +Inf slot catches the rest. *)
+  let n = Array.length h.bounds in
+  let rec find i = if i >= n || v <= h.bounds.(i) then i else find (i + 1) in
+  find 0
+
+let observe h v =
+  let i = bucket_index h v in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.sum <- h.sum +. v;
+  h.count <- h.count + 1
+
+let histogram_count h = h.count
+let histogram_sum h = h.sum
+
+let bucket_counts h =
+  let cum = ref 0 in
+  Array.init
+    (Array.length h.buckets)
+    (fun i ->
+      cum := !cum + h.buckets.(i);
+      let le =
+        if i < Array.length h.bounds then h.bounds.(i) else infinity
+      in
+      (le, !cum))
+
+let metrics_in_order t =
+  List.rev_map (fun name -> Hashtbl.find t.tbl name) t.order
+
+(* Prometheus float formatting: shortest round-trip decimal, "+Inf" for
+   the open bucket. *)
+let prom_float v =
+  if v = infinity then "+Inf" else Printf.sprintf "%.12g" v
+
+let render_prometheus t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (function
+      | Counter c ->
+          if c.c_help <> "" then
+            Buffer.add_string buf
+              (Printf.sprintf "# HELP %s %s\n" c.c_name c.c_help);
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" c.c_name);
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" c.c_name c.value)
+      | Histogram h ->
+          if h.h_help <> "" then
+            Buffer.add_string buf
+              (Printf.sprintf "# HELP %s %s\n" h.h_name h.h_help);
+          Buffer.add_string buf
+            (Printf.sprintf "# TYPE %s histogram\n" h.h_name);
+          Array.iter
+            (fun (le, n) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" h.h_name
+                   (prom_float le) n))
+            (bucket_counts h);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %.12g\n" h.h_name h.sum);
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" h.h_name h.count))
+    (metrics_in_order t);
+  Buffer.contents buf
+
+let json_float v =
+  if v = infinity then "\"+Inf\"" else Printf.sprintf "%.12g" v
+
+let render_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_char buf '{';
+  let first = ref true in
+  List.iter
+    (fun m ->
+      if not !first then Buffer.add_char buf ',';
+      first := false;
+      match m with
+      | Counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf {|"%s":{"type":"counter","value":%d}|} c.c_name
+               c.value)
+      | Histogram h ->
+          Buffer.add_string buf
+            (Printf.sprintf {|"%s":{"type":"histogram","count":%d,"sum":%s,"buckets":[|}
+               h.h_name h.count (json_float h.sum));
+          Array.iteri
+            (fun i (le, n) ->
+              if i > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf
+                (Printf.sprintf {|{"le":%s,"count":%d}|} (json_float le) n))
+            (bucket_counts h);
+          Buffer.add_string buf "]}")
+    (metrics_in_order t);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let reset t =
+  Hashtbl.iter
+    (fun _ -> function
+      | Counter c -> c.value <- 0
+      | Histogram h ->
+          Array.fill h.buckets 0 (Array.length h.buckets) 0;
+          h.sum <- 0.;
+          h.count <- 0)
+    t.tbl

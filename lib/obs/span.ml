@@ -1,0 +1,125 @@
+type t = {
+  span_name : string;
+  mutable duration : float;
+  mutable annotations : (string * string) list;  (* reversed while open *)
+  mutable kids : t list;  (* reversed while open *)
+}
+
+let name t = t.span_name
+let duration t = t.duration
+let children t = t.kids
+let meta t = t.annotations
+
+let rec find t n =
+  if t.span_name = n then Some t
+  else
+    List.fold_left
+      (fun acc kid -> match acc with Some _ -> acc | None -> find kid n)
+      None t.kids
+
+(* The innermost open span; [[]] means no profiler is collecting. *)
+let stack : t list ref = ref []
+
+let active () = !stack <> []
+
+let now = Unix.gettimeofday
+
+let fresh name = { span_name = name; duration = 0.; annotations = []; kids = [] }
+
+let close node t0 =
+  node.duration <- now () -. t0;
+  node.annotations <- List.rev node.annotations;
+  node.kids <- List.rev node.kids
+
+let root ~name f =
+  let node = fresh name in
+  let saved = !stack in
+  stack := [ node ];
+  let t0 = now () in
+  match f () with
+  | v ->
+      close node t0;
+      stack := saved;
+      (v, node)
+  | exception e ->
+      close node t0;
+      stack := saved;
+      raise e
+
+let with_ ~name f =
+  match !stack with
+  | [] -> f ()
+  | parent :: _ as open_spans ->
+      let node = fresh name in
+      parent.kids <- node :: parent.kids;
+      stack := node :: open_spans;
+      let t0 = now () in
+      let pop () =
+        close node t0;
+        stack := open_spans
+      in
+      (match f () with
+      | v ->
+          pop ();
+          v
+      | exception e ->
+          node.annotations <- ("raised", Printexc.to_string e) :: node.annotations;
+          pop ();
+          raise e)
+
+let annotate key value =
+  match !stack with
+  | [] -> ()
+  | top :: _ -> top.annotations <- (key, value) :: top.annotations
+
+let pp ppf t =
+  let rec go indent t =
+    Format.fprintf ppf "%s%-*s %10.3f ms" indent
+      (max 1 (24 - String.length indent))
+      t.span_name (1000. *. t.duration);
+    List.iter (fun (k, v) -> Format.fprintf ppf "  %s=%s" k v) t.annotations;
+    Format.pp_print_newline ppf ();
+    List.iter (go (indent ^ "  ")) t.kids
+  in
+  go "" t
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04X" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec to_json t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"name":"%s","ms":%.6g|} (json_escape t.span_name)
+       (1000. *. t.duration));
+  if t.annotations <> [] then begin
+    Buffer.add_string buf {|,"meta":{|};
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf {|"%s":"%s"|} (json_escape k) (json_escape v)))
+      t.annotations;
+    Buffer.add_char buf '}'
+  end;
+  if t.kids <> [] then begin
+    Buffer.add_string buf {|,"children":[|};
+    List.iteri
+      (fun i kid ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (to_json kid))
+      t.kids;
+    Buffer.add_char buf ']'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+(** Tracing spans: a per-operation tree of named, timed scopes.
+
+    A profiled operation opens a {e root} span; nested {!with_} calls
+    attach timed child spans, forming the phase tree a profile report
+    prints (parse → decompose → candidates → match → enumerate). When no
+    root is active, {!with_} runs its thunk directly — one ref read, no
+    clock call — so instrumentation left in hot paths is near-free
+    unless a profiler asked for it.
+
+    The collector is a single implicit stack, not domain-safe: profiling
+    is meant for the sequential query path (the parallel engine runs
+    un-profiled). *)
+
+type t
+(** A finished span: name, duration, annotations, children. *)
+
+val name : t -> string
+
+val duration : t -> float
+(** Seconds of wall clock spent inside the span (children included). *)
+
+val children : t -> t list
+(** In start order. *)
+
+val meta : t -> (string * string) list
+(** Annotations attached with {!annotate}, in attachment order. *)
+
+val find : t -> string -> t option
+(** First child (depth-first, the span itself included) with the given
+    name. *)
+
+val active : unit -> bool
+(** Is a root span currently collecting? *)
+
+val root : name:string -> (unit -> 'a) -> 'a * t
+(** Run the thunk under a fresh root span and return its result plus the
+    completed tree. Exceptions propagate after the tree is closed. *)
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+(** Time the thunk as a child of the innermost open span; without an
+    active root, just run it. *)
+
+val annotate : string -> string -> unit
+(** Attach a key/value pair to the innermost open span; no-op without an
+    active root. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented phase tree with millisecond durations and annotations. *)
+
+val to_json : t -> string
+(** [{"name":…,"ms":…,"meta":{…},"children":[…]}]. *)

@@ -16,6 +16,14 @@ let test_stats_basics () =
   checkf "stddev of constant" 0.0 (Bench_util.Stats.stddev [ 5.0; 5.0; 5.0 ]);
   checkf "stddev" 1.0 (Bench_util.Stats.stddev [ 1.0; 2.0; 3.0 ])
 
+let test_stats_tail_percentiles () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  checkf "p95 of 1..100" 95.0 (Bench_util.Stats.p95 xs);
+  checkf "p99 of 1..100" 99.0 (Bench_util.Stats.p99 xs);
+  checkf "p95 singleton" 7.0 (Bench_util.Stats.p95 [ 7.0 ]);
+  checkf "p99 empty" 0.0 (Bench_util.Stats.p99 []);
+  checkb "p99 >= p95" true (Bench_util.Stats.p99 xs >= Bench_util.Stats.p95 xs)
+
 let test_table_render () =
   let text =
     Bench_util.Table_fmt.render ~header:[ "a"; "bb" ]
@@ -79,13 +87,27 @@ let test_runner_workload_summary () =
   checki "all answered" 2 s.Bench_util.Runner.answered;
   checki "none unanswered" 0 s.Bench_util.Runner.unanswered;
   checki "row total" 5 s.Bench_util.Runner.total_rows;
-  checkb "engine name" true (s.Bench_util.Runner.engine = "x-rdf3x-like")
+  checkb "engine name" true (s.Bench_util.Runner.engine = "x-rdf3x-like");
+  checkb "p95 at least median" true
+    (s.Bench_util.Runner.p95_time >= s.Bench_util.Runner.median_time);
+  checkb "p99 at least p95" true
+    (s.Bench_util.Runner.p99_time >= s.Bench_util.Runner.p95_time);
+  let json = Bench_util.Runner.summary_json s in
+  let has needle =
+    let n = String.length needle and h = String.length json in
+    let rec loop i = i + n <= h && (String.sub json i n = needle || loop (i + 1)) in
+    loop 0
+  in
+  checkb "json engine" true (has "\"engine\":\"x-rdf3x-like\"");
+  checkb "json p95 field" true (has "\"p95_s\":");
+  checkb "json p99 field" true (has "\"p99_s\":")
 
 let suite =
   [
     ( "bench_util",
       [
         Alcotest.test_case "stats" `Quick test_stats_basics;
+        Alcotest.test_case "tail percentiles" `Quick test_stats_tail_percentiles;
         Alcotest.test_case "table render" `Quick test_table_render;
         Alcotest.test_case "ms and pct cells" `Quick test_table_ms_pct;
         Alcotest.test_case "runner outcomes" `Quick test_runner_outcomes;

@@ -1,0 +1,72 @@
+(* Cooperative deadline tests: expiry, remaining, never, and the
+   poll-granularity contract (check consults the clock once every
+   [poll_interval] calls). *)
+
+let checkb = Alcotest.(check bool)
+
+let test_never () =
+  let d = Amber.Deadline.never in
+  checkb "never expires" false (Amber.Deadline.expired d);
+  checkb "infinite remaining" true (Amber.Deadline.remaining d = infinity);
+  (* A million checks on [never] must neither raise nor touch the clock. *)
+  for _ = 1 to 1_000_000 do
+    Amber.Deadline.check d
+  done
+
+let test_expired_past_deadline () =
+  let d = Amber.Deadline.after (-1.0) in
+  checkb "already past" true (Amber.Deadline.expired d);
+  checkb "negative remaining" true (Amber.Deadline.remaining d < 0.0)
+
+let test_check_raises_within_poll_interval () =
+  let d = Amber.Deadline.after (-1.0) in
+  let raised_at = ref 0 in
+  (try
+     for i = 1 to 10 * Amber.Deadline.poll_interval do
+       Amber.Deadline.check d;
+       raised_at := i
+     done
+   with Amber.Deadline.Expired -> ());
+  (* The clock is consulted on the [poll_interval]-th call, so a dead
+     deadline must fire by then — and not before (cheap ticks only). *)
+  checkb "fires within one poll window" true (!raised_at < Amber.Deadline.poll_interval);
+  checkb "poll interval positive" true (Amber.Deadline.poll_interval > 0)
+
+let test_remaining_counts_down () =
+  let d = Amber.Deadline.after 60.0 in
+  let r = Amber.Deadline.remaining d in
+  checkb "remaining below budget" true (r <= 60.0);
+  checkb "remaining not absurdly low" true (r > 50.0);
+  checkb "not expired yet" false (Amber.Deadline.expired d);
+  (* Checks within the budget pass. *)
+  for _ = 1 to 3 * Amber.Deadline.poll_interval do
+    Amber.Deadline.check d
+  done
+
+let test_granularity_resets_after_poll () =
+  (* After a clock poll the tick counter resets: a fresh window of
+     [poll_interval - 1] checks never touches the clock. Observable via
+     a deadline that expires mid-test: all checks before the first poll
+     are silent even though the wall clock is already past. *)
+  let d = Amber.Deadline.after (-1.0) in
+  let silent = ref 0 in
+  (try
+     for _ = 1 to Amber.Deadline.poll_interval - 1 do
+       Amber.Deadline.check d;
+       incr silent
+     done
+   with Amber.Deadline.Expired -> ());
+  checkb "no poll before the window closes" true
+    (!silent = Amber.Deadline.poll_interval - 1)
+
+let suite =
+  [
+    ( "deadline",
+      [
+        Alcotest.test_case "never" `Quick test_never;
+        Alcotest.test_case "expired" `Quick test_expired_past_deadline;
+        Alcotest.test_case "check raises" `Quick test_check_raises_within_poll_interval;
+        Alcotest.test_case "remaining" `Quick test_remaining_counts_down;
+        Alcotest.test_case "poll granularity" `Quick test_granularity_resets_after_poll;
+      ] );
+  ]

@@ -95,6 +95,35 @@ let test_errors () =
   checki "service description" 200 status;
   checkb "mentions /sparql" true (contains body "/sparql")
 
+let test_metrics_route () =
+  (* Prime the counters with one query, then scrape. *)
+  let _ = handle ("/sparql?query=" ^ encode simple_query) in
+  let status, ctype, body = handle "/metrics" in
+  checki "200" 200 status;
+  checkb "prometheus content type" true (contains ctype "text/plain");
+  checkb "query counter" true (contains body "amber_queries_total");
+  checkb "latency histogram" true (contains body "amber_query_seconds_bucket");
+  checkb "inf bucket" true (contains body "le=\"+Inf\"");
+  checkb "request counter" true (contains body "amber_http_requests_total");
+  checkb "index probes" true (contains body "amber_attribute_index_probes_total")
+
+let test_profile_param () =
+  let status, ctype, body =
+    handle ("/sparql?profile=1&query=" ^ encode simple_query)
+  in
+  checki "200" 200 status;
+  checks "still json" "application/sparql-results+json" ctype;
+  checkb "rows intact" true (contains body "Amy_Winehouse");
+  checkb "profile embedded" true (contains body "\"profile\":");
+  checkb "phase tree present" true (contains body "\"phases\"");
+  (* Non-JSON formats ignore the flag rather than corrupting output. *)
+  let _, ctype, body =
+    handle ~headers:[ ("Accept", "text/csv") ]
+      ("/sparql?profile=1&query=" ^ encode simple_query)
+  in
+  checks "csv unaffected" "text/csv" ctype;
+  checkb "no profile in csv" false (contains body "\"profile\":")
+
 (* One full HTTP round trip over a real socket. *)
 let test_socket_roundtrip () =
   let server =
@@ -137,6 +166,8 @@ let suite =
         Alcotest.test_case "POST forms" `Quick test_post_forms;
         Alcotest.test_case "extended routing" `Quick test_extended_routing;
         Alcotest.test_case "errors" `Quick test_errors;
+        Alcotest.test_case "metrics route" `Quick test_metrics_route;
+        Alcotest.test_case "profile param" `Quick test_profile_param;
         Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip;
       ] );
   ]

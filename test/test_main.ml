@@ -12,6 +12,8 @@ let () =
          Test_sparql.suite;
          Test_amber.suite;
          Test_matcher.suite;
+         Test_deadline.suite;
+         Test_obs.suite;
          Test_extended.suite;
          Test_storage.suite;
          Test_endpoint.suite;
