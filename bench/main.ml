@@ -43,7 +43,7 @@ let usage () =
              [--sizes a,b,c] [--limit N] [--seed N] [--quick] [--micro]
              [--json FILE]
 
-  ids: table1 table4 table5 fig6..fig11 ablation profile (comma separated)
+  ids: table1 table4 table5 fig6..fig11 ablation profile kernels (comma separated)
   --quick: small preset (scale 0.04, 5 queries/point, sizes 10,20,30)
   --json:  also write a machine-readable report (summaries with
            p95/p99, per-phase breakdowns, metrics registry) to FILE|};
@@ -582,6 +582,149 @@ let bench_profile cfg ds =
     [ (Datagen.Workload.Star, "Star"); (Datagen.Workload.Complex, "Complex") ]
 
 (* ------------------------------------------------------------------ *)
+(* Kernels: adaptive set algebra + probe caching (the matcher hot      *)
+(* path); --only kernels, recorded as BENCH_2.json                     *)
+(* ------------------------------------------------------------------ *)
+
+let bench_kernels cfg ds =
+  section
+    (Printf.sprintf
+       "Kernels: intersection kernels and probe caching on %s" ds.ds_name);
+  (* (a) The three intersection kernels head to head on the operand
+     shapes the adaptive dispatch distinguishes. *)
+  let rng = Datagen.Prng.create (cfg.seed + 4242) in
+  let base = max 4_000 (int_of_float (cfg.scale *. 400_000.)) in
+  let sorted n span =
+    Mgraph.Sorted_ints.of_list (List.init n (fun _ -> Datagen.Prng.int rng span))
+  in
+  let shapes =
+    [
+      (* similar sizes, sparse: merge territory *)
+      ("similar-sparse", sorted base (8 * base), sorted base (8 * base));
+      (* a tiny candidate set against a hub's adjacency: gallop territory *)
+      ("skewed-hub", sorted (max 16 (base / 256)) (4 * base), sorted base (4 * base));
+      (* both large, dense value range: bitset territory *)
+      ("large-dense", sorted base (2 * base), sorted base (2 * base));
+    ]
+  in
+  let time_kernel kernel a b reps =
+    let dt, () =
+      Bench_util.Runner.time (fun () ->
+          for _ = 1 to reps do
+            ignore (Sys.opaque_identity (kernel a b))
+          done)
+    in
+    dt /. float_of_int reps *. 1e9
+  in
+  let kernel_rows =
+    List.map
+      (fun (name, a, b) ->
+        let reps = max 4 (8_000_000 / max 1 (Array.length a + Array.length b)) in
+        let merge = time_kernel Mgraph.Sorted_ints.inter_merge a b reps in
+        let gallop = time_kernel Mgraph.Sorted_ints.inter_gallop a b reps in
+        let bitset = time_kernel Mgraph.Sorted_ints.inter_bitset a b reps in
+        let adaptive = time_kernel Mgraph.Sorted_ints.inter a b reps in
+        (name, Array.length a, Array.length b, reps, merge, gallop, bitset, adaptive))
+      shapes
+  in
+  Bench_util.Table_fmt.print
+    ~header:[ "shape"; "|a|"; "|b|"; "merge ns"; "gallop ns"; "bitset ns"; "adaptive ns" ]
+    (List.map
+       (fun (name, na, nb, _, merge, gallop, bitset, adaptive) ->
+         [
+           name;
+           string_of_int na;
+           string_of_int nb;
+           Printf.sprintf "%.0f" merge;
+           Printf.sprintf "%.0f" gallop;
+           Printf.sprintf "%.0f" bitset;
+           Printf.sprintf "%.0f" adaptive;
+         ])
+       kernel_rows);
+  (* (b) Whole queries with and without the probe caches. The uncached
+     pass runs first so the engine's cross-query LRUs start cold; the
+     cached pass then repeats the same workload twice — the second
+     (warm) pass is where the LRUs pay off. *)
+  let engine = Amber.Engine.build (Lazy.force ds.triples) in
+  let run_pass ~caches queries =
+    let times = ref [] and hits = ref 0 and misses = ref 0 and un = ref 0 in
+    List.iter
+      (fun ast ->
+        match
+          Bench_util.Runner.time (fun () ->
+              Amber.Engine.query_with_stats ~timeout:cfg.timeout
+                ~limit:cfg.row_limit ~caches engine ast)
+        with
+        | dt, (_, stats) ->
+            times := dt :: !times;
+            hits := !hits + stats.Amber.Matcher.probe_cache_hits;
+            misses := !misses + stats.Amber.Matcher.probe_cache_misses
+        | exception Amber.Deadline.Expired -> incr un)
+      queries;
+    (Bench_util.Stats.mean !times, List.length !times, !un, !hits, !misses)
+  in
+  let query_shapes =
+    [
+      ("star", Datagen.Workload.Star, 20);
+      ("complex", Datagen.Workload.Complex, 30);
+    ]
+  in
+  let cache_results =
+    List.map
+      (fun (label, shape, size) ->
+        let queries =
+          Datagen.Workload.generate ~seed:(cfg.seed + 55) (Lazy.force ds.corpus)
+            ~shape ~size ~count:cfg.queries_per_point
+        in
+        let u_mean, u_n, u_un, _, _ = run_pass ~caches:false queries in
+        let c_mean, _, _, c_hits, c_misses = run_pass ~caches:true queries in
+        let w_mean, _, _, w_hits, w_misses = run_pass ~caches:true queries in
+        (label, List.length queries, u_mean, u_n, u_un, c_mean, c_hits, c_misses,
+         w_mean, w_hits, w_misses))
+      query_shapes
+  in
+  Bench_util.Table_fmt.print
+    ~header:
+      [ "shape"; "n"; "uncached ms"; "cached ms"; "warm ms"; "hits"; "misses"; "speedup" ]
+    (List.map
+       (fun (label, n, u_mean, _, _, c_mean, _, _, w_mean, w_hits, w_misses) ->
+         [
+           label;
+           string_of_int n;
+           Bench_util.Table_fmt.ms u_mean;
+           Bench_util.Table_fmt.ms c_mean;
+           Bench_util.Table_fmt.ms w_mean;
+           string_of_int w_hits;
+           string_of_int w_misses;
+           (if w_mean > 0. then Printf.sprintf "%.2fx" (u_mean /. w_mean) else "-");
+         ])
+       cache_results);
+  add_json "kernels"
+    (Printf.sprintf
+       {|{"dataset":"%s","set_kernels":[%s],"probe_cache":[%s]}|}
+       ds.ds_name
+       (String.concat ","
+          (List.map
+             (fun (name, na, nb, reps, merge, gallop, bitset, adaptive) ->
+               Printf.sprintf
+                 {|{"shape":"%s","len_a":%d,"len_b":%d,"reps":%d,"merge_ns":%.1f,"gallop_ns":%.1f,"bitset_ns":%.1f,"adaptive_ns":%.1f}|}
+                 name na nb reps merge gallop bitset adaptive)
+             kernel_rows))
+       (String.concat ","
+          (List.map
+             (fun (label, n, u_mean, u_n, u_un, c_mean, c_hits, c_misses, w_mean,
+                   w_hits, w_misses) ->
+               Printf.sprintf
+                 {|{"shape":"%s","queries":%d,"answered":%d,"unanswered":%d,"uncached_mean_s":%.9g,"cached_cold_mean_s":%.9g,"cached_warm_mean_s":%.9g,"cold_hits":%d,"cold_misses":%d,"warm_hits":%d,"warm_misses":%d,"speedup_warm":%.3f}|}
+                 label n u_n u_un u_mean c_mean w_mean c_hits c_misses w_hits
+                 w_misses
+                 (if w_mean > 0. then u_mean /. w_mean else 0.))
+             cache_results)));
+  (* Flush the engine-side LRU counters into the default registry so the
+     report's "metrics" object carries them. *)
+  Amber.Engine.sync_index_metrics engine
+
+(* ------------------------------------------------------------------ *)
 (* Micro benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -684,6 +827,7 @@ let () =
     bench_figure cfg ~fig:11 ~ds:lubm ~shape:Datagen.Workload.Complex;
   if wants cfg "ablation" then bench_ablation cfg dbpedia;
   if wants cfg "profile" then bench_profile cfg dbpedia;
+  if wants cfg "kernels" then bench_kernels cfg dbpedia;
   if cfg.micro then micro_benchmarks ();
   write_json_report cfg;
   print_newline ()

@@ -1,6 +1,9 @@
 type strategy = Paper | By_degree | Arbitrary
 
-type component = { core_order : int array }
+type component = {
+  core_order : int array;
+  prior_edges : (int * (Mgraph.Multigraph.direction * int array) list) array array;
+}
 
 type plan = {
   components : component array;
@@ -121,10 +124,29 @@ let plan ?(strategy = Paper) ?(satellites = true) (q : Query_graph.t) =
     let ru = rank u and rv = rank v in
     if ru <> rv then ru > rv else u < v
   in
+  (* Positions j < i of the order whose vertex is adjacent to the
+     vertex at position i, with the connecting multi-edges precomputed
+     from position i's perspective — the matcher would otherwise rescan
+     the order array and recompute [multi_edges_between] at every
+     recursion depth of every candidate. *)
+  let prior_edges_of order =
+    Array.mapi
+      (fun i u ->
+        let rec collect j acc =
+          if j < 0 then acc
+          else
+            match Query_graph.multi_edges_between q u order.(j) with
+            | [] -> collect (j - 1) acc
+            | edges -> collect (j - 1) ((j, edges) :: acc)
+        in
+        Array.of_list (collect (i - 1) []))
+      order
+  in
+  let make_component order = { core_order = order; prior_edges = prior_edges_of order } in
   let order_component members =
     let core = List.filter (fun u -> is_core.(u)) members in
     match core with
-    | [] -> { core_order = [||] }
+    | [] -> make_component [||]
     | _ ->
         let chosen = Hashtbl.create 8 in
         let order = ref [] in
@@ -157,7 +179,7 @@ let plan ?(strategy = Paper) ?(satellites = true) (q : Query_graph.t) =
           order := next :: !order;
           remaining := List.filter (fun u -> u <> next) !remaining
         done;
-        { core_order = Array.of_list (List.rev !order) }
+        make_component (Array.of_list (List.rev !order))
   in
   let components = Array.map order_component comp_members in
   { plan0 with components }

@@ -15,7 +15,15 @@ type strategy =
   | By_degree  (** order by variable-degree only (ablation) *)
   | Arbitrary  (** first-seen order (ablation baseline) *)
 
-type component = { core_order : int array }
+type component = {
+  core_order : int array;
+  prior_edges : (int * (Mgraph.Multigraph.direction * int array) list) array array;
+      (** per order position [i]: the earlier positions [j < i] whose
+          vertex is adjacent to [core_order.(i)], paired with the
+          multi-edges between them (from position [i]'s perspective) —
+          precomputed so the matcher's extension step does not rescan
+          the order array at every depth *)
+}
 
 type plan = {
   components : component array;

@@ -4,6 +4,7 @@ type t = {
   synopsis : Synopsis_index.t;
   neighbourhood : Neighbourhood_index.t;
   literal_bindings : Literal_bindings.t;
+  shared : Matcher.shared;  (* cross-query A/S candidate LRUs *)
 }
 
 exception Unsupported = Query_graph.Unsupported
@@ -16,7 +17,17 @@ let build ?synopsis_mode triples =
     synopsis = Synopsis_index.build ?mode:synopsis_mode db;
     neighbourhood = Neighbourhood_index.build db;
     literal_bindings = Literal_bindings.create db;
+    shared = Matcher.make_shared ();
   }
+
+(* One matcher context per query (or per domain): [caches:false] is the
+   uncached ablation the kernels benchmark compares against. *)
+let make_ctx ?(caches = true) t ~deadline ~stats =
+  Matcher.make_ctx
+    ?probe_cache:(if caches then Some (Probe_cache.create ()) else None)
+    ?shared:(if caches then Some t.shared else None)
+    ~db:t.db ~attribute:t.attribute ~synopsis:t.synopsis
+    ~neighbourhood:t.neighbourhood ~deadline ~stats ()
 
 let db t = t.db
 let attribute_index t = t.attribute
@@ -168,13 +179,23 @@ let m_solutions =
   Obs.Metrics.counter m "amber_matcher_solutions_total"
     ~help:"Solutions emitted by the matcher"
 
+let m_probe_cache_hits =
+  Obs.Metrics.counter m "amber_matcher_probe_cache_hits_total"
+    ~help:"Query-scoped probe-cache hits (N probes + ProcessVertex memo)"
+
+let m_probe_cache_misses =
+  Obs.Metrics.counter m "amber_matcher_probe_cache_misses_total"
+    ~help:"Query-scoped probe-cache misses"
+
 let record_query_metrics ~seconds (stats : Matcher.stats) =
   Obs.Metrics.incr m_queries;
   Obs.Metrics.observe m_seconds seconds;
   Obs.Metrics.add m_index_probes stats.Matcher.index_probes;
   Obs.Metrics.add m_scanned stats.Matcher.candidates_scanned;
   Obs.Metrics.add m_sat_rejections stats.Matcher.satellite_rejections;
-  Obs.Metrics.add m_solutions stats.Matcher.solutions
+  Obs.Metrics.add m_solutions stats.Matcher.solutions;
+  Obs.Metrics.add m_probe_cache_hits stats.Matcher.probe_cache_hits;
+  Obs.Metrics.add m_probe_cache_misses stats.Matcher.probe_cache_misses
 
 let sync_index_metrics t =
   let set name help v =
@@ -188,10 +209,21 @@ let sync_index_metrics t =
     (Synopsis_index.probes t.synopsis);
   set "amber_neighbourhood_index_probes_total"
     "Lifetime neighbourhood OTIL lookups (index N)"
-    (Neighbourhood_index.probes t.neighbourhood)
+    (Neighbourhood_index.probes t.neighbourhood);
+  let (attr_hits, attr_misses), (syn_hits, syn_misses) =
+    Matcher.shared_counters t.shared
+  in
+  set "amber_engine_attribute_cache_hits_total"
+    "Cross-query attribute-candidate LRU hits" attr_hits;
+  set "amber_engine_attribute_cache_misses_total"
+    "Cross-query attribute-candidate LRU misses" attr_misses;
+  set "amber_engine_synopsis_cache_hits_total"
+    "Cross-query synopsis-candidate LRU hits" syn_hits;
+  set "amber_engine_synopsis_cache_misses_total"
+    "Cross-query synopsis-candidate LRU misses" syn_misses
 
-let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects t
-    (ast : Sparql.Ast.t) =
+let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
+    ?caches t (ast : Sparql.Ast.t) =
   let t0 = Unix.gettimeofday () in
   let deadline = deadline_of timeout in
   let stats = Matcher.fresh_stats () in
@@ -210,16 +242,7 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects t
   | Query_graph.Unsatisfiable _ -> finish (empty_answer selected)
   | Query_graph.Query q ->
       let plan = Decompose.plan ?strategy ?satellites q in
-      let ctx =
-        {
-          Matcher.db = t.db;
-          attribute = t.attribute;
-          synopsis = t.synopsis;
-          neighbourhood = t.neighbourhood;
-          deadline;
-          stats;
-        }
-      in
+      let ctx = make_ctx ?caches t ~deadline ~stats in
       (* Under DISTINCT or ORDER BY a solution cap could starve the
          projection; with open objects a solution's embeddings can all
          be dropped at enumeration. Cap only the final row count then. *)
@@ -234,8 +257,10 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects t
             (project_answer t ~q ~ast ~deadline ~selected ~effective_limit
                ~solutions))
 
-let query ?timeout ?limit ?strategy ?satellites ?open_objects t ast =
-  fst (query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects t ast)
+let query ?timeout ?limit ?strategy ?satellites ?open_objects ?caches t ast =
+  fst
+    (query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
+       ?caches t ast)
 
 let query_string ?timeout ?limit ?strategy ?satellites ?open_objects ?namespaces t src =
   query ?timeout ?limit ?strategy ?satellites ?open_objects t
@@ -247,16 +272,7 @@ let count_embeddings ?timeout ?open_objects t ast =
   | Query_graph.Unsatisfiable _ -> 0
   | Query_graph.Query q ->
       let plan = Decompose.plan q in
-      let ctx =
-        {
-          Matcher.db = t.db;
-          attribute = t.attribute;
-          synopsis = t.synopsis;
-          neighbourhood = t.neighbourhood;
-          deadline;
-          stats = Matcher.fresh_stats ();
-        }
-      in
+      let ctx = make_ctx t ~deadline ~stats:(Matcher.fresh_stats ()) in
       (match collect_solutions ctx q plan None with
       | None -> 0
       | Some solutions ->
@@ -286,15 +302,11 @@ let explain ?strategy ?satellites ?open_objects t ast =
   | Query_graph.Unsatisfiable reason -> Unsat reason
   | Query_graph.Query q ->
       let plan = Decompose.plan ?strategy ?satellites q in
+      (* Introspection probes stay out of the engine caches so they
+         neither warm them nor skew the hit counters. *)
       let ctx =
-        {
-          Matcher.db = t.db;
-          attribute = t.attribute;
-          synopsis = t.synopsis;
-          neighbourhood = t.neighbourhood;
-          deadline = Deadline.never;
-          stats = Matcher.fresh_stats ();
-        }
+        make_ctx ~caches:false t ~deadline:Deadline.never
+          ~stats:(Matcher.fresh_stats ())
       in
       let components =
         Array.to_list
@@ -380,14 +392,8 @@ let pp_explanation ppf = function
    matcher counters describe the run itself, not the report. *)
 let vertex_reports t q (plan : Decompose.plan) =
   let probe_ctx =
-    {
-      Matcher.db = t.db;
-      attribute = t.attribute;
-      synopsis = t.synopsis;
-      neighbourhood = t.neighbourhood;
-      deadline = Deadline.never;
-      stats = Matcher.fresh_stats ();
-    }
+    make_ctx ~caches:false t ~deadline:Deadline.never
+      ~stats:(Matcher.fresh_stats ())
   in
   List.init (Query_graph.vertex_count q) (fun u ->
       let structural =
@@ -410,7 +416,7 @@ let vertex_reports t q (plan : Decompose.plan) =
 (* [query] with the phase tree, candidate report and matcher counters
    collected — the sequential path only. [parse] runs under the root
    span so query_string_profiled attributes parsing time too. *)
-let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects t
+let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches t
     ~(parse : unit -> Sparql.Ast.t) =
   let deadline = deadline_of timeout in
   let stats = Matcher.fresh_stats () in
@@ -443,16 +449,7 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects t
               Obs.Span.with_ ~name:"candidates" (fun () ->
                   vertex_reports t q plan)
             in
-            let ctx =
-              {
-                Matcher.db = t.db;
-                attribute = t.attribute;
-                synopsis = t.synopsis;
-                neighbourhood = t.neighbourhood;
-                deadline;
-                stats;
-              }
-            in
+            let ctx = make_ctx ?caches t ~deadline ~stats in
             let solution_cap =
               if ast.Sparql.Ast.distinct || q.Query_graph.opens <> [] then None
               else gather_cap ast effective_limit
@@ -504,8 +501,9 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects t
       truncated = answer.truncated;
     } )
 
-let query_profiled ?timeout ?limit ?strategy ?satellites ?open_objects t ast =
-  profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects t
+let query_profiled ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
+    t ast =
+  profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches t
     ~parse:(fun () -> ast)
 
 let query_string_profiled ?timeout ?limit ?strategy ?satellites ?open_objects
@@ -526,15 +524,10 @@ let query_string_profiled ?timeout ?limit ?strategy ?satellites ?open_objects
 let collect_solutions_parallel t q plan ~domains ~timeout limit =
   let components = plan.Decompose.components in
   let out = Array.make (Array.length components) [] in
+  (* Each domain gets its own query-scoped probe cache (no sharing, no
+     locks); the cross-query LRUs are shared and mutex-guarded. *)
   let make_ctx () =
-    {
-      Matcher.db = t.db;
-      attribute = t.attribute;
-      synopsis = t.synopsis;
-      neighbourhood = t.neighbourhood;
-      deadline = deadline_of timeout;
-      stats = Matcher.fresh_stats ();
-    }
+    make_ctx t ~deadline:(deadline_of timeout) ~stats:(Matcher.fresh_stats ())
   in
   let exception Component_empty in
   (try

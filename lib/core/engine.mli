@@ -35,6 +35,7 @@ val query :
   ?strategy:Decompose.strategy ->
   ?satellites:bool ->
   ?open_objects:bool ->
+  ?caches:bool ->
   t ->
   Sparql.Ast.t ->
   answer
@@ -50,6 +51,9 @@ val query :
     (ablation; default [true]).
     @param open_objects enable the literal-binding extension (default
     [false] — the faithful model).
+    @param caches [false] disables the query-scoped probe cache and the
+    engine's cross-query attribute/synopsis LRUs (ablation baseline for
+    the kernels benchmark; default [true]).
     @raise Unsupported on out-of-fragment queries.
     @raise Deadline.Expired on timeout. *)
 
@@ -75,12 +79,14 @@ val query_with_stats :
   ?strategy:Decompose.strategy ->
   ?satellites:bool ->
   ?open_objects:bool ->
+  ?caches:bool ->
   t ->
   Sparql.Ast.t ->
   answer * Matcher.stats
 (** Like {!query}, also returning the matcher's search counters (index
-    probes, candidates scanned, satellite rejections, solutions) — the
-    instrumentation behind the ablation experiments. *)
+    probes, cache hits/misses, candidates scanned, satellite
+    rejections, solutions) — the instrumentation behind the ablation
+    experiments. *)
 
 (** {1 Profiled execution}
 
@@ -99,6 +105,7 @@ val query_profiled :
   ?strategy:Decompose.strategy ->
   ?satellites:bool ->
   ?open_objects:bool ->
+  ?caches:bool ->
   t ->
   Sparql.Ast.t ->
   answer * Profile.t
@@ -118,7 +125,9 @@ val query_string_profiled :
 
 val sync_index_metrics : t -> unit
 (** Copy the indexes' lifetime probe counters
-    ([amber_{attribute,synopsis,neighbourhood}_index_probes_total]) into
+    ([amber_{attribute,synopsis,neighbourhood}_index_probes_total]) and
+    the cross-query LRU counters
+    ([amber_engine_{attribute,synopsis}_cache_{hits,misses}_total]) into
     the default metric registry — called by the endpoint before
     rendering [GET /metrics]. *)
 

@@ -1,0 +1,69 @@
+(* Keys are sorted int arrays (attribute sets, synopsis vectors), hashed
+   by content. *)
+module Key = struct
+  type t = int array
+
+  let equal = Mgraph.Sorted_ints.equal
+
+  let hash a =
+    let h = ref (Array.length a) in
+    Array.iter (fun x -> h := (!h * 1_000_003) + x) a;
+    !h land max_int
+end
+
+module H = Hashtbl.Make (Key)
+
+type 'v entry = { value : 'v; mutable stamp : int }
+
+type 'v t = {
+  tbl : 'v entry H.t;
+  cap : int;
+  mutable clock : int;  (* monotonic access counter *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~cap =
+  if cap <= 0 then invalid_arg "Lru.create: cap must be positive";
+  { tbl = H.create (2 * cap); cap; clock = 0; hits = 0; misses = 0 }
+
+let find t key =
+  match H.find_opt t.tbl key with
+  | Some e ->
+      t.clock <- t.clock + 1;
+      e.stamp <- t.clock;
+      t.hits <- t.hits + 1;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+(* Amortized eviction: let the table grow to twice the capacity, then
+   drop the least-recently-stamped half in one sweep. O(n log n) per n/2
+   insertions — O(log n) amortized, with no per-entry list links. *)
+let prune t =
+  let entries = ref [] in
+  H.iter (fun k e -> entries := (k, e) :: !entries) t.tbl;
+  let arr = Array.of_list !entries in
+  Array.sort (fun (_, a) (_, b) -> Int.compare b.stamp a.stamp) arr;
+  for i = t.cap to Array.length arr - 1 do
+    H.remove t.tbl (fst arr.(i))
+  done
+
+let add t key value =
+  (match H.find_opt t.tbl key with
+  | Some _ -> H.remove t.tbl key
+  | None -> ());
+  t.clock <- t.clock + 1;
+  H.replace t.tbl key { value; stamp = t.clock };
+  if H.length t.tbl > 2 * t.cap then prune t
+
+let length t = H.length t.tbl
+let hits t = t.hits
+let misses t = t.misses
+
+let clear t =
+  H.reset t.tbl;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.clock <- 0

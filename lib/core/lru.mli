@@ -1,0 +1,31 @@
+(** Small LRU cache keyed by sorted [int array]s.
+
+    Backs the engine's cross-query caches: attribute-index candidate
+    sets (keyed by the query vertex's attribute set) and synopsis
+    candidate sets (keyed by the query synopsis vector). Eviction is
+    amortized — the table grows to twice its capacity, then the
+    least-recently-used half is dropped in one sweep — so inserts stay
+    O(1) amortized without per-entry list links.
+
+    Not thread-safe: callers sharing a cache across domains must
+    serialize access (the engine guards its instances with a mutex). *)
+
+type 'v t
+
+val create : cap:int -> 'v t
+(** @raise Invalid_argument when [cap <= 0]. The table holds at most
+    [2 * cap] entries transiently, [cap] after a prune. *)
+
+val find : 'v t -> int array -> 'v option
+(** Lookup; refreshes recency and bumps the hit/miss counter. *)
+
+val add : 'v t -> int array -> 'v -> unit
+(** Insert or refresh a binding. The key array must not be mutated
+    afterwards. *)
+
+val length : 'v t -> int
+val hits : 'v t -> int
+val misses : 'v t -> int
+
+val clear : 'v t -> unit
+(** Drop all entries and zero the counters. *)

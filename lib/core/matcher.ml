@@ -2,6 +2,8 @@ type stats = {
   mutable index_probes : int;
   mutable synopsis_probes : int;
   mutable attribute_probes : int;
+  mutable probe_cache_hits : int;
+  mutable probe_cache_misses : int;
   mutable candidates_scanned : int;
   mutable satellite_rejections : int;
   mutable solutions : int;
@@ -12,10 +14,39 @@ let fresh_stats () =
     index_probes = 0;
     synopsis_probes = 0;
     attribute_probes = 0;
+    probe_cache_hits = 0;
+    probe_cache_misses = 0;
     candidates_scanned = 0;
     satellite_rejections = 0;
     solutions = 0;
   }
+
+(* Cross-query caches owned by the engine: candidate sets from the
+   attribute index (keyed by the query vertex's attribute set) and from
+   the synopsis index (keyed by the query synopsis vector). Shared by
+   every context built from one engine — including parallel domains —
+   so access is serialized by [lock]. *)
+type shared = {
+  attr_cache : int array Lru.t;
+  syn_cache : int array Lru.t;
+  lock : Mutex.t;
+}
+
+let make_shared ?(cap = 256) () =
+  {
+    attr_cache = Lru.create ~cap;
+    syn_cache = Lru.create ~cap;
+    lock = Mutex.create ();
+  }
+
+let shared_counters s =
+  Mutex.lock s.lock;
+  let r =
+    ( (Lru.hits s.attr_cache, Lru.misses s.attr_cache),
+      (Lru.hits s.syn_cache, Lru.misses s.syn_cache) )
+  in
+  Mutex.unlock s.lock;
+  r
 
 type ctx = {
   db : Database.t;
@@ -24,7 +55,13 @@ type ctx = {
   neighbourhood : Neighbourhood_index.t;
   deadline : Deadline.t;
   stats : stats;
+  probe_cache : Probe_cache.t option;  (* query-scoped; [None] disables *)
+  shared : shared option;  (* engine-scoped; [None] disables *)
 }
+
+let make_ctx ?probe_cache ?shared ~db ~attribute ~synopsis ~neighbourhood
+    ~deadline ~stats () =
+  { db; attribute; synopsis; neighbourhood; deadline; stats; probe_cache; shared }
 
 type solution = {
   core : (int * int) list;
@@ -35,27 +72,85 @@ exception Stop
 
 (* Candidates adjacent to the already-matched data vertex [v], seen from
    query vertex [u]'s perspective: [dir = Out] means the query edge
-   leaves [u], so candidates must have an edge towards [v]. *)
+   leaves [u], so candidates must have an edge towards [v]. Memoized per
+   query: hub vertices re-issue the same probe for every enumerated
+   candidate. *)
 let adjacent_candidates ctx v (dir, types) =
-  ctx.stats.index_probes <- ctx.stats.index_probes + 1;
   let probe =
     match dir with
     | Mgraph.Multigraph.Out -> Mgraph.Multigraph.In
     | Mgraph.Multigraph.In -> Mgraph.Multigraph.Out
   in
-  Neighbourhood_index.neighbours ctx.neighbourhood v probe types
+  match ctx.probe_cache with
+  | None ->
+      ctx.stats.index_probes <- ctx.stats.index_probes + 1;
+      Neighbourhood_index.neighbours ctx.neighbourhood v probe types
+  | Some cache -> (
+      match Probe_cache.find_probe cache v probe types with
+      | Some r ->
+          ctx.stats.probe_cache_hits <- ctx.stats.probe_cache_hits + 1;
+          r
+      | None ->
+          ctx.stats.probe_cache_misses <- ctx.stats.probe_cache_misses + 1;
+          ctx.stats.index_probes <- ctx.stats.index_probes + 1;
+          let r = Neighbourhood_index.neighbours ctx.neighbourhood v probe types in
+          Probe_cache.add_probe cache v probe types r;
+          r)
 
 let inter_opt a b =
   match (a, b) with
   | None, x | x, None -> x
   | Some a, Some b -> Some (Mgraph.Sorted_ints.inter a b)
 
-let process_vertex ctx (q : Query_graph.t) u =
+let attribute_candidates ctx attrs =
+  let probe () =
+    ctx.stats.attribute_probes <- ctx.stats.attribute_probes + 1;
+    Attribute_index.candidates ctx.attribute attrs
+  in
+  match ctx.shared with
+  | None -> probe ()
+  | Some s ->
+      Mutex.lock s.lock;
+      let cached = Lru.find s.attr_cache attrs in
+      Mutex.unlock s.lock;
+      (match cached with
+      | Some r -> r
+      | None ->
+          let r = probe () in
+          Mutex.lock s.lock;
+          Lru.add s.attr_cache attrs r;
+          Mutex.unlock s.lock;
+          r)
+
+(* Synopsis probe through the cross-query LRU, keyed by the query
+   synopsis vector. *)
+let synopsis_candidates ctx q u =
+  let syn = Mgraph.Synopsis.of_signature (Query_graph.signature q u) in
+  let probe () =
+    ctx.stats.synopsis_probes <- ctx.stats.synopsis_probes + 1;
+    Synopsis_index.candidates ctx.synopsis syn
+  in
+  match ctx.shared with
+  | None -> probe ()
+  | Some s ->
+      Mutex.lock s.lock;
+      let cached = Lru.find s.syn_cache syn in
+      Mutex.unlock s.lock;
+      (match cached with
+      | Some r -> r
+      | None ->
+          let r = probe () in
+          Mutex.lock s.lock;
+          Lru.add s.syn_cache syn r;
+          Mutex.unlock s.lock;
+          r)
+
+(* Algorithm 1, uncached: candidates implied by the vertex's attributes
+   and IRI constraints. *)
+let process_vertex_raw ctx (q : Query_graph.t) u =
   let from_attrs =
-    if Array.length q.attrs.(u) > 0 then begin
-      ctx.stats.attribute_probes <- ctx.stats.attribute_probes + 1;
-      Some (Attribute_index.candidates ctx.attribute q.attrs.(u))
-    end
+    if Array.length q.attrs.(u) > 0 then
+      Some (attribute_candidates ctx q.attrs.(u))
     else None
   in
   let from_iris =
@@ -67,6 +162,23 @@ let process_vertex ctx (q : Query_graph.t) u =
   in
   inter_opt from_attrs from_iris
 
+(* The result depends only on the query vertex, yet the satellite loop
+   recomputes it for every enumerated candidate of the anchor — memoize
+   per query. *)
+let process_vertex ctx (q : Query_graph.t) u =
+  match ctx.probe_cache with
+  | None -> process_vertex_raw ctx q u
+  | Some cache -> (
+      match Probe_cache.find_vertex cache u with
+      | Some r ->
+          ctx.stats.probe_cache_hits <- ctx.stats.probe_cache_hits + 1;
+          r
+      | None ->
+          ctx.stats.probe_cache_misses <- ctx.stats.probe_cache_misses + 1;
+          let r = process_vertex_raw ctx q u in
+          Probe_cache.add_vertex cache u r;
+          r)
+
 (* Self-loop filter: the candidate must carry a data loop with all the
    query loop's types. *)
 let satisfies_self_loop ctx (q : Query_graph.t) u v =
@@ -75,19 +187,18 @@ let satisfies_self_loop ctx (q : Query_graph.t) u v =
   || Mgraph.Sorted_ints.subset loop
        (Mgraph.Multigraph.edge_types_between (Database.graph ctx.db) v v)
 
-(* Candidates for any query vertex adjacent to a matched one. *)
-let constrained_candidates ctx q u matched_pairs =
-  (* [matched_pairs] = (query vertex, data vertex) for every matched core
-     vertex adjacent to [u]; the result intersects one neighbourhood
-     probe per directed multi-edge. *)
+(* Candidates for a query vertex adjacent to already-matched ones.
+   [matched_pairs] = (data vertex, multi-edges) for every matched core
+   vertex adjacent to it; the result intersects one neighbourhood probe
+   per directed multi-edge. The deadline is polled by the per-candidate
+   loop around this function, not per probe. *)
+let constrained_candidates ctx matched_pairs =
   List.fold_left
-    (fun acc (un, vn) ->
+    (fun acc (vn, edges) ->
       List.fold_left
         (fun acc (dir, types) ->
-          Deadline.check ctx.deadline;
           inter_opt acc (Some (adjacent_candidates ctx vn (dir, types))))
-        acc
-        (Query_graph.multi_edges_between q u un))
+        acc edges)
     None matched_pairs
 
 (* Algorithm 2: match every satellite anchored to core vertex [uc],
@@ -96,7 +207,6 @@ let match_satellites ctx q (plan : Decompose.plan) uc vc =
   let rec loop acc = function
     | [] -> Some acc
     | us :: rest -> (
-        Deadline.check ctx.deadline;
         let structural =
           List.fold_left
             (fun acc (dir, types) ->
@@ -128,11 +238,7 @@ let initial_candidates ctx (q : Query_graph.t) (comp : Decompose.component) =
   | 0 -> [||]
   | _ ->
       let u = comp.core_order.(0) in
-      ctx.stats.synopsis_probes <- ctx.stats.synopsis_probes + 1;
-      let structural =
-        Synopsis_index.candidates_of_signature ctx.synopsis
-          (Query_graph.signature q u)
-      in
+      let structural = synopsis_candidates ctx q u in
       (match inter_opt (Some structural) (process_vertex ctx q u) with
       | Some c -> c
       | None -> [||])
@@ -144,16 +250,14 @@ let solve_component_seeded ctx (q : Query_graph.t) (plan : Decompose.plan)
   if k = 0 then ()
   else begin
     let assigned = Array.make k (-1) in
-    (* Matched (query, data) pairs among the first [depth] core
-       vertices that are adjacent to [u]. *)
-    let matched_neighbours depth u =
-      let pairs = ref [] in
-      for i = depth - 1 downto 0 do
-        let un = order.(i) in
-        if Query_graph.multi_edges_between q u un <> [] then
-          pairs := (un, assigned.(i)) :: !pairs
-      done;
-      !pairs
+    (* Matched (data vertex, multi-edges) pairs among the first [depth]
+       core vertices adjacent to position [depth] — adjacency and edges
+       were precomputed by [Decompose.plan]. *)
+    let matched_neighbours depth =
+      Array.fold_left
+        (fun acc (j, edges) -> (assigned.(j), edges) :: acc)
+        []
+        comp.prior_edges.(depth)
     in
     let rec extend depth sats_acc =
       Deadline.check ctx.deadline;
@@ -172,15 +276,12 @@ let solve_component_seeded ctx (q : Query_graph.t) (plan : Decompose.plan)
           if depth = 0 then seeds
           else begin
             let structural =
-              match constrained_candidates ctx q u (matched_neighbours depth u) with
+              match constrained_candidates ctx (matched_neighbours depth) with
               | Some _ as c -> c
               | None ->
                   (* Core subgraphs are connected, so this only happens
                      for promoted singletons or defensive fallback: use S. *)
-                  ctx.stats.synopsis_probes <- ctx.stats.synopsis_probes + 1;
-                  Some
-                    (Synopsis_index.candidates_of_signature ctx.synopsis
-                       (Query_graph.signature q u))
+                  Some (synopsis_candidates ctx q u)
             in
             match inter_opt structural (process_vertex ctx q u) with
             | Some c -> c

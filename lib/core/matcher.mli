@@ -8,15 +8,28 @@
     {e set} of data vertices, and Lemma 2 lets the sets combine by
     Cartesian product instead of recursion. A reported solution
     therefore binds every core vertex to a single data vertex and every
-    satellite to a non-empty candidate set. *)
+    satellite to a non-empty candidate set.
+
+    The search is cache-accelerated on two levels: a {e query-scoped}
+    {!Probe_cache.t} memoizes neighbourhood probes and [ProcessVertex]
+    results that hub vertices would otherwise recompute for every
+    enumerated candidate, and an {e engine-scoped} {!shared} pair of
+    LRUs reuses attribute/synopsis candidate sets across queries. Both
+    are optional; a context without them reproduces the uncached
+    baseline (the ablation the kernels benchmark measures). *)
 
 type stats = {
   mutable index_probes : int;
-      (** neighbourhood-index lookups (the paper's [QueryNeighIndex]) *)
+      (** neighbourhood-index lookups actually performed (the paper's
+          [QueryNeighIndex]); cache hits do not count *)
   mutable synopsis_probes : int;
       (** synopsis (R-tree / scan) lookups — index [S] *)
   mutable attribute_probes : int;
       (** attribute inverted-list lookups — index [A] *)
+  mutable probe_cache_hits : int;
+      (** query-scoped probe-cache hits (neighbourhood probes +
+          memoized [ProcessVertex] results) *)
+  mutable probe_cache_misses : int;  (** … and misses *)
   mutable candidates_scanned : int;
       (** data vertices tried as a core-vertex candidate *)
   mutable satellite_rejections : int;
@@ -26,6 +39,19 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
+type shared
+(** Cross-query LRU caches (attribute and synopsis candidate sets),
+    owned by the engine and shared — behind a mutex — by every context
+    it builds, including parallel domains. *)
+
+val make_shared : ?cap:int -> unit -> shared
+(** [cap] bounds each LRU (default 256 entries). *)
+
+val shared_counters : shared -> (int * int) * (int * int)
+(** [((attr_hits, attr_misses), (synopsis_hits, synopsis_misses))] —
+    lifetime counters of the two LRUs, mirrored into the
+    [amber_engine_{attribute,synopsis}_cache_*] metrics. *)
+
 type ctx = {
   db : Database.t;
   attribute : Attribute_index.t;
@@ -33,7 +59,23 @@ type ctx = {
   neighbourhood : Neighbourhood_index.t;
   deadline : Deadline.t;
   stats : stats;
+  probe_cache : Probe_cache.t option;
+      (** query-scoped memo; [None] disables (ablation) *)
+  shared : shared option;
+      (** engine-scoped LRUs; [None] disables (ablation) *)
 }
+
+val make_ctx :
+  ?probe_cache:Probe_cache.t ->
+  ?shared:shared ->
+  db:Database.t ->
+  attribute:Attribute_index.t ->
+  synopsis:Synopsis_index.t ->
+  neighbourhood:Neighbourhood_index.t ->
+  deadline:Deadline.t ->
+  stats:stats ->
+  unit ->
+  ctx
 
 type solution = {
   core : (int * int) list;  (** (query vertex, data vertex), core order *)
@@ -44,7 +86,8 @@ type solution = {
 val process_vertex : ctx -> Query_graph.t -> int -> int array option
 (** Algorithm 1: candidates implied by vertex attributes and IRI
     constraints alone. [None] when the vertex has neither (no
-    information, not an empty candidate set). *)
+    information, not an empty candidate set). Memoized per query when
+    the context carries a probe cache. *)
 
 val solve_component :
   ctx ->

@@ -1,0 +1,27 @@
+module Key = struct
+  type t = int * Mgraph.Multigraph.direction * int array
+
+  let equal (v1, d1, t1) (v2, d2, t2) =
+    v1 = v2 && d1 = d2 && Mgraph.Sorted_ints.equal t1 t2
+
+  let hash (v, d, types) =
+    let h = ref ((v * 2) + match d with Mgraph.Multigraph.Out -> 0 | In -> 1) in
+    Array.iter (fun x -> h := (!h * 1_000_003) + x) types;
+    !h land max_int
+end
+
+module H = Hashtbl.Make (Key)
+
+type t = {
+  probes : int array H.t;  (* (data vertex, dir, types) -> neighbours *)
+  vertices : (int, int array option) Hashtbl.t;
+      (* query vertex -> ProcessVertex result *)
+}
+
+let create () = { probes = H.create 64; vertices = Hashtbl.create 16 }
+
+let find_probe t v dir types = H.find_opt t.probes (v, dir, types)
+let add_probe t v dir types r = H.replace t.probes (v, dir, types) r
+
+let find_vertex t u = Hashtbl.find_opt t.vertices u
+let add_vertex t u r = Hashtbl.replace t.vertices u r

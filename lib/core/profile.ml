@@ -42,8 +42,10 @@ let pp ppf t =
   let s = t.stats in
   Format.fprintf ppf
     "matcher: index_probes=%d synopsis_probes=%d attribute_probes=%d \
-     candidates_scanned=%d satellite_rejections=%d solutions=%d@]"
+     cache_hits=%d cache_misses=%d candidates_scanned=%d \
+     satellite_rejections=%d solutions=%d@]"
     s.Matcher.index_probes s.Matcher.synopsis_probes s.Matcher.attribute_probes
+    s.Matcher.probe_cache_hits s.Matcher.probe_cache_misses
     s.Matcher.candidates_scanned s.Matcher.satellite_rejections
     s.Matcher.solutions
 
@@ -89,9 +91,10 @@ let to_json t =
   let s = t.stats in
   Buffer.add_string buf
     (Printf.sprintf
-       {|],"stats":{"index_probes":%d,"synopsis_probes":%d,"attribute_probes":%d,"candidates_scanned":%d,"satellite_rejections":%d,"solutions":%d},"phases":|}
+       {|],"stats":{"index_probes":%d,"synopsis_probes":%d,"attribute_probes":%d,"probe_cache_hits":%d,"probe_cache_misses":%d,"candidates_scanned":%d,"satellite_rejections":%d,"solutions":%d},"phases":|}
        s.Matcher.index_probes s.Matcher.synopsis_probes
-       s.Matcher.attribute_probes s.Matcher.candidates_scanned
+       s.Matcher.attribute_probes s.Matcher.probe_cache_hits
+       s.Matcher.probe_cache_misses s.Matcher.candidates_scanned
        s.Matcher.satellite_rejections s.Matcher.solutions);
   Buffer.add_string buf (Obs.Span.to_json t.span);
   Buffer.add_char buf '}';

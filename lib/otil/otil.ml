@@ -6,16 +6,18 @@ type node = {
 
 type inverted = {
   mutable items : int list;
-  mutable sorted : int array option;  (* cache, invalidated on insert *)
+  mutable sorted : int array option;  (* cache, materialized by prepare *)
 }
 
 type t = {
   mutable roots : node list;  (* sorted by increasing label *)
   by_symbol : (int, inverted) Hashtbl.t;
   mutable cardinal : int;
+  mutable frozen : bool;  (* caches materialized, reads are pure *)
 }
 
-let create () = { roots = []; by_symbol = Hashtbl.create 16; cardinal = 0 }
+let create () =
+  { roots = []; by_symbol = Hashtbl.create 16; cardinal = 0; frozen = false }
 
 (* Find or create the child with [label] in a sorted sibling list. *)
 let rec locate siblings label =
@@ -63,7 +65,8 @@ let add t word value =
   (match !node with
   | None -> assert false
   | Some terminal -> terminal.values <- value :: terminal.values);
-  t.cardinal <- t.cardinal + 1
+  t.cardinal <- t.cardinal + 1;
+  t.frozen <- false
 
 let cardinal t = t.cardinal
 
@@ -105,16 +108,17 @@ let supersets t query =
   in
   Mgraph.Sorted_ints.of_list acc
 
+(* Reads never mutate the trie: an unprepared lookup re-sorts instead of
+   filling the cache, so probing is safe from several domains at any
+   time — only {!prepare} (single-threaded, at index-build time)
+   materializes the caches. *)
 let with_symbol t s =
   match Hashtbl.find_opt t.by_symbol s with
   | None -> [||]
   | Some l -> (
       match l.sorted with
       | Some a -> a
-      | None ->
-          let a = Mgraph.Sorted_ints.of_list l.items in
-          l.sorted <- Some a;
-          a)
+      | None -> Mgraph.Sorted_ints.of_list l.items)
 
 let prepare t =
   Hashtbl.iter
@@ -122,7 +126,10 @@ let prepare t =
       match l.sorted with
       | Some _ -> ()
       | None -> l.sorted <- Some (Mgraph.Sorted_ints.of_list l.items))
-    t.by_symbol
+    t.by_symbol;
+  t.frozen <- true
+
+let prepared t = t.frozen
 
 let words t =
   let out = ref [] in

@@ -29,12 +29,20 @@ val supersets : t -> int array -> int array
 
 val with_symbol : t -> int -> int array
 (** [with_symbol t s] — sorted values whose word contains the symbol
-    [s]; the per-symbol inverted list. *)
+    [s]; the per-symbol inverted list. Reads are pure: on an unprepared
+    trie the list is sorted afresh on every call (first-probe sorting
+    must not pollute query timings, so index builders call {!prepare}
+    eagerly instead of relying on lazy caching). *)
 
 val prepare : t -> unit
-(** Materialize every per-symbol sorted inverted list. After [prepare]
-    (and until the next {!add}) all queries are read-only, so a prepared
-    trie can be probed from several domains concurrently. *)
+(** Materialize every per-symbol sorted inverted list and freeze the
+    trie for reading. Queries never mutate the structure, so a prepared
+    trie is safely shareable across domains; {!add} thaws it again.
+    Idempotent. Called eagerly at index-build time by
+    [Neighbourhood_index.build]. *)
+
+val prepared : t -> bool
+(** Has {!prepare} run since the last {!add}? *)
 
 val words : t -> (int array * int array) list
 (** All (word, sorted values) pairs, for tests and debugging. *)

@@ -10,14 +10,16 @@ let y prop = "http://dbpedia.org/ontology/" ^ prop
 
 let make_ctx () =
   let db = Amber.Database.of_triples Fixtures.paper_triples in
-  {
-    Amber.Matcher.db;
-    attribute = Amber.Attribute_index.build db;
-    synopsis = Amber.Synopsis_index.build db;
-    neighbourhood = Amber.Neighbourhood_index.build db;
-    deadline = Amber.Deadline.never;
-    stats = Amber.Matcher.fresh_stats ();
-  }
+  Amber.Matcher.make_ctx
+    ~probe_cache:(Amber.Probe_cache.create ())
+    ~shared:(Amber.Matcher.make_shared ())
+    ~db
+    ~attribute:(Amber.Attribute_index.build db)
+    ~synopsis:(Amber.Synopsis_index.build db)
+    ~neighbourhood:(Amber.Neighbourhood_index.build db)
+    ~deadline:Amber.Deadline.never
+    ~stats:(Amber.Matcher.fresh_stats ())
+    ()
 
 let vertex ctx name =
   Option.get

@@ -226,6 +226,124 @@ let prop_decompose_invariants =
           in
           inv1 && inv2 && inv3 && inv4 && inv5)
 
+(* --- Sorted_ints kernel agreement (satellite of the set-algebra PR) ---
+   The adaptive intersection dispatches between three kernels; all of
+   them — and the derived algebra — must agree with a naive reference on
+   arbitrary operands, including empty, singleton, heavily skewed and
+   bitset-dense shapes. *)
+
+let random_sorted rng ~max_len ~span =
+  let n = Datagen.Prng.int rng (max_len + 1) in
+  (* Offset into negatives: the bitset kernel's span base must not
+     assume non-negative elements. *)
+  Mgraph.Sorted_ints.of_list
+    (List.init n (fun _ -> Datagen.Prng.int rng span - (span / 3)))
+
+let naive_inter a b =
+  Array.of_list (List.filter (fun x -> Array.mem x b) (Array.to_list a))
+
+let naive_union a b = Mgraph.Sorted_ints.of_list (Array.to_list (Array.append a b))
+
+let naive_diff a b =
+  Array.of_list (List.filter (fun x -> not (Array.mem x b)) (Array.to_list a))
+
+(* (max_len_a, span_a, max_len_b, span_b): similar sizes, skew both
+   ways past the gallop ratio, dense large operands (bitset territory),
+   sparse large operands, singletons and empties. *)
+let operand_shapes =
+  [|
+    (40, 120, 40, 120);
+    (4, 50, 1500, 4000);
+    (1500, 4000, 4, 50);
+    (1400, 1800, 1400, 1800);
+    (1200, 100_000, 1200, 100_000);
+    (1, 10, 600, 900);
+    (0, 1, 30, 60);
+  |]
+
+let prop_inter_kernels_agree =
+  QCheck.Test.make ~name:"intersection kernels agree" ~count:120
+    (QCheck.make QCheck.Gen.int) (fun seed ->
+      let rng = Datagen.Prng.create (seed + 101) in
+      let ok = ref true in
+      Array.iter
+        (fun (la, sa, lb, sb) ->
+          let a = random_sorted rng ~max_len:la ~span:sa in
+          let b = random_sorted rng ~max_len:lb ~span:sb in
+          let expect = naive_inter a b in
+          List.iter
+            (fun kernel ->
+              let got = kernel a b in
+              if not (Mgraph.Sorted_ints.is_sorted got && got = expect) then
+                ok := false)
+            [
+              Mgraph.Sorted_ints.inter;
+              Mgraph.Sorted_ints.inter_merge;
+              Mgraph.Sorted_ints.inter_gallop;
+              Mgraph.Sorted_ints.inter_bitset;
+            ])
+        operand_shapes;
+      !ok)
+
+let prop_set_algebra_agrees =
+  QCheck.Test.make ~name:"union/diff/subset agree with reference" ~count:120
+    (QCheck.make QCheck.Gen.int) (fun seed ->
+      let rng = Datagen.Prng.create (seed + 211) in
+      let ok = ref true in
+      Array.iter
+        (fun (la, sa, lb, sb) ->
+          let a = random_sorted rng ~max_len:la ~span:sa in
+          let b = random_sorted rng ~max_len:lb ~span:sb in
+          let u = Mgraph.Sorted_ints.union a b in
+          if not (Mgraph.Sorted_ints.is_sorted u && u = naive_union a b) then
+            ok := false;
+          let d = Mgraph.Sorted_ints.diff a b in
+          if not (Mgraph.Sorted_ints.is_sorted d && d = naive_diff a b) then
+            ok := false;
+          let naive_subset a b = Array.for_all (fun x -> Array.mem x b) a in
+          if Mgraph.Sorted_ints.subset a b <> naive_subset a b then ok := false;
+          (* A genuine subset (the skewed path must also accept). *)
+          if not (Mgraph.Sorted_ints.subset (naive_inter a b) b) then ok := false)
+        operand_shapes;
+      !ok)
+
+let prop_inter_aliasing_and_many =
+  QCheck.Test.make ~name:"inter_many and aliasing returns" ~count:120
+    (QCheck.make QCheck.Gen.int) (fun seed ->
+      let rng = Datagen.Prng.create (seed + 307) in
+      let ok = ref true in
+      for _ = 1 to 4 do
+        let (la, sa, lb, sb) =
+          Datagen.Prng.choice rng operand_shapes
+        in
+        let a = random_sorted rng ~max_len:la ~span:sa in
+        let b = random_sorted rng ~max_len:lb ~span:sb in
+        let c = random_sorted rng ~max_len:lb ~span:sa in
+        (* inter_many = folded naive intersection, any operand count. *)
+        let expect = naive_inter (naive_inter a b) c in
+        if Mgraph.Sorted_ints.inter_many [ a; b; c ] <> expect then ok := false;
+        if Mgraph.Sorted_ints.inter_many [ a ] != a then ok := false;
+        (* When the result equals an operand, the kernels hand the
+           operand back physically instead of copying. *)
+        if Array.length a > 0 && Mgraph.Sorted_ints.inter a a != a then
+          ok := false;
+        let sub = naive_inter a b in
+        if Array.length sub > 0 then begin
+          if Mgraph.Sorted_ints.inter_merge sub b != sub then ok := false;
+          if Mgraph.Sorted_ints.inter_gallop sub b != sub then ok := false;
+          if Mgraph.Sorted_ints.inter_bitset sub b != sub then ok := false
+        end;
+        if Array.length a > 0 then begin
+          if Mgraph.Sorted_ints.union a [||] != a then ok := false;
+          if Mgraph.Sorted_ints.diff a [||] != a then ok := false
+        end
+      done;
+      (try
+         ignore (Mgraph.Sorted_ints.inter_many []);
+         ok := false
+       with Invalid_argument _ -> ());
+      !ok)
+
 (* Engine answers are insensitive to pattern order. *)
 let prop_pattern_order_irrelevant =
   QCheck.Test.make ~name:"answers ignore pattern order" ~count:60
@@ -260,6 +378,9 @@ let suite =
         QCheck_alcotest.to_alcotest prop_amber_matches_reference;
         QCheck_alcotest.to_alcotest prop_parallel_matches_sequential;
         QCheck_alcotest.to_alcotest prop_decompose_invariants;
+        QCheck_alcotest.to_alcotest prop_inter_kernels_agree;
+        QCheck_alcotest.to_alcotest prop_set_algebra_agrees;
+        QCheck_alcotest.to_alcotest prop_inter_aliasing_and_many;
         QCheck_alcotest.to_alcotest prop_pattern_order_irrelevant;
       ] );
   ]
