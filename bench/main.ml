@@ -43,7 +43,8 @@ let usage () =
              [--sizes a,b,c] [--limit N] [--seed N] [--quick] [--micro]
              [--json FILE]
 
-  ids: table1 table4 table5 fig6..fig11 ablation profile kernels (comma separated)
+  ids: table1 table4 table5 fig6..fig11 ablation profile kernels parallel
+       (comma separated)
   --quick: small preset (scale 0.04, 5 queries/point, sizes 10,20,30)
   --json:  also write a machine-readable report (summaries with
            p95/p99, per-phase breakdowns, metrics registry) to FILE|};
@@ -725,6 +726,102 @@ let bench_kernels cfg ds =
   Amber.Engine.sync_index_metrics engine
 
 (* ------------------------------------------------------------------ *)
+(* Parallel matching: domain-count scaling curve; --only parallel,     *)
+(* recorded as BENCH_3.json                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bench_parallel cfg ds =
+  let host_cores = Domain.recommended_domain_count () in
+  section
+    (Printf.sprintf
+       "Parallel matching: AMbER at 1/2/4 domains on %s (host reports %d \
+        core%s)"
+       ds.ds_name host_cores
+       (if host_cores = 1 then "" else "s"));
+  let engine = Amber.Engine.build (Lazy.force ds.triples) in
+  let workload =
+    (* A mix of shapes so the curve reflects both seed-rich star queries
+       and the deeper complex recursions. *)
+    Datagen.Workload.generate ~seed:(cfg.seed + 31) (Lazy.force ds.corpus)
+      ~shape:Datagen.Workload.Star ~size:20 ~count:cfg.queries_per_point
+    @ Datagen.Workload.generate ~seed:(cfg.seed + 32) (Lazy.force ds.corpus)
+        ~shape:Datagen.Workload.Complex ~size:30 ~count:cfg.queries_per_point
+  in
+  let canonical (a : Amber.Engine.answer) = List.sort compare a.rows in
+  let run_pass ~domains =
+    List.map
+      (fun ast ->
+        match
+          Bench_util.Runner.time (fun () ->
+              Amber.Engine.query ~timeout:cfg.timeout ~limit:cfg.row_limit
+                ~domains engine ast)
+        with
+        | dt, a -> Some (dt, a)
+        | exception Amber.Deadline.Expired -> None)
+      workload
+  in
+  (* Answers are compared as row sets against the sequential pass: with a
+     row limit the chunks race to the cap, so only un-truncated answers
+     must agree exactly. *)
+  let baseline = run_pass ~domains:1 in
+  let results =
+    List.map
+      (fun domains ->
+        let pass = if domains = 1 then baseline else run_pass ~domains in
+        let times = List.filter_map (Option.map fst) pass in
+        let mismatches =
+          List.fold_left2
+            (fun acc b p ->
+              match (b, p) with
+              | Some (_, b), Some (_, a)
+                when (not b.Amber.Engine.truncated)
+                     && not a.Amber.Engine.truncated ->
+                  if canonical b = canonical a then acc else acc + 1
+              | _ -> acc)
+            0 baseline pass
+        in
+        let answered = List.length times in
+        (domains, answered, mismatches, Bench_util.Stats.mean times,
+         Bench_util.Stats.p95 times))
+      [ 1; 2; 4 ]
+  in
+  let base_mean =
+    match results with (_, _, _, m, _) :: _ -> m | [] -> 0.
+  in
+  Bench_util.Table_fmt.print
+    ~header:
+      [ "domains"; "answered"; "mismatches"; "mean (ms)"; "p95 (ms)"; "speedup" ]
+    (List.map
+       (fun (d, answered, mismatches, mean, p95) ->
+         [
+           string_of_int d;
+           Printf.sprintf "%d/%d" answered (List.length workload);
+           string_of_int mismatches;
+           Bench_util.Table_fmt.ms mean;
+           Bench_util.Table_fmt.ms p95;
+           (if mean > 0. then Printf.sprintf "%.2fx" (base_mean /. mean) else "-");
+         ])
+       results);
+  if host_cores < 4 then
+    Printf.printf
+      "(note: host has %d core%s — wall-clock speedup beyond %dx is not \
+       reachable here)\n"
+      host_cores
+      (if host_cores = 1 then "" else "s")
+      host_cores;
+  add_json "parallel"
+    (Printf.sprintf {|{"dataset":"%s","host_cores":%d,"queries":%d,"points":[%s]}|}
+       ds.ds_name host_cores (List.length workload)
+       (String.concat ","
+          (List.map
+             (fun (d, answered, mismatches, mean, p95) ->
+               Printf.sprintf
+                 {|{"domains":%d,"answered":%d,"mismatches":%d,"mean_s":%.9g,"p95_s":%.9g,"speedup":%.3f}|}
+                 d answered mismatches mean p95
+                 (if mean > 0. then base_mean /. mean else 0.))
+             results)))
+
+(* ------------------------------------------------------------------ *)
 (* Micro benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -828,6 +925,7 @@ let () =
   if wants cfg "ablation" then bench_ablation cfg dbpedia;
   if wants cfg "profile" then bench_profile cfg dbpedia;
   if wants cfg "kernels" then bench_kernels cfg dbpedia;
+  if wants cfg "parallel" then bench_parallel cfg dbpedia;
   if cfg.micro then micro_benchmarks ();
   write_json_report cfg;
   print_newline ()

@@ -53,15 +53,26 @@ let limit_arg =
     & opt (some int) None
     & info [ "limit" ] ~docv:"N" ~doc:"Cap the number of result rows.")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Run the matcher on up to $(docv) domains (amber engine only; \
+           clamped to 1-8). Default: sequential.")
+
 let engine_arg =
   Arg.(
     value
     & opt (enum
              [ ("amber", `Amber); ("xrdf3x", `Rdf3x); ("virtuoso", `Virtuoso);
-               ("jena", `Jena); ("gstore", `Gstore) ])
+               ("jena", `Jena); ("gstore", `Gstore); ("reference", `Reference) ])
         `Amber
     & info [ "engine" ] ~docv:"ENGINE"
-        ~doc:"Engine: amber | xrdf3x | virtuoso | jena | gstore.")
+        ~doc:
+          "Engine: amber | xrdf3x | virtuoso | jena | gstore | reference \
+           (brute-force oracle; tiny data only).")
 
 let open_objects_arg =
   Arg.(
@@ -155,12 +166,15 @@ let print_answer ?(format = `Table) variables rows truncated =
 (* --- query ----------------------------------------------------------- *)
 
 let run_query data query_file sparql timeout limit engine open_objects extended
-    format profile explain =
+    format profile explain domains =
   let triples = load_triples data in
   let src = query_text query_file sparql in
   if (profile || explain) && (extended || engine <> `Amber) then
     prerr_endline
       "note: --profile/--explain apply to the plain amber engine only; ignored";
+  if domains <> None && (extended || engine <> `Amber) then
+    prerr_endline "note: --domains applies to the plain amber engine only; ignored";
+  let domains = Option.map (fun d -> max 1 (min 8 d)) domains in
   if extended then begin
     let t_build, e =
       Bench_util.Runner.time (fun () -> Amber.Engine.build triples)
@@ -229,7 +243,7 @@ let run_query data query_file sparql timeout limit engine open_objects extended
         match
           Bench_util.Runner.time (fun () ->
               Amber.Engine.query_string_profiled ?timeout ?limit ~open_objects
-                e src)
+                ?domains e src)
         with
         | dt, (a, p) ->
             print_answer ~format a.Amber.Engine.variables a.rows a.truncated;
@@ -246,14 +260,17 @@ let run_query data query_file sparql timeout limit engine open_objects extended
           Bench_util.Runner.time (fun () ->
               match Sparql.Parser.parse_any src with
               | Sparql.Parser.Q_select ast ->
-                  let a = Amber.Engine.query ?timeout ?limit ~open_objects e ast in
+                  let a =
+                    Amber.Engine.query ?timeout ?limit ~open_objects ?domains e
+                      ast
+                  in
                   `Rows a
               | Sparql.Parser.Q_ask ast ->
-                  `Bool (Amber.Engine.ask ?timeout ~open_objects e ast)
+                  `Bool (Amber.Engine.ask ?timeout ~open_objects ?domains e ast)
               | Sparql.Parser.Q_construct (template, ast) ->
                   `Triples
-                    (Amber.Engine.construct ?timeout ?limit ~open_objects e
-                       ~template ast))
+                    (Amber.Engine.construct ?timeout ?limit ~open_objects
+                       ?domains e ~template ast))
         with
         | dt, result ->
             (match result with
@@ -273,6 +290,7 @@ let run_query data query_file sparql timeout limit engine open_objects extended
   | `Virtuoso -> run (module Baselines.Column_store)
   | `Jena -> run (module Baselines.Nested_loop)
   | `Gstore -> run (module Baselines.Sig_store)
+  | `Reference -> run (module Baselines.Reference_eval)
 
 let query_cmd =
   let doc = "answer a SPARQL query over an N-Triples/Turtle file" in
@@ -280,7 +298,7 @@ let query_cmd =
     Term.(
       const run_query $ data_arg $ query_file_arg $ sparql_arg $ timeout_arg
       $ limit_arg $ engine_arg $ open_objects_arg $ extended_arg $ format_arg
-      $ profile_arg $ explain_flag_arg)
+      $ profile_arg $ explain_flag_arg $ domains_arg)
 
 (* --- explain ----------------------------------------------------------- *)
 
@@ -307,7 +325,7 @@ let explain_cmd =
 
 (* --- serve ------------------------------------------------------------- *)
 
-let run_serve data port timeout limit open_objects =
+let run_serve data port timeout limit open_objects domains =
   let triples = load_triples data in
   let t_build, engine =
     Bench_util.Runner.time (fun () -> Amber.Engine.build triples)
@@ -320,6 +338,7 @@ let run_serve data port timeout limit open_objects =
       timeout;
       limit;
       open_objects;
+      domains = Option.map (fun d -> max 1 (min 8 d)) domains;
     }
   in
   let server = Endpoint.create ~config engine in
@@ -335,7 +354,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run_serve $ data_arg $ port_arg $ timeout_arg $ limit_arg
-      $ open_objects_arg)
+      $ open_objects_arg $ domains_arg)
 
 (* --- compile ----------------------------------------------------------- *)
 

@@ -2,6 +2,11 @@
    directly over the triple list at term level, written independently of
    every engine under test. Exponential and proud of it. *)
 
+type t = Rdf.Triple.t list
+
+let name = "reference"
+let load triples = List.sort_uniq Rdf.Triple.compare triples
+
 type binding = (string * Rdf.Term.t) list
 
 let term_matches binding pattern actual =
@@ -16,14 +21,14 @@ let term_matches binding pattern actual =
           if Rdf.Term.equal existing actual then Some binding else None
       | None -> Some ((v, actual) :: binding))
 
-let solutions triples (ast : Sparql.Ast.t) : binding list =
-  let triples = List.sort_uniq Rdf.Triple.compare triples in
+let solutions_within deadline triples (ast : Sparql.Ast.t) : binding list =
   let rec go patterns binding =
     match patterns with
     | [] -> [ binding ]
     | { Sparql.Ast.subject; predicate; obj } :: rest ->
         List.concat_map
           (fun { Rdf.Triple.subject = s; predicate = p; obj = o } ->
+            Amber.Deadline.check deadline;
             match term_matches binding subject s with
             | None -> []
             | Some b1 -> (
@@ -50,6 +55,35 @@ let solutions triples (ast : Sparql.Ast.t) : binding list =
         true
       end)
     (go ast.where [])
+
+let solutions triples ast =
+  solutions_within Amber.Deadline.never (load triples) ast
+
+let query ?timeout ?limit store ast =
+  let deadline =
+    match timeout with
+    | Some s -> Amber.Deadline.after s
+    | None -> Amber.Deadline.never
+  in
+  let variables = Sparql.Ast.selected_variables ast in
+  let project b = List.map (fun v -> List.assoc_opt v b) variables in
+  let rows = List.map project (solutions_within deadline store ast) in
+  let rows =
+    if ast.Sparql.Ast.distinct then List.sort_uniq compare rows else rows
+  in
+  let effective_limit =
+    match (ast.Sparql.Ast.limit, limit) with
+    | Some a, Some b -> Some (min a b)
+    | (Some _ as l), None | None, (Some _ as l) -> l
+    | None, None -> None
+  in
+  let rows, truncated =
+    match effective_limit with
+    | Some l when List.length rows > l ->
+        (List.filteri (fun i _ -> i < l) rows, true)
+    | _ -> (rows, false)
+  in
+  { Answer.variables; rows; truncated }
 
 (* Canonical string form of a projected row, for set comparisons. *)
 let canon_row row =

@@ -1,0 +1,39 @@
+(** Brute-force BGP oracle — the ground truth of the differential tests.
+
+    Backtracks directly over the triple list at term level, written
+    independently of every engine under test (no dictionary, no indexes,
+    no decomposition). Exponential and proud of it; only run it on the
+    small graphs the test generators produce.
+
+    Implements {!Engine_sig.S} so it slots into the cross-engine
+    harnesses, and additionally exposes the canonicalization helpers the
+    differential tests compare answers with. *)
+
+type t
+
+val name : string
+val load : Rdf.Triple.t list -> t
+
+val query : ?timeout:float -> ?limit:int -> t -> Sparql.Ast.t -> Answer.t
+(** Project / DISTINCT / LIMIT like the engines do ([truncated] set when
+    a limit dropped rows). @raise Amber.Deadline.Expired on timeout. *)
+
+(** {1 Ground-truth helpers} *)
+
+type binding = (string * Rdf.Term.t) list
+
+val solutions : Rdf.Triple.t list -> Sparql.Ast.t -> binding list
+(** Every distinct full-variable mapping satisfying the WHERE clause
+    (pattern order cannot change the answer set). *)
+
+val canon_row : Rdf.Term.t option list -> string list
+(** Canonical string form of a projected row, for set comparisons. *)
+
+val canonical_answer : Rdf.Triple.t list -> Sparql.Ast.t -> string list list
+(** The oracle's projected answer as sorted canonical rows (DISTINCT
+    and the query's own LIMIT applied). *)
+
+val canonical_rows : Rdf.Term.t option list list -> string list list
+(** Canonicalize an engine's rows the same way, so
+    [canonical_rows answer.rows = canonical_answer triples ast] is the
+    differential-correctness property. *)

@@ -9,6 +9,14 @@ let poll_interval = interval
 let after seconds = { limit = Unix.gettimeofday () +. seconds; ticks = 0 }
 let never = { limit = infinity; ticks = 0 }
 
+(* Same absolute limit, private tick counter — the parallel engine gives
+   each domain its own clone so the amortized polling state is never
+   shared across domains. The counter starts one tick short of a poll:
+   work is split into many short chunks, and if each clone restarted the
+   amortization from zero a chunk doing fewer than [interval] checks
+   would never consult the clock at all, breaking timeouts. *)
+let clone t = { limit = t.limit; ticks = interval - 1 }
+
 let check t =
   if t.limit <> infinity then begin
     t.ticks <- t.ticks + 1;

@@ -16,6 +16,11 @@ val after : float -> t
 val never : t
 (** A deadline that never fires. *)
 
+val clone : t -> t
+(** A deadline with the same absolute limit but a fresh poll counter.
+    {!check}'s amortization state is mutable and unsynchronized, so
+    every domain of a parallel run must poll its own clone. *)
+
 val check : t -> unit
 (** @raise Expired once the deadline has passed. *)
 

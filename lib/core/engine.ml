@@ -187,6 +187,14 @@ let m_probe_cache_misses =
   Obs.Metrics.counter m "amber_matcher_probe_cache_misses_total"
     ~help:"Query-scoped probe-cache misses"
 
+let m_parallel_queries =
+  Obs.Metrics.counter m "amber_parallel_queries_total"
+    ~help:"Queries whose matching ran on more than one domain"
+
+let m_parallel_chunks =
+  Obs.Metrics.counter m "amber_parallel_chunks_total"
+    ~help:"Candidate chunks dispatched to the domain pool"
+
 let record_query_metrics ~seconds (stats : Matcher.stats) =
   Obs.Metrics.incr m_queries;
   Obs.Metrics.observe m_seconds seconds;
@@ -222,9 +230,86 @@ let sync_index_metrics t =
   set "amber_engine_synopsis_cache_misses_total"
     "Cross-query synopsis-candidate LRU misses" syn_misses
 
+(* ------------------------------------------------------------------ *)
+(* Parallel solution collection (the paper's §8 future work)           *)
+(* ------------------------------------------------------------------ *)
+
+(* Per component: split the initial candidate set into more chunks than
+   domains and let the pool's domains steal the next unclaimed chunk, so
+   a hub candidate hiding a huge subtree does not serialize the run. The
+   per-chunk solution lists concatenate in chunk (= seed) order, and the
+   per-chunk stats sum — both deterministic merges — so without a row
+   limit the answer is byte-identical to the sequential path. Every
+   index is read-only after [build]; each chunk gets its own matcher
+   context (query-scoped probe cache, stats, deadline clone), and the
+   cross-query LRUs are mutex-guarded, so domains share no unguarded
+   mutable state. *)
+let chunks_per_domain = 8
+
+let collect_solutions_parallel ?caches t q plan ~domains ~deadline ~stats limit =
+  let components = plan.Decompose.components in
+  let out = Array.make (Array.length components) [] in
+  let pool = Domain_pool.global () in
+  (* Seed computation is sequential and cheap; charge it to the query's
+     aggregate stats directly. *)
+  let seed_ctx = make_ctx ?caches t ~deadline ~stats in
+  Obs.Metrics.incr m_parallel_queries;
+  let exception Component_empty in
+  (try
+     Array.iteri
+       (fun i comp ->
+         let seeds = Matcher.initial_candidates seed_ctx q comp in
+         let n = Array.length seeds in
+         (* Below a couple of seeds per domain the chunking bookkeeping
+            cannot pay for itself: keep the component sequential. *)
+         let chunks =
+           if n < 2 * domains then 1 else min n (chunks_per_domain * domains)
+         in
+         Obs.Metrics.add m_parallel_chunks chunks;
+         (* Embeddings emitted so far across all chunks of this
+            component — the row-limit race is settled here. *)
+         let emitted = Atomic.make 0 in
+         let results =
+           Domain_pool.run_chunks pool ~participants:domains ~chunks (fun c ->
+               let lo = c * n / chunks and hi = (c + 1) * n / chunks in
+               let chunk_stats = Matcher.fresh_stats () in
+               let ctx =
+                 make_ctx ?caches t ~deadline:(Deadline.clone deadline)
+                   ~stats:chunk_stats
+               in
+               let sols = ref [] in
+               Matcher.solve_component_seeded ctx q plan comp
+                 ~seeds:(Array.sub seeds lo (hi - lo))
+                 ~emit:(fun sol ->
+                   sols := sol :: !sols;
+                   let k = Matcher.count_embeddings sol in
+                   let before = Atomic.fetch_and_add emitted k in
+                   match limit with
+                   | Some l when before + k >= l -> `Stop
+                   | _ -> `Continue);
+               (List.rev !sols, chunk_stats))
+         in
+         Array.iter (fun (_, st) -> Matcher.merge_into ~into:stats st) results;
+         out.(i) <- List.concat_map fst (Array.to_list results);
+         if out.(i) = [] then raise Component_empty)
+       components
+   with Component_empty -> ());
+  (* A component with no solution empties the whole answer. *)
+  if Array.exists (fun sols -> sols = []) out && Array.length components > 0 then
+    None
+  else Some out
+
+(* Sequential below [domains = 2]: the one-domain case must not pay for
+   chunking, atomics or pool traffic. *)
+let collect ?caches t q plan ~domains ~deadline ~stats limit =
+  if domains <= 1 then
+    collect_solutions (make_ctx ?caches t ~deadline ~stats) q plan limit
+  else collect_solutions_parallel ?caches t q plan ~domains ~deadline ~stats limit
+
 let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
-    ?caches t (ast : Sparql.Ast.t) =
+    ?caches ?(domains = 1) t (ast : Sparql.Ast.t) =
   let t0 = Unix.gettimeofday () in
+  let domains = max 1 domains in
   let deadline = deadline_of timeout in
   let stats = Matcher.fresh_stats () in
   let selected = Sparql.Ast.selected_variables ast in
@@ -242,7 +327,6 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
   | Query_graph.Unsatisfiable _ -> finish (empty_answer selected)
   | Query_graph.Query q ->
       let plan = Decompose.plan ?strategy ?satellites q in
-      let ctx = make_ctx ?caches t ~deadline ~stats in
       (* Under DISTINCT or ORDER BY a solution cap could starve the
          projection; with open objects a solution's embeddings can all
          be dropped at enumeration. Cap only the final row count then. *)
@@ -250,20 +334,22 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
         if ast.distinct || q.Query_graph.opens <> [] then None
         else gather_cap ast effective_limit
       in
-      (match collect_solutions ctx q plan solution_cap with
+      (match collect ?caches t q plan ~domains ~deadline ~stats solution_cap with
       | None -> finish (empty_answer selected)
       | Some solutions ->
           finish
             (project_answer t ~q ~ast ~deadline ~selected ~effective_limit
                ~solutions))
 
-let query ?timeout ?limit ?strategy ?satellites ?open_objects ?caches t ast =
+let query ?timeout ?limit ?strategy ?satellites ?open_objects ?caches ?domains
+    t ast =
   fst
     (query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
-       ?caches t ast)
+       ?caches ?domains t ast)
 
-let query_string ?timeout ?limit ?strategy ?satellites ?open_objects ?namespaces t src =
-  query ?timeout ?limit ?strategy ?satellites ?open_objects t
+let query_string ?timeout ?limit ?strategy ?satellites ?open_objects ?namespaces
+    ?domains t src =
+  query ?timeout ?limit ?strategy ?satellites ?open_objects ?domains t
     (Sparql.Parser.parse ?namespaces src)
 
 let count_embeddings ?timeout ?open_objects t ast =
@@ -414,10 +500,13 @@ let vertex_reports t q (plan : Decompose.plan) =
       })
 
 (* [query] with the phase tree, candidate report and matcher counters
-   collected — the sequential path only. [parse] runs under the root
-   span so query_string_profiled attributes parsing time too. *)
-let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches t
-    ~(parse : unit -> Sparql.Ast.t) =
+   collected. With [domains > 1] the match phase runs on the domain
+   pool; the profile's stats are the deterministic per-domain merge.
+   [parse] runs under the root span so query_string_profiled attributes
+   parsing time too. *)
+let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
+    ?(domains = 1) t ~(parse : unit -> Sparql.Ast.t) =
+  let domains = max 1 domains in
   let deadline = deadline_of timeout in
   let stats = Matcher.fresh_stats () in
   let (answer, shape), span =
@@ -449,14 +538,18 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches t
               Obs.Span.with_ ~name:"candidates" (fun () ->
                   vertex_reports t q plan)
             in
-            let ctx = make_ctx ?caches t ~deadline ~stats in
             let solution_cap =
               if ast.Sparql.Ast.distinct || q.Query_graph.opens <> [] then None
               else gather_cap ast effective_limit
             in
             let solutions =
               Obs.Span.with_ ~name:"match" (fun () ->
-                  let sols = collect_solutions ctx q plan solution_cap in
+                  if domains > 1 then
+                    Obs.Span.annotate "domains" (string_of_int domains);
+                  let sols =
+                    collect ?caches t q plan ~domains ~deadline ~stats
+                      solution_cap
+                  in
                   Obs.Span.annotate "solutions"
                     (string_of_int stats.Matcher.solutions);
                   sols)
@@ -502,111 +595,25 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches t
     } )
 
 let query_profiled ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
-    t ast =
-  profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches t
-    ~parse:(fun () -> ast)
+    ?domains t ast =
+  profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
+    ?domains t ~parse:(fun () -> ast)
 
 let query_string_profiled ?timeout ?limit ?strategy ?satellites ?open_objects
-    ?namespaces t src =
-  profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects t
+    ?namespaces ?domains t src =
+  profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?domains t
     ~parse:(fun () -> Sparql.Parser.parse ?namespaces src)
-
-(* ------------------------------------------------------------------ *)
-(* Parallel query processing (the paper's §8 future work)              *)
-(* ------------------------------------------------------------------ *)
-
-(* Per component: split the initial candidate set into contiguous
-   chunks, solve each chunk in its own domain, concatenate in chunk
-   order. All index structures are read-only after [build] (the OTIL
-   caches are pre-warmed), so domains share them without synchronisation;
-   only the deadline (per-domain) and the early-stop embedding counter
-   (atomic) are stateful. *)
-let collect_solutions_parallel t q plan ~domains ~timeout limit =
-  let components = plan.Decompose.components in
-  let out = Array.make (Array.length components) [] in
-  (* Each domain gets its own query-scoped probe cache (no sharing, no
-     locks); the cross-query LRUs are shared and mutex-guarded. *)
-  let make_ctx () =
-    make_ctx t ~deadline:(deadline_of timeout) ~stats:(Matcher.fresh_stats ())
-  in
-  let exception Component_empty in
-  (try
-     Array.iteri
-       (fun i comp ->
-         let seeds = Matcher.initial_candidates (make_ctx ()) q comp in
-         let n = Array.length seeds in
-         (* Domain spawns cost ~a millisecond; below a handful of seeds
-            per domain the parallelism cannot pay for itself. *)
-         let chunk_count = if n < 4 * domains then 1 else domains in
-         let total_embeddings = Atomic.make 0 in
-         let solve_chunk c () =
-           let lo = c * n / chunk_count and hi = (c + 1) * n / chunk_count in
-           let chunk = Array.sub seeds lo (hi - lo) in
-           let ctx = make_ctx () in
-           let sols = ref [] in
-           match
-             Matcher.solve_component_seeded ctx q plan comp ~seeds:chunk
-               ~emit:(fun sol ->
-                 sols := sol :: !sols;
-                 let count = Matcher.count_embeddings sol in
-                 let before = Atomic.fetch_and_add total_embeddings count in
-                 match limit with
-                 | Some l when before + count >= l -> `Stop
-                 | _ -> `Continue)
-           with
-           | () -> Ok (List.rev !sols)
-           | exception Deadline.Expired -> Error `Expired
-         in
-         let results =
-           if chunk_count = 1 then [ solve_chunk 0 () ]
-           else begin
-             let spawned =
-               List.init chunk_count (fun c -> Domain.spawn (solve_chunk c))
-             in
-             List.map Domain.join spawned
-           end
-         in
-         let sols =
-           List.concat_map
-             (function Ok sols -> sols | Error `Expired -> raise Deadline.Expired)
-             results
-         in
-         out.(i) <- sols;
-         if sols = [] then raise Component_empty)
-       components
-   with Component_empty -> ());
-  if Array.exists (fun sols -> sols = []) out && Array.length components > 0 then
-    None
-  else Some out
 
 let recommended_domains () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
 
+(* Kept for callers of the pre-pool API: [query] with [domains]
+   defaulting to the machine's recommended count. *)
 let query_parallel ?timeout ?limit ?strategy ?satellites ?open_objects ?domains
-    t (ast : Sparql.Ast.t) =
-  let domains = match domains with Some d -> max 1 d | None -> recommended_domains () in
-  let deadline = deadline_of timeout in
-  let selected = Sparql.Ast.selected_variables ast in
-  let effective_limit =
-    match (limit, ast.limit) with
-    | None, None -> None
-    | Some l, None | None, Some l -> Some l
-    | Some a, Some b -> Some (min a b)
+    t ast =
+  let domains =
+    match domains with Some d -> max 1 d | None -> recommended_domains ()
   in
-  match Query_graph.build ?open_objects t.db ast with
-  | Query_graph.Unsatisfiable _ -> empty_answer selected
-  | Query_graph.Query q ->
-      let plan = Decompose.plan ?strategy ?satellites q in
-      let solution_cap =
-        if ast.distinct || q.Query_graph.opens <> [] then None
-        else gather_cap ast effective_limit
-      in
-      (match
-         collect_solutions_parallel t q plan ~domains ~timeout solution_cap
-       with
-      | None -> empty_answer selected
-      | Some solutions ->
-          project_answer t ~q ~ast ~deadline ~selected ~effective_limit
-            ~solutions)
+  query ?timeout ?limit ?strategy ?satellites ?open_objects ~domains t ast
 
 (* ------------------------------------------------------------------ *)
 (* Persistence                                                         *)
@@ -621,12 +628,13 @@ let load_file ?synopsis_mode path =
 (* ASK and CONSTRUCT forms                                             *)
 (* ------------------------------------------------------------------ *)
 
-let ask ?timeout ?open_objects t ast =
-  let answer = query ?timeout ~limit:1 ?open_objects t ast in
+let ask ?timeout ?open_objects ?domains t ast =
+  let answer = query ?timeout ~limit:1 ?open_objects ?domains t ast in
   answer.rows <> []
 
-let construct ?timeout ?limit ?open_objects t ~template (ast : Sparql.Ast.t) =
-  let answer = query ?timeout ?limit ?open_objects t ast in
+let construct ?timeout ?limit ?open_objects ?domains t ~template
+    (ast : Sparql.Ast.t) =
+  let answer = query ?timeout ?limit ?open_objects ?domains t ast in
   let vars = answer.variables in
   let instantiate binding term =
     match term with

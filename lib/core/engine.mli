@@ -36,6 +36,7 @@ val query :
   ?satellites:bool ->
   ?open_objects:bool ->
   ?caches:bool ->
+  ?domains:int ->
   t ->
   Sparql.Ast.t ->
   answer
@@ -54,8 +55,17 @@ val query :
     @param caches [false] disables the query-scoped probe cache and the
     engine's cross-query attribute/synopsis LRUs (ablation baseline for
     the kernels benchmark; default [true]).
+    @param domains run the matcher on up to this many domains (default 1
+    — strictly sequential). Each component's initial candidate set is
+    split into work-stealing chunks solved on the shared
+    {!Domain_pool}; per-domain solutions and stats merge
+    deterministically, so without a row limit the answer (rows and
+    their order) is identical to the sequential run. With a limit the
+    chunks race to the cap and the prefix taken may differ (row count
+    and [truncated] are still exact).
     @raise Unsupported on out-of-fragment queries.
-    @raise Deadline.Expired on timeout. *)
+    @raise Deadline.Expired on timeout (each domain polls its own
+    deadline clone; the run joins every chunk before re-raising). *)
 
 val query_string :
   ?timeout:float ->
@@ -64,6 +74,7 @@ val query_string :
   ?satellites:bool ->
   ?open_objects:bool ->
   ?namespaces:Rdf.Namespace.t ->
+  ?domains:int ->
   t ->
   string ->
   answer
@@ -80,13 +91,15 @@ val query_with_stats :
   ?satellites:bool ->
   ?open_objects:bool ->
   ?caches:bool ->
+  ?domains:int ->
   t ->
   Sparql.Ast.t ->
   answer * Matcher.stats
 (** Like {!query}, also returning the matcher's search counters (index
     probes, cache hits/misses, candidates scanned, satellite
     rejections, solutions) — the instrumentation behind the ablation
-    experiments. *)
+    experiments. Under [domains > 1] the counters are the field-wise sum
+    over every domain's private stats ({!Matcher.merge_into}). *)
 
 (** {1 Profiled execution}
 
@@ -106,6 +119,7 @@ val query_profiled :
   ?satellites:bool ->
   ?open_objects:bool ->
   ?caches:bool ->
+  ?domains:int ->
   t ->
   Sparql.Ast.t ->
   answer * Profile.t
@@ -117,6 +131,7 @@ val query_string_profiled :
   ?satellites:bool ->
   ?open_objects:bool ->
   ?namespaces:Rdf.Namespace.t ->
+  ?domains:int ->
   t ->
   string ->
   answer * Profile.t
@@ -131,6 +146,11 @@ val sync_index_metrics : t -> unit
     the default metric registry — called by the endpoint before
     rendering [GET /metrics]. *)
 
+val recommended_domains : unit -> int
+(** The machine's recommended domain count minus the caller, clamped to
+    [1, 8] — the default for {!query_parallel} and a sensible value for
+    [?domains] elsewhere. *)
+
 val query_parallel :
   ?timeout:float ->
   ?limit:int ->
@@ -141,14 +161,9 @@ val query_parallel :
   t ->
   Sparql.Ast.t ->
   answer
-(** Multi-domain variant of {!query} — the parallel processing the paper
-    lists as future work (Section 8). The initial candidate set of each
-    query component is split into contiguous chunks solved on separate
-    domains; every index is read-only after {!build}, so domains share
-    them without locks. Without a row limit the answer (rows and their
-    order) is identical to {!query}; with a limit the prefix taken may
-    differ. [domains] defaults to the machine's recommended count
-    (capped at 8). *)
+(** [query] with [domains] defaulting to {!recommended_domains} — the
+    parallel processing the paper lists as future work (Section 8),
+    kept as a convenience entry point. *)
 
 (** {1 Plan introspection} *)
 
@@ -195,7 +210,13 @@ val load_file : ?synopsis_mode:Synopsis_index.mode -> string -> t
 
 (** {1 ASK and CONSTRUCT forms} *)
 
-val ask : ?timeout:float -> ?open_objects:bool -> t -> Sparql.Ast.t -> bool
+val ask :
+  ?timeout:float ->
+  ?open_objects:bool ->
+  ?domains:int ->
+  t ->
+  Sparql.Ast.t ->
+  bool
 (** [ASK]: does the pattern have at least one solution? (Evaluated with
     an internal row limit of 1.) *)
 
@@ -203,6 +224,7 @@ val construct :
   ?timeout:float ->
   ?limit:int ->
   ?open_objects:bool ->
+  ?domains:int ->
   t ->
   template:Sparql.Ast.triple_pattern list ->
   Sparql.Ast.t ->

@@ -21,6 +21,18 @@ let fresh_stats () =
     solutions = 0;
   }
 
+(* Field-wise sum — commutative, so merging per-domain stats in any
+   order yields the same aggregate. *)
+let merge_into ~into s =
+  into.index_probes <- into.index_probes + s.index_probes;
+  into.synopsis_probes <- into.synopsis_probes + s.synopsis_probes;
+  into.attribute_probes <- into.attribute_probes + s.attribute_probes;
+  into.probe_cache_hits <- into.probe_cache_hits + s.probe_cache_hits;
+  into.probe_cache_misses <- into.probe_cache_misses + s.probe_cache_misses;
+  into.candidates_scanned <- into.candidates_scanned + s.candidates_scanned;
+  into.satellite_rejections <- into.satellite_rejections + s.satellite_rejections;
+  into.solutions <- into.solutions + s.solutions
+
 (* Cross-query caches owned by the engine: candidate sets from the
    attribute index (keyed by the query vertex's attribute set) and from
    the synopsis index (keyed by the query synopsis vector). Shared by

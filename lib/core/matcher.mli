@@ -39,6 +39,12 @@ type stats = {
 
 val fresh_stats : unit -> stats
 
+val merge_into : into:stats -> stats -> unit
+(** [merge_into ~into s] adds every counter of [s] into [into] — how the
+    engine folds per-domain matcher stats into the query's aggregate
+    (field-wise sums, so the merged totals are deterministic whatever
+    the domain scheduling was). *)
+
 type shared
 (** Cross-query LRU caches (attribute and synopsis candidate sets),
     owned by the engine and shared — behind a mutex — by every context

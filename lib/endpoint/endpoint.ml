@@ -4,11 +4,12 @@ type config = {
   timeout : float option;
   limit : int option;
   open_objects : bool;
+  domains : int option;
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 8080; timeout = Some 30.0; limit = Some 100_000;
-    open_objects = true }
+    open_objects = true; domains = None }
 
 type t = {
   config : config;
@@ -89,12 +90,14 @@ let needs_algebra src =
 
 let service_description =
   {|AMbER SPARQL endpoint
-GET  /sparql?query=<urlencoded SPARQL>[&profile=1]
+GET  /sparql?query=<urlencoded SPARQL>[&profile=1][&domains=N]
 POST /sparql   (application/x-www-form-urlencoded or application/sparql-query)
 GET  /metrics  (Prometheus text exposition)
 Accept: application/sparql-results+json | text/csv | text/tab-separated-values
 profile=1 embeds a per-query profile (phase timings, candidate counts)
 in the JSON results.
+domains=N matches on up to N domains of the shared pool (1-8;
+overrides the server's configured default).
 |}
 
 (* --- metrics --------------------------------------------------------- *)
@@ -169,6 +172,21 @@ let handle_request_inner config engine ~meth ~target ~headers ~body =
             truthy (List.assoc_opt "profile" params)
             || truthy (List.assoc_opt "profile" form_params)
           in
+          (* ?domains=N (request) overrides the server default; clamped
+             to the pool's 1..8 range, garbage ignored. *)
+          let domains =
+            let requested =
+              match
+                (List.assoc_opt "domains" params,
+                 List.assoc_opt "domains" form_params)
+              with
+              | Some v, _ | None, Some v -> int_of_string_opt v
+              | None, None -> None
+            in
+            match (requested, config.domains) with
+            | Some d, _ | None, Some d -> Some (max 1 (min 8 d))
+            | None, None -> None
+          in
           let render_rows answer =
             match fmt with
             | `Json ->
@@ -189,7 +207,7 @@ let handle_request_inner config engine ~meth ~target ~headers ~body =
                   if profile_requested && fmt = `Json then begin
                     let answer, profile =
                       Amber.Engine.query_profiled ?timeout:config.timeout
-                        ?limit:config.limit ~open_objects engine ast
+                        ?limit:config.limit ~open_objects ?domains engine ast
                     in
                     ( 200,
                       "application/sparql-results+json",
@@ -198,20 +216,20 @@ let handle_request_inner config engine ~meth ~target ~headers ~body =
                   else
                     render_rows
                       (Amber.Engine.query ?timeout:config.timeout
-                         ?limit:config.limit ~open_objects engine ast)
+                         ?limit:config.limit ~open_objects ?domains engine ast)
               | Sparql.Parser.Q_ask ast ->
                   ( 200,
                     "application/sparql-results+json",
                     Amber.Results.ask_json
                       (Amber.Engine.ask ?timeout:config.timeout ~open_objects
-                         engine ast) )
+                         ?domains engine ast) )
               | Sparql.Parser.Q_construct (template, ast) ->
                   ( 200,
                     "application/n-triples",
                     Rdf.Ntriples.to_string
                       (Amber.Engine.construct ?timeout:config.timeout
-                         ?limit:config.limit ~open_objects engine ~template ast)
-                  )
+                         ?limit:config.limit ~open_objects ?domains engine
+                         ~template ast) )
           in
           match respond () with
           | response -> response

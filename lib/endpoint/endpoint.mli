@@ -31,6 +31,10 @@ type config = {
   timeout : float option;  (** per-query budget *)
   limit : int option;  (** per-query row cap *)
   open_objects : bool;
+  domains : int option;
+      (** default matcher parallelism for every query; a request's
+          [domains=N] parameter (clamped to [1, 8]) overrides it.
+          [None] = sequential unless the request asks. *)
 }
 
 val default_config : config

@@ -3,6 +3,8 @@
    evaluator must agree with Amber.Extended (which runs BGPs on the
    engine) on random algebra trees over random data. *)
 
+module Reference = Baselines.Reference_eval
+
 let checkb = Alcotest.(check bool)
 
 type binding = (string * Rdf.Term.t) list

@@ -1,6 +1,8 @@
 (* Tests for the AMbER core: database transformation, indexes, query
    graph construction, decomposition, matching, engine answers. *)
 
+module Reference = Baselines.Reference_eval
+
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 let checks = Alcotest.(check string)

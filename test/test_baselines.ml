@@ -1,6 +1,8 @@
 (* Tests for the four baseline engines: each against the brute-force
    reference, plus engine-specific behaviours. *)
 
+module Reference = Baselines.Reference_eval
+
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 

@@ -1,6 +1,8 @@
 (* Integration: all five engines must agree with the brute-force
    reference on randomized small datasets and generated workloads. *)
 
+module Reference = Baselines.Reference_eval
+
 let checkb = Alcotest.(check bool)
 
 (* Random small multigraph with literal attributes, in the common

@@ -1,0 +1,109 @@
+(* Differential correctness harness: on randomized small multigraphs
+   and generated workloads, sequential AMbER, parallel AMbER (4 domains)
+   and the brute-force oracle must produce identical canonical row sets.
+   Any disagreement prints the offending seed and query so the case can
+   be replayed and shrunk by hand. *)
+
+module Reference = Baselines.Reference_eval
+
+(* Random small multigraph with literal attributes, in the common
+   fragment (object/datatype predicates disjoint). Kept independent of
+   the cross-engine suite's generator so the two suites do not share
+   blind spots in graph shape. *)
+let random_triples seed =
+  let rng = Datagen.Prng.create (0x5eed + seed) in
+  let n = 10 + Datagen.Prng.int rng 14 in
+  let e i = Printf.sprintf "http://d/e%d" i in
+  let p i = Printf.sprintf "http://d/p%d" i in
+  let lp i = Printf.sprintf "http://d/lp%d" i in
+  let triples = ref [] in
+  (* A denser nucleus plus a sparse fringe, so star queries find hubs
+     and complex queries find cycles. *)
+  for _ = 1 to 30 + Datagen.Prng.int rng 50 do
+    let s = Datagen.Prng.int rng n in
+    let o =
+      if Datagen.Prng.bool rng 0.3 then Datagen.Prng.int rng (max 1 (n / 3))
+      else Datagen.Prng.int rng n
+    in
+    triples :=
+      Rdf.Triple.spo (e s)
+        (p (Datagen.Prng.int rng 4))
+        (Rdf.Term.iri (e o))
+      :: !triples
+  done;
+  for v = 0 to n - 1 do
+    if Datagen.Prng.bool rng 0.5 then
+      triples :=
+        Rdf.Triple.spo (e v)
+          (lp (Datagen.Prng.int rng 2))
+          (Rdf.Term.literal (Printf.sprintf "w%d" (Datagen.Prng.int rng 3)))
+        :: !triples
+  done;
+  !triples
+
+let queries_for seed triples =
+  let corpus = Datagen.Workload.corpus triples in
+  Datagen.Workload.generate ~seed corpus ~shape:Datagen.Workload.Star ~size:3
+    ~count:2
+  @ Datagen.Workload.generate ~seed:(seed + 500) corpus
+      ~shape:Datagen.Workload.Complex ~size:4 ~count:2
+
+(* Counts every (graph, query) comparison actually performed, so the
+   suite can assert the differential coverage the harness promises. *)
+let cases_checked = ref 0
+
+let check_one seed triples ast =
+  incr cases_checked;
+  let expected = Reference.canonical_answer triples ast in
+  let engine = Amber.Engine.build triples in
+  let seq =
+    Reference.canonical_rows (Amber.Engine.query engine ast).Amber.Engine.rows
+  in
+  let par =
+    Reference.canonical_rows
+      (Amber.Engine.query ~domains:4 engine ast).Amber.Engine.rows
+  in
+  if seq <> expected then
+    QCheck.Test.fail_reportf
+      "seed %d: sequential AMbER disagrees with oracle (%d vs %d rows) on:@.%s"
+      seed (List.length seq) (List.length expected) (Sparql.Ast.to_string ast)
+  else if par <> expected then
+    QCheck.Test.fail_reportf
+      "seed %d: parallel AMbER (4 domains) disagrees with oracle (%d vs %d \
+       rows) on:@.%s"
+      seed (List.length par) (List.length expected) (Sparql.Ast.to_string ast)
+  else true
+
+let prop_differential =
+  QCheck.Test.make ~name:"sequential = parallel = oracle on random graphs"
+    ~count:60
+    (QCheck.make
+       ~print:(fun seed ->
+         let triples = random_triples seed in
+         Printf.sprintf "seed %d (%d triples):\n%s" seed (List.length triples)
+           (String.concat "\n"
+              (List.map Sparql.Ast.to_string (queries_for seed triples))))
+       ~shrink:QCheck.Shrink.int
+       QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let triples = random_triples seed in
+      List.for_all (check_one seed triples) (queries_for seed triples))
+
+(* The acceptance bar: at least 200 (graph, query) comparisons with zero
+   mismatches. Runs after the property, which fails loudly on mismatch,
+   so reaching here with a low count means the generator regressed. *)
+let test_coverage () =
+  Alcotest.(check bool)
+    (Printf.sprintf "differential harness checked %d cases (>= 200)"
+       !cases_checked)
+    true
+    (!cases_checked >= 200)
+
+let suite =
+  [
+    ( "differential",
+      [
+        QCheck_alcotest.to_alcotest prop_differential;
+        Alcotest.test_case "coverage >= 200 cases" `Quick test_coverage;
+      ] );
+  ]

@@ -124,6 +124,36 @@ let test_profile_param () =
   checks "csv unaffected" "text/csv" ctype;
   checkb "no profile in csv" false (contains body "\"profile\":")
 
+let test_domains_param () =
+  let _, _, expected = handle ("/sparql?query=" ^ encode simple_query) in
+  (* The parallel path must be invisible in the response body. *)
+  List.iter
+    (fun d ->
+      let status, ctype, body =
+        handle
+          (Printf.sprintf "/sparql?domains=%d&query=%s" d (encode simple_query))
+      in
+      checki "200" 200 status;
+      checks "json type" "application/sparql-results+json" ctype;
+      checkb
+        (Printf.sprintf "domains=%d body identical to sequential" d)
+        true (body = expected))
+    [ 1; 2; 4 ];
+  (* Out-of-range values are clamped, not rejected. *)
+  let status, _, _ = handle ("/sparql?domains=99&query=" ^ encode simple_query) in
+  checki "clamped, still 200" 200 status;
+  (* Garbage values fall back to the config default (sequential). *)
+  let status, _, body =
+    handle ("/sparql?domains=lots&query=" ^ encode simple_query)
+  in
+  checki "garbage ignored, still 200" 200 status;
+  checkb "rows intact" true (contains body "Amy_Winehouse");
+  (* The profiled path annotates the match span with the domain count. *)
+  let _, _, body =
+    handle ("/sparql?profile=1&domains=2&query=" ^ encode simple_query)
+  in
+  checkb "profile carries domains annotation" true (contains body "domains")
+
 (* One full HTTP round trip over a real socket. *)
 let test_socket_roundtrip () =
   let server =
@@ -168,6 +198,7 @@ let suite =
         Alcotest.test_case "errors" `Quick test_errors;
         Alcotest.test_case "metrics route" `Quick test_metrics_route;
         Alcotest.test_case "profile param" `Quick test_profile_param;
+        Alcotest.test_case "domains param" `Quick test_domains_param;
         Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip;
       ] );
   ]

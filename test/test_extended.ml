@@ -1,5 +1,7 @@
 (* Tests for the extended SPARQL algebra (UNION / OPTIONAL / FILTER). *)
 
+module Reference = Baselines.Reference_eval
+
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 

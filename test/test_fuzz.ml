@@ -105,6 +105,36 @@ let prop_engine_total =
           | exception Amber.Deadline.Expired -> true
           | exception _ -> false))
 
+(* The engine fuzz, pushed down to the matcher: the parallel path must
+   be just as total as the sequential one on whatever the parser lets
+   through, and when both paths answer they must agree as row sets. *)
+let prop_parallel_engine =
+  let engine = lazy (Amber.Engine.build Fixtures.paper_triples) in
+  QCheck.Test.make ~name:"parallel engine is total and agrees with sequential"
+    ~count:150
+    (QCheck.make QCheck.Gen.(pair gen_garbage int))
+    (fun (garbage, seed) ->
+      let rng = Datagen.Prng.create seed in
+      let src = mutate rng valid_sparql ^ mutate rng garbage in
+      match Sparql.Parser.parse src with
+      | exception Sparql.Parser.Error _ -> true
+      | ast -> (
+          let run domains =
+            match
+              Amber.Engine.query ~timeout:2.0 ~domains (Lazy.force engine) ast
+            with
+            | a ->
+                `Rows
+                  (Baselines.Reference_eval.canonical_rows a.Amber.Engine.rows)
+            | exception Amber.Engine.Unsupported _ -> `Unsupported
+            | exception Amber.Deadline.Expired -> `Timeout
+            | exception _ -> `Crash
+          in
+          match (run 1, run 3) with
+          | `Crash, _ | _, `Crash -> false
+          | `Timeout, _ | _, `Timeout -> true
+          | a, b -> a = b))
+
 let suite =
   [
     ( "fuzz",
@@ -115,5 +145,6 @@ let suite =
         QCheck_alcotest.to_alcotest prop_sparql_algebra;
         QCheck_alcotest.to_alcotest prop_binary;
         QCheck_alcotest.to_alcotest prop_engine_total;
+        QCheck_alcotest.to_alcotest prop_parallel_engine;
       ] );
   ]

@@ -27,4 +27,6 @@ let () =
          Test_properties.suite;
          Test_fuzz.suite;
          Test_algebra_ref.suite;
+         Test_parallel.suite;
+         Test_differential.suite;
        ])

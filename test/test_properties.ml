@@ -5,6 +5,8 @@
    - the decomposition invariants of Section 5 hold on random query
      graphs. *)
 
+module Reference = Baselines.Reference_eval
+
 let checkb = Alcotest.(check bool)
 
 (* Random data multigraph in the common fragment. *)

@@ -1,6 +1,8 @@
 (* Tests for the binary RDF codec, database round-tripping, engine
    persistence and the result serializers. *)
 
+module Reference = Baselines.Reference_eval
+
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 let checks = Alcotest.(check string)
