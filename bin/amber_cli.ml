@@ -1,16 +1,20 @@
 (* amber — command-line front end.
 
      amber query   --data g.nt --query q.sparql [--engine amber] [--timeout S]
+     amber build   g.nt -o db.amberix [--domains N]  (index snapshot)
      amber stats   --data g.nt
      amber bench   --data g.nt --query q.sparql (time one query on all engines)
      amber explain --data g.nt --query q.sparql (AMbER's matching plan)
 
    Query text can also be passed inline with --sparql. Data files ending
-   in .ttl are parsed as Turtle, anything else as N-Triples. With
-   --extended, queries may use UNION / OPTIONAL / FILTER (amber engine
-   only). `query --profile` prints the per-query profile (phase tree,
-   candidate counts, matcher counters); `query --explain` the matching
-   plan. *)
+   in .ttl are parsed as Turtle, anything else as N-Triples — except
+   files starting with the "AMBERIX1" magic (written by `amber build`),
+   which load as prebuilt index snapshots: every subcommand sniffs the
+   magic, so `query`, `serve`, `stats` and `bench` all accept .amberix
+   inputs, skipping the offline rebuild. With --extended, queries may
+   use UNION / OPTIONAL / FILTER (amber engine only). `query --profile`
+   prints the per-query profile (phase tree, candidate counts, matcher
+   counters); `query --explain` the matching plan. *)
 
 open Cmdliner
 
@@ -123,7 +127,11 @@ let query_text query_file sparql =
 
 let load_triples path =
   let parse () =
-    if Filename.check_suffix path ".ttl" then Rdf.Turtle.parse_file path
+    (* A snapshot holds the built indexes; engines needing raw triples
+       (baselines, compile) get them back out of the database. *)
+    if Amber.Snapshot.sniff_file path then
+      Amber.Database.to_triples (Amber.Snapshot.read_file path).Amber.Snapshot.db
+    else if Filename.check_suffix path ".ttl" then Rdf.Turtle.parse_file path
     else if Filename.check_suffix path ".adb" then Rdf.Binary.read_file path
     else Rdf.Ntriples.parse_file path
   in
@@ -140,6 +148,28 @@ let load_triples path =
   | exception Rdf.Binary.Corrupt msg ->
       Printf.eprintf "corrupt binary database: %s\n" msg;
       exit 1
+
+(* The AMbER engine itself: an "AMBERIX1" file loads directly (no
+   rebuild); anything else parses as triples and runs the offline stage
+   (on [domains] domains when given). *)
+let load_engine ?domains path =
+  if Amber.Snapshot.sniff_file path then begin
+    match Bench_util.Runner.time (fun () -> Amber.Engine.load_snapshot path) with
+    | dt, e ->
+        Printf.eprintf "amber: loaded index snapshot in %.2fs\n%!" dt;
+        e
+    | exception Rdf.Binary.Corrupt msg ->
+        Printf.eprintf "corrupt index snapshot: %s\n" msg;
+        exit 1
+  end
+  else begin
+    let triples = load_triples path in
+    let dt, e =
+      Bench_util.Runner.time (fun () -> Amber.Engine.build ?domains triples)
+    in
+    Printf.eprintf "amber: offline stage %.2fs\n%!" dt;
+    e
+  end
 
 let print_answer ?(format = `Table) variables rows truncated =
   match format with
@@ -167,7 +197,6 @@ let print_answer ?(format = `Table) variables rows truncated =
 
 let run_query data query_file sparql timeout limit engine open_objects extended
     format profile explain domains =
-  let triples = load_triples data in
   let src = query_text query_file sparql in
   if (profile || explain) && (extended || engine <> `Amber) then
     prerr_endline
@@ -176,10 +205,7 @@ let run_query data query_file sparql timeout limit engine open_objects extended
     prerr_endline "note: --domains applies to the plain amber engine only; ignored";
   let domains = Option.map (fun d -> max 1 (min 8 d)) domains in
   if extended then begin
-    let t_build, e =
-      Bench_util.Runner.time (fun () -> Amber.Engine.build triples)
-    in
-    Printf.eprintf "amber (extended): offline stage %.2fs\n%!" t_build;
+    let e = load_engine ?domains data in
     match
       Bench_util.Runner.time (fun () ->
           Amber.Extended.query_string ?timeout ?limit
@@ -204,7 +230,9 @@ let run_query data query_file sparql timeout limit engine open_objects extended
           Printf.eprintf "SPARQL parse error: %s\n" msg;
           exit 1
     in
-    let t_build, store = Bench_util.Runner.time (fun () -> E.load triples) in
+    let t_build, store =
+      Bench_util.Runner.time (fun () -> E.load (load_triples data))
+    in
     Printf.eprintf "%s: offline stage %.2fs\n%!" E.name t_build;
     match
       Bench_util.Runner.time (fun () -> E.query ?timeout ?limit store ast)
@@ -221,10 +249,7 @@ let run_query data query_file sparql timeout limit engine open_objects extended
   | `Amber ->
       (* The native engine dispatches on the query form (SELECT / ASK /
          CONSTRUCT) and supports the open-objects extension. *)
-      let t_build, e =
-        Bench_util.Runner.time (fun () -> Amber.Engine.build triples)
-      in
-      Printf.eprintf "amber: offline stage %.2fs\n%!" t_build;
+      let e = load_engine ?domains data in
       if explain then begin
         match Sparql.Parser.parse_result src with
         | Ok ast ->
@@ -303,7 +328,6 @@ let query_cmd =
 (* --- explain ----------------------------------------------------------- *)
 
 let run_explain data query_file sparql open_objects =
-  let triples = load_triples data in
   let src = query_text query_file sparql in
   let ast =
     match Sparql.Parser.parse_result src with
@@ -312,7 +336,7 @@ let run_explain data query_file sparql open_objects =
         Printf.eprintf "SPARQL parse error: %s\n" msg;
         exit 1
   in
-  let e = Amber.Engine.build triples in
+  let e = load_engine data in
   Format.printf "%a@." Amber.Engine.pp_explanation
     (Amber.Engine.explain ~open_objects e ast)
 
@@ -326,11 +350,8 @@ let explain_cmd =
 (* --- serve ------------------------------------------------------------- *)
 
 let run_serve data port timeout limit open_objects domains =
-  let triples = load_triples data in
-  let t_build, engine =
-    Bench_util.Runner.time (fun () -> Amber.Engine.build triples)
-  in
-  Printf.eprintf "offline stage: %.2fs\n%!" t_build;
+  let is_snapshot = Amber.Snapshot.sniff_file data in
+  let domains = Option.map (fun d -> max 1 (min 8 d)) domains in
   let config =
     {
       Endpoint.default_config with
@@ -338,10 +359,18 @@ let run_serve data port timeout limit open_objects domains =
       timeout;
       limit;
       open_objects;
-      domains = Option.map (fun d -> max 1 (min 8 d)) domains;
+      domains;
+      snapshot = (if is_snapshot then Some data else None);
     }
   in
-  let server = Endpoint.create ~config engine in
+  let t_boot, server =
+    Bench_util.Runner.time (fun () ->
+        if is_snapshot then Endpoint.boot config
+        else Endpoint.create ~config (Amber.Engine.build ?domains (load_triples data)))
+  in
+  Printf.eprintf "%s: %.2fs\n%!"
+    (if is_snapshot then "snapshot boot" else "offline stage")
+    t_boot;
   Printf.printf "SPARQL endpoint on http://%s:%d/sparql\n%!" config.Endpoint.host
     (Endpoint.bound_port server);
   Endpoint.serve server
@@ -375,11 +404,53 @@ let compile_cmd =
   let doc = "convert N-Triples/Turtle into the compact binary format (.adb)" in
   Cmd.v (Cmd.info "compile" ~doc) Term.(const run_compile $ data_arg $ out_arg)
 
+(* --- build ------------------------------------------------------------ *)
+
+let run_build input out domains =
+  let domains = Option.map (fun d -> max 1 (min 8 d)) domains in
+  let triples = load_triples input in
+  let t_build, engine =
+    Bench_util.Runner.time (fun () -> Amber.Engine.build ?domains triples)
+  in
+  Printf.eprintf "offline stage (%d domain%s): %.2fs\n%!"
+    (Option.value ~default:1 domains)
+    (if Option.value ~default:1 domains = 1 then "" else "s")
+    t_build;
+  let t_save, () =
+    Bench_util.Runner.time (fun () -> Amber.Engine.save_snapshot engine out)
+  in
+  Printf.printf "wrote index snapshot %s (%d bytes; build %.2fs, save %.2fs)\n"
+    out (Unix.stat out).Unix.st_size t_build t_save
+
+let build_input_arg =
+  Arg.(
+    required
+    & pos 0 (some non_dir_file) None
+    & info [] ~docv:"TRIPLES"
+        ~doc:"Input data: N-Triples, Turtle (.ttl) or binary (.adb).")
+
+let snapshot_out_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output .amberix snapshot file.")
+
+let build_cmd =
+  let doc =
+    "run the offline stage and persist the built indexes as an .amberix \
+     snapshot"
+  in
+  Cmd.v (Cmd.info "build" ~doc)
+    Term.(const run_build $ build_input_arg $ snapshot_out_arg $ domains_arg)
+
 (* --- stats ------------------------------------------------------------ *)
 
 let run_stats data =
-  let triples = load_triples data in
-  let db = Amber.Database.of_triples triples in
+  let db =
+    if Amber.Snapshot.sniff_file data then
+      (Amber.Snapshot.read_file data).Amber.Snapshot.db
+    else Amber.Database.of_triples (load_triples data)
+  in
   Format.printf "%a@." Amber.Database.pp_stats db
 
 let stats_cmd =
@@ -418,4 +489,7 @@ let bench_cmd =
 let () =
   let doc = "AMbER: attributed-multigraph RDF query engine" in
   exit
-    (Cmd.eval (Cmd.group (Cmd.info "amber" ~doc) [ query_cmd; stats_cmd; bench_cmd; explain_cmd; compile_cmd; serve_cmd ]))
+    (Cmd.eval
+       (Cmd.group (Cmd.info "amber" ~doc)
+          [ query_cmd; build_cmd; stats_cmd; bench_cmd; explain_cmd;
+            compile_cmd; serve_cmd ]))

@@ -17,6 +17,16 @@ let build db =
      already sorted increasingly. *)
   { lists = Array.map Array.of_list buckets; probes = 0 }
 
+let export t = t.lists
+
+let import lists =
+  Array.iter
+    (fun l ->
+      if not (Mgraph.Sorted_ints.is_sorted l) || (Array.length l > 0 && l.(0) < 0)
+      then invalid_arg "Attribute_index.import: list not sorted")
+    lists;
+  { lists; probes = 0 }
+
 let vertices_with t a =
   if a < 0 || a >= Array.length t.lists then [||] else t.lists.(a)
 

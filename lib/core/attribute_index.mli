@@ -8,6 +8,13 @@ type t
 
 val build : Database.t -> t
 
+val export : t -> int array array
+(** The raw per-attribute vertex lists, for the snapshot codec. *)
+
+val import : int array array -> t
+(** Rebuild from exported lists (probe counter starts at zero).
+    @raise Invalid_argument if any list is unsorted or negative. *)
+
 val vertices_with : t -> int -> int array
 (** Sorted data vertices carrying one attribute ([||] if none). *)
 

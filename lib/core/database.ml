@@ -70,6 +70,51 @@ let of_triples triples =
     triple_count = !count;
   }
 
+type parts = {
+  p_graph : Mgraph.Multigraph.t;
+  p_vertices : Mgraph.Dict.t;
+  p_edge_types : Mgraph.Dict.t;
+  p_attributes : Mgraph.Dict.t;
+  p_attribute_data : (string * Rdf.Term.literal) array;
+  p_triple_count : int;
+}
+
+let export t =
+  {
+    p_graph = t.graph;
+    p_vertices = t.vertices;
+    p_edge_types = t.edge_types;
+    p_attributes = t.attributes;
+    p_attribute_data = t.attribute_data;
+    p_triple_count = t.triple_count;
+  }
+
+let import p =
+  let g = p.p_graph in
+  if Mgraph.Dict.size p.p_vertices <> Mgraph.Multigraph.vertex_count g then
+    invalid_arg "Database.import: vertex dictionary / graph size mismatch";
+  if Mgraph.Dict.size p.p_edge_types < Mgraph.Multigraph.edge_type_count g then
+    invalid_arg "Database.import: edge-type dictionary too small for graph";
+  if Array.length p.p_attribute_data <> Mgraph.Dict.size p.p_attributes then
+    invalid_arg "Database.import: attribute dictionary / data length mismatch";
+  let attr_count = Array.length p.p_attribute_data in
+  for v = 0 to Mgraph.Multigraph.vertex_count g - 1 do
+    Array.iter
+      (fun a ->
+        if a >= attr_count then
+          invalid_arg "Database.import: attribute id out of range")
+      (Mgraph.Multigraph.attributes g v)
+  done;
+  if p.p_triple_count < 0 then invalid_arg "Database.import: negative triple count";
+  {
+    graph = g;
+    vertices = p.p_vertices;
+    edge_types = p.p_edge_types;
+    attributes = p.p_attributes;
+    attribute_data = p.p_attribute_data;
+    triple_count = p.p_triple_count;
+  }
+
 let graph t = t.graph
 
 let vertex_of_term t term =

@@ -10,6 +10,28 @@ type t
 
 val of_triples : Rdf.Triple.t list -> t
 
+(** {1 Snapshot decomposition}
+
+    [export]/[import] expose the database's constituent parts so the
+    snapshot codec ([Amber.Snapshot]) can serialize them without this
+    module learning any on-disk format. *)
+
+type parts = {
+  p_graph : Mgraph.Multigraph.t;
+  p_vertices : Mgraph.Dict.t;
+  p_edge_types : Mgraph.Dict.t;
+  p_attributes : Mgraph.Dict.t;
+  p_attribute_data : (string * Rdf.Term.literal) array;
+  p_triple_count : int;
+}
+
+val export : t -> parts
+
+val import : parts -> t
+(** Reassemble a database from parts. @raise Invalid_argument when the
+    parts are mutually inconsistent (dictionary sizes disagreeing with
+    the graph, attribute ids out of range). *)
+
 val graph : t -> Mgraph.Multigraph.t
 
 (** {1 Dictionary lookups (the mapping functions M and M⁻¹)} *)

@@ -76,6 +76,23 @@ let shutdown t =
   Mutex.unlock t.lock;
   List.iter Domain.join handles
 
+(* Like [shutdown], but re-arms the pool once the workers are joined:
+   parked domains tax every stop-the-world minor collection, so a
+   one-shot burst (parallel index build) should not leave them behind.
+   A concurrent [submit_batch] observing [stopping] self-drains, which
+   is always correct. *)
+let quiesce t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  let handles = t.handles in
+  t.handles <- [];
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.lock;
+  List.iter Domain.join handles;
+  Mutex.lock t.lock;
+  t.stopping <- false;
+  Mutex.unlock t.lock
+
 let max_workers = 7
 
 let grow t n =
@@ -85,8 +102,7 @@ let grow t n =
 
 let global_pool = lazy (
   let t = create ~workers:0 in
-  (* Workers must be joined before the main domain exits; a worker
-     parked in [Condition.wait] costs nothing until then. *)
+  (* Workers must be joined before the main domain exits. *)
   at_exit (fun () -> shutdown t);
   t)
 

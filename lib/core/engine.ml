@@ -9,17 +9,6 @@ type t = {
 
 exception Unsupported = Query_graph.Unsupported
 
-let build ?synopsis_mode triples =
-  let db = Database.of_triples triples in
-  {
-    db;
-    attribute = Attribute_index.build db;
-    synopsis = Synopsis_index.build ?mode:synopsis_mode db;
-    neighbourhood = Neighbourhood_index.build db;
-    literal_bindings = Literal_bindings.create db;
-    shared = Matcher.make_shared ();
-  }
-
 (* One matcher context per query (or per domain): [caches:false] is the
    uncached ablation the kernels benchmark compares against. *)
 let make_ctx ?(caches = true) t ~deadline ~stats =
@@ -229,6 +218,147 @@ let sync_index_metrics t =
     "Cross-query synopsis-candidate LRU hits" syn_hits;
   set "amber_engine_synopsis_cache_misses_total"
     "Cross-query synopsis-candidate LRU misses" syn_misses
+
+(* ------------------------------------------------------------------ *)
+(* Offline build (optionally parallel index construction)              *)
+(* ------------------------------------------------------------------ *)
+
+let m_index_build index =
+  Obs.Metrics.histogram m "amber_index_build_seconds"
+    ~labels:[ ("index", index) ]
+    ~help:
+      "Seconds spent building one index family (summed across domains \
+       when the build is sharded)"
+    ~buckets:(Obs.Metrics.log_buckets ~lo:1e-4 ~ratio:2.0 ~count:20)
+
+let m_snapshot_save =
+  Obs.Metrics.histogram m "amber_snapshot_save_seconds"
+    ~help:"Wall-clock seconds writing an index snapshot"
+    ~buckets:(Obs.Metrics.log_buckets ~lo:1e-4 ~ratio:2.0 ~count:20)
+
+let m_snapshot_load =
+  Obs.Metrics.histogram m "amber_snapshot_load_seconds"
+    ~help:"Wall-clock seconds loading an index snapshot"
+    ~buckets:(Obs.Metrics.log_buckets ~lo:1e-4 ~ratio:2.0 ~count:20)
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* Parallel index construction: one flat task list on the domain pool —
+   the whole [A] build as a single task, plus the per-vertex loops of
+   [S] (synopsis computation) and [N] (trie insertion, one task list per
+   direction) sharded into deterministic vertex ranges. Tasks write into
+   disjoint slots of preallocated arrays; the final assembly
+   (concatenation, the [S] lower bound and STR bulk load) is sequential,
+   so the built indexes are identical — byte-for-byte under the
+   canonical snapshot encoding — to the [domains = 1] build. *)
+let shards_per_domain = 4
+
+let build_indexes ?synopsis_mode ~domains db =
+  let n = Mgraph.Multigraph.vertex_count (Database.graph db) in
+  if domains <= 1 || n = 0 then begin
+    let attribute, dt_a = timed (fun () -> Attribute_index.build db) in
+    Obs.Metrics.observe (m_index_build "attribute") dt_a;
+    let synopsis, dt_s =
+      timed (fun () -> Synopsis_index.build ?mode:synopsis_mode db)
+    in
+    Obs.Metrics.observe (m_index_build "synopsis") dt_s;
+    let neighbourhood, dt_n = timed (fun () -> Neighbourhood_index.build db) in
+    Obs.Metrics.observe (m_index_build "neighbourhood") dt_n;
+    (attribute, synopsis, neighbourhood)
+  end
+  else begin
+    let k = max 1 (min n (shards_per_domain * domains)) in
+    let attribute_slot = ref None in
+    let syn_parts = Array.make k [||] in
+    let in_parts = Array.make k [||] in
+    let out_parts = Array.make k [||] in
+    let range_tasks family parts fill =
+      List.init k (fun i ->
+          fun () ->
+           let lo = i * n / k and hi = (i + 1) * n / k in
+           parts.(i) <- fill ~lo ~hi;
+           family)
+    in
+    let tasks =
+      Array.of_list
+        ((fun () ->
+           attribute_slot := Some (Attribute_index.build db);
+           "attribute")
+        :: List.concat
+             [
+               range_tasks "synopsis" syn_parts (fun ~lo ~hi ->
+                   Synopsis_index.synopses_range db ~lo ~hi);
+               range_tasks "neighbourhood" in_parts (fun ~lo ~hi ->
+                   Neighbourhood_index.build_range db Mgraph.Multigraph.In ~lo
+                     ~hi);
+               range_tasks "neighbourhood" out_parts (fun ~lo ~hi ->
+                   Neighbourhood_index.build_range db Mgraph.Multigraph.Out ~lo
+                     ~hi);
+             ])
+    in
+    let pool = Domain_pool.global () in
+    let results =
+      Fun.protect
+        ~finally:(fun () ->
+          (* Index construction is a one-shot burst: workers parked in
+             the pool afterwards would slow every stop-the-world minor
+             collection for the rest of the process (snapshot decoding
+             measures ~1.7x slower with three parked domains). Steady
+             parallel query traffic respawns them once. *)
+          Domain_pool.quiesce pool)
+        (fun () ->
+          Domain_pool.run_chunks pool ~participants:domains
+            ~chunks:(Array.length tasks) (fun c -> timed tasks.(c)))
+    in
+    (* Per-family build time = sum of its tasks' durations (CPU seconds,
+       not wall clock) plus the sequential assembly below. *)
+    let family_seconds = Hashtbl.create 4 in
+    let charge family dt =
+      Hashtbl.replace family_seconds family
+        (dt +. Option.value ~default:0. (Hashtbl.find_opt family_seconds family))
+    in
+    Array.iter (fun (family, dt) -> charge family dt) results;
+    let synopsis, dt_s =
+      timed (fun () ->
+          Synopsis_index.of_synopses ?mode:synopsis_mode
+            (Array.concat (Array.to_list syn_parts)))
+    in
+    charge "synopsis" dt_s;
+    let neighbourhood, dt_n =
+      timed (fun () ->
+          Neighbourhood_index.of_tries
+            ~incoming:(Array.concat (Array.to_list in_parts))
+            ~outgoing:(Array.concat (Array.to_list out_parts)))
+    in
+    charge "neighbourhood" dt_n;
+    Hashtbl.iter
+      (fun family dt -> Obs.Metrics.observe (m_index_build family) dt)
+      family_seconds;
+    let attribute =
+      match !attribute_slot with Some a -> a | None -> assert false
+    in
+    (attribute, synopsis, neighbourhood)
+  end
+
+let of_parts ~db ~attribute ~synopsis ~neighbourhood =
+  {
+    db;
+    attribute;
+    synopsis;
+    neighbourhood;
+    literal_bindings = Literal_bindings.create db;
+    shared = Matcher.make_shared ();
+  }
+
+let build ?synopsis_mode ?(domains = 1) triples =
+  let db = Database.of_triples triples in
+  let attribute, synopsis, neighbourhood =
+    build_indexes ?synopsis_mode ~domains db
+  in
+  of_parts ~db ~attribute ~synopsis ~neighbourhood
 
 (* ------------------------------------------------------------------ *)
 (* Parallel solution collection (the paper's §8 future work)           *)
@@ -619,10 +749,31 @@ let query_parallel ?timeout ?limit ?strategy ?satellites ?open_objects ?domains
 (* Persistence                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Triple interchange: [save] keeps only the triples; [load_file]
+   replays the whole offline stage. Snapshots below persist the built
+   indexes themselves. *)
 let save t path = Rdf.Binary.write_file path (Database.to_triples t.db)
 
-let load_file ?synopsis_mode path =
-  build ?synopsis_mode (Rdf.Binary.read_file path)
+let load_file ?synopsis_mode ?domains path =
+  build ?synopsis_mode ?domains (Rdf.Binary.read_file path)
+
+let snapshot_contents t =
+  {
+    Snapshot.db = t.db;
+    attribute = t.attribute;
+    synopsis = t.synopsis;
+    neighbourhood = t.neighbourhood;
+  }
+
+let save_snapshot t path =
+  let (), dt = timed (fun () -> Snapshot.write_file path (snapshot_contents t)) in
+  Obs.Metrics.observe m_snapshot_save dt
+
+let load_snapshot path =
+  let c, dt = timed (fun () -> Snapshot.read_file path) in
+  Obs.Metrics.observe m_snapshot_load dt;
+  of_parts ~db:c.Snapshot.db ~attribute:c.Snapshot.attribute
+    ~synopsis:c.Snapshot.synopsis ~neighbourhood:c.Snapshot.neighbourhood
 
 (* ------------------------------------------------------------------ *)
 (* ASK and CONSTRUCT forms                                             *)

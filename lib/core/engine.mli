@@ -8,9 +8,18 @@
 type t
 
 val build :
-  ?synopsis_mode:Synopsis_index.mode -> Rdf.Triple.t list -> t
+  ?synopsis_mode:Synopsis_index.mode -> ?domains:int -> Rdf.Triple.t list -> t
 (** Transform triples into the multigraph database and build all three
-    indexes. *)
+    indexes.
+
+    @param domains build the indexes on up to this many domains (default
+    1 — strictly sequential). [A] builds as one task while the
+    per-vertex loops of [S] (synopsis computation) and [N] (trie
+    insertion, per direction) are sharded into deterministic vertex
+    ranges on the shared {!Domain_pool}; assembly is sequential, so the
+    resulting indexes are identical — byte-for-byte under the
+    {!Snapshot} encoding — to the sequential build. Build times land in
+    the [amber_index_build_seconds{index=...}] histograms. *)
 
 val db : t -> Database.t
 val attribute_index : t -> Attribute_index.t
@@ -196,17 +205,41 @@ val explain :
 
 val pp_explanation : Format.formatter -> explanation -> unit
 
-(** {1 Persistence} *)
+(** {1 Persistence}
+
+    Two formats. {!save}/{!load_file} exchange {e triples}
+    ([Rdf.Binary], ["AMBERDB1"]): compact and engine-agnostic, but
+    loading replays the whole offline stage. {!save_snapshot}/
+    {!load_snapshot} persist the {e built indexes} ([Snapshot],
+    ["AMBERIX1"]): loading is O(read) — the cold-start path for
+    serving. *)
 
 val save : t -> string -> unit
-(** Write the database to [path] in the compact {!Rdf.Binary} format
-    (the offline-stage artifact). Indexes are derived data and are not
-    stored; {!load_file} rebuilds them. *)
+(** Write the database's triples to [path] in the compact {!Rdf.Binary}
+    interchange format. Indexes are not stored; {!load_file} rebuilds
+    them. *)
 
-val load_file : ?synopsis_mode:Synopsis_index.mode -> string -> t
+val load_file :
+  ?synopsis_mode:Synopsis_index.mode -> ?domains:int -> string -> t
 (** Load a file written by {!save} (or any {!Rdf.Binary} file) and
-    rebuild the indexes.
+    rebuild the indexes ([domains] as in {!build}).
     @raise Rdf.Binary.Corrupt on malformed input. *)
+
+val snapshot_contents : t -> Snapshot.contents
+(** The engine state a snapshot persists — exposed for the snapshot
+    tests' byte-identity comparisons ({!Snapshot.to_string}). *)
+
+val save_snapshot : t -> string -> unit
+(** Write the fully built engine state to [path] as an ["AMBERIX1"]
+    index snapshot; observed in [amber_snapshot_save_seconds]. *)
+
+val load_snapshot : string -> t
+(** Load a snapshot written by {!save_snapshot}: dictionaries, graph and
+    all three indexes are read back directly — nothing is rebuilt except
+    the derived literal bindings. The synopsis mode is the one the saved
+    engine was built with. Observed in [amber_snapshot_load_seconds].
+    @raise Rdf.Binary.Corrupt on malformed or corrupt input (every
+    section is CRC-guarded). *)
 
 (** {1 ASK and CONSTRUCT forms} *)
 

@@ -5,24 +5,35 @@ type t = {
                             lost increments are acceptable *)
 }
 
-let build db =
+(* Build the tries of the vertex range [lo, hi) in one direction — the
+   shardable unit of the parallel index construction. Each vertex's trie
+   only reads that vertex's adjacency list, so disjoint ranges never
+   share mutable state. Tries come back prepared (caches materialized)
+   so queries are read-only and the index can serve several domains
+   concurrently. *)
+let build_range db dir ~lo ~hi =
   let g = Database.graph db in
-  let n = Mgraph.Multigraph.vertex_count g in
-  let incoming = Array.init n (fun _ -> Otil.create ())
-  and outgoing = Array.init n (fun _ -> Otil.create ()) in
-  for v = 0 to n - 1 do
-    Array.iter
-      (fun (v', types) -> Otil.add incoming.(v) types v')
-      (Mgraph.Multigraph.adjacency g Mgraph.Multigraph.In v);
-    Array.iter
-      (fun (v', types) -> Otil.add outgoing.(v) types v')
-      (Mgraph.Multigraph.adjacency g Mgraph.Multigraph.Out v)
-  done;
-  (* Materialize the inverted-list caches so queries are read-only and
-     the index can serve several domains concurrently. *)
-  Array.iter Otil.prepare incoming;
-  Array.iter Otil.prepare outgoing;
+  Array.init (hi - lo) (fun i ->
+      let v = lo + i in
+      let trie = Otil.create () in
+      Array.iter
+        (fun (v', types) -> Otil.add trie types v')
+        (Mgraph.Multigraph.adjacency g dir v);
+      Otil.prepare trie;
+      trie)
+
+let of_tries ~incoming ~outgoing =
+  if Array.length incoming <> Array.length outgoing then
+    invalid_arg "Neighbourhood_index.of_tries: direction length mismatch";
   { incoming; outgoing; probes = 0 }
+
+let build db =
+  let n = Mgraph.Multigraph.vertex_count (Database.graph db) in
+  of_tries
+    ~incoming:(build_range db Mgraph.Multigraph.In ~lo:0 ~hi:n)
+    ~outgoing:(build_range db Mgraph.Multigraph.Out ~lo:0 ~hi:n)
+
+let export t = (t.incoming, t.outgoing)
 
 let neighbours t v dir types =
   if Array.length types = 0 then

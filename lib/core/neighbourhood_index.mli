@@ -11,6 +11,20 @@ type t
 
 val build : Database.t -> t
 
+val build_range :
+  Database.t -> Mgraph.Multigraph.direction -> lo:int -> hi:int -> Otil.t array
+(** Prepared tries of the vertex range [lo, hi) in one direction — the
+    shardable unit of the parallel build ([In] yields [N+] shards, [Out]
+    yields [N−]). Element [i] belongs to vertex [lo + i]. *)
+
+val of_tries : incoming:Otil.t array -> outgoing:Otil.t array -> t
+(** Assemble from full per-vertex trie arrays (element [v] belongs to
+    vertex [v]); used by the parallel build and the snapshot reader.
+    @raise Invalid_argument on a length mismatch. *)
+
+val export : t -> Otil.t array * Otil.t array
+(** The ([N+], [N−]) trie arrays, for the snapshot codec. *)
+
 val neighbours :
   t -> int -> Mgraph.Multigraph.direction -> int array -> int array
 (** [neighbours t v dir types]: with [dir = Out], vertices [v'] such

@@ -1,0 +1,383 @@
+(* Versioned binary index snapshots ("AMBERIX1"): the fully built
+   offline stage — dictionaries, multigraph, and the A/S/N indexes — in
+   one file, so cold start is a read instead of a rebuild.
+
+   Layout: the 8-byte magic, a format version, a section count, then the
+   sections. Every section is framed as
+
+     tag varint · length varint · payload · CRC-32 (4 bytes, LE)
+
+   and the CRC is verified over the raw payload bytes before any of them
+   are parsed, so a flipped bit fails with {!Rdf.Binary.Corrupt} instead
+   of a misparse. Integers reuse [Rdf.Binary]'s LEB128 varints (zigzag
+   for the signed synopsis coordinates), terms its tagged term codec.
+
+   The encoding is canonical: every list is written in a deterministic
+   order (dictionary id order, vertex id order, sorted symbols), so two
+   engines holding the same indexes — however they were built —
+   serialize to identical bytes. The parallel-build tests rely on this
+   to compare a sequential and a 4-domain build for byte equality. *)
+
+module B = Rdf.Binary
+
+let magic = "AMBERIX1"
+let version = 1
+
+type contents = {
+  db : Database.t;
+  attribute : Attribute_index.t;
+  synopsis : Synopsis_index.t;
+  neighbourhood : Neighbourhood_index.t;
+}
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (B.Corrupt s)) fmt
+
+(* Section tags, in file order. *)
+let tag_meta = 1
+let tag_vertices = 2
+let tag_edge_types = 3
+let tag_attributes = 4
+let tag_attribute_data = 5
+let tag_graph = 6
+let tag_attribute_index = 7
+let tag_otil_in = 8
+let tag_otil_out = 9
+let tag_synopsis = 10
+
+let section_order =
+  [
+    tag_meta;
+    tag_vertices;
+    tag_edge_types;
+    tag_attributes;
+    tag_attribute_data;
+    tag_graph;
+    tag_attribute_index;
+    tag_otil_in;
+    tag_otil_out;
+    tag_synopsis;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Primitive payload codecs                                            *)
+(* ------------------------------------------------------------------ *)
+
+let write_string buf s =
+  B.Varint.write buf (String.length s);
+  Buffer.add_string buf s
+
+let read_string src pos =
+  let len = B.Varint.read src pos in
+  if !pos + len > String.length src then corrupt "truncated string";
+  let s = String.sub src !pos len in
+  pos := !pos + len;
+  s
+
+(* Strictly increasing id sets (edge-type sets, attribute sets, inverted
+   vertex lists) are delta-coded: the first element verbatim, then the
+   gaps minus one. Sorted sets have mostly tiny gaps, so almost every
+   byte hits the varint fast path, and decoding restores — and thereby
+   proves — sortedness for free. *)
+let write_sorted_array buf a =
+  let n = Array.length a in
+  B.Varint.write buf n;
+  if n > 0 then begin
+    B.Varint.write buf a.(0);
+    for i = 1 to n - 1 do
+      B.Varint.write buf (a.(i) - a.(i - 1) - 1)
+    done
+  end
+
+let read_sorted_array src pos =
+  let len = B.Varint.read src pos in
+  if len = 0 then [||]
+  else begin
+    let a = Array.make len (B.Varint.read src pos) in
+    for i = 1 to len - 1 do
+      a.(i) <- a.(i - 1) + 1 + B.Varint.read src pos
+    done;
+    a
+  end
+
+let write_dict buf d =
+  let n = Mgraph.Dict.size d in
+  B.Varint.write buf n;
+  for i = 0 to n - 1 do
+    write_string buf (Mgraph.Dict.value d i)
+  done
+
+let read_dict src pos =
+  let n = B.Varint.read src pos in
+  let d = Mgraph.Dict.create ~initial_capacity:(max 16 n) () in
+  for i = 0 to n - 1 do
+    let s = read_string src pos in
+    if Mgraph.Dict.intern d s <> i then
+      corrupt "duplicate dictionary entry %S" s
+  done;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Section payloads                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Adjacency neighbours are strictly increasing within a vertex's list,
+   so they delta-code the same way the id sets do. *)
+let write_graph buf g =
+  let out_adj, attrs = Mgraph.Multigraph.export g in
+  let n = Array.length out_adj in
+  B.Varint.write buf n;
+  Array.iter
+    (fun adj ->
+      B.Varint.write buf (Array.length adj);
+      let prev = ref (-1) in
+      Array.iter
+        (fun (v', types) ->
+          B.Varint.write buf (v' - !prev - 1);
+          prev := v';
+          write_sorted_array buf types)
+        adj)
+    out_adj;
+  Array.iter (write_sorted_array buf) attrs
+
+let read_graph src pos =
+  let n = B.Varint.read src pos in
+  let out_adj =
+    Array.init n (fun _ ->
+        let deg = B.Varint.read src pos in
+        let prev = ref (-1) in
+        Array.init deg (fun _ ->
+            let v' = !prev + 1 + B.Varint.read src pos in
+            prev := v';
+            (v', read_sorted_array src pos)))
+  in
+  let attrs = Array.init n (fun _ -> read_sorted_array src pos) in
+  match Mgraph.Multigraph.import ~out_adj ~attrs with
+  | g -> g
+  | exception Invalid_argument msg -> corrupt "bad graph section: %s" msg
+
+let write_attribute_data buf data =
+  B.Varint.write buf (Array.length data);
+  Array.iter
+    (fun (pred, lit) ->
+      write_string buf pred;
+      B.write_term buf (Rdf.Term.Literal lit))
+    data
+
+let read_attribute_data src pos =
+  let n = B.Varint.read src pos in
+  Array.init n (fun _ ->
+      let pred = read_string src pos in
+      match B.read_term src pos with
+      | Rdf.Term.Literal lit -> (pred, lit)
+      | Rdf.Term.Iri _ | Rdf.Term.Bnode _ ->
+          corrupt "attribute datum is not a literal")
+
+let write_otil_array buf tries =
+  B.Varint.write buf (Array.length tries);
+  Array.iter (Otil.encode buf ~write_int:B.Varint.write) tries
+
+let read_otil_array src pos =
+  let n = B.Varint.read src pos in
+  Array.init n (fun _ ->
+      match Otil.decode src pos ~read_int:B.Varint.read with
+      | trie -> trie
+      | exception Failure msg -> corrupt "%s" msg)
+
+(* Only the synopses and the packed tree structure are stored: every
+   leaf rectangle is [lower .. synopsis(v)] and the decoder rebuilds the
+   geometry from the synopses ({!Rtree.decode}'s [rect_of_value]). *)
+let write_synopsis buf s =
+  let mode, synopses, tree = Synopsis_index.export s in
+  B.Varint.write buf (match mode with Synopsis_index.Scan -> 0 | Rtree -> 1);
+  B.Varint.write buf (Array.length synopses);
+  Array.iter (fun syn -> Array.iter (B.Varint.write_signed buf) syn) synopses;
+  Rtree.encode buf ~write_int:B.Varint.write ~write_value:B.Varint.write tree
+
+let read_synopsis src pos =
+  let mode =
+    match B.Varint.read src pos with
+    | 0 -> Synopsis_index.Scan
+    | 1 -> Synopsis_index.Rtree
+    | m -> corrupt "unknown synopsis mode %d" m
+  in
+  let n = B.Varint.read src pos in
+  let synopses =
+    Array.init n (fun _ ->
+        Array.init Mgraph.Synopsis.dims (fun _ -> B.Varint.read_signed src pos))
+  in
+  let lower = Synopsis_index.lower_of synopses in
+  let rect_of_value v =
+    if v < 0 || v >= n then failwith "Rtree.decode: leaf value out of range";
+    Rect.make ~lo:lower ~hi:synopses.(v)
+  in
+  let tree =
+    match
+      Rtree.decode src pos ~read_int:B.Varint.read ~read_value:B.Varint.read
+        ~rect_of_value
+    with
+    | tree -> tree
+    | exception Failure msg -> corrupt "%s" msg
+  in
+  match Synopsis_index.import ~mode ~synopses ~tree with
+  | s -> s
+  | exception Invalid_argument msg -> corrupt "bad synopsis section: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let add_section buf tag payload =
+  B.Varint.write buf tag;
+  B.Varint.write buf (Buffer.length payload);
+  let bytes = Buffer.contents payload in
+  Buffer.add_string buf bytes;
+  let crc = B.crc32 bytes in
+  for shift = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((crc lsr (8 * shift)) land 0xFF))
+  done
+
+let encode buf t =
+  Buffer.add_string buf magic;
+  B.Varint.write buf version;
+  B.Varint.write buf (List.length section_order);
+  let parts = Database.export t.db in
+  let incoming, outgoing = Neighbourhood_index.export t.neighbourhood in
+  let section tag fill =
+    let payload = Buffer.create 4096 in
+    fill payload;
+    add_section buf tag payload
+  in
+  section tag_meta (fun b -> B.Varint.write b parts.Database.p_triple_count);
+  section tag_vertices (fun b -> write_dict b parts.Database.p_vertices);
+  section tag_edge_types (fun b -> write_dict b parts.Database.p_edge_types);
+  section tag_attributes (fun b -> write_dict b parts.Database.p_attributes);
+  section tag_attribute_data (fun b ->
+      write_attribute_data b parts.Database.p_attribute_data);
+  section tag_graph (fun b -> write_graph b parts.Database.p_graph);
+  section tag_attribute_index (fun b ->
+      let lists = Attribute_index.export t.attribute in
+      B.Varint.write b (Array.length lists);
+      Array.iter (write_sorted_array b) lists);
+  section tag_otil_in (fun b -> write_otil_array b incoming);
+  section tag_otil_out (fun b -> write_otil_array b outgoing);
+  section tag_synopsis (fun b -> write_synopsis b t.synopsis)
+
+let to_string t =
+  let buf = Buffer.create (1 lsl 20) in
+  encode buf t;
+  Buffer.contents buf
+
+(* Frame check first: tag as expected, payload in bounds, CRC over the
+   raw bytes matches — only then parse. [parse] must consume the payload
+   exactly. *)
+let read_section src pos expected_tag parse =
+  let tag = B.Varint.read src pos in
+  if tag <> expected_tag then
+    corrupt "unexpected section tag %d (wanted %d)" tag expected_tag;
+  let len = B.Varint.read src pos in
+  if !pos + len + 4 > String.length src then corrupt "truncated section";
+  let payload_start = !pos in
+  let payload_end = payload_start + len in
+  let stored =
+    let b i = Char.code src.[payload_end + i] in
+    b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+  in
+  if B.crc32 ~off:payload_start ~len src <> stored then
+    corrupt "bad CRC in section %d" tag;
+  let v = parse src pos in
+  if !pos <> payload_end then corrupt "trailing bytes in section %d" tag;
+  pos := payload_end + 4;
+  v
+
+let decode src =
+  let mn = String.length magic in
+  if String.length src < mn || String.sub src 0 mn <> magic then
+    corrupt "bad magic (not an AMbER index snapshot)";
+  let pos = ref mn in
+  let v = B.Varint.read src pos in
+  if v <> version then corrupt "unsupported snapshot version %d" v;
+  let count = B.Varint.read src pos in
+  if count <> List.length section_order then
+    corrupt "unexpected section count %d" count;
+  let sect tag parse = read_section src pos tag parse in
+  let triple_count = sect tag_meta (fun s p -> B.Varint.read s p) in
+  let vertices = sect tag_vertices read_dict in
+  let edge_types = sect tag_edge_types read_dict in
+  let attributes = sect tag_attributes read_dict in
+  let attribute_data = sect tag_attribute_data read_attribute_data in
+  let graph = sect tag_graph read_graph in
+  let attr_lists =
+    sect tag_attribute_index (fun s p ->
+        let n = B.Varint.read s p in
+        Array.init n (fun _ -> read_sorted_array s p))
+  in
+  let incoming = sect tag_otil_in read_otil_array in
+  let outgoing = sect tag_otil_out read_otil_array in
+  let synopsis = sect tag_synopsis read_synopsis in
+  if !pos <> String.length src then corrupt "trailing bytes after sections";
+  let db =
+    match
+      Database.import
+        {
+          Database.p_graph = graph;
+          p_vertices = vertices;
+          p_edge_types = edge_types;
+          p_attributes = attributes;
+          p_attribute_data = attribute_data;
+          p_triple_count = triple_count;
+        }
+    with
+    | db -> db
+    | exception Invalid_argument msg -> corrupt "inconsistent snapshot: %s" msg
+  in
+  let n = Mgraph.Multigraph.vertex_count graph in
+  if Array.length attr_lists <> Mgraph.Dict.size attributes then
+    corrupt "attribute index / dictionary size mismatch";
+  Array.iter
+    (fun l ->
+      if Array.length l > 0 && l.(Array.length l - 1) >= n then
+        corrupt "attribute index vertex out of range")
+    attr_lists;
+  let attribute =
+    match Attribute_index.import attr_lists with
+    | a -> a
+    | exception Invalid_argument msg -> corrupt "inconsistent snapshot: %s" msg
+  in
+  if Array.length incoming <> n || Array.length outgoing <> n then
+    corrupt "neighbourhood index / graph size mismatch";
+  let neighbourhood = Neighbourhood_index.of_tries ~incoming ~outgoing in
+  (match Synopsis_index.export synopsis with
+  | _, synopses, _ ->
+      if Array.length synopses <> n then
+        corrupt "synopsis index / graph size mismatch");
+  { db; attribute; synopsis; neighbourhood }
+
+(* ------------------------------------------------------------------ *)
+(* Files                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let write_file path t =
+  let buf = Buffer.create (1 lsl 20) in
+  encode buf t;
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  decode src
+
+let sniff_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> false
+  | ic ->
+      let ok =
+        match really_input_string ic (String.length magic) with
+        | s -> String.equal s magic
+        | exception End_of_file -> false
+      in
+      close_in ic;
+      ok

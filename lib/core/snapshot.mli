@@ -1,0 +1,50 @@
+(** Versioned binary index snapshots — the offline stage as an on-disk
+    artifact.
+
+    An ["AMBERIX1"] file holds the {e fully built} engine state: the
+    three dictionaries (paper Table 2), the multigraph, and the three
+    indexes of Section 4 — [A] (attribute inverted lists), [S] (the
+    synopsis R-tree, stored structure-exact so STR packing survives a
+    round trip) and [N] (both OTIL trie families, flattened post-order
+    in their frozen, {!Otil.prepare}d form). Loading a snapshot is
+    O(read); contrast [Rdf.Binary]'s ["AMBERDB1"] triple interchange
+    format, which replays the whole multigraph transformation and index
+    build on load.
+
+    Every section is length-prefixed and CRC-32-guarded; corruption
+    anywhere fails with {!Rdf.Binary.Corrupt} before any parsing uses
+    the damaged bytes. The encoding is canonical — identical indexes
+    serialize to identical bytes regardless of how (or on how many
+    domains) they were built. *)
+
+val magic : string
+(** ["AMBERIX1"]. *)
+
+val version : int
+
+type contents = {
+  db : Database.t;
+  attribute : Attribute_index.t;
+  synopsis : Synopsis_index.t;
+  neighbourhood : Neighbourhood_index.t;
+}
+(** The persisted engine state. Derived per-query structures (literal
+    bindings, caches) are rebuilt on load. *)
+
+val encode : Buffer.t -> contents -> unit
+
+val to_string : contents -> string
+(** [encode] into a fresh string — the canonical byte representation,
+    used by tests for byte-identity comparisons. *)
+
+val decode : string -> contents
+(** @raise Rdf.Binary.Corrupt on bad magic, unsupported version, CRC
+    mismatch, truncation, or mutually inconsistent sections. *)
+
+val write_file : string -> contents -> unit
+val read_file : string -> contents
+
+val sniff_file : string -> bool
+(** Does the file start with the snapshot magic? Never raises — [false]
+    for unreadable or short files. Used by the CLI to dispatch between
+    triple files and snapshots. *)

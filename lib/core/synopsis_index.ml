@@ -17,10 +17,11 @@ type t = {
    [q_i < lower_i] every data vertex already satisfies the inequality on
    dimension [i]. *)
 
-let build ?(mode = Rtree) ?(max_entries = 16) db =
+let synopses_range db ~lo ~hi =
   let g = Database.graph db in
-  let n = Mgraph.Multigraph.vertex_count g in
-  let synopses = Array.init n (fun v -> Mgraph.Synopsis.of_vertex g v) in
+  Array.init (hi - lo) (fun i -> Mgraph.Synopsis.of_vertex g (lo + i))
+
+let lower_of synopses =
   let lower = Array.make Mgraph.Synopsis.dims 0 in
   Array.iter
     (fun syn ->
@@ -28,6 +29,11 @@ let build ?(mode = Rtree) ?(max_entries = 16) db =
         if syn.(i) < lower.(i) then lower.(i) <- syn.(i)
       done)
     synopses;
+  lower
+
+let of_synopses ?(mode = Rtree) ?(max_entries = 16) synopses =
+  let n = Array.length synopses in
+  let lower = lower_of synopses in
   let tree =
     match mode with
     | Scan -> Rtree.empty ()
@@ -37,6 +43,26 @@ let build ?(mode = Rtree) ?(max_entries = 16) db =
                (Rect.make ~lo:lower ~hi:synopses.(v), v)))
   in
   { mode; synopses; lower; tree; probes = 0 }
+
+let build ?mode ?max_entries db =
+  let g = Database.graph db in
+  let n = Mgraph.Multigraph.vertex_count g in
+  of_synopses ?mode ?max_entries (synopses_range db ~lo:0 ~hi:n)
+
+let export t = (t.mode, t.synopses, t.tree)
+
+let import ~mode ~synopses ~tree =
+  Array.iter
+    (fun syn ->
+      if Array.length syn <> Mgraph.Synopsis.dims then
+        invalid_arg "Synopsis_index.import: bad synopsis dimensionality")
+    synopses;
+  (match mode with
+  | Scan -> ()
+  | Rtree ->
+      if Rtree.size tree <> Array.length synopses then
+        invalid_arg "Synopsis_index.import: tree size / synopsis count mismatch");
+  { mode; synopses; lower = lower_of synopses; tree; probes = 0 }
 
 let mode t = t.mode
 

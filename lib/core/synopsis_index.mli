@@ -12,6 +12,30 @@ type mode = Rtree | Scan
 
 val build : ?mode:mode -> ?max_entries:int -> Database.t -> t
 
+val synopses_range : Database.t -> lo:int -> hi:int -> Mgraph.Synopsis.t array
+(** Synopses of the vertex range [lo, hi) — the shardable part of the
+    build, computed per chunk by the parallel index construction. *)
+
+val lower_of : Mgraph.Synopsis.t array -> int array
+(** Componentwise minimum over all synopses (clamped at 0) — the shared
+    lower corner of every stored R-tree rectangle. The snapshot decoder
+    uses it to rebuild leaf rectangles from the synopses alone. *)
+
+val of_synopses :
+  ?mode:mode -> ?max_entries:int -> Mgraph.Synopsis.t array -> t
+(** Assemble the index from precomputed per-vertex synopses (element [v]
+    belongs to vertex [v]): derives the componentwise lower bound and
+    STR-bulk-loads the R-tree. [build db = of_synopses (all synopses)]. *)
+
+val export : t -> mode * Mgraph.Synopsis.t array * int Rtree.t
+(** Parts for the snapshot codec. The lower bound is not exported — it
+    is a function of the synopses and is recomputed on {!import}. *)
+
+val import :
+  mode:mode -> synopses:Mgraph.Synopsis.t array -> tree:int Rtree.t -> t
+(** Reassemble from exported parts. @raise Invalid_argument on a
+    dimensionality or tree-size mismatch. *)
+
 val mode : t -> mode
 
 val candidates : t -> Mgraph.Synopsis.t -> int array

@@ -5,11 +5,12 @@ type config = {
   limit : int option;
   open_objects : bool;
   domains : int option;
+  snapshot : string option;
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 8080; timeout = Some 30.0; limit = Some 100_000;
-    open_objects = true; domains = None }
+    open_objects = true; domains = None; snapshot = None }
 
 type t = {
   config : config;
@@ -266,6 +267,11 @@ let create ?(config = default_config) engine =
     | Unix.ADDR_UNIX _ -> config.port
   in
   { config; engine; socket; port }
+
+let boot config =
+  match config.snapshot with
+  | None -> invalid_arg "Endpoint.boot: config.snapshot is None"
+  | Some path -> create ~config (Amber.Engine.load_snapshot path)
 
 let bound_port t = t.port
 

@@ -35,6 +35,10 @@ type config = {
       (** default matcher parallelism for every query; a request's
           [domains=N] parameter (clamped to [1, 8]) overrides it.
           [None] = sequential unless the request asks. *)
+  snapshot : string option;
+      (** path to an ["AMBERIX1"] index snapshot for instant boot via
+          {!boot}; [None] (the default) when the caller builds the
+          engine itself. *)
 }
 
 val default_config : config
@@ -43,6 +47,13 @@ type t
 
 val create : ?config:config -> Amber.Engine.t -> t
 (** Bind and listen. @raise Unix.Unix_error when binding fails. *)
+
+val boot : config -> t
+(** Cold-start from [config.snapshot]: {!Amber.Engine.load_snapshot}
+    then {!create} — no index rebuild, boot time is O(read).
+    @raise Invalid_argument when [config.snapshot] is [None].
+    @raise Rdf.Binary.Corrupt on a damaged snapshot.
+    @raise Unix.Unix_error when binding fails. *)
 
 val bound_port : t -> int
 (** Actual port (useful with [port = 0]). *)

@@ -95,6 +95,70 @@ module Builder = struct
     }
 end
 
+(* The out-adjacency (plus per-vertex attributes) determines the whole
+   structure: counts and the in-adjacency are derived. [import] rebuilds
+   them exactly as [Builder.build] would, so a round-trip through
+   [export]/[import] is structurally identical to the original. *)
+let export g = (g.out_adj, g.attrs)
+
+let import ~out_adj ~attrs =
+  let n = Array.length out_adj in
+  if Array.length attrs <> n then
+    invalid_arg "Multigraph.import: attrs/adjacency length mismatch";
+  let edge_type_count = ref 0 in
+  let multi_edge_count = ref 0 in
+  let triple_edge_count = ref 0 in
+  let in_degree = Array.make n 0 in
+  Array.iteri
+    (fun v adj ->
+      let last = ref (-1) in
+      Array.iter
+        (fun (v', types) ->
+          if v' < 0 || v' >= n then
+            invalid_arg
+              (Printf.sprintf "Multigraph.import: neighbour %d out of range" v');
+          if v' <= !last then
+            invalid_arg "Multigraph.import: adjacency not sorted by neighbour";
+          last := v';
+          if Array.length types = 0 then
+            invalid_arg "Multigraph.import: empty multi-edge";
+          if not (Sorted_ints.is_sorted types) || types.(0) < 0 then
+            invalid_arg "Multigraph.import: multi-edge types not sorted";
+          incr multi_edge_count;
+          triple_edge_count := !triple_edge_count + Array.length types;
+          let top = types.(Array.length types - 1) in
+          if top + 1 > !edge_type_count then edge_type_count := top + 1;
+          in_degree.(v') <- in_degree.(v') + 1)
+        adj;
+      ignore v)
+    out_adj;
+  Array.iter
+    (fun a ->
+      if not (Sorted_ints.is_sorted a) || (Array.length a > 0 && a.(0) < 0) then
+        invalid_arg "Multigraph.import: attribute set not sorted")
+    attrs;
+  (* Fill the in-adjacency by scanning sources in increasing order, so
+     every per-vertex list comes out sorted without re-sorting. *)
+  let in_adj = Array.init n (fun v -> Array.make in_degree.(v) (0, [||])) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun v adj ->
+      Array.iter
+        (fun (v', types) ->
+          in_adj.(v').(fill.(v')) <- (v, types);
+          fill.(v') <- fill.(v') + 1)
+        adj)
+    out_adj;
+  {
+    vertex_count = n;
+    edge_type_count = !edge_type_count;
+    out_adj;
+    in_adj;
+    attrs;
+    multi_edge_count = !multi_edge_count;
+    triple_edge_count = !triple_edge_count;
+  }
+
 let vertex_count g = g.vertex_count
 let edge_type_count g = g.edge_type_count
 let multi_edge_count g = g.multi_edge_count

@@ -78,4 +78,26 @@ val degree : t -> vertex -> int
 val fold_edges : (vertex -> edge_type array -> vertex -> 'a -> 'a) -> t -> 'a -> 'a
 (** Fold over all multi-edges [(v, types, v')] in [Out] orientation. *)
 
+(** {1 Snapshot decomposition}
+
+    The out-adjacency plus the per-vertex attribute sets determine the
+    whole structure; the in-adjacency and all counts are derived.
+    [export]/[import] expose exactly that minimal representation for the
+    index-snapshot codec. *)
+
+val export : t -> (vertex * edge_type array) array array * attribute array array
+(** [(out_adj, attrs)]: element [v] of [out_adj] lists [(v', types)]
+    sorted by neighbour; element [v] of [attrs] is the sorted attribute
+    set of [v]. The returned arrays alias the graph's internals — treat
+    them as read-only. *)
+
+val import :
+  out_adj:(vertex * edge_type array) array array ->
+  attrs:attribute array array ->
+  t
+(** Rebuild a graph from {!export}ed parts, deriving the in-adjacency
+    (deterministically: each in-list sorted by source vertex) and the
+    counts. @raise Invalid_argument on malformed input (neighbour out of
+    range, unsorted adjacency or type sets, empty multi-edge). *)
+
 val pp_stats : Format.formatter -> t -> unit

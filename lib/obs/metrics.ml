@@ -1,7 +1,13 @@
-type counter = { c_name : string; c_help : string; mutable value : int }
+type counter = {
+  c_name : string;
+  c_labels : (string * string) list;
+  c_help : string;
+  mutable value : int;
+}
 
 type histogram = {
   h_name : string;
+  h_labels : (string * string) list;
   h_help : string;
   bounds : float array;  (* sorted upper bounds, +Inf implicit *)
   buckets : int array;  (* per-bound raw counts; last slot is +Inf *)
@@ -23,14 +29,42 @@ let register t name metric =
   Hashtbl.add t.tbl name metric;
   t.order <- name :: t.order
 
-let counter ?(help = "") t name =
-  match Hashtbl.find_opt t.tbl name with
+(* Prometheus label escaping: backslash, double quote and newline. *)
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=%S" k (escape_label_value v))
+             labels)
+      ^ "}"
+
+(* Registry key: the fully keyed sample name, so each label combination
+   is its own metric while sharing the base name for HELP/TYPE. *)
+let keyed name labels = name ^ render_labels labels
+
+let counter ?(help = "") ?(labels = []) t name =
+  let key = keyed name labels in
+  match Hashtbl.find_opt t.tbl key with
   | Some (Counter c) -> c
   | Some (Histogram _) ->
-      invalid_arg ("Metrics.counter: " ^ name ^ " is a histogram")
+      invalid_arg ("Metrics.counter: " ^ key ^ " is a histogram")
   | None ->
-      let c = { c_name = name; c_help = help; value = 0 } in
-      register t name (Counter c);
+      let c = { c_name = name; c_labels = labels; c_help = help; value = 0 } in
+      register t key (Counter c);
       c
 
 let incr c = c.value <- c.value + 1
@@ -43,15 +77,18 @@ let log_buckets ~lo ~ratio ~count =
 
 let default_latency_buckets = log_buckets ~lo:1e-5 ~ratio:2.0 ~count:18
 
-let histogram ?(help = "") ?(buckets = default_latency_buckets) t name =
-  match Hashtbl.find_opt t.tbl name with
+let histogram ?(help = "") ?(labels = []) ?(buckets = default_latency_buckets)
+    t name =
+  let key = keyed name labels in
+  match Hashtbl.find_opt t.tbl key with
   | Some (Histogram h) -> h
   | Some (Counter _) ->
-      invalid_arg ("Metrics.histogram: " ^ name ^ " is a counter")
+      invalid_arg ("Metrics.histogram: " ^ key ^ " is a counter")
   | None ->
       let h =
         {
           h_name = name;
+          h_labels = labels;
           h_help = help;
           bounds = Array.copy buckets;
           buckets = Array.make (Array.length buckets + 1) 0;
@@ -59,7 +96,7 @@ let histogram ?(help = "") ?(buckets = default_latency_buckets) t name =
           count = 0;
         }
       in
-      register t name (Histogram h);
+      register t key (Histogram h);
       h
 
 let bucket_index h v =
@@ -98,29 +135,38 @@ let prom_float v =
 
 let render_prometheus t =
   let buf = Buffer.create 1024 in
+  (* HELP/TYPE are per metric family: emit them once per base name even
+     when several label combinations share it. *)
+  let described = Hashtbl.create 16 in
+  let describe name kind help =
+    if not (Hashtbl.mem described name) then begin
+      Hashtbl.add described name ();
+      if help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
   List.iter
     (function
       | Counter c ->
-          if c.c_help <> "" then
-            Buffer.add_string buf
-              (Printf.sprintf "# HELP %s %s\n" c.c_name c.c_help);
-          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" c.c_name);
-          Buffer.add_string buf (Printf.sprintf "%s %d\n" c.c_name c.value)
-      | Histogram h ->
-          if h.h_help <> "" then
-            Buffer.add_string buf
-              (Printf.sprintf "# HELP %s %s\n" h.h_name h.h_help);
+          describe c.c_name "counter" c.c_help;
           Buffer.add_string buf
-            (Printf.sprintf "# TYPE %s histogram\n" h.h_name);
+            (Printf.sprintf "%s%s %d\n" c.c_name (render_labels c.c_labels)
+               c.value)
+      | Histogram h ->
+          describe h.h_name "histogram" h.h_help;
+          let labels = render_labels h.h_labels in
           Array.iter
             (fun (le, n) ->
               Buffer.add_string buf
-                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" h.h_name
-                   (prom_float le) n))
+                (Printf.sprintf "%s_bucket%s %d\n" h.h_name
+                   (render_labels (h.h_labels @ [ ("le", prom_float le) ]))
+                   n))
             (bucket_counts h);
           Buffer.add_string buf
-            (Printf.sprintf "%s_sum %.12g\n" h.h_name h.sum);
-          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" h.h_name h.count))
+            (Printf.sprintf "%s_sum%s %.12g\n" h.h_name labels h.sum);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" h.h_name labels h.count))
     (metrics_in_order t);
   Buffer.contents buf
 
@@ -138,12 +184,14 @@ let render_json t =
       match m with
       | Counter c ->
           Buffer.add_string buf
-            (Printf.sprintf {|"%s":{"type":"counter","value":%d}|} c.c_name
+            (Printf.sprintf {|"%s":{"type":"counter","value":%d}|}
+               (String.escaped (keyed c.c_name c.c_labels))
                c.value)
       | Histogram h ->
           Buffer.add_string buf
             (Printf.sprintf {|"%s":{"type":"histogram","count":%d,"sum":%s,"buckets":[|}
-               h.h_name h.count (json_float h.sum));
+               (String.escaped (keyed h.h_name h.h_labels))
+               h.count (json_float h.sum));
           Array.iteri
             (fun i (le, n) ->
               if i > 0 then Buffer.add_char buf ',';

@@ -24,9 +24,14 @@ val default : t
 
 type counter
 
-val counter : ?help:string -> t -> string -> counter
-(** Register (or look up) a counter. @raise Invalid_argument if the name
-    is already registered as a histogram. *)
+val counter :
+  ?help:string -> ?labels:(string * string) list -> t -> string -> counter
+(** Register (or look up) a counter. [labels] (default none) key the
+    sample: each distinct label combination under one base name is its
+    own counter, rendered Prometheus-style as [name{k="v",…}] while
+    sharing a single [# HELP]/[# TYPE] family header. @raise
+    Invalid_argument if the keyed name is already registered as a
+    histogram. *)
 
 val incr : counter -> unit
 val add : counter -> int -> unit
@@ -47,11 +52,18 @@ val log_buckets : lo:float -> ratio:float -> count:int -> float array
 val default_latency_buckets : float array
 (** 18 buckets from 10 µs to ~1.3 s, ratio 2 (seconds). *)
 
-val histogram : ?help:string -> ?buckets:float array -> t -> string -> histogram
-(** Register (or look up) a histogram. [buckets] (sorted upper bounds,
-    exclusive of the implicit [+Inf]) defaults to
-    {!default_latency_buckets}; it is fixed at first registration.
-    @raise Invalid_argument on a name/type clash. *)
+val histogram :
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?buckets:float array ->
+  t ->
+  string ->
+  histogram
+(** Register (or look up) a histogram. [labels] behave as for
+    {!counter}; on [_bucket] samples they are merged with the [le]
+    label. [buckets] (sorted upper bounds, exclusive of the implicit
+    [+Inf]) defaults to {!default_latency_buckets}; it is fixed at first
+    registration. @raise Invalid_argument on a name/type clash. *)
 
 val observe : histogram -> float -> unit
 
@@ -71,7 +83,8 @@ val render_prometheus : t -> string
     series per histogram. *)
 
 val render_json : t -> string
-(** One JSON object keyed by metric name:
+(** One JSON object keyed by metric name (labeled metrics by the full
+    keyed name, e.g. ["name{k=\"v\"}"]):
     [{"name":{"type":"counter","value":n}}] and
     [{"name":{"type":"histogram","count":n,"sum":s,"buckets":[{"le":b,"count":n},…]}}]. *)
 

@@ -4,20 +4,68 @@ type node = {
   mutable values : int list;  (* values whose word terminates here *)
 }
 
+(* A per-symbol inverted list: [sorted] is the authoritative sorted
+   duplicate-free array once materialized; [items] holds only the values
+   added since (pending, unsorted). The full contents are always
+   [items ∪ sorted] — letting the snapshot decoder install a decoded
+   array directly, with no list mirror. *)
 type inverted = {
   mutable items : int list;
-  mutable sorted : int array option;  (* cache, materialized by prepare *)
+  mutable sorted : int array option;
 }
 
 type t = {
   mutable roots : node list;  (* sorted by increasing label *)
-  by_symbol : (int, inverted) Hashtbl.t;
+  (* Per-symbol inverted lists as two parallel arrays: the sorted
+     distinct symbols in [sym_keys.(0 .. sym_count - 1)] and the
+     matching lists in [sym_vals]. A vertex-neighbourhood trie holds a
+     handful of symbols, so a binary search beats hashing and an empty
+     trie costs two empty arrays — a hash table here is 176+ bytes per
+     trie, paid once per vertex per direction. Capacity doubles on
+     growth; slots past [sym_count] are junk. *)
+  mutable sym_keys : int array;
+  mutable sym_vals : inverted array;
+  mutable sym_count : int;
   mutable cardinal : int;
   mutable frozen : bool;  (* caches materialized, reads are pure *)
 }
 
 let create () =
-  { roots = []; by_symbol = Hashtbl.create 16; cardinal = 0; frozen = false }
+  {
+    roots = [];
+    sym_keys = [||];
+    sym_vals = [||];
+    sym_count = 0;
+    cardinal = 0;
+    frozen = false;
+  }
+
+(* Index of [s] among the live symbol slots, or the insertion point
+   encoded as [-(i + 1)] when absent. *)
+let find_slot t s =
+  let lo = ref 0 and hi = ref t.sym_count in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if Array.unsafe_get t.sym_keys mid < s then lo := mid + 1 else hi := mid
+  done;
+  if !lo < t.sym_count && t.sym_keys.(!lo) = s then !lo else - (!lo + 1)
+
+let insert_symbol t i s l =
+  let n = t.sym_count in
+  if n = Array.length t.sym_keys then begin
+    let cap = if n = 0 then 4 else 2 * n in
+    let ks = Array.make cap 0 in
+    let vs = Array.make cap l in
+    Array.blit t.sym_keys 0 ks 0 n;
+    Array.blit t.sym_vals 0 vs 0 n;
+    t.sym_keys <- ks;
+    t.sym_vals <- vs
+  end;
+  Array.blit t.sym_keys i t.sym_keys (i + 1) (n - i);
+  Array.blit t.sym_vals i t.sym_vals (i + 1) (n - i);
+  t.sym_keys.(i) <- s;
+  t.sym_vals.(i) <- l;
+  t.sym_count <- n + 1
 
 (* Find or create the child with [label] in a sorted sibling list. *)
 let rec locate siblings label =
@@ -52,15 +100,15 @@ let add t word value =
       siblings := n.children;
       (* Per-symbol inverted list. *)
       let lst =
-        match Hashtbl.find_opt t.by_symbol symbol with
-        | Some l -> l
-        | None ->
-            let l = { items = []; sorted = None } in
-            Hashtbl.add t.by_symbol symbol l;
-            l
+        let i = find_slot t symbol in
+        if i >= 0 then t.sym_vals.(i)
+        else begin
+          let l = { items = []; sorted = None } in
+          insert_symbol t (- i - 1) symbol l;
+          l
+        end
       in
-      lst.items <- value :: lst.items;
-      lst.sorted <- None)
+      lst.items <- value :: lst.items)
     word;
   (match !node with
   | None -> assert false
@@ -112,24 +160,161 @@ let supersets t query =
    filling the cache, so probing is safe from several domains at any
    time — only {!prepare} (single-threaded, at index-build time)
    materializes the caches. *)
+let inverted_contents l =
+  match (l.sorted, l.items) with
+  | Some a, [] -> a
+  | None, items -> Mgraph.Sorted_ints.of_list items
+  | Some a, items ->
+      Mgraph.Sorted_ints.of_list (List.rev_append items (Array.to_list a))
+
 let with_symbol t s =
-  match Hashtbl.find_opt t.by_symbol s with
-  | None -> [||]
-  | Some l -> (
-      match l.sorted with
-      | Some a -> a
-      | None -> Mgraph.Sorted_ints.of_list l.items)
+  let i = find_slot t s in
+  if i >= 0 then inverted_contents t.sym_vals.(i) else [||]
 
 let prepare t =
-  Hashtbl.iter
-    (fun _ l ->
-      match l.sorted with
-      | Some _ -> ()
-      | None -> l.sorted <- Some (Mgraph.Sorted_ints.of_list l.items))
-    t.by_symbol;
+  for i = 0 to t.sym_count - 1 do
+    let l = t.sym_vals.(i) in
+    match (l.sorted, l.items) with
+    | Some _, [] -> ()
+    | _ ->
+        l.sorted <- Some (inverted_contents l);
+        l.items <- []
+  done;
   t.frozen <- true
 
 let prepared t = t.frozen
+
+(* Snapshot codec. The trie is flattened post-order (children before
+   their parent, siblings in increasing label order), so the decoder
+   rebuilds it with a single stack and no recursion. Terminal values and
+   inverted lists are written sorted and duplicate-free — delta-coded as
+   first element then gaps minus one, so sortedness is structural and
+   most gaps fit one byte — making the encoding canonical: two tries
+   holding the same (word, value) set encode to the same bytes
+   regardless of insertion history. Integer framing is delegated to
+   [write_int]/[read_int] callbacks so this library stays
+   dependency-free. *)
+let write_sorted buf write_int a =
+  let n = Array.length a in
+  write_int buf n;
+  if n > 0 then begin
+    write_int buf a.(0);
+    for i = 1 to n - 1 do
+      write_int buf (a.(i) - a.(i - 1) - 1)
+    done
+  end
+
+let encode buf ~write_int t =
+  write_int buf t.cardinal;
+  let node_count =
+    let rec count n acc = List.fold_left (fun a c -> count c a) (acc + 1) n.children in
+    List.fold_left (fun a r -> count r a) 0 t.roots
+  in
+  write_int buf node_count;
+  let rec emit n =
+    List.iter emit n.children;
+    write_int buf n.label;
+    write_sorted buf write_int (Mgraph.Sorted_ints.of_list n.values);
+    write_int buf (List.length n.children)
+  in
+  List.iter emit t.roots;
+  write_int buf (List.length t.roots);
+  (* [sym_keys] is already sorted and distinct. *)
+  write_int buf t.sym_count;
+  for i = 0 to t.sym_count - 1 do
+    write_int buf t.sym_keys.(i);
+    write_sorted buf write_int (inverted_contents t.sym_vals.(i))
+  done
+
+let decode src pos ~read_int =
+  let fail msg = failwith ("Otil.decode: " ^ msg) in
+  (* Delta-coded: first element, then gaps minus one. Strict ascent is
+     structural — gaps are non-negative by the integer codec's contract
+     (the snapshot passes an unsigned varint reader). *)
+  let read_sorted_array () =
+    let len = read_int src pos in
+    if len < 0 then fail "negative length";
+    if len = 0 then [||]
+    else begin
+      let a = Array.make len (read_int src pos) in
+      for i = 1 to len - 1 do
+        a.(i) <- a.(i - 1) + 1 + read_int src pos
+      done;
+      a
+    end
+  in
+  (* As [read_sorted_array], but straight into the list the node holds —
+     no intermediate array, and no [List.rev]: a node's [values] order is
+     unspecified (every consumer sorts or treats it as a set). *)
+  let read_sorted_list () =
+    let len = read_int src pos in
+    if len < 0 then fail "negative length";
+    let rec go i prev acc =
+      if i >= len then acc
+      else begin
+        let v = prev + 1 + read_int src pos in
+        go (i + 1) v (v :: acc)
+      end
+    in
+    if len = 0 then []
+    else
+      let v0 = read_int src pos in
+      go 1 v0 [ v0 ]
+  in
+  let cardinal = read_int src pos in
+  let node_count = read_int src pos in
+  if cardinal < 0 || node_count < 0 then fail "negative count";
+  let stack = ref [] in
+  let depth = ref 0 in
+  for _ = 1 to node_count do
+    let label = read_int src pos in
+    let values = read_sorted_list () in
+    let nchildren = read_int src pos in
+    if nchildren < 0 || nchildren > !depth then fail "bad child count";
+    (* Popping yields the last-emitted (highest-label) child first;
+       consing restores increasing label order. *)
+    let children = ref [] in
+    for _ = 1 to nchildren do
+      match !stack with
+      | c :: rest ->
+          (match !children with
+          | top :: _ when c.label >= top.label -> fail "children not sorted"
+          | _ -> ());
+          children := c :: !children;
+          stack := rest;
+          decr depth
+      | [] -> fail "bad child count"
+    done;
+    stack := { label; children = !children; values } :: !stack;
+    incr depth
+  done;
+  let root_count = read_int src pos in
+  if root_count <> !depth then fail "bad root count";
+  let roots = List.rev !stack in
+  (match roots with
+  | r0 :: rest ->
+      ignore
+        (List.fold_left
+           (fun prev r ->
+             if r.label <= prev then fail "roots not sorted";
+             r.label)
+           r0.label rest)
+  | [] -> ());
+  let symbol_count = read_int src pos in
+  if symbol_count < 0 then fail "negative count";
+  let sym_keys = Array.make symbol_count 0 in
+  (* The [Array.make] dummy is shared across slots; the loop below
+     overwrites every one with a fresh record. *)
+  let sym_vals = Array.make symbol_count { items = []; sorted = None } in
+  let last_symbol = ref min_int in
+  for i = 0 to symbol_count - 1 do
+    let s = read_int src pos in
+    if s <= !last_symbol then fail "symbols not sorted";
+    last_symbol := s;
+    sym_keys.(i) <- s;
+    sym_vals.(i) <- { items = []; sorted = Some (read_sorted_array ()) }
+  done;
+  { roots; sym_keys; sym_vals; sym_count = symbol_count; cardinal; frozen = true }
 
 let words t =
   let out = ref [] in

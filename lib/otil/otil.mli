@@ -46,3 +46,19 @@ val prepared : t -> bool
 
 val words : t -> (int array * int array) list
 (** All (word, sorted values) pairs, for tests and debugging. *)
+
+val encode : Buffer.t -> write_int:(Buffer.t -> int -> unit) -> t -> unit
+(** Flattened post-order encoding of the trie plus its per-symbol
+    inverted lists, for index snapshots. All lists are written sorted
+    and duplicate-free, so the bytes are {e canonical}: two tries
+    holding the same (word, value) multiset encode identically whatever
+    the insertion order. Integers are framed by [write_int] (the
+    snapshot format passes a varint writer) — this library takes no
+    serialization dependency. *)
+
+val decode : string -> int ref -> read_int:(string -> int ref -> int) -> t
+(** Inverse of {!encode}, reading at [!pos] and advancing it. The
+    decoded trie is returned already {!prepare}d (frozen, caches
+    materialized). @raise Failure on structurally malformed input
+    (unsorted lists, bad child/root counts); whatever [read_int] raises
+    on framing errors passes through. *)

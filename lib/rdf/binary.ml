@@ -6,7 +6,10 @@ let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
 module Varint = struct
   (* LEB128, unsigned. OCaml ints are non-negative here (lengths and
-     dictionary indexes). *)
+     dictionary indexes). The reader is strict: non-minimal encodings
+     (a redundant trailing 0x00 group) and encodings overflowing the
+     63-bit int range raise [Corrupt], so a flipped continuation bit
+     cannot silently decode to a different value. *)
   let write buf n =
     if n < 0 then invalid_arg "Binary.Varint.write: negative";
     let rec loop n =
@@ -18,17 +21,125 @@ module Varint = struct
     in
     loop n
 
+  let rec read_slow src pos shift acc =
+    if !pos >= String.length src then corrupt "truncated varint";
+    if shift > 56 then corrupt "varint overflow";
+    let byte = Char.code (String.unsafe_get src !pos) in
+    incr pos;
+    if byte land 0x80 = 0 then begin
+      if byte = 0 && shift > 0 then corrupt "non-minimal varint";
+      (* The group at shift 56 may only fill bits 56..61: bit 62 is
+         the sign bit of a 63-bit OCaml int. *)
+      if shift = 56 && byte > 0x3F then corrupt "varint overflow";
+      acc lor (byte lsl shift)
+    end
+    else read_slow src pos (shift + 7) (acc lor ((byte land 0x7F) lsl shift))
+
+  (* Single-byte fast path: the overwhelmingly common case in the index
+     snapshots (labels, degrees, small ids). *)
   let read src pos =
-    let rec loop shift acc =
-      if !pos >= String.length src then corrupt "truncated varint";
-      if shift > 56 then corrupt "varint overflow";
-      let byte = Char.code src.[!pos] in
-      incr pos;
-      let acc = acc lor ((byte land 0x7F) lsl shift) in
-      if byte land 0x80 = 0 then acc else loop (shift + 7) acc
+    let p = !pos in
+    if p < String.length src then begin
+      let byte = Char.code (String.unsafe_get src p) in
+      if byte land 0x80 = 0 then begin
+        pos := p + 1;
+        byte
+      end
+      else read_slow src pos 0 0
+    end
+    else corrupt "truncated varint"
+
+  (* Signed values (R-tree coordinates can be negative) use the zigzag
+     mapping n -> (n << 1) XOR (n >> 62) over the full 63-bit pattern,
+     so small magnitudes of either sign stay short. *)
+  let write_signed buf n =
+    let rec loop u =
+      if u land lnot 0x7F = 0 then Buffer.add_char buf (Char.chr u)
+      else begin
+        Buffer.add_char buf (Char.chr (0x80 lor (u land 0x7F)));
+        loop (u lsr 7)
+      end
     in
-    loop 0 0
+    loop ((n lsl 1) lxor (n asr 62))
+
+  (* Like [read_slow], but the final group at shift 56 may use all 7
+     bits: the zigzag pattern fills the full 63-bit word (bit 62 is
+     data, not a sign bit to protect). *)
+  let rec read_signed_slow src pos shift acc =
+    if !pos >= String.length src then corrupt "truncated varint";
+    if shift > 56 then corrupt "varint overflow";
+    let byte = Char.code (String.unsafe_get src !pos) in
+    incr pos;
+    if byte land 0x80 = 0 then begin
+      if byte = 0 && shift > 0 then corrupt "non-minimal varint";
+      acc lor (byte lsl shift)
+    end
+    else read_signed_slow src pos (shift + 7) (acc lor ((byte land 0x7F) lsl shift))
+
+  let read_signed src pos =
+    let p = !pos in
+    let u =
+      if p < String.length src then begin
+        let byte = Char.code (String.unsafe_get src p) in
+        if byte land 0x80 = 0 then begin
+          pos := p + 1;
+          byte
+        end
+        else read_signed_slow src pos 0 0
+      end
+      else corrupt "truncated varint"
+    in
+    (u lsr 1) lxor (- (u land 1))
 end
+
+(* CRC-32 (IEEE 802.3, reflected), table driven — guards snapshot
+   sections against the corruption the varint reader alone cannot see.
+   Slicing-by-4: four derived tables let the hot loop fold one 32-bit
+   word per iteration instead of one byte. *)
+let crc_tables =
+  lazy
+    (let t0 =
+       Array.init 256 (fun n ->
+           let c = ref n in
+           for _ = 0 to 7 do
+             c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+           done;
+           !c)
+     in
+     let next t = Array.map (fun c -> t0.(c land 0xFF) lxor (c lsr 8)) t in
+     let t1 = next t0 in
+     let t2 = next t1 in
+     let t3 = next t2 in
+     (t0, t1, t2, t3))
+
+let crc32 ?(off = 0) ?len src =
+  let len = match len with Some l -> l | None -> String.length src - off in
+  if off < 0 || len < 0 || off + len > String.length src then
+    invalid_arg "Binary.crc32: range out of bounds";
+  let t0, t1, t2, t3 = Lazy.force crc_tables in
+  let c = ref 0xFFFFFFFF in
+  let byte i = Char.code (String.unsafe_get src i) in
+  let i = ref off in
+  let stop4 = off + (len land lnot 3) in
+  while !i < stop4 do
+    let w =
+      byte !i
+      lor (byte (!i + 1) lsl 8)
+      lor (byte (!i + 2) lsl 16)
+      lor (byte (!i + 3) lsl 24)
+    in
+    let x = !c lxor w in
+    c :=
+      t3.(x land 0xFF)
+      lxor t2.((x lsr 8) land 0xFF)
+      lxor t1.((x lsr 16) land 0xFF)
+      lxor t0.((x lsr 24) land 0xFF);
+    i := !i + 4
+  done;
+  for j = !i to off + len - 1 do
+    c := t0.((!c lxor byte j) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
 
 let write_string buf s =
   Varint.write buf (String.length s);

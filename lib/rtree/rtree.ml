@@ -12,9 +12,21 @@ let empty ?(max_entries = default_max) () =
 let mbr_of_entries rects =
   match Array.length rects with
   | 0 -> invalid_arg "Rtree: empty node"
-  | _ ->
+  | 1 -> fst rects.(0)
+  | n ->
+      (* One pair of bound arrays for the whole fold, not a fresh
+         rectangle per entry. *)
       let r0 = fst rects.(0) in
-      Array.fold_left (fun acc (r, _) -> Rect.union acc r) r0 rects
+      let k = Rect.dims r0 in
+      let lo = Array.copy r0.Rect.lo and hi = Array.copy r0.Rect.hi in
+      for idx = 1 to n - 1 do
+        let r = fst rects.(idx) in
+        for i = 0 to k - 1 do
+          if r.Rect.lo.(i) < lo.(i) then lo.(i) <- r.Rect.lo.(i);
+          if r.Rect.hi.(i) > hi.(i) then hi.(i) <- r.Rect.hi.(i)
+        done
+      done;
+      Rect.make ~lo ~hi
 
 let node_mbr = function Leaf es -> mbr_of_entries es | Inner es -> mbr_of_entries es
 
@@ -250,6 +262,68 @@ let to_list t =
     | Inner children -> Array.fold_left (fun acc (_, c) -> go c acc) acc children
   in
   match t.root with None -> [] | Some n -> go n []
+
+(* Snapshot codec. Only the packed structure and the leaf values go to
+   the wire: a leaf entry's rectangle is a function of its value (for
+   the synopsis index, the vertex's stored synopsis) and every inner
+   MBR is the union of its children, so both are recomputed bottom-up
+   on decode. This halves the section and stays canonical — the bytes
+   are determined by the tree shape and values alone. Integers go
+   through a caller-supplied codec, keeping this library
+   dependency-free. *)
+let encode buf ~write_int ~write_value t =
+  write_int buf t.max_entries;
+  write_int buf t.size;
+  let rec write_node = function
+    | Leaf entries ->
+        write_int buf 0;
+        write_int buf (Array.length entries);
+        Array.iter (fun (_, v) -> write_value buf v) entries
+    | Inner children ->
+        write_int buf 1;
+        write_int buf (Array.length children);
+        Array.iter (fun (_, child) -> write_node child) children
+  in
+  match t.root with
+  | None -> write_int buf 0
+  | Some root ->
+      write_int buf 1;
+      write_node root
+
+let decode src pos ~read_int ~read_value ~rect_of_value =
+  let fail msg = failwith ("Rtree.decode: " ^ msg) in
+  let max_entries = read_int src pos in
+  let size = read_int src pos in
+  if max_entries < 4 || size < 0 then fail "bad header";
+  let read_count () =
+    let n = read_int src pos in
+    if n < 1 || n > max_entries then fail "bad node fan-out";
+    n
+  in
+  (* Rebuild geometry as we go: [read_node] returns the node with its
+     MBR so a parent can take unions without a second pass. *)
+  let rec read_node () =
+    match read_int src pos with
+    | 0 ->
+        let n = read_count () in
+        let entries =
+          Array.init n (fun _ ->
+              let v = read_value src pos in
+              (rect_of_value v, v))
+        in
+        (mbr_of_entries entries, Leaf entries)
+    | 1 ->
+        let n = read_count () in
+        let children = Array.init n (fun _ -> read_node ()) in
+        (mbr_of_entries children, Inner children)
+    | _ -> fail "bad node tag"
+  in
+  match read_int src pos with
+  | 0 -> if size = 0 then { root = None; max_entries; size } else fail "bad header"
+  | 1 ->
+      let _, root = read_node () in
+      { root = Some root; max_entries; size }
+  | _ -> fail "bad root tag"
 
 let check_invariants t =
   let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in

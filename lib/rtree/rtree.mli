@@ -39,3 +39,29 @@ val to_list : 'a t -> (Rect.t * 'a) list
 val check_invariants : 'a t -> (unit, string) result
 (** Validate MBR consistency, fan-out bounds and leaf depth uniformity —
     used by the test suite. *)
+
+val encode :
+  Buffer.t ->
+  write_int:(Buffer.t -> int -> unit) ->
+  write_value:(Buffer.t -> 'a -> unit) ->
+  'a t ->
+  unit
+(** Serialize the exact tree structure: node shapes and leaf values
+    only. Rectangles are not written — a leaf rectangle is a function
+    of its value and every inner MBR is the union of its children, so
+    {!decode} recomputes both. The bytes are canonical for a given
+    tree shape and value sequence. *)
+
+val decode :
+  string ->
+  int ref ->
+  read_int:(string -> int ref -> int) ->
+  read_value:(string -> int ref -> 'a) ->
+  rect_of_value:('a -> Rect.t) ->
+  'a t
+(** Inverse of {!encode}, reading at [!pos] and advancing it. Leaf
+    rectangles come from [rect_of_value]; inner MBRs are rebuilt
+    bottom-up as unions, with no second pass.
+    @raise Failure on structurally malformed input (bad tags, fan-out
+    out of bounds) or when [rect_of_value] raises it (unknown value);
+    [read_int]/[read_value] exceptions pass through. *)

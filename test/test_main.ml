@@ -16,6 +16,7 @@ let () =
          Test_obs.suite;
          Test_extended.suite;
          Test_storage.suite;
+         Test_snapshot.suite;
          Test_endpoint.suite;
          Test_order_by.suite;
          Test_forms.suite;

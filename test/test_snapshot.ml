@@ -1,0 +1,284 @@
+(* Index snapshot ("AMBERIX1") tests: save/load round-trips preserve
+   query answers, any single-byte corruption is rejected, truncations and
+   foreign magics are rejected, sequential and parallel builds serialize
+   to identical bytes, and the deserialized R-tree still satisfies its
+   structural invariants. *)
+
+module Reference = Baselines.Reference_eval
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let with_temp_file suffix f =
+  let path = Filename.temp_file "amber_test" suffix in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let canonical engine ast =
+  Reference.canonical_rows (Amber.Engine.query engine ast).Amber.Engine.rows
+
+let snapshot_string engine =
+  Amber.Snapshot.to_string (Amber.Engine.snapshot_contents engine)
+
+(* --- round trips ------------------------------------------------------- *)
+
+let test_roundtrip_fixture () =
+  with_temp_file ".amberix" @@ fun path ->
+  let original = Amber.Engine.build Fixtures.paper_triples in
+  Amber.Engine.save_snapshot original path;
+  checkb "sniffs as snapshot" true (Amber.Snapshot.sniff_file path);
+  let loaded = Amber.Engine.load_snapshot path in
+  let ast = Sparql.Parser.parse Fixtures.paper_query_text in
+  checkb "answers survive the snapshot" true
+    (canonical original ast = canonical loaded ast);
+  checki "two embeddings still" 2
+    (List.length (Amber.Engine.query loaded ast).Amber.Engine.rows);
+  (* A reload of a reloaded engine serializes to the same bytes. *)
+  Alcotest.(check string)
+    "re-encoding is canonical" (snapshot_string original)
+    (snapshot_string loaded)
+
+let test_triple_file_not_snapshot () =
+  with_temp_file ".adb" @@ fun path ->
+  Amber.Engine.save (Amber.Engine.build Fixtures.paper_triples) path;
+  checkb "AMBERDB1 is not an index snapshot" false
+    (Amber.Snapshot.sniff_file path)
+
+(* --- corruption -------------------------------------------------------- *)
+
+let rejects src =
+  match Amber.Snapshot.decode src with
+  | exception Rdf.Binary.Corrupt _ -> true
+  | _ -> false
+
+(* Every single-byte corruption must surface as [Corrupt]: framing
+   errors are caught by the strict varint reader and the section
+   checks, payload errors by the per-section CRC-32. *)
+let test_corrupt_every_byte () =
+  let good = snapshot_string (Amber.Engine.build Fixtures.paper_triples) in
+  checkb "pristine bytes decode" true
+    (match Amber.Snapshot.decode good with
+    | _ -> true
+    | exception Rdf.Binary.Corrupt _ -> false);
+  let bad = ref [] in
+  for i = 0 to String.length good - 1 do
+    let flipped = Bytes.of_string good in
+    Bytes.set flipped i (Char.chr (Char.code good.[i] lxor 0x01));
+    if not (rejects (Bytes.to_string flipped)) then bad := i :: !bad
+  done;
+  checkb
+    (Printf.sprintf "all %d single-byte flips rejected (passing offsets: %s)"
+       (String.length good)
+       (String.concat "," (List.map string_of_int !bad)))
+    true (!bad = [])
+
+let test_corrupt_truncations () =
+  let good = snapshot_string (Amber.Engine.build Fixtures.paper_triples) in
+  let n = String.length good in
+  List.iter
+    (fun k ->
+      checkb
+        (Printf.sprintf "prefix of %d bytes rejected" k)
+        true
+        (rejects (String.sub good 0 k)))
+    [ 0; 1; 7; 12; n / 2; n - 5; n - 1 ];
+  checkb "trailing garbage rejected" true (rejects (good ^ "\x00"))
+
+let test_corrupt_magic () =
+  checkb "empty" true (rejects "");
+  checkb "foreign magic" true (rejects "NOTANIDX\x01\x00");
+  (* The triple-interchange format shares varint conventions but is a
+     different container: each reader must reject the other's magic. *)
+  let buf = Buffer.create 256 in
+  Rdf.Binary.write buf Fixtures.paper_triples;
+  checkb "AMBERDB1 bytes rejected by the snapshot reader" true
+    (rejects (Buffer.contents buf));
+  let snap = snapshot_string (Amber.Engine.build Fixtures.paper_triples) in
+  checkb "AMBERIX1 bytes rejected by the triple reader" true
+    (match Rdf.Binary.read snap ~pos:0 with
+    | exception Rdf.Binary.Corrupt _ -> true
+    | _ -> false)
+
+(* --- parallel build determinism ---------------------------------------- *)
+
+let test_parallel_byte_identical () =
+  let triples = Datagen.Lubm.generate ~universities:1 () in
+  let seq = Amber.Engine.build ~domains:1 triples in
+  let par = Amber.Engine.build ~domains:4 triples in
+  checkb "4-domain build serializes byte-identically to sequential" true
+    (snapshot_string seq = snapshot_string par)
+
+(* Index construction quiesces the pool: parked worker domains would
+   slow every stop-the-world minor collection for the rest of the
+   process. *)
+let test_build_quiesces_pool () =
+  ignore (Amber.Engine.build ~domains:4 Fixtures.paper_triples);
+  checki "no worker domains parked after a parallel build" 0
+    (Amber.Domain_pool.workers (Amber.Domain_pool.global ()))
+
+(* --- randomized differential property ---------------------------------- *)
+
+(* Random small multigraph in the common fragment; independent of the
+   differential suite's generator (different salt and shape mix) so the
+   two suites do not share blind spots. *)
+let random_triples seed =
+  let rng = Datagen.Prng.create (0x51a9 + seed) in
+  let n = 8 + Datagen.Prng.int rng 16 in
+  let e i = Printf.sprintf "http://s/e%d" i in
+  let p i = Printf.sprintf "http://s/p%d" i in
+  let triples = ref [] in
+  for _ = 1 to 25 + Datagen.Prng.int rng 55 do
+    triples :=
+      Rdf.Triple.spo
+        (e (Datagen.Prng.int rng n))
+        (p (Datagen.Prng.int rng 5))
+        (Rdf.Term.iri (e (Datagen.Prng.int rng n)))
+      :: !triples
+  done;
+  for v = 0 to n - 1 do
+    if Datagen.Prng.bool rng 0.4 then
+      triples :=
+        Rdf.Triple.spo (e v) "http://s/name"
+          (Rdf.Term.literal (Printf.sprintf "n%d" (Datagen.Prng.int rng 4)))
+        :: !triples
+  done;
+  !triples
+
+let queries_for seed triples =
+  let corpus = Datagen.Workload.corpus triples in
+  Datagen.Workload.generate ~seed corpus ~shape:Datagen.Workload.Star ~size:3
+    ~count:2
+  @ Datagen.Workload.generate ~seed:(seed + 900) corpus
+      ~shape:Datagen.Workload.Complex ~size:4 ~count:2
+
+let prop_snapshot_differential =
+  QCheck.Test.make
+    ~name:"snapshot-loaded engine = fresh engine = oracle on random graphs"
+    ~count:30
+    (QCheck.make
+       ~print:(fun seed ->
+         Printf.sprintf "seed %d (%d triples)" seed
+           (List.length (random_triples seed)))
+       ~shrink:QCheck.Shrink.int
+       QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let triples = random_triples seed in
+      let fresh = Amber.Engine.build triples in
+      with_temp_file ".amberix" @@ fun path ->
+      Amber.Engine.save_snapshot fresh path;
+      let loaded = Amber.Engine.load_snapshot path in
+      (match
+         Rtree.check_invariants
+           (let _, _, tree =
+              Amber.Synopsis_index.export (Amber.Engine.synopsis_index loaded)
+            in
+            tree)
+       with
+      | Ok () -> ()
+      | Error msg ->
+          QCheck.Test.fail_reportf
+            "seed %d: deserialized R-tree violates invariants: %s" seed msg);
+      List.for_all
+        (fun ast ->
+          let expected = Reference.canonical_answer triples ast in
+          let got = canonical loaded ast in
+          if got <> expected then
+            QCheck.Test.fail_reportf
+              "seed %d: snapshot-loaded engine disagrees with oracle (%d vs \
+               %d rows) on:@.%s"
+              seed (List.length got) (List.length expected)
+              (Sparql.Ast.to_string ast)
+          else if got <> canonical fresh ast then
+            QCheck.Test.fail_reportf
+              "seed %d: snapshot-loaded engine disagrees with the fresh \
+               engine on:@.%s"
+              seed (Sparql.Ast.to_string ast)
+          else true)
+        (queries_for seed triples))
+
+(* --- endpoint cold start ------------------------------------------------ *)
+
+let test_endpoint_boot () =
+  with_temp_file ".amberix" @@ fun path ->
+  Amber.Engine.save_snapshot (Amber.Engine.build Fixtures.paper_triples) path;
+  let server =
+    Endpoint.boot
+      { Endpoint.default_config with snapshot = Some path; port = 0 }
+  in
+  let port = Endpoint.bound_port server in
+  checkb "bound an ephemeral port" true (port > 0);
+  let server_domain =
+    Domain.spawn (fun () -> Endpoint.serve ~max_requests:1 server)
+  in
+  let encode s =
+    let buf = Buffer.create (String.length s * 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' | '~' ->
+            Buffer.add_char buf c
+        | c -> Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c)))
+      s;
+    Buffer.contents buf
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let request =
+    Printf.sprintf "GET /sparql?query=%s HTTP/1.1\r\nHost: localhost\r\n\r\n"
+      (encode Fixtures.paper_query_text)
+  in
+  let _ = Unix.write fd (Bytes.of_string request) 0 (String.length request) in
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec drain () =
+    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+    end
+  in
+  drain ();
+  Unix.close fd;
+  Domain.join server_domain;
+  Endpoint.stop server;
+  let response = Buffer.contents buf in
+  let contains needle =
+    let n = String.length needle and h = String.length response in
+    let rec loop i =
+      i + n <= h && (String.sub response i n = needle || loop (i + 1))
+    in
+    loop 0
+  in
+  checkb "booted server answers" true (contains "HTTP/1.1 200 OK");
+  checkb "with real bindings" true (contains "Amy_Winehouse")
+
+let test_boot_requires_snapshot () =
+  match Endpoint.boot { Endpoint.default_config with snapshot = None } with
+  | exception Invalid_argument _ -> ()
+  | server ->
+      Endpoint.stop server;
+      Alcotest.fail "boot without a snapshot path must raise Invalid_argument"
+
+let suite =
+  [
+    ( "snapshot",
+      [
+        Alcotest.test_case "fixture roundtrip" `Quick test_roundtrip_fixture;
+        Alcotest.test_case "sniffing" `Quick test_triple_file_not_snapshot;
+        Alcotest.test_case "every byte flip rejected" `Quick
+          test_corrupt_every_byte;
+        Alcotest.test_case "truncations rejected" `Quick
+          test_corrupt_truncations;
+        Alcotest.test_case "foreign magics rejected" `Quick test_corrupt_magic;
+        Alcotest.test_case "parallel build byte-identical" `Quick
+          test_parallel_byte_identical;
+        Alcotest.test_case "parallel build quiesces pool" `Quick
+          test_build_quiesces_pool;
+        QCheck_alcotest.to_alcotest prop_snapshot_differential;
+        Alcotest.test_case "endpoint boots from snapshot" `Quick
+          test_endpoint_boot;
+        Alcotest.test_case "boot requires a snapshot path" `Quick
+          test_boot_requires_snapshot;
+      ] );
+  ]

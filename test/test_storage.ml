@@ -29,6 +29,71 @@ let test_varint_corrupt () =
     (Invalid_argument "Binary.Varint.write: negative") (fun () ->
       Rdf.Binary.Varint.write (Buffer.create 4) (-1))
 
+let corrupt_varint src =
+  match Rdf.Binary.Varint.read src (ref 0) with
+  | exception Rdf.Binary.Corrupt _ -> true
+  | _ -> false
+
+let test_varint_edges () =
+  let roundtrip n =
+    let buf = Buffer.create 10 in
+    Rdf.Binary.Varint.write buf n;
+    let pos = ref 0 in
+    checki (Printf.sprintf "roundtrip %d" n) n
+      (Rdf.Binary.Varint.read (Buffer.contents buf) pos);
+    checki "consumed exactly" (Buffer.length buf) !pos
+  in
+  roundtrip 0;
+  roundtrip 1;
+  roundtrip max_int;
+  (* max_int = 2^62 - 1 fills nine groups: eight continued, final 0x3F. *)
+  let buf = Buffer.create 10 in
+  Rdf.Binary.Varint.write buf max_int;
+  checki "max_int is nine bytes" 9 (Buffer.length buf);
+  (* Truncated buffers: continuation bit promised more. *)
+  checkb "empty" true (corrupt_varint "");
+  checkb "lone continuation byte" true (corrupt_varint "\x80");
+  checkb "cut mid-sequence" true (corrupt_varint "\xFF\xFF\xFF");
+  (* Non-minimal encodings: a redundant trailing zero group must not
+     silently decode to the same value. *)
+  checkb "0 padded to two bytes" true (corrupt_varint "\x80\x00");
+  checkb "1 padded to two bytes" true (corrupt_varint "\x81\x00");
+  checkb "127 padded" true (corrupt_varint "\xFF\x00");
+  (* Overflow past the 63-bit int range. *)
+  checkb "ten-group encoding" true
+    (corrupt_varint "\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\x7F");
+  checkb "bit 62 set in final group" true
+    (corrupt_varint "\x80\x80\x80\x80\x80\x80\x80\x80\x40")
+
+let test_varint_signed () =
+  let roundtrip n =
+    let buf = Buffer.create 10 in
+    Rdf.Binary.Varint.write_signed buf n;
+    let pos = ref 0 in
+    checki (Printf.sprintf "signed roundtrip %d" n) n
+      (Rdf.Binary.Varint.read_signed (Buffer.contents buf) pos);
+    checki "consumed exactly" (Buffer.length buf) !pos
+  in
+  List.iter roundtrip
+    [ 0; 1; -1; 63; -64; 64; -65; 1_000_000; -1_000_000; max_int; min_int ];
+  (* Zigzag keeps small magnitudes short regardless of sign. *)
+  let len n =
+    let buf = Buffer.create 10 in
+    Rdf.Binary.Varint.write_signed buf n;
+    Buffer.length buf
+  in
+  checki "-64 fits one byte" 1 (len (-64));
+  checki "64 needs two" 2 (len 64);
+  let corrupt src =
+    match Rdf.Binary.Varint.read_signed src (ref 0) with
+    | exception Rdf.Binary.Corrupt _ -> true
+    | _ -> false
+  in
+  checkb "signed truncation" true (corrupt "\x80");
+  checkb "signed non-minimal" true (corrupt "\x80\x00");
+  checkb "signed ten-group overflow" true
+    (corrupt "\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\xFF\x7F")
+
 (* --- binary triples ------------------------------------------------------ *)
 
 let test_binary_roundtrip_fixture () =
@@ -201,6 +266,8 @@ let suite =
       [
         Alcotest.test_case "varint roundtrip" `Quick test_varint_roundtrip;
         Alcotest.test_case "varint corrupt" `Quick test_varint_corrupt;
+        Alcotest.test_case "varint edge cases" `Quick test_varint_edges;
+        Alcotest.test_case "signed varint edge cases" `Quick test_varint_signed;
         Alcotest.test_case "fixture roundtrip" `Quick test_binary_roundtrip_fixture;
         Alcotest.test_case "file roundtrip + compactness" `Quick test_binary_file_roundtrip;
         Alcotest.test_case "corrupt inputs" `Quick test_binary_corrupt_inputs;
