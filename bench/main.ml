@@ -44,7 +44,7 @@ let usage () =
              [--json FILE]
 
   ids: table1 table4 table5 fig6..fig11 ablation profile kernels parallel
-       build (comma separated)
+       build analysis (comma separated)
   --quick: small preset (scale 0.04, 5 queries/point, sizes 10,20,30)
   --json:  also write a machine-readable report (summaries with
            p95/p99, per-phase breakdowns, metrics registry) to FILE|};
@@ -966,6 +966,125 @@ let bench_build cfg ds =
        speedup_nt speedup_adb !compared !mismatches)
 
 (* ------------------------------------------------------------------ *)
+(* Static analysis: screening cost and UNSAT short-circuit payoff;     *)
+(* --only analysis                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let bench_analysis cfg ds =
+  section
+    (Printf.sprintf
+       "Static analysis: screening cost and UNSAT short-circuit on %s"
+       ds.ds_name);
+  let engine = Amber.Engine.build (Lazy.force ds.triples) in
+  let workload =
+    Datagen.Workload.generate ~seed:(cfg.seed + 61) (Lazy.force ds.corpus)
+      ~shape:Datagen.Workload.Star ~size:20 ~count:cfg.queries_per_point
+    @ Datagen.Workload.generate ~seed:(cfg.seed + 62) (Lazy.force ds.corpus)
+        ~shape:Datagen.Workload.Complex ~size:30 ~count:cfg.queries_per_point
+  in
+  (* UNSAT variants: one predicate rewritten to an IRI absent from the
+     data — every query becomes provably empty before matching starts. *)
+  let poison ast =
+    match ast.Sparql.Ast.where with
+    | first :: rest ->
+        {
+          ast with
+          Sparql.Ast.where =
+            {
+              first with
+              Sparql.Ast.predicate =
+                Sparql.Ast.Iri "http://amber.invalid/no-such-predicate";
+            }
+            :: rest;
+        }
+    | [] -> ast
+  in
+  let unsat_workload = List.map poison workload in
+  let time_pass f queries =
+    let times = ref [] and un = ref 0 in
+    List.iter
+      (fun ast ->
+        match Bench_util.Runner.time (fun () -> ignore (Sys.opaque_identity (f ast))) with
+        | dt, () -> times := dt :: !times
+        | exception Amber.Deadline.Expired -> incr un)
+      queries;
+    (Bench_util.Stats.mean !times, List.length !times, !un)
+  in
+  (* (a) the analyzer alone, and what it reports on both workloads. *)
+  let a_mean, _, _ =
+    time_pass (fun ast -> Amber.Engine.analyze engine ast) workload
+  in
+  let count queries =
+    let reports = List.map (Amber.Engine.analyze engine) queries in
+    ( List.length
+        (List.filter (fun r -> Amber.Analysis.unsat_proof r <> None) reports),
+      List.fold_left
+        (fun n r -> n + List.length (Amber.Analysis.warnings r))
+        0 reports )
+  in
+  let sat_unsats, sat_warnings = count workload in
+  let poi_unsats, _ = count unsat_workload in
+  (* (b) whole queries: the screen's overhead on satisfiable queries and
+     its payoff on provably empty ones. *)
+  let run_queries ~analyze queries =
+    time_pass
+      (fun ast ->
+        Amber.Engine.query ~analyze ~timeout:cfg.timeout ~limit:cfg.row_limit
+          engine ast)
+      queries
+  in
+  let on_mean, on_n, on_un = run_queries ~analyze:true workload in
+  let off_mean, _, _ = run_queries ~analyze:false workload in
+  let sc_mean, _, _ = run_queries ~analyze:true unsat_workload in
+  let full_mean, full_n, full_un = run_queries ~analyze:false unsat_workload in
+  Bench_util.Table_fmt.print
+    ~header:[ "pass"; "n"; "mean (ms)"; "detail" ]
+    [
+      [
+        "analyze only";
+        string_of_int (List.length workload);
+        Bench_util.Table_fmt.ms a_mean;
+        Printf.sprintf "%d unsat, %d warnings" sat_unsats sat_warnings;
+      ];
+      [
+        "query, analyze on (sat)";
+        Printf.sprintf "%d" on_n;
+        Bench_util.Table_fmt.ms on_mean;
+        Printf.sprintf "%d unanswered" on_un;
+      ];
+      [
+        "query, analyze off (sat)";
+        "-";
+        Bench_util.Table_fmt.ms off_mean;
+        (if off_mean > 0. then
+           Printf.sprintf "screen overhead %+.1f%%"
+             (100. *. (on_mean -. off_mean) /. off_mean)
+         else "-");
+      ];
+      [
+        "query, analyze on (unsat)";
+        string_of_int (List.length unsat_workload);
+        Bench_util.Table_fmt.ms sc_mean;
+        Printf.sprintf "%d/%d proven empty" poi_unsats
+          (List.length unsat_workload);
+      ];
+      [
+        "query, analyze off (unsat)";
+        Printf.sprintf "%d" full_n;
+        Bench_util.Table_fmt.ms full_mean;
+        Printf.sprintf "%d unanswered; short-circuit %s" full_un
+          (if sc_mean > 0. then Printf.sprintf "%.1fx" (full_mean /. sc_mean)
+           else "-");
+      ];
+    ];
+  add_json "analysis"
+    (Printf.sprintf
+       {|{"dataset":"%s","queries":%d,"analyze_mean_s":%.9g,"sat_unsats":%d,"sat_warnings":%d,"poisoned_unsats":%d,"query_analyze_on_mean_s":%.9g,"query_analyze_off_mean_s":%.9g,"unsat_short_circuit_mean_s":%.9g,"unsat_full_eval_mean_s":%.9g,"short_circuit_speedup":%.3f}|}
+       ds.ds_name (List.length workload) a_mean sat_unsats sat_warnings
+       poi_unsats on_mean off_mean sc_mean full_mean
+       (if sc_mean > 0. then full_mean /. sc_mean else 0.))
+
+(* ------------------------------------------------------------------ *)
 (* Micro benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1071,6 +1190,7 @@ let () =
   if wants cfg "kernels" then bench_kernels cfg dbpedia;
   if wants cfg "parallel" then bench_parallel cfg dbpedia;
   if wants cfg "build" then bench_build cfg dbpedia;
+  if wants cfg "analysis" then bench_analysis cfg dbpedia;
   if cfg.micro then micro_benchmarks ();
   write_json_report cfg;
   print_newline ()

@@ -5,6 +5,8 @@
      amber stats   --data g.nt
      amber bench   --data g.nt --query q.sparql (time one query on all engines)
      amber explain --data g.nt --query q.sparql (AMbER's matching plan)
+     amber lint    --data g.nt q1.sparql [q2.sparql ...] [--json]
+     amber fsck    db.amberix (validate a snapshot without serving it)
 
    Query text can also be passed inline with --sparql. Data files ending
    in .ttl are parsed as Turtle, anything else as N-Triples — except
@@ -254,7 +256,9 @@ let run_query data query_file sparql timeout limit engine open_objects extended
         match Sparql.Parser.parse_result src with
         | Ok ast ->
             Format.printf "%a@." Amber.Engine.pp_explanation
-              (Amber.Engine.explain ~open_objects e ast)
+              (Amber.Engine.explain ~open_objects e ast);
+            Format.printf "%a@." Amber.Analysis.pp_report
+              (Amber.Engine.analyze ~open_objects e ast)
         | Error _ -> () (* the query path reports the parse error below *)
       end;
       let is_select =
@@ -338,7 +342,9 @@ let run_explain data query_file sparql open_objects =
   in
   let e = load_engine data in
   Format.printf "%a@." Amber.Engine.pp_explanation
-    (Amber.Engine.explain ~open_objects e ast)
+    (Amber.Engine.explain ~open_objects e ast);
+  Format.printf "%a@." Amber.Analysis.pp_report
+    (Amber.Engine.analyze ~open_objects e ast)
 
 let explain_cmd =
   let doc = "show AMbER's decomposition and matching order for a query" in
@@ -346,6 +352,122 @@ let explain_cmd =
     Term.(
       const run_explain $ data_arg $ query_file_arg $ sparql_arg
       $ open_objects_arg)
+
+(* --- lint -------------------------------------------------------------- *)
+
+let run_lint data query_files query_file sparql open_objects json_out =
+  let sources =
+    (match sparql with Some q -> [ ("<inline>", q) ] | None -> [])
+    @ (match query_file with Some f -> [ (f, read_file f) ] | None -> [])
+    @ List.map (fun f -> (f, read_file f)) query_files
+  in
+  if sources = [] then begin
+    prerr_endline "error: provide query files, --query FILE or --sparql QUERY";
+    exit 2
+  end;
+  let e = load_engine data in
+  let any_unsat = ref false and any_error = ref false in
+  let reports =
+    List.map
+      (fun (name, src) ->
+        match Sparql.Parser.parse_result src with
+        | Error msg ->
+            any_error := true;
+            (name, Error msg)
+        | Ok ast ->
+            let report = Amber.Engine.analyze ~open_objects e ast in
+            if Amber.Analysis.unsat_proof report <> None then any_unsat := true;
+            (name, Ok report))
+      sources
+  in
+  if json_out then begin
+    let item (name, res) =
+      let quote s =
+        (* names are file paths; escape the JSON specials *)
+        let b = Buffer.create (String.length s + 2) in
+        Buffer.add_char b '"';
+        String.iter
+          (fun c ->
+            match c with
+            | '"' -> Buffer.add_string b "\\\""
+            | '\\' -> Buffer.add_string b "\\\\"
+            | c when Char.code c < 0x20 ->
+                Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+            | c -> Buffer.add_char b c)
+          s;
+        Buffer.add_char b '"';
+        Buffer.contents b
+      in
+      match res with
+      | Error msg ->
+          Printf.sprintf "{\"query\":%s,\"parse_error\":%s}" (quote name)
+            (quote msg)
+      | Ok report ->
+          Printf.sprintf "{\"query\":%s,\"report\":%s}" (quote name)
+            (Amber.Analysis.report_to_json report)
+    in
+    print_endline ("[" ^ String.concat "," (List.map item reports) ^ "]")
+  end
+  else
+    List.iter
+      (fun (name, res) ->
+        match res with
+        | Error msg -> Printf.printf "%s: SPARQL parse error: %s\n" name msg
+        | Ok report ->
+            if Amber.Analysis.unsat_proof report = None
+               && Amber.Analysis.warnings report = []
+               && Amber.Analysis.hints report = []
+            then Printf.printf "%s: clean\n" name
+            else Format.printf "%s:@.%a@." name Amber.Analysis.pp_report report)
+      reports;
+  if !any_unsat then exit 1;
+  if !any_error then exit 2
+
+let lint_queries_arg =
+  Arg.(
+    value
+    & pos_all non_dir_file []
+    & info [] ~docv:"QUERY" ~doc:"SPARQL query files to analyze.")
+
+let json_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit one machine-readable JSON array instead of pretty text.")
+
+let lint_cmd =
+  let doc =
+    "statically analyze queries against a dataset: unsatisfiability proofs, \
+     warnings and hints (exit 1 if any query is proven empty)"
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(
+      const run_lint $ data_arg $ lint_queries_arg $ query_file_arg $ sparql_arg
+      $ open_objects_arg $ json_flag_arg)
+
+(* --- fsck -------------------------------------------------------------- *)
+
+let run_fsck path =
+  match Amber.Snapshot.fsck_file path with
+  | Ok report ->
+      Format.printf "%a@." Amber.Snapshot.pp_fsck_report report;
+      Printf.printf "%s: ok\n" path
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 1
+
+let fsck_input_arg =
+  Arg.(
+    required
+    & pos 0 (some non_dir_file) None
+    & info [] ~docv:"SNAPSHOT" ~doc:"An .amberix index snapshot file.")
+
+let fsck_cmd =
+  let doc =
+    "validate an index snapshot: framing, CRCs, id ranges, sorted-set \
+     monotonicity and R-tree invariants (exit 1 on any violation)"
+  in
+  Cmd.v (Cmd.info "fsck" ~doc) Term.(const run_fsck $ fsck_input_arg)
 
 (* --- serve ------------------------------------------------------------- *)
 
@@ -491,5 +613,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "amber" ~doc)
-          [ query_cmd; build_cmd; stats_cmd; bench_cmd; explain_cmd;
-            compile_cmd; serve_cmd ]))
+          [ query_cmd; build_cmd; stats_cmd; bench_cmd; explain_cmd; lint_cmd;
+            fsck_cmd; compile_cmd; serve_cmd ]))

@@ -122,5 +122,6 @@ let () =
           Printf.printf "  ?%s: %s\n" name
             (if plan.Amber.Decompose.is_core.(u) then "core" else "satellite"))
         q.Amber.Query_graph.var_names
-  | Amber.Query_graph.Unsatisfiable reason ->
-      Printf.printf "unsatisfiable: %s\n" reason)
+  | Amber.Query_graph.Unsatisfiable { proof; _ } ->
+      Printf.printf "unsatisfiable: %s\n"
+        (Amber.Analysis.proof_to_string proof))

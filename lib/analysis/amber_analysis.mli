@@ -1,0 +1,175 @@
+(** Static query analysis — typed diagnostics over a SPARQL basic graph
+    pattern, produced {e before} any matching runs.
+
+    This module is the engine-independent half of the analyzer: the
+    diagnostic vocabulary (unsatisfiability {e proofs}, plan
+    {e warnings}, rewrite {e hints}), their pretty and JSON renderings,
+    and the lints that need nothing but the AST. The engine-aware half —
+    dictionary lookups, Lemma-1 signature screening against the synopsis
+    maxima, attribute-index intersection emptiness — lives in
+    [Amber.Analysis], which re-exports everything here.
+
+    Soundness contract: every {!proof} is a certificate that the query's
+    answer set is {e empty} under SPARQL BGP semantics (the differential
+    test suite checks each proof kind against the brute-force oracle).
+    Warnings and hints never claim emptiness; they flag plans that are
+    legal but wasteful (Cartesian products, dead projection columns,
+    duplicate patterns). *)
+
+(** {1 Source spans}
+
+    The parser does not preserve byte offsets, so a span locates a
+    diagnostic by the index of the offending triple pattern inside the
+    WHERE clause (0-based, in declaration order) together with its
+    re-printed text. [pattern = None] marks query-level diagnostics
+    (projection, ORDER BY, LIMIT). *)
+
+type span = { pattern : int option; text : string }
+
+val span_of_pattern : int -> Sparql.Ast.triple_pattern -> span
+val query_span : string -> span
+(** A query-level span carrying only descriptive text. *)
+
+(** {1 Diagnostics} *)
+
+(** Certificates of unsatisfiability. Each constructor names its
+    runtime counterpart (see docs/PAPER_MAP.md): the analyzer performs
+    at compile time the refusal the engine would otherwise discover
+    mid-search — or never, after a full fruitless enumeration. *)
+type proof =
+  | Unknown_predicate of { iri : string }
+      (** The predicate occurs nowhere in the data — neither as an edge
+          type nor as an attribute predicate (dictionary miss, paper
+          Table 2). *)
+  | Predicate_never_links of { iri : string }
+      (** The predicate occurs only with literal objects, but this
+          pattern needs it between two resources (edge-type dictionary
+          miss). *)
+  | Unknown_iri of { iri : string; position : [ `Subject | `Object ] }
+      (** A constant subject/object IRI absent from the vertex
+          dictionary: no triple mentions it as a resource. *)
+  | Unknown_literal of { pred : string; lit : string }
+      (** The [(predicate, literal)] pair is not an attribute of any
+          vertex (attribute dictionary miss). *)
+  | Ground_pattern_absent of { subject : string; pred : string; obj : string }
+      (** A fully ground pattern that does not hold in the data. *)
+  | Conflicting_literals of {
+      variable : string;
+      pred : string;
+      lit1 : string;
+      lit2 : string;
+    }
+      (** Two equality constraints on the same (vertex, predicate) pair
+          that no data vertex satisfies together — the witness pair of
+          an empty attribute-index intersection. *)
+  | Empty_attribute_intersection of {
+      variable : string;
+      attrs : (string * string) list;  (** (predicate, literal) pairs *)
+    }
+      (** Every required attribute exists somewhere, but no single data
+          vertex carries them all (index [A] intersection is empty). *)
+  | Signature_infeasible of {
+      variable : string;
+      feature : int;  (** synopsis feature index, [0 .. dims-1] *)
+      query_value : int;
+      data_max : int;
+    }
+      (** The query vertex's synopsis exceeds the componentwise maxima
+          over all data synopses — Lemma 1 lifted to compile time: no
+          data vertex can dominate it. *)
+  | Multi_edge_too_wide of {
+      variable : string;
+      other : string;  (** neighbouring variable, or the constant IRI *)
+      width : int;
+      data_max : int;
+    }
+      (** A query multi-edge carries more distinct predicates than any
+          data multi-edge. *)
+  | Iri_constraint_infeasible of {
+      variable : string;
+      iri : string;
+      predicates : string list;
+    }
+      (** The variable must link to constant [iri] through all
+          [predicates], but no data neighbour of [iri] does
+          (compile-time neighbourhood probe, index [N]). *)
+
+type warning =
+  | Disconnected_components of { count : int }
+      (** The pattern splits into [count] variable-disjoint components:
+          the answer is their Cartesian product. *)
+  | Unprojected_satellite of { variable : string }
+      (** A degree-≤1 vertex whose variable is never projected: it only
+          constrains existence yet multiplies enumerated embeddings. *)
+  | Unbound_select_variable of { variable : string }
+      (** SELECTed but absent from the WHERE clause — an always-null
+          column. *)
+  | Duplicate_pattern of { first : int; dup : int }
+      (** Pattern [dup] repeats pattern [first] verbatim. *)
+  | Out_of_fragment of { reason : string }
+      (** The engine would reject the query ([Engine.Unsupported]);
+          static analysis cannot classify it further. *)
+
+type hint =
+  | Drop_duplicate_pattern of { index : int }
+  | Order_by_unbound of { variable : string }
+      (** ORDER BY key never bound: sorts by a constant. *)
+  | Limit_zero  (** LIMIT 0 — the empty answer, without any search. *)
+
+type diagnostic = Unsat of proof | Warning of warning | Hint of hint
+
+type item = { diag : diagnostic; span : span option }
+
+type report = { items : item list }
+(** Diagnostics in discovery order (unsat proofs first). *)
+
+val empty_report : report
+
+val report_of_items : item list -> report
+(** Assemble a report, moving unsat proofs to the front (stable within
+    each class). *)
+
+val unsat_proof : report -> proof option
+(** The first unsatisfiability proof, if any — the short-circuit
+    certificate. *)
+
+val warnings : report -> warning list
+val hints : report -> hint list
+
+(** {1 AST-level lints}
+
+    The checks that need no engine: unbound SELECT variables, duplicate
+    patterns (with drop hints), variable-disjoint component counting,
+    ORDER BY keys never bound, LIMIT 0. *)
+
+val lint_ast : Sparql.Ast.t -> item list
+
+val component_count : Sparql.Ast.triple_pattern list -> int
+(** Number of variable-connected components among the patterns that
+    contain at least one variable (0 for an all-ground clause). *)
+
+(** {1 Rendering} *)
+
+val feature_name : int -> string
+(** Human name of a synopsis feature index, e.g. ["f1+ (max multi-edge
+    cardinality, incoming)"]. *)
+
+val pp_proof : Format.formatter -> proof -> unit
+val proof_to_string : proof -> string
+val pp_warning : Format.formatter -> warning -> unit
+val pp_hint : Format.formatter -> hint -> unit
+val pp_item : Format.formatter -> item -> unit
+val pp_report : Format.formatter -> report -> unit
+(** Compiler-style listing: one [error:]/[warning:]/[hint:] line per
+    diagnostic with its span, then a one-line verdict. *)
+
+val report_to_json : report -> string
+(** [{"unsat":bool,"diagnostics":[{"severity":…,"kind":…,"message":…,
+    "pattern":…,"span":…},…]}] — stable kind strings, machine-readable
+    ([amber lint --json], endpoint [?analyze=1]). *)
+
+val severity : diagnostic -> string
+(** ["error"], ["warning"] or ["hint"]. *)
+
+val kind : diagnostic -> string
+(** The stable kind slug used in JSON, e.g. ["unknown-predicate"]. *)

@@ -134,6 +134,9 @@ let attribute_data t a =
     invalid_arg "Database.attribute_data: unknown attribute id"
   else t.attribute_data.(a)
 
+let attribute_predicate_exists t pred =
+  Array.exists (fun (p, _) -> String.equal p pred) t.attribute_data
+
 let vertex_count t = Mgraph.Dict.size t.vertices
 let edge_type_count t = Mgraph.Dict.size t.edge_types
 let attribute_count t = Mgraph.Dict.size t.attributes

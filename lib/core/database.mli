@@ -55,6 +55,12 @@ val attribute_of : t -> pred:string -> lit:Rdf.Term.literal -> int option
 val attribute_data : t -> int -> string * Rdf.Term.literal
 (** Inverse attribute mapping: the [(predicate IRI, literal)] pair. *)
 
+val attribute_predicate_exists : t -> string -> bool
+(** Does any attribute use this predicate IRI? Together with
+    {!edge_type_of_iri} this decides whether a predicate occurs in the
+    data at all — the static analyzer's unknown-predicate proof. Linear
+    in the attribute count (only consulted on lookup failures). *)
+
 val vertex_count : t -> int
 val edge_type_count : t -> int
 val attribute_count : t -> int

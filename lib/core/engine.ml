@@ -184,6 +184,17 @@ let m_parallel_chunks =
   Obs.Metrics.counter m "amber_parallel_chunks_total"
     ~help:"Candidate chunks dispatched to the domain pool"
 
+let m_analysis_unsat =
+  Obs.Metrics.counter m "amber_analysis_unsat_total"
+    ~help:
+      "Queries proven unsatisfiable by static analysis (build-time \
+       dictionary misses plus index screening) and short-circuited to the \
+       empty answer"
+
+let m_analysis_warnings =
+  Obs.Metrics.counter m "amber_analysis_warning_total"
+    ~help:"Warnings raised by static query analysis"
+
 let record_query_metrics ~seconds (stats : Matcher.stats) =
   Obs.Metrics.incr m_queries;
   Obs.Metrics.observe m_seconds seconds;
@@ -436,8 +447,17 @@ let collect ?caches t q plan ~domains ~deadline ~stats limit =
     collect_solutions (make_ctx ?caches t ~deadline ~stats) q plan limit
   else collect_solutions_parallel ?caches t q plan ~domains ~deadline ~stats limit
 
+(* First unsat proof from the index-backed screening — the [?analyze]
+   short-circuit test. Every proof implies the matcher would find zero
+   embeddings, so skipping the search never changes the answer. *)
+let screen_proof t q ast =
+  let items =
+    Analysis.screen t.db ~attribute:t.attribute ~synopsis:t.synopsis q ast
+  in
+  Analysis.unsat_proof (Analysis.report_of_items items)
+
 let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
-    ?caches ?(domains = 1) t (ast : Sparql.Ast.t) =
+    ?caches ?(analyze = true) ?(domains = 1) t (ast : Sparql.Ast.t) =
   let t0 = Unix.gettimeofday () in
   let domains = max 1 domains in
   let deadline = deadline_of timeout in
@@ -454,7 +474,12 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
     (answer, stats)
   in
   match Query_graph.build ?open_objects t.db ast with
-  | Query_graph.Unsatisfiable _ -> finish (empty_answer selected)
+  | Query_graph.Unsatisfiable _ ->
+      Obs.Metrics.incr m_analysis_unsat;
+      finish (empty_answer selected)
+  | Query_graph.Query q when analyze && screen_proof t q ast <> None ->
+      Obs.Metrics.incr m_analysis_unsat;
+      finish (empty_answer selected)
   | Query_graph.Query q ->
       let plan = Decompose.plan ?strategy ?satellites q in
       (* Under DISTINCT or ORDER BY a solution cap could starve the
@@ -471,15 +496,15 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
             (project_answer t ~q ~ast ~deadline ~selected ~effective_limit
                ~solutions))
 
-let query ?timeout ?limit ?strategy ?satellites ?open_objects ?caches ?domains
-    t ast =
+let query ?timeout ?limit ?strategy ?satellites ?open_objects ?caches ?analyze
+    ?domains t ast =
   fst
     (query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
-       ?caches ?domains t ast)
+       ?caches ?analyze ?domains t ast)
 
 let query_string ?timeout ?limit ?strategy ?satellites ?open_objects ?namespaces
-    ?domains t src =
-  query ?timeout ?limit ?strategy ?satellites ?open_objects ?domains t
+    ?analyze ?domains t src =
+  query ?timeout ?limit ?strategy ?satellites ?open_objects ?analyze ?domains t
     (Sparql.Parser.parse ?namespaces src)
 
 let count_embeddings ?timeout ?open_objects t ast =
@@ -493,6 +518,23 @@ let count_embeddings ?timeout ?open_objects t ast =
       | None -> 0
       | Some solutions ->
           Embedding.count ~q ~lits:t.literal_bindings ~db:t.db ~solutions)
+
+(* ------------------------------------------------------------------ *)
+(* Static analysis                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let analyze ?probe_cap ?open_objects t ast =
+  let report =
+    Analysis.run ?probe_cap ?open_objects t.db ~attribute:t.attribute
+      ~synopsis:t.synopsis ast
+  in
+  if Analysis.unsat_proof report <> None then
+    Obs.Metrics.incr m_analysis_unsat;
+  Obs.Metrics.add m_analysis_warnings (List.length (Analysis.warnings report));
+  report
+
+let analyze_string ?probe_cap ?open_objects ?namespaces t src =
+  analyze ?probe_cap ?open_objects t (Sparql.Parser.parse ?namespaces src)
 
 (* ------------------------------------------------------------------ *)
 (* Plan introspection                                                  *)
@@ -515,7 +557,8 @@ type explanation =
 
 let explain ?strategy ?satellites ?open_objects t ast =
   match Query_graph.build ?open_objects t.db ast with
-  | Query_graph.Unsatisfiable reason -> Unsat reason
+  | Query_graph.Unsatisfiable { proof; _ } ->
+      Unsat (Analysis.proof_to_string proof)
   | Query_graph.Query q ->
       let plan = Decompose.plan ?strategy ?satellites q in
       (* Introspection probes stay out of the engine caches so they
@@ -635,10 +678,11 @@ let vertex_reports t q (plan : Decompose.plan) =
    [parse] runs under the root span so query_string_profiled attributes
    parsing time too. *)
 let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
-    ?(domains = 1) t ~(parse : unit -> Sparql.Ast.t) =
+    ?(analyze = true) ?(domains = 1) t ~(parse : unit -> Sparql.Ast.t) =
   let domains = max 1 domains in
   let deadline = deadline_of timeout in
   let stats = Matcher.fresh_stats () in
+  let analysis = ref None in
   let (answer, shape), span =
     Obs.Span.root ~name:"query" (fun () ->
         let ast = Obs.Span.with_ ~name:"parse" parse in
@@ -652,8 +696,16 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
         let built =
           Obs.Span.with_ ~name:"decompose" (fun () ->
               match Query_graph.build ?open_objects t.db ast with
-              | Query_graph.Unsatisfiable reason ->
-                  Obs.Span.annotate "unsatisfiable" reason;
+              | Query_graph.Unsatisfiable { proof; pattern } ->
+                  Obs.Span.annotate "unsatisfiable"
+                    (Analysis.proof_to_string proof);
+                  Obs.Metrics.incr m_analysis_unsat;
+                  if analyze then
+                    analysis :=
+                      Some
+                        (Analysis.report_of_items
+                           (Analysis.of_build_failure ast ~proof ~pattern
+                           :: Analysis.lint_ast ast));
                   None
               | Query_graph.Query q ->
                   let plan = Decompose.plan ?strategy ?satellites q in
@@ -661,7 +713,30 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
                     (string_of_int (Array.length plan.Decompose.components));
                   Some (q, plan))
         in
-        match built with
+        let screened =
+          match built with
+          | None -> None
+          | Some (q, plan) ->
+              if not analyze then Some (q, plan)
+              else begin
+                let report =
+                  Obs.Span.with_ ~name:"analyze" (fun () ->
+                      Analysis.report_of_items
+                        (Analysis.lint_ast ast
+                        @ Analysis.screen t.db ~attribute:t.attribute
+                            ~synopsis:t.synopsis q ast))
+                in
+                analysis := Some report;
+                match Analysis.unsat_proof report with
+                | None -> Some (q, plan)
+                | Some proof ->
+                    Obs.Span.annotate "analysis_unsat"
+                      (Analysis.proof_to_string proof);
+                    Obs.Metrics.incr m_analysis_unsat;
+                    None
+              end
+        in
+        match screened with
         | None -> (empty_answer selected, None)
         | Some (q, plan) ->
             let vertices =
@@ -700,6 +775,11 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
             (answer, Some (q, plan, vertices)))
   in
   record_query_metrics ~seconds:(Obs.Span.duration span) stats;
+  (match !analysis with
+  | Some report ->
+      Obs.Metrics.add m_analysis_warnings
+        (List.length (Analysis.warnings report))
+  | None -> ());
   let core_order, vertices =
     match shape with
     | None -> ([], [])
@@ -722,28 +802,30 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
       span;
       rows = List.length answer.rows;
       truncated = answer.truncated;
+      analysis = !analysis;
     } )
 
 let query_profiled ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
-    ?domains t ast =
+    ?analyze ?domains t ast =
   profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
-    ?domains t ~parse:(fun () -> ast)
+    ?analyze ?domains t ~parse:(fun () -> ast)
 
 let query_string_profiled ?timeout ?limit ?strategy ?satellites ?open_objects
-    ?namespaces ?domains t src =
-  profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?domains t
-    ~parse:(fun () -> Sparql.Parser.parse ?namespaces src)
+    ?namespaces ?analyze ?domains t src =
+  profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?analyze
+    ?domains t ~parse:(fun () -> Sparql.Parser.parse ?namespaces src)
 
 let recommended_domains () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
 
 (* Kept for callers of the pre-pool API: [query] with [domains]
    defaulting to the machine's recommended count. *)
-let query_parallel ?timeout ?limit ?strategy ?satellites ?open_objects ?domains
-    t ast =
+let query_parallel ?timeout ?limit ?strategy ?satellites ?open_objects ?analyze
+    ?domains t ast =
   let domains =
     match domains with Some d -> max 1 d | None -> recommended_domains ()
   in
-  query ?timeout ?limit ?strategy ?satellites ?open_objects ~domains t ast
+  query ?timeout ?limit ?strategy ?satellites ?open_objects ?analyze ~domains t
+    ast
 
 (* ------------------------------------------------------------------ *)
 (* Persistence                                                         *)

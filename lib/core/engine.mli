@@ -45,6 +45,7 @@ val query :
   ?satellites:bool ->
   ?open_objects:bool ->
   ?caches:bool ->
+  ?analyze:bool ->
   ?domains:int ->
   t ->
   Sparql.Ast.t ->
@@ -64,6 +65,12 @@ val query :
     @param caches [false] disables the query-scoped probe cache and the
     engine's cross-query attribute/synopsis LRUs (ablation baseline for
     the kernels benchmark; default [true]).
+    @param analyze [true] (the default) screens the built query graph
+    with the static analyzer ({!Analysis.screen}) and short-circuits a
+    proven-unsatisfiable query to the empty answer without searching
+    (counted in [amber_analysis_unsat_total]). Every proof implies zero
+    embeddings, so the answer is byte-identical either way — [false]
+    only skips the screening probes (ablation / benchmarking).
     @param domains run the matcher on up to this many domains (default 1
     — strictly sequential). Each component's initial candidate set is
     split into work-stealing chunks solved on the shared
@@ -83,6 +90,7 @@ val query_string :
   ?satellites:bool ->
   ?open_objects:bool ->
   ?namespaces:Rdf.Namespace.t ->
+  ?analyze:bool ->
   ?domains:int ->
   t ->
   string ->
@@ -100,6 +108,7 @@ val query_with_stats :
   ?satellites:bool ->
   ?open_objects:bool ->
   ?caches:bool ->
+  ?analyze:bool ->
   ?domains:int ->
   t ->
   Sparql.Ast.t ->
@@ -128,6 +137,7 @@ val query_profiled :
   ?satellites:bool ->
   ?open_objects:bool ->
   ?caches:bool ->
+  ?analyze:bool ->
   ?domains:int ->
   t ->
   Sparql.Ast.t ->
@@ -140,6 +150,7 @@ val query_string_profiled :
   ?satellites:bool ->
   ?open_objects:bool ->
   ?namespaces:Rdf.Namespace.t ->
+  ?analyze:bool ->
   ?domains:int ->
   t ->
   string ->
@@ -166,6 +177,7 @@ val query_parallel :
   ?strategy:Decompose.strategy ->
   ?satellites:bool ->
   ?open_objects:bool ->
+  ?analyze:bool ->
   ?domains:int ->
   t ->
   Sparql.Ast.t ->
@@ -173,6 +185,28 @@ val query_parallel :
 (** [query] with [domains] defaulting to {!recommended_domains} — the
     parallel processing the paper lists as future work (Section 8),
     kept as a convenience entry point. *)
+
+(** {1 Static analysis}
+
+    The compile-time twin of the runtime pruning: typed diagnostics over
+    the query before (or instead of) any matching. See {!Analysis} for
+    the diagnostic vocabulary and the soundness contract. *)
+
+val analyze :
+  ?probe_cap:int -> ?open_objects:bool -> t -> Sparql.Ast.t -> Analysis.report
+(** Full analyzer pipeline over this engine's dictionaries and indexes:
+    AST lints, build-time dictionary proofs, index screening. Never
+    raises on out-of-fragment queries (they become an [Out_of_fragment]
+    warning). Outcomes land in [amber_analysis_{unsat,warning}_total]. *)
+
+val analyze_string :
+  ?probe_cap:int ->
+  ?open_objects:bool ->
+  ?namespaces:Rdf.Namespace.t ->
+  t ->
+  string ->
+  Analysis.report
+(** Parse and analyze. @raise Sparql.Parser.Error on bad syntax. *)
 
 (** {1 Plan introspection} *)
 

@@ -12,12 +12,21 @@ type t = {
   span : Obs.Span.t;
   rows : int;
   truncated : bool;
+  analysis : Amber_analysis.report option;
 }
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   Format.fprintf ppf "rows: %d%s@," t.rows
     (if t.truncated then " (truncated)" else "");
+  (match t.analysis with
+  | None | Some { Amber_analysis.items = [] } -> ()
+  | Some report ->
+      Format.fprintf ppf "analysis:@,";
+      let listing = Format.asprintf "%a" Amber_analysis.pp_report report in
+      List.iter
+        (fun line -> if line <> "" then Format.fprintf ppf "  %s@," line)
+        (String.split_on_char '\n' listing));
   Format.fprintf ppf "phases:@,";
   (* Span.pp prints its own newlines; capture and indent. *)
   let tree = Format.asprintf "%a" Obs.Span.pp t.span in
@@ -97,5 +106,9 @@ let to_json t =
        s.Matcher.probe_cache_misses s.Matcher.candidates_scanned
        s.Matcher.satellite_rejections s.Matcher.solutions);
   Buffer.add_string buf (Obs.Span.to_json t.span);
+  Buffer.add_string buf {|,"analysis":|};
+  (match t.analysis with
+  | None -> Buffer.add_string buf "null"
+  | Some report -> Buffer.add_string buf (Amber_analysis.report_to_json report));
   Buffer.add_char buf '}';
   Buffer.contents buf

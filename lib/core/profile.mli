@@ -25,6 +25,10 @@ type t = {
   span : Obs.Span.t;  (** phase tree with wall-clock durations *)
   rows : int;
   truncated : bool;
+  analysis : Amber_analysis.report option;
+      (** the static analyzer's report ([None] when the run was profiled
+          with [?analyze:false]); an unsat proof here means the run was
+          short-circuited to the empty answer *)
 }
 
 val pp : Format.formatter -> t -> unit

@@ -15,15 +15,17 @@ type t = {
   opens : open_object list;
 }
 
-type result = Query of t | Unsatisfiable of string
+type result =
+  | Query of t
+  | Unsatisfiable of { proof : Amber_analysis.proof; pattern : int }
 
 exception Unsupported of string
 
 let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
 
-exception Unsat of string
+exception Unsat of Amber_analysis.proof
 
-let unsat fmt = Printf.ksprintf (fun s -> raise (Unsat s)) fmt
+let unsat proof = raise (Unsat proof)
 
 (* Count how many times each variable occurs across all positions. *)
 let occurrence_counts patterns =
@@ -87,15 +89,24 @@ let build ?(open_objects = false) db (query : Sparql.Ast.t) =
     let old = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
     if not (List.mem v old) then Hashtbl.replace tbl key (v :: old)
   in
-  let data_vertex_of iri =
+  let data_vertex_of ~position iri =
     match Database.vertex_of_term db (Rdf.Term.iri iri) with
     | Some v -> v
-    | None -> unsat "IRI <%s> does not occur in the data" iri
+    | None -> unsat (Amber_analysis.Unknown_iri { iri; position })
   in
+  (* The two unknown-predicate flavours differ in strength: a predicate
+     absent from {e both} dictionaries occurs in no triple at all, while
+     one known only as an attribute predicate merely never links two
+     resources (the engine still refuses the edge, but under full SPARQL
+     semantics a variable object could bind its literals — the analyzer
+     downgrades that proof in unsound contexts). *)
   let edge_type_of pred =
     match Database.edge_type_of_iri db pred with
     | Some e -> e
-    | None -> unsat "predicate <%s> never links two resources" pred
+    | None ->
+        if Database.attribute_predicate_exists db pred then
+          unsat (Amber_analysis.Predicate_never_links { iri = pred })
+        else unsat (Amber_analysis.Unknown_predicate { iri = pred })
   in
   let process { Sparql.Ast.subject; predicate; obj } =
     let pred =
@@ -123,7 +134,8 @@ let build ?(open_objects = false) db (query : Sparql.Ast.t) =
     | Sparql.Ast.Var s, Sparql.Ast.Iri oi ->
         let u = vertex_of_var s in
         Mgraph.Multigraph.Builder.add_vertex builder u;
-        push iri_tbl (u, data_vertex_of oi, Mgraph.Multigraph.Out)
+        push iri_tbl
+          (u, data_vertex_of ~position:`Object oi, Mgraph.Multigraph.Out)
           (edge_type_of pred)
     | Sparql.Ast.Var s, Sparql.Ast.Lit lit ->
         let u = vertex_of_var s in
@@ -131,20 +143,33 @@ let build ?(open_objects = false) db (query : Sparql.Ast.t) =
         (match Database.attribute_of db ~pred ~lit with
         | Some a -> push attrs_tbl u a
         | None ->
-            unsat "literal %s with predicate <%s> does not occur"
-              (Rdf.Term.to_string (Rdf.Term.Literal lit))
-              pred)
+            if
+              Database.edge_type_of_iri db pred = None
+              && not (Database.attribute_predicate_exists db pred)
+            then unsat (Amber_analysis.Unknown_predicate { iri = pred })
+            else
+              unsat
+                (Amber_analysis.Unknown_literal
+                   {
+                     pred;
+                     lit = Rdf.Term.to_string (Rdf.Term.Literal lit);
+                   }))
     | Sparql.Ast.Iri si, Sparql.Ast.Var o ->
         let u = vertex_of_var o in
         Mgraph.Multigraph.Builder.add_vertex builder u;
-        push iri_tbl (u, data_vertex_of si, Mgraph.Multigraph.In)
+        push iri_tbl
+          (u, data_vertex_of ~position:`Subject si, Mgraph.Multigraph.In)
           (edge_type_of pred)
     | Sparql.Ast.Iri si, Sparql.Ast.Iri oi ->
-        let vs = data_vertex_of si and vo = data_vertex_of oi in
+        let vs = data_vertex_of ~position:`Subject si
+        and vo = data_vertex_of ~position:`Object oi in
         if not (Mgraph.Multigraph.has_edge (Database.graph db) vs (edge_type_of pred) vo)
-        then unsat "ground pattern <%s> <%s> <%s> does not hold" si pred oi
+        then
+          unsat
+            (Amber_analysis.Ground_pattern_absent
+               { subject = si; pred; obj = "<" ^ oi ^ ">" })
     | Sparql.Ast.Iri si, Sparql.Ast.Lit lit -> (
-        let vs = data_vertex_of si in
+        let vs = data_vertex_of ~position:`Subject si in
         match Database.attribute_of db ~pred ~lit with
         | Some a
           when Mgraph.Sorted_ints.mem
@@ -152,11 +177,24 @@ let build ?(open_objects = false) db (query : Sparql.Ast.t) =
                  a ->
             ()
         | Some _ | None ->
-            unsat "ground pattern <%s> <%s> %s does not hold" si pred
-              (Rdf.Term.to_string (Rdf.Term.Literal lit)))
+            unsat
+              (Amber_analysis.Ground_pattern_absent
+                 {
+                   subject = si;
+                   pred;
+                   obj = Rdf.Term.to_string (Rdf.Term.Literal lit);
+                 }))
   in
-  match List.iter process patterns with
-  | exception Unsat reason -> Unsatisfiable reason
+  let current = ref 0 in
+  let process_all () =
+    List.iteri
+      (fun i pat ->
+        current := i;
+        process pat)
+      patterns
+  in
+  match process_all () with
+  | exception Unsat proof -> Unsatisfiable { proof; pattern = !current }
   | () ->
       let graph = Mgraph.Multigraph.Builder.build builder in
       let n = Hashtbl.length var_ids in

@@ -41,9 +41,12 @@ type t = {
 
 type result =
   | Query of t
-  | Unsatisfiable of string
+  | Unsatisfiable of { proof : Amber_analysis.proof; pattern : int }
       (** well-formed, but a constant (predicate, literal pair or IRI)
-          does not occur in the data: the answer set is empty *)
+          does not occur in the data: the answer set is empty. [proof]
+          is the typed certificate ({!Amber_analysis.proof_to_string}
+          renders it); [pattern] the 0-based index of the offending
+          WHERE pattern, for source spans. *)
 
 exception Unsupported of string
 (** Raised for patterns outside the engine's fragment (variable or

@@ -353,6 +353,95 @@ let decode src =
   { db; attribute; synopsis; neighbourhood }
 
 (* ------------------------------------------------------------------ *)
+(* Static validation (fsck)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let section_name = function
+  | 1 -> "meta"
+  | 2 -> "vertices"
+  | 3 -> "edge-types"
+  | 4 -> "attributes"
+  | 5 -> "attribute-data"
+  | 6 -> "graph"
+  | 7 -> "attribute-index"
+  | 8 -> "otil-in"
+  | 9 -> "otil-out"
+  | 10 -> "synopsis"
+  | t -> Printf.sprintf "unknown-%d" t
+
+(* Frame-only walk: magic, version, then every section's tag, payload
+   length and CRC — nothing is parsed. Returns (name, payload bytes) in
+   file order. *)
+let frame_walk src =
+  let mn = String.length magic in
+  if String.length src < mn || String.sub src 0 mn <> magic then
+    corrupt "bad magic (not an AMbER index snapshot)";
+  let pos = ref mn in
+  let v = B.Varint.read src pos in
+  if v <> version then corrupt "unsupported snapshot version %d" v;
+  let count = B.Varint.read src pos in
+  if count <> List.length section_order then
+    corrupt "unexpected section count %d" count;
+  List.map
+    (fun expected_tag ->
+      let tag = B.Varint.read src pos in
+      if tag <> expected_tag then
+        corrupt "unexpected section tag %d (wanted %d)" tag expected_tag;
+      let len = B.Varint.read src pos in
+      if !pos + len + 4 > String.length src then corrupt "truncated section";
+      let payload_end = !pos + len in
+      let stored =
+        let b i = Char.code src.[payload_end + i] in
+        b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+      in
+      if B.crc32 ~off:!pos ~len src <> stored then
+        corrupt "bad CRC in section %d (%s)" tag (section_name tag);
+      pos := payload_end + 4;
+      (section_name tag, len))
+    section_order
+
+type fsck_report = {
+  sections : (string * int) list;
+  f_vertices : int;
+  f_edge_types : int;
+  f_attributes : int;
+  f_triples : int;
+}
+
+(* Validate without serving: the frame check (CRCs, tags, lengths), then
+   the full decode — which re-derives and thereby proves dictionary id
+   ranges, delta-coded monotonicity and cross-section consistency — and
+   finally the R-tree invariant check the decoder itself skips. *)
+let fsck src =
+  match frame_walk src with
+  | exception B.Corrupt msg -> Error msg
+  | sections -> (
+      match decode src with
+      | exception B.Corrupt msg -> Error msg
+      | contents -> (
+          let _, _, tree = Synopsis_index.export contents.synopsis in
+          match Rtree.check_invariants tree with
+          | Error msg -> Error (Printf.sprintf "synopsis R-tree: %s" msg)
+          | Ok () ->
+              Ok
+                {
+                  sections;
+                  f_vertices = Database.vertex_count contents.db;
+                  f_edge_types = Database.edge_type_count contents.db;
+                  f_attributes = Database.attribute_count contents.db;
+                  f_triples = Database.triple_count contents.db;
+                }))
+
+let pp_fsck_report ppf r =
+  Format.fprintf ppf "@[<v>sections:@,";
+  List.iter
+    (fun (name, len) -> Format.fprintf ppf "  %-16s %8d bytes  crc ok@," name len)
+    r.sections;
+  Format.fprintf ppf
+    "vertices=%d edge_types=%d attributes=%d triples=%d@,all invariants hold@]"
+    r.f_vertices r.f_edge_types r.f_attributes r.f_triples
+
+(* ------------------------------------------------------------------ *)
 (* Files                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -369,6 +458,17 @@ let read_file path =
   let src = really_input_string ic n in
   close_in ic;
   decode src
+
+let fsck_file path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    src
+  with
+  | exception Sys_error msg -> Error msg
+  | src -> fsck src
 
 let sniff_file path =
   match open_in_bin path with

@@ -44,6 +44,33 @@ val decode : string -> contents
 val write_file : string -> contents -> unit
 val read_file : string -> contents
 
+(** {1 Static validation}
+
+    [amber fsck]: check a snapshot without serving it. *)
+
+type fsck_report = {
+  sections : (string * int) list;
+      (** (section name, payload bytes), file order — every one
+          CRC-verified *)
+  f_vertices : int;
+  f_edge_types : int;
+  f_attributes : int;
+  f_triples : int;
+}
+
+val fsck : string -> (fsck_report, string) result
+(** Validate snapshot bytes: the frame walk (magic, version, section
+    tags/lengths/CRCs), then the full decode — delta-coded id-set
+    monotonicity, dictionary id ranges and cross-section consistency are
+    all proven by construction there — and finally
+    {!Rtree.check_invariants} on the synopsis tree. [Error] carries the
+    first violation; nothing is mutated and no engine state escapes. *)
+
+val fsck_file : string -> (fsck_report, string) result
+(** {!fsck} over a file's bytes; I/O errors become [Error]. *)
+
+val pp_fsck_report : Format.formatter -> fsck_report -> unit
+
 val sniff_file : string -> bool
 (** Does the file start with the snapshot magic? Never raises — [false]
     for unreadable or short files. Used by the CLI to dispatch between

@@ -4,6 +4,7 @@ type t = {
   mode : mode;
   synopses : Mgraph.Synopsis.t array;  (* per data vertex *)
   lower : int array;  (* componentwise minimum over all synopses *)
+  upper : int array;  (* componentwise maximum over all synopses *)
   tree : int Rtree.t;  (* populated in Rtree mode *)
   mutable probes : int;  (* lifetime lookup count; racy under domains,
                             lost increments are acceptable *)
@@ -31,6 +32,18 @@ let lower_of synopses =
     synopses;
   lower
 
+(* Componentwise maximum, floored at the empty-side sentinel so an
+   all-empty dataset still compares correctly against query synopses. *)
+let upper_of synopses =
+  let upper = Array.make Mgraph.Synopsis.dims Mgraph.Synopsis.f3_empty in
+  Array.iter
+    (fun syn ->
+      for i = 0 to Mgraph.Synopsis.dims - 1 do
+        if syn.(i) > upper.(i) then upper.(i) <- syn.(i)
+      done)
+    synopses;
+  upper
+
 let of_synopses ?(mode = Rtree) ?(max_entries = 16) synopses =
   let n = Array.length synopses in
   let lower = lower_of synopses in
@@ -42,7 +55,7 @@ let of_synopses ?(mode = Rtree) ?(max_entries = 16) synopses =
           (List.init n (fun v ->
                (Rect.make ~lo:lower ~hi:synopses.(v), v)))
   in
-  { mode; synopses; lower; tree; probes = 0 }
+  { mode; synopses; lower; upper = upper_of synopses; tree; probes = 0 }
 
 let build ?mode ?max_entries db =
   let g = Database.graph db in
@@ -62,7 +75,14 @@ let import ~mode ~synopses ~tree =
   | Rtree ->
       if Rtree.size tree <> Array.length synopses then
         invalid_arg "Synopsis_index.import: tree size / synopsis count mismatch");
-  { mode; synopses; lower = lower_of synopses; tree; probes = 0 }
+  {
+    mode;
+    synopses;
+    lower = lower_of synopses;
+    upper = upper_of synopses;
+    tree;
+    probes = 0;
+  }
 
 let mode t = t.mode
 
@@ -87,4 +107,5 @@ let candidates t query =
 let candidates_of_signature t s = candidates t (Mgraph.Synopsis.of_signature s)
 
 let vertex_synopsis t v = t.synopses.(v)
+let maxima t = Array.copy t.upper
 let probes t = t.probes

@@ -46,6 +46,14 @@ val candidates_of_signature : t -> Mgraph.Signature.t -> int array
 val vertex_synopsis : t -> int -> Mgraph.Synopsis.t
 (** The stored synopsis of a data vertex. *)
 
+val maxima : t -> int array
+(** Componentwise maximum over every stored synopsis (a fresh copy) —
+    the upper corner of the R-tree root. A query synopsis exceeding it
+    on any dimension has {e zero} candidates (Lemma 1 lifted to compile
+    time); the static analyzer turns that into an unsatisfiability
+    proof. Dimensions of an all-empty dataset hold
+    {!Mgraph.Synopsis.f3_empty}. *)
+
 val probes : t -> int
 (** Lifetime number of {!candidates} lookups (either mode) — exported by
     the observability layer ([amber_synopsis_index_probes_total]). *)

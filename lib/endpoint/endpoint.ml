@@ -97,6 +97,8 @@ GET  /metrics  (Prometheus text exposition)
 Accept: application/sparql-results+json | text/csv | text/tab-separated-values
 profile=1 embeds a per-query profile (phase timings, candidate counts)
 in the JSON results.
+analyze=1 embeds the static-analysis report (unsatisfiability proofs,
+warnings, hints) as an "analysis" member of the JSON results.
 domains=N matches on up to N domains of the shared pool (1-8;
 overrides the server's configured default).
 |}
@@ -122,6 +124,11 @@ let m_timeouts =
 let embed_profile json profile =
   String.sub json 0 (String.length json - 1)
   ^ {|,"profile":|} ^ Amber.Profile.to_json profile ^ "}"
+
+(* Same splice for the static analyzer's diagnostics. *)
+let embed_analysis json report =
+  String.sub json 0 (String.length json - 1)
+  ^ {|,"analysis":|} ^ Amber.Analysis.report_to_json report ^ "}"
 
 let negotiate headers =
   match header headers "accept" with
@@ -173,6 +180,10 @@ let handle_request_inner config engine ~meth ~target ~headers ~body =
             truthy (List.assoc_opt "profile" params)
             || truthy (List.assoc_opt "profile" form_params)
           in
+          let analyze_requested =
+            truthy (List.assoc_opt "analyze" params)
+            || truthy (List.assoc_opt "analyze" form_params)
+          in
           (* ?domains=N (request) overrides the server default; clamped
              to the pool's 1..8 range, garbage ignored. *)
           let domains =
@@ -203,8 +214,15 @@ let handle_request_inner config engine ~meth ~target ~headers ~body =
             else
               match Sparql.Parser.parse_any src with
               | Sparql.Parser.Q_select ast ->
-                  (* The profile rides inside the results JSON; other
-                     formats have no extension point and ignore it. *)
+                  (* Profile and analysis ride inside the results JSON;
+                     other formats have no extension point and ignore
+                     them. *)
+                  let maybe_analysis json =
+                    if analyze_requested && fmt = `Json then
+                      embed_analysis json
+                        (Amber.Engine.analyze ~open_objects engine ast)
+                    else json
+                  in
                   if profile_requested && fmt = `Json then begin
                     let answer, profile =
                       Amber.Engine.query_profiled ?timeout:config.timeout
@@ -212,8 +230,17 @@ let handle_request_inner config engine ~meth ~target ~headers ~body =
                     in
                     ( 200,
                       "application/sparql-results+json",
-                      embed_profile (Amber.Results.to_json answer) profile )
+                      maybe_analysis
+                        (embed_profile (Amber.Results.to_json answer) profile) )
                   end
+                  else if analyze_requested && fmt = `Json then
+                    ( 200,
+                      "application/sparql-results+json",
+                      maybe_analysis
+                        (Amber.Results.to_json
+                           (Amber.Engine.query ?timeout:config.timeout
+                              ?limit:config.limit ~open_objects ?domains engine
+                              ast)) )
                   else
                     render_rows
                       (Amber.Engine.query ?timeout:config.timeout

@@ -19,7 +19,9 @@
     index-probe counters). Adding [profile=1] to a SELECT request embeds
     the {!Amber.Profile} report (phase timings, per-vertex candidate
     counts, matcher counters) as a top-level ["profile"] member of the
-    JSON results.
+    JSON results; [analyze=1] likewise embeds the {!Amber.Analysis}
+    report (unsatisfiability proofs, warnings, hints) as a top-level
+    ["analysis"] member.
 
     The server is single-threaded and handles one connection at a time —
     plenty for the embedded use it targets; run it in its own domain if

@@ -153,7 +153,9 @@ let test_neighbourhood_index () =
 let build_q ?open_objects src =
   match Amber.Query_graph.build ?open_objects (db ()) (Fixtures.parse_query src) with
   | Amber.Query_graph.Query q -> q
-  | Amber.Query_graph.Unsatisfiable r -> Alcotest.failf "unexpectedly unsat: %s" r
+  | Amber.Query_graph.Unsatisfiable { proof; _ } ->
+      Alcotest.failf "unexpectedly unsat: %s"
+        (Amber.Analysis.proof_to_string proof)
 
 let test_query_graph_paper () =
   let q = build_q Fixtures.paper_query_text in

@@ -56,14 +56,22 @@ let check_one seed triples ast =
   incr cases_checked;
   let expected = Reference.canonical_answer triples ast in
   let engine = Amber.Engine.build triples in
-  let seq =
-    Reference.canonical_rows (Amber.Engine.query engine ast).Amber.Engine.rows
-  in
+  let screened = Amber.Engine.query engine ast in
+  let seq = Reference.canonical_rows screened.Amber.Engine.rows in
   let par =
     Reference.canonical_rows
       (Amber.Engine.query ~domains:4 engine ast).Amber.Engine.rows
   in
-  if seq <> expected then
+  (* The static screen must be invisible: with analysis disabled the
+     answer record must be identical, field for field. *)
+  let unscreened = Amber.Engine.query ~analyze:false engine ast in
+  if screened <> unscreened then
+    QCheck.Test.fail_reportf
+      "seed %d: ?analyze on/off answers differ (%d vs %d rows) on:@.%s" seed
+      (List.length screened.Amber.Engine.rows)
+      (List.length unscreened.Amber.Engine.rows)
+      (Sparql.Ast.to_string ast)
+  else if seq <> expected then
     QCheck.Test.fail_reportf
       "seed %d: sequential AMbER disagrees with oracle (%d vs %d rows) on:@.%s"
       seed (List.length seq) (List.length expected) (Sparql.Ast.to_string ast)

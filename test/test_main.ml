@@ -30,4 +30,5 @@ let () =
          Test_algebra_ref.suite;
          Test_parallel.suite;
          Test_differential.suite;
+         Test_analysis.suite;
        ])

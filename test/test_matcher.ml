@@ -30,7 +30,8 @@ let build_query ctx src =
     Amber.Query_graph.build ctx.Amber.Matcher.db (Fixtures.parse_query src)
   with
   | Amber.Query_graph.Query q -> q
-  | Amber.Query_graph.Unsatisfiable r -> Alcotest.failf "unsat: %s" r
+  | Amber.Query_graph.Unsatisfiable { proof; _ } ->
+      Alcotest.failf "unsat: %s" (Amber.Analysis.proof_to_string proof)
 
 (* --- ProcessVertex (Algorithm 1) ------------------------------------- *)
 
