@@ -21,6 +21,7 @@ type config = {
   only : string list;  (* empty = all *)
   micro : bool;
   json_path : string option;
+  baseline : string option;
 }
 
 let default_config =
@@ -35,19 +36,23 @@ let default_config =
     only = [];
     micro = false;
     json_path = None;
+    baseline = None;
   }
 
 let usage () =
   print_endline
     {|usage: bench [--only ids] [--scale F] [--timeout S] [--queries N]
              [--sizes a,b,c] [--limit N] [--seed N] [--quick] [--micro]
-             [--json FILE]
+             [--json FILE] [--baseline FILE]
 
   ids: table1 table4 table5 fig6..fig11 ablation profile kernels parallel
-       build analysis (comma separated)
+       build analysis resource (comma separated)
   --quick: small preset (scale 0.04, 5 queries/point, sizes 10,20,30)
   --json:  also write a machine-readable report (summaries with
-           p95/p99, per-phase breakdowns, metrics registry) to FILE|};
+           p95/p99, per-phase breakdowns, metrics registry) to FILE
+  --baseline: compare this run's timings against an earlier --json
+           report; a suite whose median timing regresses by more than
+           20%% makes the run exit non-zero|};
   exit 0
 
 let parse_args () =
@@ -94,6 +99,9 @@ let parse_args () =
     | "--json" :: v :: rest ->
         cfg := { !cfg with json_path = Some v };
         go rest
+    | "--baseline" :: v :: rest ->
+        cfg := { !cfg with baseline = Some v };
+        go rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\n" arg;
         exit 1
@@ -134,6 +142,114 @@ let write_json_report cfg =
       output_char oc '\n';
       close_out oc;
       Printf.printf "\nwrote JSON report to %s\n" path
+
+(* --- baseline comparison (--baseline) ------------------------------ *)
+
+(* Every timing this harness records ends in "_s" or "_ns"; the
+   comparator pairs those fields by path between the baseline report and
+   this run, suite by suite, so it keeps working as suites grow fields. *)
+let is_timing_key k =
+  let ends suffix =
+    let lk = String.length k and ls = String.length suffix in
+    lk > ls && String.sub k (lk - ls) ls = suffix
+  in
+  ends "_s" || ends "_ns"
+
+let rec collect_timings prefix value acc =
+  match value with
+  | Obs.Json.Obj fields ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let path = if prefix = "" then k else prefix ^ "." ^ k in
+          match v with
+          | Obs.Json.Num f when is_timing_key k -> (path, f) :: acc
+          | _ -> collect_timings path v acc)
+        acc fields
+  | Obs.Json.Arr items ->
+      let acc = ref acc in
+      List.iteri
+        (fun i item ->
+          acc :=
+            collect_timings (Printf.sprintf "%s[%d]" prefix i) item !acc)
+        items;
+      !acc
+  | _ -> acc
+
+(* Compare this run's suites against a previous --json report. Returns
+   [true] when no suite's median timing regressed by more than 20%. *)
+let compare_with_baseline cfg =
+  match cfg.baseline with
+  | None -> true
+  | Some path -> (
+      let text =
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      match Obs.Json.parse_opt text with
+      | Some (Obs.Json.Obj base_fields) ->
+          section (Printf.sprintf "Baseline comparison vs %s" path);
+          let current =
+            List.filter_map
+              (fun (k, v) ->
+                Option.map (fun j -> (k, j)) (Obs.Json.parse_opt v))
+              (List.rev !json_entries)
+          in
+          let rows = ref [] and regressed = ref [] in
+          List.iter
+            (fun (suite, cur_json) ->
+              match List.assoc_opt suite base_fields with
+              | None -> ()
+              | Some base_json ->
+                  let base = collect_timings "" base_json [] in
+                  let cur = collect_timings "" cur_json [] in
+                  let deltas =
+                    List.filter_map
+                      (fun (p, b) ->
+                        if b > 1e-9 then
+                          Option.map
+                            (fun c -> (c -. b) /. b)
+                            (List.assoc_opt p cur)
+                        else None)
+                      base
+                  in
+                  if deltas <> [] then begin
+                    let med = Bench_util.Stats.median deltas in
+                    let worst = Bench_util.Stats.maximum deltas in
+                    let flagged = med > 0.20 in
+                    if flagged then regressed := suite :: !regressed;
+                    rows :=
+                      [
+                        suite;
+                        string_of_int (List.length deltas);
+                        Printf.sprintf "%+.1f%%" (100. *. med);
+                        Printf.sprintf "%+.1f%%" (100. *. worst);
+                        (if flagged then "REGRESSION" else "ok");
+                      ]
+                      :: !rows
+                  end)
+            current;
+          if !rows = [] then begin
+            Printf.printf
+              "no timing fields shared with the baseline (different suites?)\n";
+            true
+          end
+          else begin
+            Bench_util.Table_fmt.print
+              ~header:
+                [ "suite"; "timings"; "median delta"; "worst delta"; "verdict" ]
+              (List.rev !rows);
+            (match !regressed with
+            | [] -> Printf.printf "no suite regressed past the 20%% gate\n"
+            | suites ->
+                Printf.printf "REGRESSED (median > +20%%): %s\n"
+                  (String.concat ", " (List.rev suites)));
+            !regressed = []
+          end
+      | Some _ | None ->
+          Printf.eprintf "baseline %s is not a JSON report object\n" path;
+          false)
 
 (* ------------------------------------------------------------------ *)
 (* Engines under comparison                                            *)
@@ -1085,6 +1201,106 @@ let bench_analysis cfg ds =
        (if sc_mean > 0. then full_mean /. sc_mean else 0.))
 
 (* ------------------------------------------------------------------ *)
+(* Resource accounting: index resident sizes + per-query GC allocation;*)
+(* --only resource, recorded as BENCH_6.json                           *)
+(* ------------------------------------------------------------------ *)
+
+let bench_resource cfg ds =
+  section
+    (Printf.sprintf
+       "Resource accounting: index resident bytes and per-query GC \
+        allocation on %s"
+       ds.ds_name);
+  let triples = Lazy.force ds.triples in
+  let engine = Amber.Engine.build triples in
+  let n_triples = max 1 (List.length triples) in
+  (* (a) what each index holds: a reachable-words walk per structure —
+     the same numbers the endpoint exports as
+     amber_index_resident_bytes{index=...}. *)
+  let resident = Amber.Engine.resident_bytes engine in
+  let total = List.fold_left (fun acc (_, b) -> acc + b) 0 resident in
+  Bench_util.Table_fmt.print
+    ~header:[ "index"; "resident bytes"; "MB"; "bytes/triple" ]
+    (List.map
+       (fun (name, bytes) ->
+         [
+           name;
+           string_of_int bytes;
+           Printf.sprintf "%.2f" (float_of_int bytes /. 1_048_576.);
+           Printf.sprintf "%.1f" (float_of_int bytes /. float_of_int n_triples);
+         ])
+       resident
+    @ [
+        [
+          "total";
+          string_of_int total;
+          Printf.sprintf "%.2f" (float_of_int total /. 1_048_576.);
+          Printf.sprintf "%.1f" (float_of_int total /. float_of_int n_triples);
+        ];
+      ]);
+  (* (b) what a query allocates: the Gc.quick_stat delta across each
+     run, the figure the flight recorder attaches to every record.
+     Sequential runs, so the calling-domain caveat doesn't bite. *)
+  let workload =
+    Datagen.Workload.generate ~seed:(cfg.seed + 71) (Lazy.force ds.corpus)
+      ~shape:Datagen.Workload.Star ~size:20 ~count:cfg.queries_per_point
+    @ Datagen.Workload.generate ~seed:(cfg.seed + 72) (Lazy.force ds.corpus)
+        ~shape:Datagen.Workload.Complex ~size:30 ~count:cfg.queries_per_point
+  in
+  let allocs = ref []
+  and minors = ref 0
+  and majors = ref 0
+  and unanswered = ref 0 in
+  List.iter
+    (fun ast ->
+      match
+        Obs.Resource.gc_delta (fun () ->
+            Amber.Engine.query ~timeout:cfg.timeout ~limit:cfg.row_limit
+              engine ast)
+      with
+      | _, d ->
+          allocs := Obs.Resource.allocated_bytes d :: !allocs;
+          minors := !minors + d.Obs.Resource.minor_collections;
+          majors := !majors + d.Obs.Resource.major_collections
+      | exception Amber.Deadline.Expired -> incr unanswered)
+    workload;
+  let answered = List.length !allocs in
+  let mean_alloc = Bench_util.Stats.mean !allocs in
+  let p95_alloc = Bench_util.Stats.p95 !allocs in
+  let max_alloc = Bench_util.Stats.maximum !allocs in
+  Printf.printf
+    "per-query allocation over %d answered queries (%d unanswered):\n"
+    answered !unanswered;
+  Bench_util.Table_fmt.print
+    ~header:[ "figure"; "value" ]
+    [
+      [ "mean bytes/query"; Printf.sprintf "%.0f" mean_alloc ];
+      [ "p95 bytes/query"; Printf.sprintf "%.0f" p95_alloc ];
+      [
+        "max bytes/query";
+        Printf.sprintf "%.0f" (if answered = 0 then 0. else max_alloc);
+      ];
+      [ "minor collections"; string_of_int !minors ];
+      [ "major collections"; string_of_int !majors ];
+    ];
+  add_json "resource"
+    (Printf.sprintf
+       {|{"dataset":"%s","triples":%d,"resident_bytes":{%s},"total_resident_bytes":%d,"bytes_per_triple":%.2f,"query_alloc":{"queries":%d,"answered":%d,"mean_bytes":%.1f,"p95_bytes":%.1f,"max_bytes":%.1f,"minor_collections":%d,"major_collections":%d}}|}
+       ds.ds_name (List.length triples)
+       (String.concat ","
+          (List.map
+             (fun (name, bytes) -> Printf.sprintf {|"%s":%d|} name bytes)
+             resident))
+       total
+       (float_of_int total /. float_of_int n_triples)
+       (List.length workload) answered mean_alloc p95_alloc
+       (if answered = 0 then 0. else max_alloc)
+       !minors !majors);
+  (* Publish the gauges so the report's "metrics" object carries them
+     too, like a /metrics scrape would. *)
+  Amber.Engine.sync_resource_metrics engine
+
+(* ------------------------------------------------------------------ *)
 (* Micro benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1191,6 +1407,9 @@ let () =
   if wants cfg "parallel" then bench_parallel cfg dbpedia;
   if wants cfg "build" then bench_build cfg dbpedia;
   if wants cfg "analysis" then bench_analysis cfg dbpedia;
+  if wants cfg "resource" then bench_resource cfg dbpedia;
   if cfg.micro then micro_benchmarks ();
   write_json_report cfg;
-  print_newline ()
+  let within_baseline = compare_with_baseline cfg in
+  print_newline ();
+  if not within_baseline then exit 3

@@ -7,6 +7,7 @@
      amber explain --data g.nt --query q.sparql (AMbER's matching plan)
      amber lint    --data g.nt q1.sparql [q2.sparql ...] [--json]
      amber fsck    db.amberix (validate a snapshot without serving it)
+     amber log tail flight.jsonl [--n N] [--json]  (flight-recorder sink)
 
    Query text can also be passed inline with --sparql. Data files ending
    in .ttl are parsed as Turtle, anything else as N-Triples — except
@@ -16,7 +17,8 @@
    inputs, skipping the offline rebuild. With --extended, queries may
    use UNION / OPTIONAL / FILTER (amber engine only). `query --profile`
    prints the per-query profile (phase tree, candidate counts, matcher
-   counters); `query --explain` the matching plan. *)
+   counters); `query --explain` the matching plan; `query --trace-out f`
+   writes the phase tree as Chrome trace-event JSON for Perfetto. *)
 
 open Cmdliner
 
@@ -119,6 +121,17 @@ let explain_flag_arg =
           "Print the decomposition and matching order before answering \
            (amber engine only).")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's phase tree to $(docv) as Chrome trace-event JSON, \
+           openable in Perfetto (ui.perfetto.dev) or chrome://tracing. \
+           Implies a profiled run; with --domains N the per-domain chunk \
+           spans appear as separate lanes (amber engine, SELECT only).")
+
 let query_text query_file sparql =
   match (sparql, query_file) with
   | Some q, _ -> q
@@ -198,11 +211,13 @@ let print_answer ?(format = `Table) variables rows truncated =
 (* --- query ----------------------------------------------------------- *)
 
 let run_query data query_file sparql timeout limit engine open_objects extended
-    format profile explain domains =
+    format profile explain domains trace_out =
   let src = query_text query_file sparql in
-  if (profile || explain) && (extended || engine <> `Amber) then
+  if (profile || explain || trace_out <> None) && (extended || engine <> `Amber)
+  then
     prerr_endline
-      "note: --profile/--explain apply to the plain amber engine only; ignored";
+      "note: --profile/--explain/--trace-out apply to the plain amber engine \
+       only; ignored";
   if domains <> None && (extended || engine <> `Amber) then
     prerr_endline "note: --domains applies to the plain amber engine only; ignored";
   let domains = Option.map (fun d -> max 1 (min 8 d)) domains in
@@ -267,7 +282,7 @@ let run_query data query_file sparql timeout limit engine open_objects extended
         | _ -> false
         | exception Sparql.Parser.Error _ -> false
       in
-      if profile && is_select then begin
+      if (profile || trace_out <> None) && is_select then begin
         (* Re-parses under the profiler so the parse phase is timed. *)
         match
           Bench_util.Runner.time (fun () ->
@@ -276,15 +291,25 @@ let run_query data query_file sparql timeout limit engine open_objects extended
         with
         | dt, (a, p) ->
             print_answer ~format a.Amber.Engine.variables a.rows a.truncated;
-            Format.printf "%a@." Amber.Profile.pp p;
+            if profile then Format.printf "%a@." Amber.Profile.pp p;
+            (match trace_out with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                output_string oc (Obs.Span.to_chrome_json p.Amber.Profile.span);
+                output_char oc '\n';
+                close_out oc;
+                Printf.eprintf "wrote trace to %s (open in ui.perfetto.dev)\n"
+                  path);
             Printf.eprintf "answered in %.2f ms\n" (1000. *. dt)
         | exception Amber.Deadline.Expired ->
             Printf.eprintf "query timed out\n";
             exit 3
       end
       else begin
-        if profile then
-          prerr_endline "note: --profile applies to SELECT queries only";
+        if profile || trace_out <> None then
+          prerr_endline
+            "note: --profile/--trace-out apply to SELECT queries only";
         match
           Bench_util.Runner.time (fun () ->
               match Sparql.Parser.parse_any src with
@@ -327,7 +352,7 @@ let query_cmd =
     Term.(
       const run_query $ data_arg $ query_file_arg $ sparql_arg $ timeout_arg
       $ limit_arg $ engine_arg $ open_objects_arg $ extended_arg $ format_arg
-      $ profile_arg $ explain_flag_arg $ domains_arg)
+      $ profile_arg $ explain_flag_arg $ domains_arg $ trace_out_arg)
 
 (* --- explain ----------------------------------------------------------- *)
 
@@ -471,7 +496,8 @@ let fsck_cmd =
 
 (* --- serve ------------------------------------------------------------- *)
 
-let run_serve data port timeout limit open_objects domains =
+let run_serve data port timeout limit open_objects domains slow_query log_sample
+    log_sink =
   let is_snapshot = Amber.Snapshot.sniff_file data in
   let domains = Option.map (fun d -> max 1 (min 8 d)) domains in
   let config =
@@ -483,6 +509,9 @@ let run_serve data port timeout limit open_objects domains =
       open_objects;
       domains;
       snapshot = (if is_snapshot then Some data else None);
+      slow_query = (if slow_query <= 0. then None else Some slow_query);
+      log_sample;
+      log_sink;
     }
   in
   let t_boot, server =
@@ -500,12 +529,116 @@ let run_serve data port timeout limit open_objects domains =
 let port_arg =
   Arg.(value & opt int 8080 & info [ "port" ] ~docv:"PORT" ~doc:"TCP port (0 = ephemeral).")
 
+let slow_query_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "slow-query" ] ~docv:"SECONDS"
+        ~doc:
+          "Flight-recorder slow-query threshold: queries at or past $(docv) \
+           are always captured, whatever --log-sample says. 0 disables the \
+           threshold.")
+
+let log_sample_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "log-sample" ] ~docv:"RATE"
+        ~doc:
+          "Flight-recorder sampling rate in [0,1]: the deterministic \
+           fraction of ok queries to capture (slow and failed queries are \
+           captured regardless).")
+
+let log_sink_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-sink" ] ~docv:"FILE"
+        ~doc:
+          "Append captured flight records to $(docv) as JSON lines (read \
+           back with `amber log tail`).")
+
 let serve_cmd =
   let doc = "serve the dataset over the SPARQL protocol (HTTP)" in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run_serve $ data_arg $ port_arg $ timeout_arg $ limit_arg
-      $ open_objects_arg $ domains_arg)
+      $ open_objects_arg $ domains_arg $ slow_query_arg $ log_sample_arg
+      $ log_sink_arg)
+
+(* --- log --------------------------------------------------------------- *)
+
+let run_log_tail file n json_out =
+  let ic = open_in file in
+  let rev_lines = ref [] in
+  (try
+     while true do
+       rev_lines := input_line ic :: !rev_lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  (* [rev_lines] is newest-first; keep the last [n], print oldest-first. *)
+  let lines =
+    List.rev (List.filteri (fun i _ -> i < n) !rev_lines)
+  in
+  let malformed = ref false in
+  List.iter
+    (fun line ->
+      if String.trim line = "" then ()
+      else if json_out then print_endline line
+      else
+        match Obs.Json.parse_opt line with
+        | None ->
+            malformed := true;
+            Printf.printf "(malformed record) %s\n" line
+        | Some v ->
+            let str key =
+              Option.value ~default:""
+                (Option.bind (Obs.Json.member key v) Obs.Json.to_string)
+            in
+            let num key =
+              Option.value ~default:0.
+                (Option.bind (Obs.Json.member key v) Obs.Json.to_float)
+            in
+            let slow =
+              match Option.bind (Obs.Json.member "slow" v) Obs.Json.to_bool with
+              | Some true -> " SLOW"
+              | _ -> ""
+            in
+            let query = str "query" in
+            let query =
+              if String.length query > 72 then String.sub query 0 69 ^ "..."
+              else query
+            in
+            Printf.printf "#%-5.0f %-7s %9.2f ms %7.0f rows  %s%s  %s\n"
+              (num "id") (str "status")
+              (1000. *. num "seconds")
+              (num "rows") (str "hash") slow query)
+    lines;
+  if !malformed then exit 1
+
+let log_file_arg =
+  Arg.(
+    required
+    & pos 0 (some non_dir_file) None
+    & info [] ~docv:"FILE"
+        ~doc:"A JSONL flight-record file (`amber serve --log-sink`).")
+
+let tail_n_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "n" ] ~docv:"N" ~doc:"Number of trailing records to show.")
+
+let log_cmd =
+  let tail_doc =
+    "show the last flight records of a JSONL sink file, one line per query \
+     (id, status, latency, rows, hash, query text); --json prints the raw \
+     records instead"
+  in
+  Cmd.group (Cmd.info "log" ~doc:"inspect flight-recorder sinks")
+    [
+      Cmd.v
+        (Cmd.info "tail" ~doc:tail_doc)
+        Term.(const run_log_tail $ log_file_arg $ tail_n_arg $ json_flag_arg);
+    ]
 
 (* --- compile ----------------------------------------------------------- *)
 
@@ -614,4 +747,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "amber" ~doc)
           [ query_cmd; build_cmd; stats_cmd; bench_cmd; explain_cmd; lint_cmd;
-            fsck_cmd; compile_cmd; serve_cmd ]))
+            fsck_cmd; compile_cmd; serve_cmd; log_cmd ]))

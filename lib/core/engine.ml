@@ -205,6 +205,70 @@ let record_query_metrics ~seconds (stats : Matcher.stats) =
   Obs.Metrics.add m_probe_cache_hits stats.Matcher.probe_cache_hits;
   Obs.Metrics.add m_probe_cache_misses stats.Matcher.probe_cache_misses
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every query entry point offers a structured record to the default
+   flight recorder ([Obs.Query_log.default]) — including unsat
+   short-circuits, timeouts and errors, which are the records an
+   operator goes looking for. Capture policy (sampling, slow threshold,
+   ring size, JSONL sink) lives in the recorder; the engine only
+   describes what happened. *)
+
+let core_order_names q (plan : Decompose.plan) =
+  Array.to_list
+    (Array.map
+       (fun (comp : Decompose.component) ->
+         Array.to_list
+           (Array.map
+              (fun u -> q.Query_graph.var_names.(u))
+              comp.Decompose.core_order))
+       plan.Decompose.components)
+
+let analysis_slug report =
+  match Analysis.unsat_proof report with
+  | Some _ -> "unsat"
+  | None -> (
+      match List.length (Analysis.warnings report) with
+      | 0 -> "ok"
+      | n -> Printf.sprintf "warnings=%d" n)
+
+let record_flight ~seconds ~ast ~domains ~status ~core_order ~phases ~analysis
+    ~gc ~(stats : Matcher.stats) answer =
+  let text = Sparql.Ast.to_string ast in
+  let rows, truncated =
+    match answer with
+    | Some a -> (List.length a.rows, a.truncated)
+    | None -> (0, false)
+  in
+  Obs.Query_log.record Obs.Query_log.default
+    {
+      Obs.Query_log.id = 0;
+      at = Unix.gettimeofday ();
+      query = text;
+      hash = Obs.Query_log.hash_query text;
+      status;
+      seconds;
+      rows;
+      truncated;
+      domains;
+      core_order;
+      phases;
+      candidates_scanned = stats.Matcher.candidates_scanned;
+      solutions = stats.Matcher.solutions;
+      index_probes = stats.Matcher.index_probes;
+      cache_hits = stats.Matcher.probe_cache_hits;
+      cache_misses = stats.Matcher.probe_cache_misses;
+      analysis;
+      gc;
+      slow = false;
+    }
+
+let status_of_exn = function
+  | Deadline.Expired -> Obs.Query_log.Timeout
+  | e -> Obs.Query_log.Error (Printexc.to_string e)
+
 let sync_index_metrics t =
   let set name help v =
     Obs.Metrics.set (Obs.Metrics.counter m name ~help) v
@@ -229,6 +293,31 @@ let sync_index_metrics t =
     "Cross-query synopsis-candidate LRU hits" syn_hits;
   set "amber_engine_synopsis_cache_misses_total"
     "Cross-query synopsis-candidate LRU misses" syn_misses
+
+(* Resident cost per index structure, by reachable-heap walk. Linear in
+   index size — probe per scrape or per report, never per query. Blocks
+   shared between structures (e.g. interned dictionary strings) are
+   counted from each structure that reaches them. *)
+let resident_bytes t =
+  [
+    ("adjacency", Obs.Resource.reachable_bytes (Database.graph t.db));
+    ("attribute", Obs.Resource.reachable_bytes t.attribute);
+    ("synopsis", Obs.Resource.reachable_bytes t.synopsis);
+    ("neighbourhood", Obs.Resource.reachable_bytes t.neighbourhood);
+  ]
+
+let sync_resource_metrics t =
+  List.iter
+    (fun (index, bytes) ->
+      Obs.Metrics.set
+        (Obs.Metrics.counter m "amber_index_resident_bytes"
+           ~labels:[ ("index", index) ]
+           ~help:
+             "Heap bytes reachable from one index structure (adjacency \
+              multigraph, attribute inverted lists, synopsis R-tree, \
+              neighbourhood OTILs)")
+        bytes)
+    (resident_bytes t)
 
 (* ------------------------------------------------------------------ *)
 (* Offline build (optionally parallel index construction)              *)
@@ -395,6 +484,13 @@ let collect_solutions_parallel ?caches t q plan ~domains ~deadline ~stats limit 
      aggregate stats directly. *)
   let seed_ctx = make_ctx ?caches t ~deadline ~stats in
   Obs.Metrics.incr m_parallel_queries;
+  (* When the calling domain is being profiled, each chunk collects its
+     own span subtree on the worker domain that runs it ([Span.collect]
+     uses domain-local storage, so workers never touch the caller's open
+     spans). The finished subtrees are grafted under the caller's open
+     span in chunk order after the join — the same deterministic merge
+     discipline as the solutions and stats. *)
+  let traced = Obs.Span.active () in
   let exception Component_empty in
   (try
      Array.iteri
@@ -413,25 +509,44 @@ let collect_solutions_parallel ?caches t q plan ~domains ~deadline ~stats limit 
          let results =
            Domain_pool.run_chunks pool ~participants:domains ~chunks (fun c ->
                let lo = c * n / chunks and hi = (c + 1) * n / chunks in
-               let chunk_stats = Matcher.fresh_stats () in
-               let ctx =
-                 make_ctx ?caches t ~deadline:(Deadline.clone deadline)
-                   ~stats:chunk_stats
+               let run () =
+                 let chunk_stats = Matcher.fresh_stats () in
+                 let ctx =
+                   make_ctx ?caches t ~deadline:(Deadline.clone deadline)
+                     ~stats:chunk_stats
+                 in
+                 let sols = ref [] in
+                 Matcher.solve_component_seeded ctx q plan comp
+                   ~seeds:(Array.sub seeds lo (hi - lo))
+                   ~emit:(fun sol ->
+                     sols := sol :: !sols;
+                     let k = Matcher.count_embeddings sol in
+                     let before = Atomic.fetch_and_add emitted k in
+                     match limit with
+                     | Some l when before + k >= l -> `Stop
+                     | _ -> `Continue);
+                 (List.rev !sols, chunk_stats)
                in
-               let sols = ref [] in
-               Matcher.solve_component_seeded ctx q plan comp
-                 ~seeds:(Array.sub seeds lo (hi - lo))
-                 ~emit:(fun sol ->
-                   sols := sol :: !sols;
-                   let k = Matcher.count_embeddings sol in
-                   let before = Atomic.fetch_and_add emitted k in
-                   match limit with
-                   | Some l when before + k >= l -> `Stop
-                   | _ -> `Continue);
-               (List.rev !sols, chunk_stats))
+               if not traced then (run (), None)
+               else
+                 let r, span =
+                   Obs.Span.collect ~name:"chunk" (fun () ->
+                       Obs.Span.annotate "component" (string_of_int i);
+                       Obs.Span.annotate "chunk" (string_of_int c);
+                       Obs.Span.annotate "seeds" (string_of_int (hi - lo));
+                       let (_, st) as r = run () in
+                       Obs.Span.annotate "solutions"
+                         (string_of_int st.Matcher.solutions);
+                       r)
+                 in
+                 (r, Some span))
          in
-         Array.iter (fun (_, st) -> Matcher.merge_into ~into:stats st) results;
-         out.(i) <- List.concat_map fst (Array.to_list results);
+         Array.iter
+           (fun ((_, st), span) ->
+             Matcher.merge_into ~into:stats st;
+             Option.iter Obs.Span.graft span)
+           results;
+         out.(i) <- List.concat_map (fun ((s, _), _) -> s) (Array.to_list results);
          if out.(i) = [] then raise Component_empty)
        components
    with Component_empty -> ());
@@ -459,6 +574,7 @@ let screen_proof t q ast =
 let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
     ?caches ?(analyze = true) ?(domains = 1) t (ast : Sparql.Ast.t) =
   let t0 = Unix.gettimeofday () in
+  let gc0 = Obs.Resource.gc_mark () in
   let domains = max 1 domains in
   let deadline = deadline_of timeout in
   let stats = Matcher.fresh_stats () in
@@ -469,32 +585,82 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
     | Some l, None | None, Some l -> Some l
     | Some a, Some b -> Some (min a b)
   in
-  let finish answer =
+  (* Flight-recorder state: explicit phase clocks (same vocabulary as
+     the profiled path's span tree) kept cheap enough for the plain
+     path — two clock reads per phase, no span machinery. *)
+  let phases = ref [] in
+  let phase name f =
+    let p0 = Unix.gettimeofday () in
+    let v = f () in
+    phases := (name, Unix.gettimeofday () -. p0) :: !phases;
+    v
+  in
+  let core_order = ref [] in
+  let analysis_note = ref None in
+  let flight status answer =
+    record_flight
+      ~seconds:(Unix.gettimeofday () -. t0)
+      ~ast ~domains ~status ~core_order:!core_order
+      ~phases:(List.rev !phases) ~analysis:!analysis_note
+      ~gc:(Obs.Resource.gc_since gc0) ~stats answer
+  in
+  let finish ?(status = Obs.Query_log.Ok) answer =
     record_query_metrics ~seconds:(Unix.gettimeofday () -. t0) stats;
+    flight status (Some answer);
     (answer, stats)
   in
-  match Query_graph.build ?open_objects t.db ast with
-  | Query_graph.Unsatisfiable _ ->
-      Obs.Metrics.incr m_analysis_unsat;
-      finish (empty_answer selected)
-  | Query_graph.Query q when analyze && screen_proof t q ast <> None ->
-      Obs.Metrics.incr m_analysis_unsat;
-      finish (empty_answer selected)
-  | Query_graph.Query q ->
-      let plan = Decompose.plan ?strategy ?satellites q in
-      (* Under DISTINCT or ORDER BY a solution cap could starve the
-         projection; with open objects a solution's embeddings can all
-         be dropped at enumeration. Cap only the final row count then. *)
-      let solution_cap =
-        if ast.distinct || q.Query_graph.opens <> [] then None
-        else gather_cap ast effective_limit
-      in
-      (match collect ?caches t q plan ~domains ~deadline ~stats solution_cap with
-      | None -> finish (empty_answer selected)
-      | Some solutions ->
-          finish
-            (project_answer t ~q ~ast ~deadline ~selected ~effective_limit
-               ~solutions))
+  try
+    match
+      phase "decompose" (fun () ->
+          match Query_graph.build ?open_objects t.db ast with
+          | Query_graph.Unsatisfiable _ -> None
+          | Query_graph.Query q ->
+              let plan = Decompose.plan ?strategy ?satellites q in
+              core_order := core_order_names q plan;
+              Some (q, plan))
+    with
+    | None ->
+        Obs.Metrics.incr m_analysis_unsat;
+        analysis_note := Some "unsat";
+        finish ~status:Obs.Query_log.Unsat (empty_answer selected)
+    | Some (q, plan) -> (
+        let proof =
+          if not analyze then None
+          else
+            phase "analyze" (fun () ->
+                let proof = screen_proof t q ast in
+                analysis_note :=
+                  Some (match proof with Some _ -> "unsat" | None -> "ok");
+                proof)
+        in
+        match proof with
+        | Some _ ->
+            Obs.Metrics.incr m_analysis_unsat;
+            finish ~status:Obs.Query_log.Unsat (empty_answer selected)
+        | None -> (
+            (* Under DISTINCT or ORDER BY a solution cap could starve the
+               projection; with open objects a solution's embeddings can
+               all be dropped at enumeration. Cap only the final row
+               count then. *)
+            let solution_cap =
+              if ast.distinct || q.Query_graph.opens <> [] then None
+              else gather_cap ast effective_limit
+            in
+            match
+              phase "match" (fun () ->
+                  collect ?caches t q plan ~domains ~deadline ~stats
+                    solution_cap)
+            with
+            | None -> finish (empty_answer selected)
+            | Some solutions ->
+                finish
+                  (phase "enumerate" (fun () ->
+                       project_answer t ~q ~ast ~deadline ~selected
+                         ~effective_limit ~solutions))))
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    flight (status_of_exn e) None;
+    Printexc.raise_with_backtrace e bt
 
 let query ?timeout ?limit ?strategy ?satellites ?open_objects ?caches ?analyze
     ?domains t ast =
@@ -672,20 +838,10 @@ let vertex_reports t q (plan : Decompose.plan) =
         refined;
       })
 
-(* [query] with the phase tree, candidate report and matcher counters
-   collected. With [domains > 1] the match phase runs on the domain
-   pool; the profile's stats are the deterministic per-domain merge.
-   [parse] runs under the root span so query_string_profiled attributes
-   parsing time too. *)
-let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
-    ?(analyze = true) ?(domains = 1) t ~(parse : unit -> Sparql.Ast.t) =
-  let domains = max 1 domains in
-  let deadline = deadline_of timeout in
-  let stats = Matcher.fresh_stats () in
-  let analysis = ref None in
-  let (answer, shape), span =
-    Obs.Span.root ~name:"query" (fun () ->
-        let ast = Obs.Span.with_ ~name:"parse" parse in
+(* The profiled pipeline, run under an already-open root span: returns
+   the answer plus the [(q, plan, vertices)] shape when matching ran. *)
+let profiled_body ?limit ?strategy ?satellites ?open_objects ?caches ~analyze
+    ~domains ~deadline ~stats ~analysis t (ast : Sparql.Ast.t) =
         let selected = Sparql.Ast.selected_variables ast in
         let effective_limit =
           match (limit, ast.Sparql.Ast.limit) with
@@ -772,7 +928,45 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
                         (string_of_int (List.length a.rows));
                       a)
             in
-            (answer, Some (q, plan, vertices)))
+            (answer, Some (q, plan, vertices))
+
+(* [query] with the phase tree, candidate report and matcher counters
+   collected. With [domains > 1] the match phase runs on the domain
+   pool; the profile's stats — and its span tree, via per-chunk
+   {!Obs.Span.collect}/{!Obs.Span.graft} — are the deterministic
+   per-domain merge. [parse] runs under the root span so
+   query_string_profiled attributes parsing time too. *)
+let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
+    ?(analyze = true) ?(domains = 1) t ~(parse : unit -> Sparql.Ast.t) =
+  let t0 = Unix.gettimeofday () in
+  let gc0 = Obs.Resource.gc_mark () in
+  let domains = max 1 domains in
+  let deadline = deadline_of timeout in
+  let stats = Matcher.fresh_stats () in
+  let analysis = ref None in
+  let parsed = ref None in
+  let (answer, shape), span =
+    try
+      Obs.Span.root ~name:"query" (fun () ->
+          let ast = Obs.Span.with_ ~name:"parse" parse in
+          parsed := Some ast;
+          profiled_body ?limit ?strategy ?satellites ?open_objects ?caches
+            ~analyze ~domains ~deadline ~stats ~analysis t ast)
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      (* The span tree of a raising run is lost (the root unwinds), but
+         the flight is recorded anyway — timeouts are exactly the
+         records an operator goes looking for. A parse failure carries
+         no query to record. *)
+      (match !parsed with
+      | Some ast ->
+          record_flight
+            ~seconds:(Unix.gettimeofday () -. t0)
+            ~ast ~domains ~status:(status_of_exn e) ~core_order:[] ~phases:[]
+            ~analysis:(Option.map analysis_slug !analysis)
+            ~gc:(Obs.Resource.gc_since gc0) ~stats None
+      | None -> ());
+      Printexc.raise_with_backtrace e bt
   in
   record_query_metrics ~seconds:(Obs.Span.duration span) stats;
   (match !analysis with
@@ -783,17 +977,27 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
   let core_order, vertices =
     match shape with
     | None -> ([], [])
-    | Some (q, plan, vertices) ->
-        ( Array.to_list
-            (Array.map
-               (fun (comp : Decompose.component) ->
-                 Array.to_list
-                   (Array.map
-                      (fun u -> q.Query_graph.var_names.(u))
-                      comp.Decompose.core_order))
-               plan.Decompose.components),
-          vertices )
+    | Some (q, plan, vertices) -> (core_order_names q plan, vertices)
   in
+  (match !parsed with
+  | Some ast ->
+      let status =
+        match shape with
+        | None -> Obs.Query_log.Unsat
+        | Some _ -> Obs.Query_log.Ok
+      in
+      (* Per-phase durations come straight from the root's children. *)
+      let phases =
+        List.map
+          (fun c -> (Obs.Span.name c, Obs.Span.duration c))
+          (Obs.Span.children span)
+      in
+      record_flight
+        ~seconds:(Obs.Span.duration span)
+        ~ast ~domains ~status ~core_order ~phases
+        ~analysis:(Option.map analysis_slug !analysis)
+        ~gc:(Obs.Resource.gc_since gc0) ~stats (Some answer)
+  | None -> ());
   ( answer,
     {
       Profile.core_order;

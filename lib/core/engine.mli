@@ -166,6 +166,20 @@ val sync_index_metrics : t -> unit
     the default metric registry — called by the endpoint before
     rendering [GET /metrics]. *)
 
+val resident_bytes : t -> (string * int) list
+(** Heap bytes reachable from each index structure, by reachable-words
+    walk: [("adjacency", …)] (the multigraph), [("attribute", …)] (the
+    inverted lists), [("synopsis", …)] (the R-tree), and
+    [("neighbourhood", …)] (the OTILs). Linear in index size — call per
+    metrics scrape or per report, not per query. Heap blocks shared
+    between structures are counted from each structure reaching them. *)
+
+val sync_resource_metrics : t -> unit
+(** Publish {!resident_bytes} as the
+    [amber_index_resident_bytes{index=…}] gauges in the default
+    registry — called by the endpoint before rendering
+    [GET /metrics]. *)
+
 val recommended_domains : unit -> int
 (** The machine's recommended domain count minus the caller, clamped to
     [1, 8] — the default for {!query_parallel} and a sensible value for

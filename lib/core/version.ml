@@ -1,0 +1,1 @@
+let version = "0.6.0"

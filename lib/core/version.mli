@@ -1,0 +1,5 @@
+(** The engine's version string, exported by the endpoint as the
+    [amber_build_info] gauge's [version] label and printed by the CLI.
+    Bumped per release line. *)
+
+val version : string

@@ -6,11 +6,15 @@ type config = {
   open_objects : bool;
   domains : int option;
   snapshot : string option;
+  slow_query : float option;
+  log_sample : float;
+  log_sink : string option;
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 8080; timeout = Some 30.0; limit = Some 100_000;
-    open_objects = true; domains = None; snapshot = None }
+    open_objects = true; domains = None; snapshot = None;
+    slow_query = Some 1.0; log_sample = 1.0; log_sink = None }
 
 type t = {
   config : config;
@@ -94,6 +98,8 @@ let service_description =
 GET  /sparql?query=<urlencoded SPARQL>[&profile=1][&domains=N]
 POST /sparql   (application/x-www-form-urlencoded or application/sparql-query)
 GET  /metrics  (Prometheus text exposition)
+GET  /queries  (flight recorder: last recorded queries as JSON; ?n=K)
+GET  /healthz  (liveness: {"status":"ok",...})
 Accept: application/sparql-results+json | text/csv | text/tab-separated-values
 profile=1 embeds a per-query profile (phase timings, candidate counts)
 in the JSON results.
@@ -118,6 +124,15 @@ let m_errors =
 let m_timeouts =
   Obs.Metrics.counter m "amber_query_timeouts_total"
     ~help:"Queries aborted by the per-query time budget"
+
+(* Prometheus build-info convention: constant 1, the payload is the
+   label set. *)
+let () =
+  Obs.Metrics.set
+    (Obs.Metrics.counter m "amber_build_info"
+       ~labels:[ ("version", Amber.Version.version) ]
+       ~help:"Build information; the value is always 1")
+    1
 
 (* Results JSON is a single object; the profile report splices in as a
    top-level "profile" member. *)
@@ -153,9 +168,18 @@ let handle_request_inner config engine ~meth ~target ~headers ~body =
   | "GET", "/" -> (200, "text/plain", service_description)
   | "GET", "/metrics" ->
       Amber.Engine.sync_index_metrics engine;
+      Amber.Engine.sync_resource_metrics engine;
       ( 200,
         "text/plain; version=0.0.4",
         Obs.Metrics.render_prometheus Obs.Metrics.default )
+  | "GET", "/healthz" ->
+      ( 200,
+        "application/json",
+        Printf.sprintf {|{"status":"ok","version":"%s"}|} Amber.Version.version
+        ^ "\n" )
+  | "GET", "/queries" ->
+      let n = Option.bind (List.assoc_opt "n" params) int_of_string_opt in
+      (200, "application/json", Obs.Query_log.to_json ?n Obs.Query_log.default)
   | ("GET" | "POST"), "/sparql" -> (
       let query_text, form_params =
         match meth with
@@ -284,6 +308,11 @@ let handle_request config engine ~meth ~target ~headers ~body =
 (* --- socket plumbing ------------------------------------------------ *)
 
 let create ?(config = default_config) engine =
+  (* The server's flight-recorder policy is authoritative for the
+     process-wide recorder every engine entry point records into. *)
+  Obs.Query_log.configure ~sample_rate:config.log_sample
+    ~slow_threshold:config.slow_query Obs.Query_log.default;
+  Obs.Query_log.set_sink Obs.Query_log.default config.log_sink;
   let socket = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt socket Unix.SO_REUSEADDR true;
   Unix.bind socket (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));

@@ -15,8 +15,15 @@
 
     Observability: [GET /metrics] renders the default {!Obs.Metrics}
     registry in the Prometheus text exposition format (HTTP/query
-    counters, a query-latency histogram, and the engine's lifetime
-    index-probe counters). Adding [profile=1] to a SELECT request embeds
+    counters, a query-latency histogram, the engine's lifetime
+    index-probe counters, per-index [amber_index_resident_bytes]
+    gauges and the [amber_build_info] version gauge). [GET /queries]
+    returns the flight recorder's last captured records —
+    per-query status, phase timings, GC delta, core order — as a JSON
+    array, newest first ([?n=K] caps the count); the recorder's
+    sampling rate, slow-query threshold and JSONL sink come from the
+    config. [GET /healthz] answers a constant liveness document.
+    Adding [profile=1] to a SELECT request embeds
     the {!Amber.Profile} report (phase timings, per-vertex candidate
     counts, matcher counters) as a top-level ["profile"] member of the
     JSON results; [analyze=1] likewise embeds the {!Amber.Analysis}
@@ -41,6 +48,17 @@ type config = {
       (** path to an ["AMBERIX1"] index snapshot for instant boot via
           {!boot}; [None] (the default) when the caller builds the
           engine itself. *)
+  slow_query : float option;
+      (** flight-recorder slow-query threshold in seconds (default 1.0):
+          queries at or past it are always captured, whatever the
+          sampling rate; [None] disables the threshold. *)
+  log_sample : float;
+      (** flight-recorder sampling rate in [0, 1] (default 1.0 — keep
+          every query). Applied deterministically; slow and failed
+          queries are captured regardless. *)
+  log_sink : string option;
+      (** append captured flight records to this file as JSON lines
+          (default [None] — in-memory ring only). *)
 }
 
 val default_config : config

@@ -2,7 +2,7 @@ type counter = {
   c_name : string;
   c_labels : (string * string) list;
   c_help : string;
-  mutable value : int;
+  value : int Atomic.t;
 }
 
 type histogram = {
@@ -48,7 +48,8 @@ let render_labels = function
       "{"
       ^ String.concat ","
           (List.map
-             (fun (k, v) -> Printf.sprintf "%s=%S" k (escape_label_value v))
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
              labels)
       ^ "}"
 
@@ -63,14 +64,16 @@ let counter ?(help = "") ?(labels = []) t name =
   | Some (Histogram _) ->
       invalid_arg ("Metrics.counter: " ^ key ^ " is a histogram")
   | None ->
-      let c = { c_name = name; c_labels = labels; c_help = help; value = 0 } in
+      let c =
+        { c_name = name; c_labels = labels; c_help = help; value = Atomic.make 0 }
+      in
       register t key (Counter c);
       c
 
-let incr c = c.value <- c.value + 1
-let add c n = c.value <- c.value + n
-let set c n = c.value <- n
-let counter_value c = c.value
+let incr c = Atomic.incr c.value
+let add c n = ignore (Atomic.fetch_and_add c.value n)
+let set c n = Atomic.set c.value n
+let counter_value c = Atomic.get c.value
 
 let log_buckets ~lo ~ratio ~count =
   Array.init count (fun i -> lo *. (ratio ** float_of_int i))
@@ -152,7 +155,7 @@ let render_prometheus t =
           describe c.c_name "counter" c.c_help;
           Buffer.add_string buf
             (Printf.sprintf "%s%s %d\n" c.c_name (render_labels c.c_labels)
-               c.value)
+               (Atomic.get c.value))
       | Histogram h ->
           describe h.h_name "histogram" h.h_help;
           let labels = render_labels h.h_labels in
@@ -186,7 +189,7 @@ let render_json t =
           Buffer.add_string buf
             (Printf.sprintf {|"%s":{"type":"counter","value":%d}|}
                (String.escaped (keyed c.c_name c.c_labels))
-               c.value)
+               (Atomic.get c.value))
       | Histogram h ->
           Buffer.add_string buf
             (Printf.sprintf {|"%s":{"type":"histogram","count":%d,"sum":%s,"buckets":[|}
@@ -206,7 +209,7 @@ let render_json t =
 let reset t =
   Hashtbl.iter
     (fun _ -> function
-      | Counter c -> c.value <- 0
+      | Counter c -> Atomic.set c.value 0
       | Histogram h ->
           Array.fill h.buckets 0 (Array.length h.buckets) 0;
           h.sum <- 0.;

@@ -3,9 +3,16 @@
     A registry owns a set of uniquely-named metrics; registration is
     idempotent — asking twice for the same name returns the same metric,
     so instrumentation sites can register at point of use without
-    coordination. Counters are plain mutable ints (an increment is one
-    store, safe to leave enabled on hot paths); histograms use a fixed
-    set of log-scale upper bounds chosen at registration.
+    coordination. Counters are [Atomic.t] ints: increments from parallel
+    worker domains are never lost, at the cost of one atomic RMW per
+    increment (in the single-store case this compiles to the same
+    uncontended fetch-and-add — still cheap enough to leave enabled on
+    hot paths). Histograms remain single-writer: the engine observes
+    latencies only from the domain that ran the query, so their plain
+    mutable fields are not a race in practice; concurrent [observe] of
+    one histogram from several domains would drop updates. Registration
+    itself (the name table) is not synchronised — register metrics at
+    module init or from one domain, as the engine does.
 
     Rendering targets the Prometheus text exposition format (scraped by
     [GET /metrics] on the endpoint) and a JSON object (embedded in

@@ -1,0 +1,218 @@
+type status = Ok | Timeout | Unsat | Error of string
+
+let status_slug = function
+  | Ok -> "ok"
+  | Timeout -> "timeout"
+  | Unsat -> "unsat"
+  | Error _ -> "error"
+
+type record = {
+  id : int;
+  at : float;
+  query : string;
+  hash : string;
+  status : status;
+  seconds : float;
+  rows : int;
+  truncated : bool;
+  domains : int;
+  core_order : string list list;
+  phases : (string * float) list;
+  candidates_scanned : int;
+  solutions : int;
+  index_probes : int;
+  cache_hits : int;
+  cache_misses : int;
+  analysis : string option;
+  gc : Resource.gc_delta;
+  slow : bool;
+}
+
+let hash_query text = String.sub (Digest.to_hex (Digest.string text)) 0 12
+
+type t = {
+  lock : Mutex.t;
+  mutable ring : record option array;
+  mutable next_slot : int;  (* ring index of the next write *)
+  mutable next_id : int;  (* sequence number of the next captured record *)
+  mutable seen : int;  (* queries offered, captured or not *)
+  mutable sampled_out : int;
+  mutable sample_rate : float;
+  mutable sample_acc : float;  (* deterministic fractional sampler *)
+  mutable slow_threshold : float option;
+  mutable sink : (string * out_channel) option;
+}
+
+let create ?(capacity = 256) () =
+  if capacity < 1 then invalid_arg "Query_log.create: capacity < 1";
+  {
+    lock = Mutex.create ();
+    ring = Array.make capacity None;
+    next_slot = 0;
+    next_id = 0;
+    seen = 0;
+    sampled_out = 0;
+    sample_rate = 1.0;
+    sample_acc = 0.0;
+    slow_threshold = None;
+    sink = None;
+  }
+
+let default = create ()
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let configure ?capacity ?sample_rate ?slow_threshold t =
+  locked t (fun () ->
+      (match capacity with
+      | Some c ->
+          if c < 1 then invalid_arg "Query_log.configure: capacity < 1";
+          if c <> Array.length t.ring then begin
+            t.ring <- Array.make c None;
+            t.next_slot <- 0
+          end
+      | None -> ());
+      (match sample_rate with
+      | Some r -> t.sample_rate <- Float.max 0. (Float.min 1. r)
+      | None -> ());
+      match slow_threshold with
+      | Some s -> t.slow_threshold <- s
+      | None -> ())
+
+let close_sink_locked t =
+  match t.sink with
+  | Some (_, oc) ->
+      (try close_out oc with Sys_error _ -> ());
+      t.sink <- None
+  | None -> ()
+
+let set_sink t path =
+  locked t (fun () ->
+      close_sink_locked t;
+      match path with
+      | None -> ()
+      | Some path ->
+          t.sink <-
+            Some (path, open_out_gen [ Open_append; Open_creat ] 0o644 path))
+
+let sink_path t = locked t (fun () -> Option.map fst t.sink)
+
+(* --- JSON ----------------------------------------------------------- *)
+
+let record_to_value r =
+  Json.Obj
+    [
+      ("id", Json.Num (float_of_int r.id));
+      ("at", Json.Num r.at);
+      ("query", Json.Str r.query);
+      ("hash", Json.Str r.hash);
+      ("status", Json.Str (status_slug r.status));
+      ( "error",
+        match r.status with Error msg -> Json.Str msg | _ -> Json.Null );
+      ("seconds", Json.Num r.seconds);
+      ("rows", Json.Num (float_of_int r.rows));
+      ("truncated", Json.Bool r.truncated);
+      ("domains", Json.Num (float_of_int r.domains));
+      ( "core_order",
+        Json.Arr
+          (List.map
+             (fun comp -> Json.Arr (List.map (fun v -> Json.Str v) comp))
+             r.core_order) );
+      ( "phases",
+        Json.Obj (List.map (fun (name, s) -> (name, Json.Num s)) r.phases) );
+      ("candidates_scanned", Json.Num (float_of_int r.candidates_scanned));
+      ("solutions", Json.Num (float_of_int r.solutions));
+      ("index_probes", Json.Num (float_of_int r.index_probes));
+      ("cache_hits", Json.Num (float_of_int r.cache_hits));
+      ("cache_misses", Json.Num (float_of_int r.cache_misses));
+      ( "analysis",
+        match r.analysis with Some a -> Json.Str a | None -> Json.Null );
+      ( "gc",
+        Json.Obj
+          [
+            ("minor_words", Json.Num r.gc.Resource.minor_words);
+            ("major_words", Json.Num r.gc.Resource.major_words);
+            ("promoted_words", Json.Num r.gc.Resource.promoted_words);
+            ( "minor_collections",
+              Json.Num (float_of_int r.gc.Resource.minor_collections) );
+            ( "major_collections",
+              Json.Num (float_of_int r.gc.Resource.major_collections) );
+            ("allocated_bytes", Json.Num (Resource.allocated_bytes r.gc));
+          ] );
+      ("slow", Json.Bool r.slow);
+    ]
+
+let record_to_json r = Json.to_text (record_to_value r)
+
+(* --- capture -------------------------------------------------------- *)
+
+(* Sampling is a deterministic fractional accumulator, not a coin flip:
+   at rate r every ⌈1/r⌉-ish query is kept, which tests can rely on.
+   Slow queries (past the threshold) and non-[Ok] outcomes are always
+   captured — the records an operator actually goes looking for. *)
+let record t r =
+  locked t (fun () ->
+      t.seen <- t.seen + 1;
+      let slow =
+        match t.slow_threshold with
+        | Some threshold -> r.seconds >= threshold
+        | None -> false
+      in
+      let keep =
+        slow || r.status <> Ok
+        ||
+        (t.sample_acc <- t.sample_acc +. t.sample_rate;
+         if t.sample_acc >= 1.0 then begin
+           t.sample_acc <- t.sample_acc -. 1.0;
+           true
+         end
+         else false)
+      in
+      if not keep then t.sampled_out <- t.sampled_out + 1
+      else begin
+        let r = { r with id = t.next_id; slow } in
+        t.next_id <- t.next_id + 1;
+        t.ring.(t.next_slot) <- Some r;
+        t.next_slot <- (t.next_slot + 1) mod Array.length t.ring;
+        match t.sink with
+        | Some (_, oc) ->
+            output_string oc (record_to_json r);
+            output_char oc '\n';
+            flush oc
+        | None -> ()
+      end)
+
+let recent ?n t =
+  locked t (fun () ->
+      let cap = Array.length t.ring in
+      let wanted = match n with Some n -> max 0 (min n cap) | None -> cap in
+      let out = ref [] in
+      (* Walk backwards from the newest slot; stop at empty slots (the
+         ring fills before it wraps). *)
+      (try
+         for k = 1 to wanted do
+           match t.ring.((t.next_slot - k + (k * cap)) mod cap) with
+           | Some r -> out := r :: !out
+           | None -> raise Exit
+         done
+       with Exit -> ());
+      List.rev !out)
+
+let to_json ?n t =
+  "[" ^ String.concat "," (List.map record_to_json (recent ?n t)) ^ "]"
+
+let stats t =
+  locked t (fun () -> (t.seen, t.next_id, t.sampled_out))
+
+let capacity t = locked t (fun () -> Array.length t.ring)
+
+let clear t =
+  locked t (fun () ->
+      Array.fill t.ring 0 (Array.length t.ring) None;
+      t.next_slot <- 0;
+      t.next_id <- 0;
+      t.seen <- 0;
+      t.sampled_out <- 0;
+      t.sample_acc <- 0.0)

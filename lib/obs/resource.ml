@@ -1,0 +1,67 @@
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let zero_delta =
+  {
+    minor_words = 0.;
+    major_words = 0.;
+    promoted_words = 0.;
+    minor_collections = 0;
+    major_collections = 0;
+  }
+
+let word_bytes = Sys.word_size / 8
+
+(* [Gc.quick_stat] only refreshes [minor_words] at minor collections:
+   a query that finishes before one would report zero allocation.
+   [Gc.minor_words ()] reads the live young-pointer offset, so marks
+   pair the cheap stat with the precise per-domain minor counter. *)
+type gc_mark = { stat : Gc.stat; minor : float }
+
+let delta_between (a : gc_mark) (b : gc_mark) =
+  {
+    minor_words = b.minor -. a.minor;
+    major_words = b.stat.Gc.major_words -. a.stat.Gc.major_words;
+    promoted_words = b.stat.Gc.promoted_words -. a.stat.Gc.promoted_words;
+    minor_collections =
+      b.stat.Gc.minor_collections - a.stat.Gc.minor_collections;
+    major_collections =
+      b.stat.Gc.major_collections - a.stat.Gc.major_collections;
+  }
+
+let gc_mark () = { stat = Gc.quick_stat (); minor = Gc.minor_words () }
+let gc_since mark = delta_between mark (gc_mark ())
+
+let gc_delta f =
+  let before = gc_mark () in
+  match f () with
+  | v -> (v, delta_between before (gc_mark ()))
+  | exception e ->
+      (* The caller cannot see the delta of a raising thunk; re-raise
+         untouched. *)
+      raise e
+
+let allocated_bytes d =
+  (* Promoted words live in both minor_words and major_words; subtract
+     them once so the total counts each allocated word once. *)
+  (d.minor_words +. d.major_words -. d.promoted_words) *. float_of_int word_bytes
+
+let delta_to_json d =
+  Printf.sprintf
+    {|{"minor_words":%.0f,"major_words":%.0f,"promoted_words":%.0f,"minor_collections":%d,"major_collections":%d,"allocated_bytes":%.0f}|}
+    d.minor_words d.major_words d.promoted_words d.minor_collections
+    d.major_collections (allocated_bytes d)
+
+let reachable_bytes v =
+  (* [Obj.reachable_words] walks the object graph from this root alone;
+     blocks shared with other roots are counted for each root that can
+     reach them. Immediates occupy no heap. *)
+  Obj.reachable_words (Obj.repr v) * word_bytes
+
+let live_heap_bytes () =
+  (float_of_int (Gc.quick_stat ()).Gc.heap_words) *. float_of_int word_bytes

@@ -1,0 +1,58 @@
+(** Resource accounting: GC allocation deltas and resident-memory sizes.
+
+    Two complementary probes. {!gc_delta} measures what an operation
+    {e allocated} (the flight recorder attaches one to every query);
+    {!reachable_bytes} measures what a structure {e holds} (the
+    per-index [amber_index_resident_bytes] gauges and the benchmark's
+    bytes-per-triple figures).
+
+    Both read the GC counters of the {e calling domain} only:
+    allocation performed by parallel worker domains is not attributed
+    to the caller's delta. The flight recorder documents the same
+    caveat per record. Minor words come from [Gc.minor_words] (the live
+    young-pointer offset) rather than [Gc.quick_stat], whose
+    [minor_words] field only refreshes at minor collections and would
+    report zero for short queries. *)
+
+type gc_delta = {
+  minor_words : float;
+  major_words : float;  (** includes words promoted from the minor heap *)
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+val zero_delta : gc_delta
+
+val gc_delta : (unit -> 'a) -> 'a * gc_delta
+(** Run the thunk and return its result plus the GC delta across it
+    (calling domain only). Exceptions propagate; the delta of a raising
+    thunk is lost. *)
+
+type gc_mark
+(** A point-in-time GC reading — the imperative form of {!gc_delta} for
+    callers that must read the delta on exception paths too. *)
+
+val gc_mark : unit -> gc_mark
+val gc_since : gc_mark -> gc_delta
+
+val allocated_bytes : gc_delta -> float
+(** Total bytes allocated: minor + major words, with promoted words
+    counted once. *)
+
+val delta_to_json : gc_delta -> string
+(** One JSON object with the raw word counts and [allocated_bytes]. *)
+
+val word_bytes : int
+(** Bytes per OCaml word on this platform (8 on 64-bit). *)
+
+val reachable_bytes : 'a -> int
+(** Bytes of heap reachable from the value ([Obj.reachable_words] ×
+    word size) — the resident cost of a structure. Walks the whole
+    object graph: linear in the structure's size, so probe per scrape
+    or per report, not per query. Blocks shared between two roots are
+    counted from each root that reaches them; immediates report 0. *)
+
+val live_heap_bytes : unit -> float
+(** Total major-heap words of the process, in bytes ([Gc.quick_stat];
+    includes free space on the major heap's free lists). *)

@@ -1,12 +1,16 @@
 type t = {
   span_name : string;
+  mutable start : float;  (* epoch seconds when the span opened *)
   mutable duration : float;
+  domain : int;  (* id of the domain that ran the span *)
   mutable annotations : (string * string) list;  (* reversed while open *)
   mutable kids : t list;  (* reversed while open *)
 }
 
 let name t = t.span_name
+let start t = t.start
 let duration t = t.duration
+let domain t = t.domain
 let children t = t.kids
 let meta t = t.annotations
 
@@ -17,45 +21,64 @@ let rec find t n =
       (fun acc kid -> match acc with Some _ -> acc | None -> find kid n)
       None t.kids
 
-(* The innermost open span; [[]] means no profiler is collecting. *)
-let stack : t list ref = ref []
+(* One collector stack per domain (Domain.DLS): the innermost open span
+   of the *current* domain; [[]] means this domain is not collecting.
+   Each worker domain of the parallel engine opens its own root with
+   [collect] and the finished subtree is grafted into the parent tree
+   with [graft] — no cross-domain mutation of open spans ever occurs. *)
+let stack_key : t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let active () = !stack <> []
+let stack () = Domain.DLS.get stack_key
+
+let active () = !(stack ()) <> []
 
 let now = Unix.gettimeofday
 
-let fresh name = { span_name = name; duration = 0.; annotations = []; kids = [] }
+let fresh name =
+  {
+    span_name = name;
+    start = 0.;
+    duration = 0.;
+    domain = (Domain.self () :> int);
+    annotations = [];
+    kids = [];
+  }
 
-let close node t0 =
-  node.duration <- now () -. t0;
+let close node =
+  node.duration <- now () -. node.start;
   node.annotations <- List.rev node.annotations;
   node.kids <- List.rev node.kids
 
 let root ~name f =
   let node = fresh name in
+  let stack = stack () in
   let saved = !stack in
   stack := [ node ];
-  let t0 = now () in
+  node.start <- now ();
   match f () with
   | v ->
-      close node t0;
+      close node;
       stack := saved;
       (v, node)
   | exception e ->
-      close node t0;
+      close node;
       stack := saved;
       raise e
 
+let collect = root
+
 let with_ ~name f =
+  let stack = stack () in
   match !stack with
   | [] -> f ()
   | parent :: _ as open_spans ->
       let node = fresh name in
       parent.kids <- node :: parent.kids;
       stack := node :: open_spans;
-      let t0 = now () in
+      node.start <- now ();
       let pop () =
-        close node t0;
+        close node;
         stack := open_spans
       in
       (match f () with
@@ -68,9 +91,14 @@ let with_ ~name f =
           raise e)
 
 let annotate key value =
-  match !stack with
+  match !(stack ()) with
   | [] -> ()
   | top :: _ -> top.annotations <- (key, value) :: top.annotations
+
+let graft child =
+  match !(stack ()) with
+  | [] -> ()
+  | parent :: _ -> parent.kids <- child :: parent.kids
 
 let pp ppf t =
   let rec go indent t =
@@ -122,4 +150,41 @@ let rec to_json t =
     Buffer.add_char buf ']'
   end;
   Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* --- Chrome trace-event / Perfetto export --------------------------- *)
+
+(* One complete ("ph":"X") event per span. Timestamps are microseconds
+   relative to the root span's start, so the trace opens at t=0; the
+   thread id is the OCaml domain that ran the span, which renders the
+   parallel engine's per-domain chunks as separate lanes in Perfetto. *)
+let to_chrome_json ?(pid = 0) t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf {|{"displayTimeUnit":"ms","traceEvents":[|};
+  let first = ref true in
+  let rec emit node =
+    if not !first then Buffer.add_char buf ',';
+    first := false;
+    Buffer.add_string buf
+      (Printf.sprintf
+         {|{"name":"%s","cat":"amber","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d|}
+         (json_escape node.span_name)
+         (1e6 *. (node.start -. t.start))
+         (1e6 *. node.duration)
+         pid node.domain);
+    if node.annotations <> [] then begin
+      Buffer.add_string buf {|,"args":{|};
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf {|"%s":"%s"|} (json_escape k) (json_escape v)))
+        node.annotations;
+      Buffer.add_char buf '}'
+    end;
+    Buffer.add_char buf '}';
+    List.iter emit node.kids
+  in
+  emit t;
+  Buffer.add_string buf "]}";
   Buffer.contents buf

@@ -154,6 +154,60 @@ let test_domains_param () =
   in
   checkb "profile carries domains annotation" true (contains body "domains")
 
+let test_healthz () =
+  let status, ctype, body = handle "/healthz" in
+  checki "200" 200 status;
+  checks "json type" "application/json" ctype;
+  let json = Obs.Json.parse body in
+  checkb "liveness ok" true
+    (Option.bind (Obs.Json.member "status" json) Obs.Json.to_string
+    = Some "ok");
+  checkb "version advertised" true
+    (Option.bind (Obs.Json.member "version" json) Obs.Json.to_string
+    = Some Amber.Version.version);
+  (* The build-info gauge carries the same version as a label. *)
+  let _, _, metrics = handle "/metrics" in
+  checkb "build info gauge" true
+    (contains metrics
+       (Printf.sprintf {|amber_build_info{version="%s"} 1|}
+          Amber.Version.version))
+
+let test_queries_route () =
+  Obs.Query_log.configure ~sample_rate:1.0 ~slow_threshold:None
+    Obs.Query_log.default;
+  Obs.Query_log.clear Obs.Query_log.default;
+  let _ = handle ("/sparql?query=" ^ encode simple_query) in
+  let _ = handle ("/sparql?query=" ^ encode simple_query) in
+  let status, ctype, body = handle "/queries" in
+  checki "200" 200 status;
+  checks "json type" "application/json" ctype;
+  let records = Obs.Json.to_list (Obs.Json.parse body) in
+  checki "both queries recorded" 2 (List.length records);
+  let newest = List.hd records in
+  let str k = Option.bind (Obs.Json.member k newest) Obs.Json.to_string in
+  let num k = Option.bind (Obs.Json.member k newest) Obs.Json.to_float in
+  checkb "status ok" true (str "status" = Some "ok");
+  checkb "timing present" true
+    (match num "seconds" with Some s -> s >= 0. | None -> false);
+  checkb "rows counted" true (match num "rows" with Some r -> r > 0. | None -> false);
+  checkb "gc delta embedded" true
+    (match Obs.Json.member "gc" newest with
+    | Some gc -> Obs.Json.member "allocated_bytes" gc <> None
+    | None -> false);
+  checkb "phase timings embedded" true
+    (match Obs.Json.member "phases" newest with
+    | Some (Obs.Json.Obj fields) -> List.mem_assoc "match" fields
+    | _ -> false);
+  (* Newest first, ids descending; ?n caps the count. *)
+  let ids =
+    List.filter_map
+      (fun r -> Option.bind (Obs.Json.member "id" r) Obs.Json.to_float)
+      records
+  in
+  checkb "newest first" true (ids = List.sort (fun a b -> compare b a) ids);
+  let _, _, capped = handle "/queries?n=1" in
+  checki "n caps" 1 (List.length (Obs.Json.to_list (Obs.Json.parse capped)))
+
 (* One full HTTP round trip over a real socket. *)
 let test_socket_roundtrip () =
   let server =
@@ -199,6 +253,8 @@ let suite =
         Alcotest.test_case "metrics route" `Quick test_metrics_route;
         Alcotest.test_case "profile param" `Quick test_profile_param;
         Alcotest.test_case "domains param" `Quick test_domains_param;
+        Alcotest.test_case "healthz" `Quick test_healthz;
+        Alcotest.test_case "queries route" `Quick test_queries_route;
         Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip;
       ] );
   ]

@@ -14,6 +14,7 @@ let () =
          Test_matcher.suite;
          Test_deadline.suite;
          Test_obs.suite;
+         Test_flight.suite;
          Test_extended.suite;
          Test_storage.suite;
          Test_snapshot.suite;

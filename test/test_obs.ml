@@ -104,6 +104,123 @@ let test_render_json () =
   checkb "object shaped" true
     (String.length json > 1 && json.[0] = '{' && json.[String.length json - 1] = '}')
 
+let test_labeled_metrics () =
+  let r = Obs.Metrics.create () in
+  let get = Obs.Metrics.counter r "http_reqs" ~labels:[ ("method", "GET") ] ~help:"reqs" in
+  let post = Obs.Metrics.counter r "http_reqs" ~labels:[ ("method", "POST") ] in
+  Obs.Metrics.add get 2;
+  Obs.Metrics.incr post;
+  (* Distinct label sets are distinct cells; idempotent per combination. *)
+  Obs.Metrics.incr (Obs.Metrics.counter r "http_reqs" ~labels:[ ("method", "GET") ]);
+  checki "get cell" 3 (Obs.Metrics.counter_value get);
+  checki "post cell" 1 (Obs.Metrics.counter_value post);
+  let h =
+    Obs.Metrics.histogram r "lat" ~labels:[ ("path", "/q") ] ~buckets:[| 1.0 |]
+  in
+  Obs.Metrics.observe h 0.5;
+  Obs.Metrics.observe h 5.0;
+  let text = Obs.Metrics.render_prometheus r in
+  checkb "GET sample" true (contains text {|http_reqs{method="GET"} 3|});
+  checkb "POST sample" true (contains text {|http_reqs{method="POST"} 1|});
+  (* One family header for both label combinations. *)
+  let occurrences needle =
+    let rec count i acc =
+      if i + String.length needle > String.length text then acc
+      else if String.sub text i (String.length needle) = needle then
+        count (i + 1) (acc + 1)
+      else count (i + 1) acc
+    in
+    count 0 0
+  in
+  checki "single TYPE header" 1 (occurrences "# TYPE http_reqs counter");
+  (* Histogram labels merge with le on bucket samples. *)
+  checkb "labeled finite bucket" true
+    (contains text {|lat_bucket{path="/q",le="1"} 1|});
+  checkb "labeled inf bucket" true
+    (contains text {|lat_bucket{path="/q",le="+Inf"} 2|});
+  checkb "labeled sum" true (contains text {|lat_sum{path="/q"}|});
+  checkb "labeled count" true (contains text {|lat_count{path="/q"} 2|})
+
+let test_label_escaping () =
+  let r = Obs.Metrics.create () in
+  let c =
+    Obs.Metrics.counter r "odd" ~labels:[ ("v", "a\"b\\c\nd") ]
+  in
+  Obs.Metrics.incr c;
+  let text = Obs.Metrics.render_prometheus r in
+  (* Prometheus escaping: quote, backslash and newline in label values. *)
+  checkb "escaped value" true (contains text {|odd{v="a\"b\\c\nd"} 1|});
+  checkb "no raw newline in sample" false (contains text "c\nd")
+
+let test_json_render_roundtrip () =
+  (* The JSON renderer's output must survive the strict parser — that's
+     the well-formedness gate CI relies on. *)
+  let r = Obs.Metrics.create () in
+  Obs.Metrics.add (Obs.Metrics.counter r "hits") 3;
+  let h =
+    Obs.Metrics.histogram r "lat" ~labels:[ ("path", "/q") ] ~buckets:[| 0.5; 1.0 |]
+  in
+  Obs.Metrics.observe h 0.2;
+  Obs.Metrics.observe h 9.0;
+  let json = Obs.Json.parse (Obs.Metrics.render_json r) in
+  (match Obs.Json.member "hits" json with
+  | Some hits ->
+      checkb "counter value" true
+        (Option.bind (Obs.Json.member "value" hits) Obs.Json.to_float = Some 3.)
+  | None -> Alcotest.fail "hits entry missing");
+  (match Obs.Json.member {|lat{path="/q"}|} json with
+  | Some lat ->
+      checkb "histogram type" true
+        (Option.bind (Obs.Json.member "type" lat) Obs.Json.to_string
+        = Some "histogram");
+      let buckets =
+        Obs.Json.to_list
+          (Option.value ~default:Obs.Json.Null (Obs.Json.member "buckets" lat))
+      in
+      checki "two bounds plus +Inf" 3 (List.length buckets);
+      let last = List.nth buckets 2 in
+      checkb "inf bucket as string" true
+        (Option.bind (Obs.Json.member "le" last) Obs.Json.to_string
+        = Some "+Inf");
+      checkb "inf bucket counts all" true
+        (Option.bind (Obs.Json.member "count" last) Obs.Json.to_float = Some 2.)
+  | None -> Alcotest.fail "keyed histogram entry missing")
+
+let test_json_parser () =
+  let open Obs.Json in
+  checkb "num" true (parse "42" = Num 42.);
+  checkb "negative exponent" true (parse "-1.5e2" = Num (-150.));
+  checkb "escapes" true (parse {|"a\"b\\c\nd"|} = Str "a\"b\\c\nd");
+  checkb "unicode escape" true (parse {|"é"|} = Str "\xc3\xa9");
+  checkb "nested" true
+    (parse {|{"a":[1,true,null],"b":{"c":"d"}}|}
+    = Obj
+        [
+          ("a", Arr [ Num 1.; Bool true; Null ]);
+          ("b", Obj [ ("c", Str "d") ]);
+        ]);
+  let malformed s =
+    match parse s with
+    | exception Malformed _ -> true
+    | _ -> false
+  in
+  checkb "trailing garbage" true (malformed "{} x");
+  checkb "bare word" true (malformed "nope");
+  checkb "unterminated string" true (malformed {|"abc|});
+  checkb "raw control char" true (malformed "\"a\nb\"");
+  checkb "parse_opt on junk" true (parse_opt "[1,)" = None);
+  (* print → parse is the identity on the value. *)
+  let v =
+    Obj
+      [
+        ("s", Str "q\"uote\\and\ncontrol");
+        ("n", Num 0.125);
+        ("i", Num 1234567.);
+        ("l", Arr [ Null; Bool false ]);
+      ]
+  in
+  checkb "roundtrip" true (parse (to_text v) = v)
+
 let test_span_tree () =
   let (result, root) =
     Obs.Span.root ~name:"query" (fun () ->
@@ -154,6 +271,86 @@ let test_span_exception () =
   checkb "exception propagates" true (!saw = Some "bang");
   checkb "stack unwound" false (Obs.Span.active ())
 
+let test_span_domain_isolation () =
+  (* Collector stacks live in Domain.DLS: a root open on this domain is
+     invisible to a spawned domain, which collects its own subtree for a
+     later graft — the parallel engine's tracing discipline. *)
+  let _, root =
+    Obs.Span.root ~name:"parent" (fun () ->
+        Obs.Span.with_ ~name:"match" (fun () ->
+            let worker =
+              Domain.spawn (fun () ->
+                  let was_active = Obs.Span.active () in
+                  let (), sub =
+                    Obs.Span.collect ~name:"chunk" (fun () ->
+                        Obs.Span.annotate "seeds" "7")
+                  in
+                  (was_active, sub))
+            in
+            let was_active, sub = Domain.join worker in
+            checkb "other domain starts inactive" false was_active;
+            Obs.Span.graft sub))
+  in
+  (match Obs.Span.find root "chunk" with
+  | Some chunk ->
+      checkb "worker domain id recorded" true
+        (Obs.Span.domain chunk <> Obs.Span.domain root);
+      checkb "annotation survived the graft" true
+        (List.mem_assoc "seeds" (Obs.Span.meta chunk))
+  | None -> Alcotest.fail "grafted chunk missing from parent tree");
+  checkb "parent stack restored" false (Obs.Span.active ())
+
+(* Chrome trace-event schema: the shape Perfetto / chrome://tracing
+   require of every event this exporter emits. *)
+let check_chrome_trace text =
+  let json = Obs.Json.parse text in
+  let events =
+    Obs.Json.to_list
+      (Option.value ~default:Obs.Json.Null
+         (Obs.Json.member "traceEvents" json))
+  in
+  checkb "displayTimeUnit" true
+    (Option.bind (Obs.Json.member "displayTimeUnit" json) Obs.Json.to_string
+    = Some "ms");
+  checkb "has events" true (events <> []);
+  List.iter
+    (fun ev ->
+      let str k = Option.bind (Obs.Json.member k ev) Obs.Json.to_string in
+      let num k = Option.bind (Obs.Json.member k ev) Obs.Json.to_float in
+      checkb "name" true (str "name" <> None);
+      checkb "cat" true (str "cat" = Some "amber");
+      checkb "complete event" true (str "ph" = Some "X");
+      checkb "ts" true (match num "ts" with Some t -> t >= 0. | None -> false);
+      checkb "dur" true (match num "dur" with Some d -> d >= 0. | None -> false);
+      checkb "pid" true (num "pid" <> None);
+      checkb "tid" true (num "tid" <> None))
+    events;
+  events
+
+let test_chrome_export () =
+  let _, root =
+    Obs.Span.root ~name:"query" (fun () ->
+        Obs.Span.with_ ~name:"parse" (fun () -> Obs.Span.annotate "triples" "3");
+        Obs.Span.with_ ~name:"match" (fun () -> ()))
+  in
+  let events = check_chrome_trace (Obs.Span.to_chrome_json root) in
+  checki "one event per span" 3 (List.length events);
+  (* The root opens at ts 0; annotations ride along as args. *)
+  let names =
+    List.filter_map (fun ev -> Option.bind (Obs.Json.member "name" ev) Obs.Json.to_string) events
+  in
+  checkb "all spans exported" true
+    (List.for_all (fun n -> List.mem n names) [ "query"; "parse"; "match" ]);
+  checkb "args carry annotations" true
+    (List.exists
+       (fun ev ->
+         match Obs.Json.member "args" ev with
+         | Some args ->
+             Option.bind (Obs.Json.member "triples" args) Obs.Json.to_string
+             = Some "3"
+         | None -> false)
+       events)
+
 let test_query_profiled () =
   let e = Amber.Engine.build Fixtures.paper_triples in
   let answer, p =
@@ -194,7 +391,13 @@ let suite =
         Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
         Alcotest.test_case "prometheus rendering" `Quick test_render_prometheus;
         Alcotest.test_case "json rendering" `Quick test_render_json;
+        Alcotest.test_case "labeled metrics" `Quick test_labeled_metrics;
+        Alcotest.test_case "label escaping" `Quick test_label_escaping;
+        Alcotest.test_case "json render roundtrip" `Quick test_json_render_roundtrip;
+        Alcotest.test_case "json parser" `Quick test_json_parser;
         Alcotest.test_case "span tree" `Quick test_span_tree;
+        Alcotest.test_case "span domain isolation" `Quick test_span_domain_isolation;
+        Alcotest.test_case "chrome export" `Quick test_chrome_export;
         Alcotest.test_case "span passthrough" `Quick test_span_inactive_is_passthrough;
         Alcotest.test_case "span exception" `Quick test_span_exception;
         Alcotest.test_case "query profile" `Quick test_query_profiled;
