@@ -22,6 +22,7 @@ type config = {
   micro : bool;
   json_path : string option;
   baseline : string option;
+  layout : Mgraph.Posting.policy;  (* posting layout for engine builds *)
 }
 
 let default_config =
@@ -37,22 +38,26 @@ let default_config =
     micro = false;
     json_path = None;
     baseline = None;
+    layout = Mgraph.Posting.Auto;
   }
 
 let usage () =
   print_endline
     {|usage: bench [--only ids] [--scale F] [--timeout S] [--queries N]
              [--sizes a,b,c] [--limit N] [--seed N] [--quick] [--micro]
-             [--json FILE] [--baseline FILE]
+             [--json FILE] [--baseline FILE] [--layout raw|ef|blocked|auto]
 
   ids: table1 table4 table5 fig6..fig11 ablation profile kernels parallel
-       build analysis resource (comma separated)
+       build analysis resource layouts (comma separated)
   --quick: small preset (scale 0.04, 5 queries/point, sizes 10,20,30)
   --json:  also write a machine-readable report (summaries with
            p95/p99, per-phase breakdowns, metrics registry) to FILE
-  --baseline: compare this run's timings against an earlier --json
-           report; a suite whose median timing regresses by more than
-           20%% makes the run exit non-zero|};
+  --baseline: compare this run's timings and memory footprints against
+           an earlier --json report; a suite whose median timing or
+           resident-bytes figure regresses by more than 20%% makes the
+           run exit non-zero
+  --layout: posting-list layout for the engine's frozen indexes
+           (default auto; force raw/ef/blocked for ablation)|};
   exit 0
 
 let parse_args () =
@@ -102,6 +107,13 @@ let parse_args () =
     | "--baseline" :: v :: rest ->
         cfg := { !cfg with baseline = Some v };
         go rest
+    | "--layout" :: v :: rest ->
+        (match Mgraph.Posting.policy_of_string v with
+        | Some p -> cfg := { !cfg with layout = p }
+        | None ->
+            Printf.eprintf "unknown layout %s (raw|ef|blocked|auto)\n" v;
+            exit 1);
+        go rest
     | arg :: _ ->
         Printf.eprintf "unknown argument %s\n" arg;
         exit 1
@@ -145,38 +157,50 @@ let write_json_report cfg =
 
 (* --- baseline comparison (--baseline) ------------------------------ *)
 
-(* Every timing this harness records ends in "_s" or "_ns"; the
-   comparator pairs those fields by path between the baseline report and
-   this run, suite by suite, so it keeps working as suites grow fields. *)
-let is_timing_key k =
-  let ends suffix =
-    let lk = String.length k and ls = String.length suffix in
-    lk > ls && String.sub k (lk - ls) ls = suffix
-  in
-  ends "_s" || ends "_ns"
+(* Every timing this harness records ends in "_s" or "_ns", and every
+   memory figure in "_bytes"; the comparator pairs those fields by path
+   between the baseline report and this run, suite by suite, so it keeps
+   working as suites grow fields — and catches resident-memory
+   regressions, not just slowdowns. *)
+let key_ends k suffix =
+  let lk = String.length k and ls = String.length suffix in
+  lk > ls && String.sub k (lk - ls) ls = suffix
 
-let rec collect_timings prefix value acc =
+let is_timing_key ~path:_ k = key_ends k "_s" || key_ends k "_ns"
+
+(* A field is a memory figure when its own key — or any enclosing
+   object's key — ends in "_bytes": the resource suite's
+   [resident_bytes] map keys entries by index name under a "_bytes"
+   parent. *)
+let is_bytes_key ~path k =
+  key_ends k "_bytes"
+  || List.exists
+       (fun part -> key_ends part "_bytes")
+       (String.split_on_char '.' path)
+
+let rec collect_fields pred prefix value acc =
   match value with
   | Obs.Json.Obj fields ->
       List.fold_left
         (fun acc (k, v) ->
           let path = if prefix = "" then k else prefix ^ "." ^ k in
           match v with
-          | Obs.Json.Num f when is_timing_key k -> (path, f) :: acc
-          | _ -> collect_timings path v acc)
+          | Obs.Json.Num f when pred ~path k -> (path, f) :: acc
+          | _ -> collect_fields pred path v acc)
         acc fields
   | Obs.Json.Arr items ->
       let acc = ref acc in
       List.iteri
         (fun i item ->
           acc :=
-            collect_timings (Printf.sprintf "%s[%d]" prefix i) item !acc)
+            collect_fields pred (Printf.sprintf "%s[%d]" prefix i) item !acc)
         items;
       !acc
   | _ -> acc
 
 (* Compare this run's suites against a previous --json report. Returns
-   [true] when no suite's median timing regressed by more than 20%. *)
+   [true] when no suite's median timing or median memory figure
+   regressed by more than 20%. *)
 let compare_with_baseline cfg =
   match cfg.baseline with
   | None -> true
@@ -197,51 +221,75 @@ let compare_with_baseline cfg =
               (List.rev !json_entries)
           in
           let rows = ref [] and regressed = ref [] in
+          let deltas_of pred base_json cur_json =
+            let base = collect_fields pred "" base_json [] in
+            let cur = collect_fields pred "" cur_json [] in
+            List.filter_map
+              (fun (p, b) ->
+                if b > 1e-9 then
+                  Option.map (fun c -> (c -. b) /. b) (List.assoc_opt p cur)
+                else None)
+              base
+          in
           List.iter
             (fun (suite, cur_json) ->
               match List.assoc_opt suite base_fields with
               | None -> ()
               | Some base_json ->
-                  let base = collect_timings "" base_json [] in
-                  let cur = collect_timings "" cur_json [] in
-                  let deltas =
-                    List.filter_map
-                      (fun (p, b) ->
-                        if b > 1e-9 then
-                          Option.map
-                            (fun c -> (c -. b) /. b)
-                            (List.assoc_opt p cur)
-                        else None)
-                      base
+                  let timings = deltas_of is_timing_key base_json cur_json in
+                  let bytes = deltas_of is_bytes_key base_json cur_json in
+                  let judge kind deltas =
+                    if deltas = [] then ("-", "-", false)
+                    else
+                      let med = Bench_util.Stats.median deltas in
+                      let worst = Bench_util.Stats.maximum deltas in
+                      let flagged = med > 0.20 in
+                      if flagged then
+                        regressed := (suite ^ " " ^ kind) :: !regressed;
+                      ( Printf.sprintf "%+.1f%%" (100. *. med),
+                        Printf.sprintf "%+.1f%%" (100. *. worst),
+                        flagged )
                   in
-                  if deltas <> [] then begin
-                    let med = Bench_util.Stats.median deltas in
-                    let worst = Bench_util.Stats.maximum deltas in
-                    let flagged = med > 0.20 in
-                    if flagged then regressed := suite :: !regressed;
+                  if timings <> [] || bytes <> [] then begin
+                    let t_med, t_worst, t_flag = judge "timings" timings in
+                    let b_med, b_worst, b_flag = judge "bytes" bytes in
                     rows :=
                       [
                         suite;
-                        string_of_int (List.length deltas);
-                        Printf.sprintf "%+.1f%%" (100. *. med);
-                        Printf.sprintf "%+.1f%%" (100. *. worst);
-                        (if flagged then "REGRESSION" else "ok");
+                        Printf.sprintf "%d/%d" (List.length timings)
+                          (List.length bytes);
+                        t_med;
+                        t_worst;
+                        b_med;
+                        b_worst;
+                        (if t_flag || b_flag then "REGRESSION" else "ok");
                       ]
                       :: !rows
                   end)
             current;
           if !rows = [] then begin
             Printf.printf
-              "no timing fields shared with the baseline (different suites?)\n";
+              "no timing or bytes fields shared with the baseline (different \
+               suites?)\n";
             true
           end
           else begin
             Bench_util.Table_fmt.print
               ~header:
-                [ "suite"; "timings"; "median delta"; "worst delta"; "verdict" ]
+                [
+                  "suite";
+                  "fields t/b";
+                  "time median";
+                  "time worst";
+                  "bytes median";
+                  "bytes worst";
+                  "verdict";
+                ]
               (List.rev !rows);
             (match !regressed with
-            | [] -> Printf.printf "no suite regressed past the 20%% gate\n"
+            | [] ->
+                Printf.printf
+                  "no suite regressed past the 20%% gate (timings or bytes)\n"
             | suites ->
                 Printf.printf "REGRESSED (median > +20%%): %s\n"
                   (String.concat ", " (List.rev suites)));
@@ -762,7 +810,7 @@ let bench_kernels cfg ds =
      pass runs first so the engine's cross-query LRUs start cold; the
      cached pass then repeats the same workload twice — the second
      (warm) pass is where the LRUs pay off. *)
-  let engine = Amber.Engine.build (Lazy.force ds.triples) in
+  let engine = Amber.Engine.build ~layout:cfg.layout (Lazy.force ds.triples) in
   let run_pass ~caches queries =
     let times = ref [] and hits = ref 0 and misses = ref 0 and un = ref 0 in
     List.iter
@@ -1212,7 +1260,7 @@ let bench_resource cfg ds =
         allocation on %s"
        ds.ds_name);
   let triples = Lazy.force ds.triples in
-  let engine = Amber.Engine.build triples in
+  let engine = Amber.Engine.build ~layout:cfg.layout triples in
   let n_triples = max 1 (List.length triples) in
   (* (a) what each index holds: a reachable-words walk per structure —
      the same numbers the endpoint exports as
@@ -1299,6 +1347,148 @@ let bench_resource cfg ds =
   (* Publish the gauges so the report's "metrics" object carries them
      too, like a /metrics scrape would. *)
   Amber.Engine.sync_resource_metrics engine
+
+(* ------------------------------------------------------------------ *)
+(* Layout ablation: resident bytes vs query latency per posting        *)
+(* layout; --only layouts, recorded as BENCH_7.json                    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_layouts cfg ds =
+  section
+    (Printf.sprintf
+       "Layout ablation: posting-list layouts (resident bytes vs query \
+        latency) on %s"
+       ds.ds_name);
+  let triples = Lazy.force ds.triples in
+  let n_triples = max 1 (List.length triples) in
+  let workload =
+    Datagen.Workload.generate ~seed:(cfg.seed + 81) (Lazy.force ds.corpus)
+      ~shape:Datagen.Workload.Star ~size:20 ~count:(2 * cfg.queries_per_point)
+    @ Datagen.Workload.generate ~seed:(cfg.seed + 82) (Lazy.force ds.corpus)
+        ~shape:Datagen.Workload.Complex ~size:30
+        ~count:(2 * cfg.queries_per_point)
+  in
+  let layouts =
+    [
+      Mgraph.Posting.Force Mgraph.Posting.Raw;
+      Mgraph.Posting.Force Mgraph.Posting.Ef;
+      Mgraph.Posting.Force Mgraph.Posting.Blocked;
+      Mgraph.Posting.Auto;
+    ]
+  in
+  (* Build every engine first, then time them in interleaved rounds
+     (best-of-rounds per query): the layouts differ by a few percent,
+     so measuring engines minutes apart would let machine drift swamp
+     the signal. A shared untimed warmup round levels page-fault, LRU
+     and GC state. *)
+  let engines =
+    List.map
+      (fun layout ->
+        let engine = Amber.Engine.build ~layout triples in
+        let total =
+          List.fold_left
+            (fun acc (_, b) -> acc + b)
+            0
+            (Amber.Engine.resident_bytes engine)
+        in
+        (Mgraph.Posting.policy_to_string layout, engine, total,
+         Amber.Engine.posting_stats engine))
+      layouts
+  in
+  let queries = Array.of_list workload in
+  let nq = Array.length queries in
+  let best =
+    List.map (fun (name, _, _, _) -> (name, Array.make nq infinity)) engines
+  in
+  Gc.compact ();
+  let rounds = 6 in
+  for round = 0 to rounds do
+    (* round 0 is the untimed warmup *)
+    List.iter
+      (fun (name, engine, _, _) ->
+        let slots = List.assoc name best in
+        Array.iteri
+          (fun i ast ->
+            match
+              Bench_util.Runner.time (fun () ->
+                  Amber.Engine.query ~timeout:cfg.timeout ~limit:cfg.row_limit
+                    engine ast)
+            with
+            | dt, _ -> if round > 0 && dt < slots.(i) then slots.(i) <- dt
+            | exception Amber.Deadline.Expired -> ())
+          queries)
+      engines
+  done;
+  let results =
+    List.map
+      (fun (name, _, total, stats) ->
+        let slots = List.assoc name best in
+        let times =
+          Array.to_list slots |> List.filter (fun t -> t < infinity)
+        in
+        let median = Bench_util.Stats.median times in
+        (name, total, stats, median, List.length times, nq - List.length times))
+      engines
+  in
+  let raw_total, raw_median =
+    match results with
+    | (_, total, _, median, _, _) :: _ -> (total, median)
+    | [] -> (0, 0.)
+  in
+  Bench_util.Table_fmt.print
+    ~header:
+      [
+        "layout";
+        "resident bytes";
+        "B/triple";
+        "raw/ef/blocked";
+        "payload MB";
+        "median ms";
+        "vs raw";
+      ]
+    (List.map
+       (fun (name, total, s, median, _, _) ->
+         [
+           name;
+           string_of_int total;
+           Printf.sprintf "%.1f" (float_of_int total /. float_of_int n_triples);
+           Printf.sprintf "%d/%d/%d" s.Mgraph.Posting.raw_lists
+             s.Mgraph.Posting.ef_lists s.Mgraph.Posting.blocked_lists;
+           Printf.sprintf "%.2f"
+             (float_of_int s.Mgraph.Posting.payload_bytes /. 1_048_576.);
+           Bench_util.Table_fmt.ms median;
+           (if raw_median > 0. then
+              Printf.sprintf "%.0f%% bytes, %+.1f%% time"
+                (100. *. float_of_int total /. float_of_int (max 1 raw_total))
+                (100. *. (median -. raw_median) /. raw_median)
+            else "-");
+         ])
+       results);
+  (match
+     List.find_opt (fun (name, _, _, _, _, _) -> name = "auto") results
+   with
+  | Some (_, auto_total, _, auto_median, _, _) when raw_total > 0 ->
+      Printf.printf
+        "auto layout: %.2fx smaller than raw, median query %+.1f%%\n"
+        (float_of_int raw_total /. float_of_int (max 1 auto_total))
+        (if raw_median > 0. then
+           100. *. (auto_median -. raw_median) /. raw_median
+         else 0.)
+  | _ -> ());
+  add_json "layouts"
+    (Printf.sprintf {|{"dataset":"%s","triples":%d,"per_layout":[%s]}|}
+       ds.ds_name (List.length triples)
+       (String.concat ","
+          (List.map
+             (fun (name, total, s, median, answered, unanswered) ->
+               Printf.sprintf
+                 {|{"layout":"%s","total_resident_bytes":%d,"bytes_per_triple":%.2f,"raw_lists":%d,"ef_lists":%d,"blocked_lists":%d,"payload_bytes":%d,"median_query_s":%.9g,"answered":%d,"unanswered":%d}|}
+                 name total
+                 (float_of_int total /. float_of_int n_triples)
+                 s.Mgraph.Posting.raw_lists s.Mgraph.Posting.ef_lists
+                 s.Mgraph.Posting.blocked_lists s.Mgraph.Posting.payload_bytes
+                 median answered unanswered)
+             results)))
 
 (* ------------------------------------------------------------------ *)
 (* Micro benchmarks (Bechamel)                                         *)
@@ -1408,6 +1598,7 @@ let () =
   if wants cfg "build" then bench_build cfg dbpedia;
   if wants cfg "analysis" then bench_analysis cfg dbpedia;
   if wants cfg "resource" then bench_resource cfg dbpedia;
+  if wants cfg "layouts" then bench_layouts cfg dbpedia;
   if cfg.micro then micro_benchmarks ();
   write_json_report cfg;
   let within_baseline = compare_with_baseline cfg in

@@ -41,8 +41,8 @@ let max_multi_edge_width maxima = max 0 (max maxima.(0) maxima.(4))
    proof; otherwise the whole intersection is the certificate. *)
 let check_attributes db attribute name attrs =
   if Array.length attrs = 0 then None
-  else if Array.length (Attribute_index.candidates attribute attrs) > 0 then
-    None
+  else if not (Mgraph.Posting.is_empty (Attribute_index.candidates attribute attrs))
+  then None
   else begin
     let described =
       List.map
@@ -59,11 +59,10 @@ let check_attributes db attribute name attrs =
               if
                 a < b
                 && String.equal pa pb
-                && Array.length
-                     (Mgraph.Sorted_ints.inter
+                && Mgraph.Posting.is_empty
+                     (Mgraph.Posting.inter
                         (Attribute_index.vertices_with attribute a)
                         (Attribute_index.vertices_with attribute b))
-                   = 0
               then
                 Some
                   (Conflicting_literals

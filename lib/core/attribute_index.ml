@@ -1,10 +1,12 @@
+module Posting = Mgraph.Posting
+
 type t = {
-  lists : int array array;  (* attribute id -> sorted vertex ids *)
+  lists : Posting.t array;  (* attribute id -> sorted vertex ids *)
   mutable probes : int;  (* lifetime lookup count; racy under domains,
                             lost increments are acceptable *)
 }
 
-let build db =
+let build ?(layout = Posting.Auto) db =
   let g = Database.graph db in
   let n_attrs = Database.attribute_count db in
   let buckets = Array.make n_attrs [] in
@@ -15,27 +17,39 @@ let build db =
   done;
   (* Vertices were visited in decreasing order, so each bucket is
      already sorted increasingly. *)
-  { lists = Array.map Array.of_list buckets; probes = 0 }
+  {
+    lists =
+      Array.map (fun l -> Posting.of_array ~policy:layout (Array.of_list l)) buckets;
+    probes = 0;
+  }
 
-let export t = t.lists
+let export t = Array.map Posting.to_array t.lists
 
-let import lists =
+let import ?(layout = Posting.Auto) lists =
   Array.iter
     (fun l ->
       if not (Mgraph.Sorted_ints.is_sorted l) || (Array.length l > 0 && l.(0) < 0)
       then invalid_arg "Attribute_index.import: list not sorted")
     lists;
-  { lists; probes = 0 }
+  { lists = Array.map (Posting.of_array ~policy:layout) lists; probes = 0 }
+
+let of_postings lists = { lists; probes = 0 }
+let postings t = t.lists
 
 let vertices_with t a =
-  if a < 0 || a >= Array.length t.lists then [||] else t.lists.(a)
+  if a < 0 || a >= Array.length t.lists then Posting.empty else t.lists.(a)
 
 let candidates t attrs =
   if Array.length attrs = 0 then
     invalid_arg "Attribute_index.candidates: empty attribute set";
   t.probes <- t.probes + 1;
   let lists = Array.to_list (Array.map (vertices_with t) attrs) in
-  Mgraph.Sorted_ints.inter_many lists
+  Posting.inter_many lists
 
 let attribute_count t = Array.length t.lists
 let probes t = t.probes
+
+let posting_stats t =
+  let s = Posting.fresh_stats () in
+  Array.iter (Posting.count_into s) t.lists;
+  s

@@ -2,23 +2,34 @@
 
     Maps every attribute id to the sorted list of data vertices carrying
     it; the candidates for a query vertex with attribute set [u.A] are
-    the intersection of the per-attribute lists. *)
+    the intersection of the per-attribute lists. Lists are frozen
+    {!Mgraph.Posting} posting lists — queried directly over the
+    compressed form. *)
 
 type t
 
-val build : Database.t -> t
+val build : ?layout:Mgraph.Posting.policy -> Database.t -> t
+(** [layout] chooses the physical posting layout (default [Auto]). *)
 
 val export : t -> int array array
-(** The raw per-attribute vertex lists, for the snapshot codec. *)
+(** The per-attribute vertex lists decoded to arrays, for the v1
+    snapshot codec and tests. *)
 
-val import : int array array -> t
+val import : ?layout:Mgraph.Posting.policy -> int array array -> t
 (** Rebuild from exported lists (probe counter starts at zero).
     @raise Invalid_argument if any list is unsorted or negative. *)
 
-val vertices_with : t -> int -> int array
-(** Sorted data vertices carrying one attribute ([||] if none). *)
+val of_postings : Mgraph.Posting.t array -> t
+(** Adopt already-frozen posting lists verbatim — the AMBERIX1 v2
+    load path (layouts come from the snapshot tags). *)
 
-val candidates : t -> int array -> int array
+val postings : t -> Mgraph.Posting.t array
+(** The resident posting lists, for the v2 snapshot codec. *)
+
+val vertices_with : t -> int -> Mgraph.Posting.t
+(** Sorted data vertices carrying one attribute (empty if none). *)
+
+val candidates : t -> int array -> Mgraph.Posting.t
 (** [candidates a attrs] — sorted data vertices carrying {e all} of
     [attrs]. @raise Invalid_argument on an empty attribute set (callers
     only consult [A] when the query vertex has attributes). *)
@@ -28,3 +39,6 @@ val attribute_count : t -> int
 val probes : t -> int
 (** Lifetime number of {!candidates} lookups — exported by the
     observability layer ([amber_attribute_index_probes_total]). *)
+
+val posting_stats : t -> Mgraph.Posting.stats
+(** Per-layout list counts and out-of-heap payload bytes. *)

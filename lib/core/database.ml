@@ -24,7 +24,7 @@ let term_of_key key =
 let attr_key pred lit =
   pred ^ "\x00" ^ Rdf.Term.to_string (Rdf.Term.Literal lit)
 
-let of_triples triples =
+let of_triples ?layout triples =
   let vertices = Mgraph.Dict.create ()
   and edge_types = Mgraph.Dict.create ()
   and attributes = Mgraph.Dict.create () in
@@ -62,7 +62,7 @@ let of_triples triples =
           Mgraph.Multigraph.Builder.add_edge builder s e o)
     triples;
   {
-    graph = Mgraph.Multigraph.Builder.build builder;
+    graph = Mgraph.Multigraph.Builder.build ?layout builder;
     vertices;
     edge_types;
     attributes;

@@ -8,7 +8,9 @@
 
 type t
 
-val of_triples : Rdf.Triple.t list -> t
+val of_triples : ?layout:Mgraph.Posting.policy -> Rdf.Triple.t list -> t
+(** [layout] picks the physical posting layout of the multigraph's
+    frozen neighbour lists (default [Auto]). *)
 
 (** {1 Snapshot decomposition}
 

@@ -5,6 +5,7 @@ type t = {
   neighbourhood : Neighbourhood_index.t;
   literal_bindings : Literal_bindings.t;
   shared : Matcher.shared;  (* cross-query A/S candidate LRUs *)
+  layout : Mgraph.Posting.policy;  (* posting layout the indexes froze under *)
 }
 
 exception Unsupported = Query_graph.Unsupported
@@ -299,12 +300,31 @@ let sync_index_metrics t =
    shared between structures (e.g. interned dictionary strings) are
    counted from each structure that reaches them. *)
 let resident_bytes t =
+  let g = Database.graph t.db in
   [
-    ("adjacency", Obs.Resource.reachable_bytes (Database.graph t.db));
-    ("attribute", Obs.Resource.reachable_bytes t.attribute);
+    ( "adjacency",
+      Obs.Resource.reachable_bytes g + Mgraph.Multigraph.out_of_heap_bytes g );
+    ( "attribute",
+      Obs.Resource.reachable_bytes t.attribute
+      + (Attribute_index.posting_stats t.attribute).Mgraph.Posting.payload_bytes
+    );
     ("synopsis", Obs.Resource.reachable_bytes t.synopsis);
-    ("neighbourhood", Obs.Resource.reachable_bytes t.neighbourhood);
+    ( "neighbourhood",
+      Obs.Resource.reachable_bytes t.neighbourhood
+      + (Neighbourhood_index.posting_stats t.neighbourhood)
+          .Mgraph.Posting.payload_bytes );
   ]
+
+(* Aggregate posting-list census over every index that holds frozen
+   posting lists (adjacency neighbour lists, attribute inverted lists,
+   OTIL value/inverted lists). *)
+let posting_stats t =
+  let s = Mgraph.Posting.fresh_stats () in
+  Mgraph.Multigraph.posting_stats (Database.graph t.db) s;
+  Mgraph.Posting.merge_stats ~into:s (Attribute_index.posting_stats t.attribute);
+  Mgraph.Posting.merge_stats ~into:s
+    (Neighbourhood_index.posting_stats t.neighbourhood);
+  s
 
 let sync_resource_metrics t =
   List.iter
@@ -313,11 +333,30 @@ let sync_resource_metrics t =
         (Obs.Metrics.counter m "amber_index_resident_bytes"
            ~labels:[ ("index", index) ]
            ~help:
-             "Heap bytes reachable from one index structure (adjacency \
-              multigraph, attribute inverted lists, synopsis R-tree, \
-              neighbourhood OTILs)")
+             "Bytes resident in one index structure (adjacency multigraph, \
+              attribute inverted lists, synopsis R-tree, neighbourhood \
+              OTILs): reachable heap plus out-of-heap posting payloads")
         bytes)
-    (resident_bytes t)
+    (resident_bytes t);
+  let s = posting_stats t in
+  List.iter
+    (fun (layout, count) ->
+      Obs.Metrics.set
+        (Obs.Metrics.counter m "amber_posting_lists"
+           ~labels:[ ("layout", layout) ]
+           ~help:"Frozen posting lists resident across all indexes, by layout")
+        count)
+    [
+      ("raw", s.Mgraph.Posting.raw_lists);
+      ("ef", s.Mgraph.Posting.ef_lists);
+      ("blocked", s.Mgraph.Posting.blocked_lists);
+    ];
+  Obs.Metrics.set
+    (Obs.Metrics.counter m "amber_posting_payload_bytes"
+       ~help:
+         "Out-of-heap (Bigarray) payload bytes of compressed posting lists \
+          across all indexes")
+    s.Mgraph.Posting.payload_bytes
 
 (* ------------------------------------------------------------------ *)
 (* Offline build (optionally parallel index construction)              *)
@@ -356,16 +395,18 @@ let timed f =
    canonical snapshot encoding — to the [domains = 1] build. *)
 let shards_per_domain = 4
 
-let build_indexes ?synopsis_mode ~domains db =
+let build_indexes ?synopsis_mode ?layout ~domains db =
   let n = Mgraph.Multigraph.vertex_count (Database.graph db) in
   if domains <= 1 || n = 0 then begin
-    let attribute, dt_a = timed (fun () -> Attribute_index.build db) in
+    let attribute, dt_a = timed (fun () -> Attribute_index.build ?layout db) in
     Obs.Metrics.observe (m_index_build "attribute") dt_a;
     let synopsis, dt_s =
       timed (fun () -> Synopsis_index.build ?mode:synopsis_mode db)
     in
     Obs.Metrics.observe (m_index_build "synopsis") dt_s;
-    let neighbourhood, dt_n = timed (fun () -> Neighbourhood_index.build db) in
+    let neighbourhood, dt_n =
+      timed (fun () -> Neighbourhood_index.build ?layout db)
+    in
     Obs.Metrics.observe (m_index_build "neighbourhood") dt_n;
     (attribute, synopsis, neighbourhood)
   end
@@ -385,18 +426,18 @@ let build_indexes ?synopsis_mode ~domains db =
     let tasks =
       Array.of_list
         ((fun () ->
-           attribute_slot := Some (Attribute_index.build db);
+           attribute_slot := Some (Attribute_index.build ?layout db);
            "attribute")
         :: List.concat
              [
                range_tasks "synopsis" syn_parts (fun ~lo ~hi ->
                    Synopsis_index.synopses_range db ~lo ~hi);
                range_tasks "neighbourhood" in_parts (fun ~lo ~hi ->
-                   Neighbourhood_index.build_range db Mgraph.Multigraph.In ~lo
-                     ~hi);
+                   Neighbourhood_index.build_range ?layout db
+                     Mgraph.Multigraph.In ~lo ~hi);
                range_tasks "neighbourhood" out_parts (fun ~lo ~hi ->
-                   Neighbourhood_index.build_range db Mgraph.Multigraph.Out ~lo
-                     ~hi);
+                   Neighbourhood_index.build_range ?layout db
+                     Mgraph.Multigraph.Out ~lo ~hi);
              ])
     in
     let pool = Domain_pool.global () in
@@ -443,7 +484,8 @@ let build_indexes ?synopsis_mode ~domains db =
     (attribute, synopsis, neighbourhood)
   end
 
-let of_parts ~db ~attribute ~synopsis ~neighbourhood =
+let of_parts ?(layout = Mgraph.Posting.Auto) ~db ~attribute ~synopsis
+    ~neighbourhood () =
   {
     db;
     attribute;
@@ -451,14 +493,17 @@ let of_parts ~db ~attribute ~synopsis ~neighbourhood =
     neighbourhood;
     literal_bindings = Literal_bindings.create db;
     shared = Matcher.make_shared ();
+    layout;
   }
 
-let build ?synopsis_mode ?(domains = 1) triples =
-  let db = Database.of_triples triples in
+let build ?synopsis_mode ?layout ?(domains = 1) triples =
+  let db = Database.of_triples ?layout triples in
   let attribute, synopsis, neighbourhood =
-    build_indexes ?synopsis_mode ~domains db
+    build_indexes ?synopsis_mode ?layout ~domains db
   in
-  of_parts ~db ~attribute ~synopsis ~neighbourhood
+  of_parts ?layout ~db ~attribute ~synopsis ~neighbourhood ()
+
+let layout t = t.layout
 
 (* ------------------------------------------------------------------ *)
 (* Parallel solution collection (the paper's §8 future work)           *)
@@ -751,8 +796,10 @@ let explain ?strategy ?satellites ?open_objects t ast =
                           | None -> Some (Array.length structural)
                           | Some extra ->
                               Some
-                                (Array.length
-                                   (Mgraph.Sorted_ints.inter structural extra))
+                                (Mgraph.Posting.length
+                                   (Mgraph.Posting.inter
+                                      (Mgraph.Posting.raw structural)
+                                      extra))
                         end
                       in
                       {
@@ -829,7 +876,8 @@ let vertex_reports t q (plan : Decompose.plan) =
         match Matcher.process_vertex probe_ctx q u with
         | None -> Array.length structural
         | Some extra ->
-            Array.length (Mgraph.Sorted_ints.inter structural extra)
+            Mgraph.Posting.length
+              (Mgraph.Posting.inter (Mgraph.Posting.raw structural) extra)
       in
       {
         Profile.variable = q.Query_graph.var_names.(u);
@@ -1040,8 +1088,8 @@ let query_parallel ?timeout ?limit ?strategy ?satellites ?open_objects ?analyze
    indexes themselves. *)
 let save t path = Rdf.Binary.write_file path (Database.to_triples t.db)
 
-let load_file ?synopsis_mode ?domains path =
-  build ?synopsis_mode ?domains (Rdf.Binary.read_file path)
+let load_file ?synopsis_mode ?layout ?domains path =
+  build ?synopsis_mode ?layout ?domains (Rdf.Binary.read_file path)
 
 let snapshot_contents t =
   {
@@ -1049,6 +1097,7 @@ let snapshot_contents t =
     attribute = t.attribute;
     synopsis = t.synopsis;
     neighbourhood = t.neighbourhood;
+    layout = t.layout;
   }
 
 let save_snapshot t path =
@@ -1058,8 +1107,9 @@ let save_snapshot t path =
 let load_snapshot path =
   let c, dt = timed (fun () -> Snapshot.read_file path) in
   Obs.Metrics.observe m_snapshot_load dt;
-  of_parts ~db:c.Snapshot.db ~attribute:c.Snapshot.attribute
-    ~synopsis:c.Snapshot.synopsis ~neighbourhood:c.Snapshot.neighbourhood
+  of_parts ~layout:c.Snapshot.layout ~db:c.Snapshot.db
+    ~attribute:c.Snapshot.attribute ~synopsis:c.Snapshot.synopsis
+    ~neighbourhood:c.Snapshot.neighbourhood ()
 
 (* ------------------------------------------------------------------ *)
 (* ASK and CONSTRUCT forms                                             *)

@@ -8,10 +8,17 @@
 type t
 
 val build :
-  ?synopsis_mode:Synopsis_index.mode -> ?domains:int -> Rdf.Triple.t list -> t
+  ?synopsis_mode:Synopsis_index.mode ->
+  ?layout:Mgraph.Posting.policy ->
+  ?domains:int ->
+  Rdf.Triple.t list ->
+  t
 (** Transform triples into the multigraph database and build all three
     indexes.
 
+    @param layout physical posting-list layout policy for the adjacency,
+    attribute and OTIL lists (default [Auto] — per-list density/size
+    heuristics). [Force Raw] is the uncompressed ablation baseline.
     @param domains build the indexes on up to this many domains (default
     1 — strictly sequential). [A] builds as one task while the
     per-vertex loops of [S] (synopsis computation) and [N] (trie
@@ -22,6 +29,9 @@ val build :
     the [amber_index_build_seconds{index=...}] histograms. *)
 
 val db : t -> Database.t
+val layout : t -> Mgraph.Posting.policy
+(** The posting layout policy this engine's indexes froze under. *)
+
 val attribute_index : t -> Attribute_index.t
 val synopsis_index : t -> Synopsis_index.t
 val neighbourhood_index : t -> Neighbourhood_index.t
@@ -167,12 +177,19 @@ val sync_index_metrics : t -> unit
     rendering [GET /metrics]. *)
 
 val resident_bytes : t -> (string * int) list
-(** Heap bytes reachable from each index structure, by reachable-words
-    walk: [("adjacency", …)] (the multigraph), [("attribute", …)] (the
+(** Bytes resident in each index structure: the reachable-heap walk plus
+    the out-of-heap ([Bigarray]) payload bytes of compressed posting
+    lists — [("adjacency", …)] (the multigraph), [("attribute", …)] (the
     inverted lists), [("synopsis", …)] (the R-tree), and
     [("neighbourhood", …)] (the OTILs). Linear in index size — call per
     metrics scrape or per report, not per query. Heap blocks shared
     between structures are counted from each structure reaching them. *)
+
+val posting_stats : t -> Mgraph.Posting.stats
+(** Census of every frozen posting list the indexes hold: per-layout
+    list counts, total elements, and out-of-heap payload bytes —
+    published as [amber_posting_lists{layout=…}] by
+    {!sync_resource_metrics}. *)
 
 val sync_resource_metrics : t -> unit
 (** Publish {!resident_bytes} as the
@@ -268,9 +285,13 @@ val save : t -> string -> unit
     them. *)
 
 val load_file :
-  ?synopsis_mode:Synopsis_index.mode -> ?domains:int -> string -> t
+  ?synopsis_mode:Synopsis_index.mode ->
+  ?layout:Mgraph.Posting.policy ->
+  ?domains:int ->
+  string ->
+  t
 (** Load a file written by {!save} (or any {!Rdf.Binary} file) and
-    rebuild the indexes ([domains] as in {!build}).
+    rebuild the indexes ([layout] and [domains] as in {!build}).
     @raise Rdf.Binary.Corrupt on malformed input. *)
 
 val snapshot_contents : t -> Snapshot.contents
@@ -284,8 +305,9 @@ val save_snapshot : t -> string -> unit
 val load_snapshot : string -> t
 (** Load a snapshot written by {!save_snapshot}: dictionaries, graph and
     all three indexes are read back directly — nothing is rebuilt except
-    the derived literal bindings. The synopsis mode is the one the saved
-    engine was built with. Observed in [amber_snapshot_load_seconds].
+    the derived literal bindings. The synopsis mode and posting layout
+    policy are the ones the saved engine was built with; v2 snapshots
+    restore each stored posting list in its frozen physical layout. Observed in [amber_snapshot_load_seconds].
     @raise Rdf.Binary.Corrupt on malformed or corrupt input (every
     section is CRC-guarded). *)
 

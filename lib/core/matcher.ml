@@ -39,7 +39,7 @@ let merge_into ~into s =
    every context built from one engine — including parallel domains —
    so access is serialized by [lock]. *)
 type shared = {
-  attr_cache : int array Lru.t;
+  attr_cache : Mgraph.Posting.t Lru.t;
   syn_cache : int array Lru.t;
   lock : Mutex.t;
 }
@@ -112,7 +112,7 @@ let adjacent_candidates ctx v (dir, types) =
 let inter_opt a b =
   match (a, b) with
   | None, x | x, None -> x
-  | Some a, Some b -> Some (Mgraph.Sorted_ints.inter a b)
+  | Some a, Some b -> Some (Mgraph.Posting.inter a b)
 
 let attribute_candidates ctx attrs =
   let probe () =
@@ -229,8 +229,8 @@ let match_satellites ctx q (plan : Decompose.plan) uc vc =
         let refined = inter_opt structural (process_vertex ctx q us) in
         match refined with
         | None -> None (* a satellite always has structure; defensive *)
-        | Some [||] -> None
-        | Some cands -> loop ((us, cands) :: acc) rest)
+        | Some cands when Mgraph.Posting.is_empty cands -> None
+        | Some cands -> loop ((us, Mgraph.Posting.to_array cands) :: acc) rest)
   in
   loop [] plan.satellites_of.(uc)
 
@@ -250,9 +250,9 @@ let initial_candidates ctx (q : Query_graph.t) (comp : Decompose.component) =
   | 0 -> [||]
   | _ ->
       let u = comp.core_order.(0) in
-      let structural = synopsis_candidates ctx q u in
+      let structural = Mgraph.Posting.raw (synopsis_candidates ctx q u) in
       (match inter_opt (Some structural) (process_vertex ctx q u) with
-      | Some c -> c
+      | Some c -> Mgraph.Posting.to_array c
       | None -> [||])
 
 let solve_component_seeded ctx (q : Query_graph.t) (plan : Decompose.plan)
@@ -285,7 +285,7 @@ let solve_component_seeded ctx (q : Query_graph.t) (plan : Decompose.plan)
       else begin
         let u = order.(depth) in
         let candidates =
-          if depth = 0 then seeds
+          if depth = 0 then Mgraph.Posting.raw seeds
           else begin
             let structural =
               match constrained_candidates ctx (matched_neighbours depth) with
@@ -293,14 +293,14 @@ let solve_component_seeded ctx (q : Query_graph.t) (plan : Decompose.plan)
               | None ->
                   (* Core subgraphs are connected, so this only happens
                      for promoted singletons or defensive fallback: use S. *)
-                  Some (synopsis_candidates ctx q u)
+                  Some (Mgraph.Posting.raw (synopsis_candidates ctx q u))
             in
             match inter_opt structural (process_vertex ctx q u) with
             | Some c -> c
-            | None -> [||]
+            | None -> Mgraph.Posting.empty
           end
         in
-        Array.iter
+        Mgraph.Posting.iter
           (fun v ->
             Deadline.check ctx.deadline;
             ctx.stats.candidates_scanned <- ctx.stats.candidates_scanned + 1;

@@ -48,7 +48,9 @@ val merge_into : into:stats -> stats -> unit
 type shared
 (** Cross-query LRU caches (attribute and synopsis candidate sets),
     owned by the engine and shared — behind a mutex — by every context
-    it builds, including parallel domains. *)
+    it builds, including parallel domains. Attribute entries are the
+    index's resident {!Mgraph.Posting} lists (possibly compressed),
+    shared zero-copy. *)
 
 val make_shared : ?cap:int -> unit -> shared
 (** [cap] bounds each LRU (default 256 entries). *)
@@ -89,11 +91,11 @@ type solution = {
       (** (satellite vertex, sorted candidate data vertices) *)
 }
 
-val process_vertex : ctx -> Query_graph.t -> int -> int array option
+val process_vertex : ctx -> Query_graph.t -> int -> Mgraph.Posting.t option
 (** Algorithm 1: candidates implied by vertex attributes and IRI
-    constraints alone. [None] when the vertex has neither (no
-    information, not an empty candidate set). Memoized per query when
-    the context carries a probe cache. *)
+    constraints alone, as a (possibly compressed) posting list. [None]
+    when the vertex has neither (no information, not an empty candidate
+    set). Memoized per query when the context carries a probe cache. *)
 
 val solve_component :
   ctx ->

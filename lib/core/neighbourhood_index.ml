@@ -11,7 +11,7 @@ type t = {
    share mutable state. Tries come back prepared (caches materialized)
    so queries are read-only and the index can serve several domains
    concurrently. *)
-let build_range db dir ~lo ~hi =
+let build_range ?(layout = Mgraph.Posting.Auto) db dir ~lo ~hi =
   let g = Database.graph db in
   Array.init (hi - lo) (fun i ->
       let v = lo + i in
@@ -19,7 +19,7 @@ let build_range db dir ~lo ~hi =
       Array.iter
         (fun (v', types) -> Otil.add trie types v')
         (Mgraph.Multigraph.adjacency g dir v);
-      Otil.prepare trie;
+      Otil.prepare ~policy:layout trie;
       trie)
 
 let of_tries ~incoming ~outgoing =
@@ -27,11 +27,11 @@ let of_tries ~incoming ~outgoing =
     invalid_arg "Neighbourhood_index.of_tries: direction length mismatch";
   { incoming; outgoing; probes = 0 }
 
-let build db =
+let build ?layout db =
   let n = Mgraph.Multigraph.vertex_count (Database.graph db) in
   of_tries
-    ~incoming:(build_range db Mgraph.Multigraph.In ~lo:0 ~hi:n)
-    ~outgoing:(build_range db Mgraph.Multigraph.Out ~lo:0 ~hi:n)
+    ~incoming:(build_range ?layout db Mgraph.Multigraph.In ~lo:0 ~hi:n)
+    ~outgoing:(build_range ?layout db Mgraph.Multigraph.Out ~lo:0 ~hi:n)
 
 let export t = (t.incoming, t.outgoing)
 
@@ -49,3 +49,9 @@ let neighbours t v dir types =
 
 let vertex_count t = Array.length t.incoming
 let probes t = t.probes
+
+let posting_stats t =
+  let s = Mgraph.Posting.fresh_stats () in
+  Array.iter (fun trie -> Otil.posting_stats trie s) t.incoming;
+  Array.iter (fun trie -> Otil.posting_stats trie s) t.outgoing;
+  s

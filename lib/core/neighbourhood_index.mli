@@ -9,10 +9,17 @@
 
 type t
 
-val build : Database.t -> t
+val build : ?layout:Mgraph.Posting.policy -> Database.t -> t
+(** [layout] is the posting freeze policy for every trie (default
+    [Auto]). *)
 
 val build_range :
-  Database.t -> Mgraph.Multigraph.direction -> lo:int -> hi:int -> Otil.t array
+  ?layout:Mgraph.Posting.policy ->
+  Database.t ->
+  Mgraph.Multigraph.direction ->
+  lo:int ->
+  hi:int ->
+  Otil.t array
 (** Prepared tries of the vertex range [lo, hi) in one direction — the
     shardable unit of the parallel build ([In] yields [N+] shards, [Out]
     yields [N−]). Element [i] belongs to vertex [lo + i]. *)
@@ -26,7 +33,7 @@ val export : t -> Otil.t array * Otil.t array
 (** The ([N+], [N−]) trie arrays, for the snapshot codec. *)
 
 val neighbours :
-  t -> int -> Mgraph.Multigraph.direction -> int array -> int array
+  t -> int -> Mgraph.Multigraph.direction -> int array -> Mgraph.Posting.t
 (** [neighbours t v dir types]: with [dir = Out], vertices [v'] such
     that the multi-edge [v → v'] contains all of [types]; with
     [dir = In], such that [v' → v] does. [types] must be sorted and
@@ -37,3 +44,7 @@ val vertex_count : t -> int
 val probes : t -> int
 (** Lifetime number of {!neighbours} lookups — exported by the
     observability layer ([amber_neighbourhood_index_probes_total]). *)
+
+val posting_stats : t -> Mgraph.Posting.stats
+(** Per-layout posting counts and out-of-heap payload bytes summed
+    over every frozen trie of both directions. *)

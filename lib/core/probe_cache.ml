@@ -1,3 +1,5 @@
+module Posting = Mgraph.Posting
+
 module Key = struct
   type t = int * Mgraph.Multigraph.direction * int array
 
@@ -13,8 +15,8 @@ end
 module H = Hashtbl.Make (Key)
 
 type t = {
-  probes : int array H.t;  (* (data vertex, dir, types) -> neighbours *)
-  vertices : (int, int array option) Hashtbl.t;
+  probes : Posting.t H.t;  (* (data vertex, dir, types) -> neighbours *)
+  vertices : (int, Posting.t option) Hashtbl.t;
       (* query vertex -> ProcessVertex result *)
 }
 

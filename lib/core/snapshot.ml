@@ -21,13 +21,23 @@
 module B = Rdf.Binary
 
 let magic = "AMBERIX1"
-let version = 1
+
+(* Format v2 stores posting lists layout-tagged in their frozen physical
+   form (raw / Elias-Fano / partitioned blocks): the attribute index as
+   tagged {!Mgraph.Posting} codecs, the OTIL families through the
+   compiled word-table codec ({!Otil.encode_frozen}), and the build-time
+   layout policy in the meta section so the adjacency postings re-freeze
+   identically on load. v1 (plain delta-coded arrays everywhere) is
+   still read; [version] is the default written. *)
+let version = 2
+let version_v1 = 1
 
 type contents = {
   db : Database.t;
   attribute : Attribute_index.t;
   synopsis : Synopsis_index.t;
   neighbourhood : Neighbourhood_index.t;
+  layout : Mgraph.Posting.policy;
 }
 
 let corrupt fmt = Printf.ksprintf (fun s -> raise (B.Corrupt s)) fmt
@@ -139,7 +149,16 @@ let write_graph buf g =
     out_adj;
   Array.iter (write_sorted_array buf) attrs
 
-let read_graph src pos =
+let write_posting b p = Mgraph.Posting.encode b p
+
+let read_posting src pos =
+  match Mgraph.Posting.decode src !pos with
+  | p, next ->
+      pos := next;
+      p
+  | exception Mgraph.Posting.Corrupt msg -> corrupt "%s" msg
+
+let read_graph ?layout src pos =
   let n = B.Varint.read src pos in
   let out_adj =
     Array.init n (fun _ ->
@@ -151,7 +170,7 @@ let read_graph src pos =
             (v', read_sorted_array src pos)))
   in
   let attrs = Array.init n (fun _ -> read_sorted_array src pos) in
-  match Mgraph.Multigraph.import ~out_adj ~attrs with
+  match Mgraph.Multigraph.import ?layout ~out_adj ~attrs () with
   | g -> g
   | exception Invalid_argument msg -> corrupt "bad graph section: %s" msg
 
@@ -176,10 +195,27 @@ let write_otil_array buf tries =
   B.Varint.write buf (Array.length tries);
   Array.iter (Otil.encode buf ~write_int:B.Varint.write) tries
 
-let read_otil_array src pos =
+let read_otil_array ?policy src pos =
   let n = B.Varint.read src pos in
   Array.init n (fun _ ->
-      match Otil.decode src pos ~read_int:B.Varint.read with
+      match Otil.decode ?policy src pos ~read_int:B.Varint.read with
+      | trie -> trie
+      | exception Failure msg -> corrupt "%s" msg)
+
+(* v2: the frozen word-table codec, value postings layout-tagged. *)
+let write_otil_array_frozen buf tries =
+  B.Varint.write buf (Array.length tries);
+  Array.iter
+    (Otil.encode_frozen buf ~write_int:B.Varint.write ~write_posting)
+    tries
+
+let read_otil_array_frozen ?policy src pos =
+  let n = B.Varint.read src pos in
+  Array.init n (fun _ ->
+      match
+        Otil.decode_frozen ?policy src pos ~read_int:B.Varint.read
+          ~read_posting
+      with
       | trie -> trie
       | exception Failure msg -> corrupt "%s" msg)
 
@@ -236,9 +272,9 @@ let add_section buf tag payload =
     Buffer.add_char buf (Char.chr ((crc lsr (8 * shift)) land 0xFF))
   done
 
-let encode buf t =
+let encode_version v buf t =
   Buffer.add_string buf magic;
-  B.Varint.write buf version;
+  B.Varint.write buf v;
   B.Varint.write buf (List.length section_order);
   let parts = Database.export t.db in
   let incoming, outgoing = Neighbourhood_index.export t.neighbourhood in
@@ -247,7 +283,9 @@ let encode buf t =
     fill payload;
     add_section buf tag payload
   in
-  section tag_meta (fun b -> B.Varint.write b parts.Database.p_triple_count);
+  section tag_meta (fun b ->
+      B.Varint.write b parts.Database.p_triple_count;
+      if v >= 2 then write_string b (Mgraph.Posting.policy_to_string t.layout));
   section tag_vertices (fun b -> write_dict b parts.Database.p_vertices);
   section tag_edge_types (fun b -> write_dict b parts.Database.p_edge_types);
   section tag_attributes (fun b -> write_dict b parts.Database.p_attributes);
@@ -255,16 +293,34 @@ let encode buf t =
       write_attribute_data b parts.Database.p_attribute_data);
   section tag_graph (fun b -> write_graph b parts.Database.p_graph);
   section tag_attribute_index (fun b ->
-      let lists = Attribute_index.export t.attribute in
-      B.Varint.write b (Array.length lists);
-      Array.iter (write_sorted_array b) lists);
-  section tag_otil_in (fun b -> write_otil_array b incoming);
-  section tag_otil_out (fun b -> write_otil_array b outgoing);
+      if v >= 2 then begin
+        let lists = Attribute_index.postings t.attribute in
+        B.Varint.write b (Array.length lists);
+        Array.iter (write_posting b) lists
+      end
+      else begin
+        let lists = Attribute_index.export t.attribute in
+        B.Varint.write b (Array.length lists);
+        Array.iter (write_sorted_array b) lists
+      end);
+  let write_tries b tries =
+    if v >= 2 then write_otil_array_frozen b tries else write_otil_array b tries
+  in
+  section tag_otil_in (fun b -> write_tries b incoming);
+  section tag_otil_out (fun b -> write_tries b outgoing);
   section tag_synopsis (fun b -> write_synopsis b t.synopsis)
+
+let encode buf t = encode_version version buf t
+let encode_v1 buf t = encode_version version_v1 buf t
 
 let to_string t =
   let buf = Buffer.create (1 lsl 20) in
   encode buf t;
+  Buffer.contents buf
+
+let to_string_v1 t =
+  let buf = Buffer.create (1 lsl 20) in
+  encode_v1 buf t;
   Buffer.contents buf
 
 (* Frame check first: tag as expected, payload in bounds, CRC over the
@@ -295,24 +351,36 @@ let decode src =
     corrupt "bad magic (not an AMbER index snapshot)";
   let pos = ref mn in
   let v = B.Varint.read src pos in
-  if v <> version then corrupt "unsupported snapshot version %d" v;
+  if v <> version && v <> version_v1 then
+    corrupt "unsupported snapshot version %d" v;
   let count = B.Varint.read src pos in
   if count <> List.length section_order then
     corrupt "unexpected section count %d" count;
   let sect tag parse = read_section src pos tag parse in
-  let triple_count = sect tag_meta (fun s p -> B.Varint.read s p) in
+  let triple_count, layout =
+    sect tag_meta (fun s p ->
+        let n = B.Varint.read s p in
+        if v < 2 then (n, Mgraph.Posting.Auto)
+        else
+          let name = read_string s p in
+          match Mgraph.Posting.policy_of_string name with
+          | Some policy -> (n, policy)
+          | None -> corrupt "unknown layout policy %S" name)
+  in
   let vertices = sect tag_vertices read_dict in
   let edge_types = sect tag_edge_types read_dict in
   let attributes = sect tag_attributes read_dict in
   let attribute_data = sect tag_attribute_data read_attribute_data in
-  let graph = sect tag_graph read_graph in
-  let attr_lists =
+  let graph = sect tag_graph (read_graph ~layout) in
+  let attr_section =
     sect tag_attribute_index (fun s p ->
         let n = B.Varint.read s p in
-        Array.init n (fun _ -> read_sorted_array s p))
+        if v >= 2 then `Postings (Array.init n (fun _ -> read_posting s p))
+        else `Arrays (Array.init n (fun _ -> read_sorted_array s p)))
   in
-  let incoming = sect tag_otil_in read_otil_array in
-  let outgoing = sect tag_otil_out read_otil_array in
+  let read_tries = if v >= 2 then read_otil_array_frozen else read_otil_array in
+  let incoming = sect tag_otil_in (read_tries ~policy:layout) in
+  let outgoing = sect tag_otil_out (read_tries ~policy:layout) in
   let synopsis = sect tag_synopsis read_synopsis in
   if !pos <> String.length src then corrupt "trailing bytes after sections";
   let db =
@@ -331,17 +399,30 @@ let decode src =
     | exception Invalid_argument msg -> corrupt "inconsistent snapshot: %s" msg
   in
   let n = Mgraph.Multigraph.vertex_count graph in
-  if Array.length attr_lists <> Mgraph.Dict.size attributes then
-    corrupt "attribute index / dictionary size mismatch";
-  Array.iter
-    (fun l ->
-      if Array.length l > 0 && l.(Array.length l - 1) >= n then
-        corrupt "attribute index vertex out of range")
-    attr_lists;
   let attribute =
-    match Attribute_index.import attr_lists with
-    | a -> a
-    | exception Invalid_argument msg -> corrupt "inconsistent snapshot: %s" msg
+    match attr_section with
+    | `Arrays attr_lists ->
+        if Array.length attr_lists <> Mgraph.Dict.size attributes then
+          corrupt "attribute index / dictionary size mismatch";
+        Array.iter
+          (fun l ->
+            if Array.length l > 0 && l.(Array.length l - 1) >= n then
+              corrupt "attribute index vertex out of range")
+          attr_lists;
+        (match Attribute_index.import ~layout attr_lists with
+        | a -> a
+        | exception Invalid_argument msg ->
+            corrupt "inconsistent snapshot: %s" msg)
+    | `Postings lists ->
+        if Array.length lists <> Mgraph.Dict.size attributes then
+          corrupt "attribute index / dictionary size mismatch";
+        Array.iter
+          (fun l ->
+            match Mgraph.Posting.next_geq l n with
+            | Some _ -> corrupt "attribute index vertex out of range"
+            | None -> ())
+          lists;
+        Attribute_index.of_postings lists
   in
   if Array.length incoming <> n || Array.length outgoing <> n then
     corrupt "neighbourhood index / graph size mismatch";
@@ -350,7 +431,7 @@ let decode src =
   | _, synopses, _ ->
       if Array.length synopses <> n then
         corrupt "synopsis index / graph size mismatch");
-  { db; attribute; synopsis; neighbourhood }
+  { db; attribute; synopsis; neighbourhood; layout }
 
 (* ------------------------------------------------------------------ *)
 (* Static validation (fsck)                                            *)
@@ -378,7 +459,8 @@ let frame_walk src =
     corrupt "bad magic (not an AMbER index snapshot)";
   let pos = ref mn in
   let v = B.Varint.read src pos in
-  if v <> version then corrupt "unsupported snapshot version %d" v;
+  if v <> version && v <> version_v1 then
+    corrupt "unsupported snapshot version %d" v;
   let count = B.Varint.read src pos in
   if count <> List.length section_order then
     corrupt "unexpected section count %d" count;

@@ -21,12 +21,22 @@ val magic : string
 (** ["AMBERIX1"]. *)
 
 val version : int
+(** The default written format, [2]: posting lists stored layout-tagged
+    in their frozen physical form (raw / Elias-Fano / partitioned
+    blocks) — the attribute index as tagged {!Mgraph.Posting} codecs,
+    the OTIL families through the compiled word-table codec — plus the
+    build-time layout policy in the meta section. Compressed payloads
+    decode straight into [Bigarray] buffers, so loading never re-expands
+    a list to rebuild heap structure. *)
 
 type contents = {
   db : Database.t;
   attribute : Attribute_index.t;
   synopsis : Synopsis_index.t;
   neighbourhood : Neighbourhood_index.t;
+  layout : Mgraph.Posting.policy;
+      (** posting layout policy the indexes froze under; v1 files read
+          as [Auto] *)
 }
 (** The persisted engine state. Derived per-query structures (literal
     bindings, caches) are rebuilt on load. *)
@@ -37,9 +47,17 @@ val to_string : contents -> string
 (** [encode] into a fresh string — the canonical byte representation,
     used by tests for byte-identity comparisons. *)
 
+val encode_v1 : Buffer.t -> contents -> unit
+(** The legacy v1 encoding (plain delta-coded arrays, no layout tags);
+    kept so the backward-compatible reader stays covered by tests. *)
+
+val to_string_v1 : contents -> string
+
 val decode : string -> contents
-(** @raise Rdf.Binary.Corrupt on bad magic, unsupported version, CRC
-    mismatch, truncation, or mutually inconsistent sections. *)
+(** Reads both v2 and v1 files.
+    @raise Rdf.Binary.Corrupt on bad magic, unsupported version, CRC
+    mismatch, truncation, an unknown posting layout tag, or mutually
+    inconsistent sections. *)
 
 val write_file : string -> contents -> unit
 val read_file : string -> contents

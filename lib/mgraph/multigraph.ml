@@ -3,12 +3,28 @@ type edge_type = int
 type attribute = int
 type direction = Out | In
 
+(* One direction of the adjacency, packed. Neighbour lists are frozen
+   {!Posting} lists (one per vertex, empty lists sharing [Posting.empty]);
+   the multi-edge type sets live in flat pools instead of one heap block
+   per edge. Edge [i] of vertex [v] (in neighbour order) has global index
+   [voffs.(v) + i]; its cell in [ty_pool] is the edge type when the
+   multi-edge is a singleton — the overwhelmingly common case in RDF —
+   or [-(off + 1)] pointing at a length-prefixed type set in
+   [over_pool]. *)
+type half = {
+  nbrs : Posting.t array;
+  voffs : int array;  (* length n+1, cumulative degrees *)
+  ty_pool : int array;  (* one cell per multi-edge *)
+  over_pool : int array;  (* len-prefixed sets of the non-singleton edges *)
+}
+
 type t = {
   vertex_count : int;
   edge_type_count : int;
-  out_adj : (vertex * edge_type array) array array;
-  in_adj : (vertex * edge_type array) array array;
-  attrs : attribute array array;
+  out_h : half;
+  in_h : half;
+  aoffs : int array;  (* length n+1: attribute range of vertex v *)
+  apool : int array;  (* concatenated sorted attribute sets *)
   multi_edge_count : int;
   triple_edge_count : int;
 }
@@ -21,6 +37,96 @@ module Int_pair = struct
 end
 
 module Pair_tbl = Hashtbl.Make (Int_pair)
+
+(* ------------------------------------------------------------------ *)
+(* Packing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pack_half ~policy adj =
+  let n = Array.length adj in
+  let voffs = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    voffs.(v + 1) <- voffs.(v) + Array.length adj.(v)
+  done;
+  let m = voffs.(n) in
+  let ty_pool = Array.make m 0 in
+  let over_len = ref 0 in
+  let over_cells = ref [] in
+  let nbrs =
+    Array.mapi
+      (fun v edges ->
+        let base = voffs.(v) in
+        Array.iteri
+          (fun i (_, types) ->
+            if Array.length types = 1 then ty_pool.(base + i) <- types.(0)
+            else begin
+              ty_pool.(base + i) <- -(!over_len + 1);
+              over_cells := types :: !over_cells;
+              over_len := !over_len + 1 + Array.length types
+            end)
+          edges;
+        if Array.length edges = 0 then Posting.empty
+        else Posting.of_array ~policy (Array.map fst edges))
+      adj
+  in
+  let over_pool = Array.make !over_len 0 in
+  let pos = ref !over_len in
+  (* Cells were collected in reverse edge order; writing back-to-front
+     restores pool offsets matching the [-(off+1)] cells. *)
+  List.iter
+    (fun types ->
+      let k = Array.length types in
+      pos := !pos - (1 + k);
+      over_pool.(!pos) <- k;
+      Array.blit types 0 over_pool (!pos + 1) k)
+    !over_cells;
+  { nbrs; voffs; ty_pool; over_pool }
+
+let types_at h e =
+  let c = h.ty_pool.(e) in
+  if c >= 0 then [| c |]
+  else
+    let off = -c - 1 in
+    Array.sub h.over_pool (off + 1) h.over_pool.(off)
+
+(* Pack from the tuple form (out-adjacency + per-vertex attributes);
+   the in-adjacency and counts are derived. Inputs are assumed valid —
+   [Builder.build] constructs them, [import] validates first. *)
+let pack ~policy ~edge_type_count ~multi_edge_count ~triple_edge_count out_adj
+    attrs =
+  let n = Array.length out_adj in
+  let in_degree = Array.make n 0 in
+  Array.iter
+    (Array.iter (fun (v', _) -> in_degree.(v') <- in_degree.(v') + 1))
+    out_adj;
+  (* Scanning sources in increasing order keeps every per-target list
+     sorted without re-sorting. *)
+  let in_adj = Array.init n (fun v -> Array.make in_degree.(v) (0, [||])) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun v adj ->
+      Array.iter
+        (fun (v', types) ->
+          in_adj.(v').(fill.(v')) <- (v, types);
+          fill.(v') <- fill.(v') + 1)
+        adj)
+    out_adj;
+  let aoffs = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    aoffs.(v + 1) <- aoffs.(v) + Array.length attrs.(v)
+  done;
+  let apool = Array.make aoffs.(n) 0 in
+  Array.iteri (fun v a -> Array.blit a 0 apool aoffs.(v) (Array.length a)) attrs;
+  {
+    vertex_count = n;
+    edge_type_count;
+    out_h = pack_half ~policy out_adj;
+    in_h = pack_half ~policy in_adj;
+    aoffs;
+    apool;
+    multi_edge_count;
+    triple_edge_count;
+  }
 
 module Builder = struct
   type t = {
@@ -56,9 +162,9 @@ module Builder = struct
     if not (List.mem attr existing) then
       Hashtbl.replace b.vertex_attrs v (attr :: existing)
 
-  let build b =
+  let build ?(layout = Posting.Auto) b =
     let n = b.max_vertex + 1 in
-    let out_lists = Array.make n [] and in_lists = Array.make n [] in
+    let out_lists = Array.make n [] in
     let edge_type_count = ref 0 in
     let multi_edge_count = ref 0 in
     let triple_edge_count = ref 0 in
@@ -70,8 +176,7 @@ module Builder = struct
         Array.iter
           (fun ty -> if ty + 1 > !edge_type_count then edge_type_count := ty + 1)
           types;
-        out_lists.(v) <- (v', types) :: out_lists.(v);
-        in_lists.(v') <- (v, types) :: in_lists.(v'))
+        out_lists.(v) <- (v', types) :: out_lists.(v))
       b.edges;
     let sort_adj lst =
       let a = Array.of_list lst in
@@ -84,33 +189,109 @@ module Builder = struct
           | None -> [||]
           | Some l -> Sorted_ints.of_list l)
     in
-    {
-      vertex_count = n;
-      edge_type_count = !edge_type_count;
-      out_adj = Array.map sort_adj out_lists;
-      in_adj = Array.map sort_adj in_lists;
-      attrs;
-      multi_edge_count = !multi_edge_count;
-      triple_edge_count = !triple_edge_count;
-    }
+    pack ~policy:layout ~edge_type_count:!edge_type_count
+      ~multi_edge_count:!multi_edge_count
+      ~triple_edge_count:!triple_edge_count
+      (Array.map sort_adj out_lists)
+      attrs
 end
+
+let vertex_count g = g.vertex_count
+let edge_type_count g = g.edge_type_count
+let multi_edge_count g = g.multi_edge_count
+let triple_edge_count g = g.triple_edge_count
+
+let check_vertex g v =
+  if v < 0 || v >= g.vertex_count then
+    invalid_arg (Printf.sprintf "Multigraph: vertex %d out of range" v)
+
+let attributes g v =
+  check_vertex g v;
+  Array.sub g.apool g.aoffs.(v) (g.aoffs.(v + 1) - g.aoffs.(v))
+
+let half g = function Out -> g.out_h | In -> g.in_h
+
+let neighbours g dir v =
+  check_vertex g v;
+  (half g dir).nbrs.(v)
+
+let adjacency g dir v =
+  check_vertex g v;
+  let h = half g dir in
+  let base = h.voffs.(v) in
+  let nb = Posting.to_array h.nbrs.(v) in
+  Array.mapi (fun i v' -> (v', types_at h (base + i))) nb
+
+let edge_types_between g v v' =
+  check_vertex g v;
+  check_vertex g v';
+  match Posting.index_of g.out_h.nbrs.(v) v' with
+  | None -> [||]
+  | Some i -> types_at g.out_h (g.out_h.voffs.(v) + i)
+
+let has_edge g v ty v' =
+  check_vertex g v;
+  check_vertex g v';
+  match Posting.index_of g.out_h.nbrs.(v) v' with
+  | None -> false
+  | Some i -> (
+      let c = g.out_h.ty_pool.(g.out_h.voffs.(v) + i) in
+      if c >= 0 then c = ty
+      else
+        let off = -c - 1 in
+        let k = g.out_h.over_pool.(off) in
+        let rec probe j =
+          j <= k && (g.out_h.over_pool.(off + j) = ty || probe (j + 1))
+        in
+        probe 1)
+
+let degree g v =
+  check_vertex g v;
+  (* Count distinct neighbours across both directions (each posting is
+     sorted), merging to avoid double counting. *)
+  let a = Posting.to_array g.out_h.nbrs.(v)
+  and b = Posting.to_array g.in_h.nbrs.(v) in
+  let na = Array.length a and nb = Array.length b in
+  let rec loop i j n =
+    if i >= na && j >= nb then n
+    else if j >= nb then n + (na - i)
+    else if i >= na then n + (nb - j)
+    else
+      let x = a.(i) and y = b.(j) in
+      if x = y then loop (i + 1) (j + 1) (n + 1)
+      else if x < y then loop (i + 1) j (n + 1)
+      else loop i (j + 1) (n + 1)
+  in
+  loop 0 0 0
+
+let fold_edges f g init =
+  let acc = ref init in
+  let h = g.out_h in
+  for v = 0 to g.vertex_count - 1 do
+    let base = h.voffs.(v) in
+    Posting.iteri
+      (fun i v' -> acc := f v (types_at h (base + i)) v' !acc)
+      h.nbrs.(v)
+  done;
+  !acc
 
 (* The out-adjacency (plus per-vertex attributes) determines the whole
    structure: counts and the in-adjacency are derived. [import] rebuilds
    them exactly as [Builder.build] would, so a round-trip through
    [export]/[import] is structurally identical to the original. *)
-let export g = (g.out_adj, g.attrs)
+let export g =
+  ( Array.init g.vertex_count (fun v -> adjacency g Out v),
+    Array.init g.vertex_count (fun v -> attributes g v) )
 
-let import ~out_adj ~attrs =
+let import ?(layout = Posting.Auto) ~out_adj ~attrs () =
   let n = Array.length out_adj in
   if Array.length attrs <> n then
     invalid_arg "Multigraph.import: attrs/adjacency length mismatch";
   let edge_type_count = ref 0 in
   let multi_edge_count = ref 0 in
   let triple_edge_count = ref 0 in
-  let in_degree = Array.make n 0 in
-  Array.iteri
-    (fun v adj ->
+  Array.iter
+    (fun adj ->
       let last = ref (-1) in
       Array.iter
         (fun (v', types) ->
@@ -127,94 +308,31 @@ let import ~out_adj ~attrs =
           incr multi_edge_count;
           triple_edge_count := !triple_edge_count + Array.length types;
           let top = types.(Array.length types - 1) in
-          if top + 1 > !edge_type_count then edge_type_count := top + 1;
-          in_degree.(v') <- in_degree.(v') + 1)
-        adj;
-      ignore v)
+          if top + 1 > !edge_type_count then edge_type_count := top + 1)
+        adj)
     out_adj;
   Array.iter
     (fun a ->
       if not (Sorted_ints.is_sorted a) || (Array.length a > 0 && a.(0) < 0) then
         invalid_arg "Multigraph.import: attribute set not sorted")
     attrs;
-  (* Fill the in-adjacency by scanning sources in increasing order, so
-     every per-vertex list comes out sorted without re-sorting. *)
-  let in_adj = Array.init n (fun v -> Array.make in_degree.(v) (0, [||])) in
-  let fill = Array.make n 0 in
-  Array.iteri
-    (fun v adj ->
-      Array.iter
-        (fun (v', types) ->
-          in_adj.(v').(fill.(v')) <- (v, types);
-          fill.(v') <- fill.(v') + 1)
-        adj)
-    out_adj;
-  {
-    vertex_count = n;
-    edge_type_count = !edge_type_count;
-    out_adj;
-    in_adj;
-    attrs;
-    multi_edge_count = !multi_edge_count;
-    triple_edge_count = !triple_edge_count;
-  }
+  pack ~policy:layout ~edge_type_count:!edge_type_count
+    ~multi_edge_count:!multi_edge_count
+    ~triple_edge_count:!triple_edge_count out_adj attrs
 
-let vertex_count g = g.vertex_count
-let edge_type_count g = g.edge_type_count
-let multi_edge_count g = g.multi_edge_count
-let triple_edge_count g = g.triple_edge_count
+let posting_stats g s =
+  Array.iter (Posting.count_into s) g.out_h.nbrs;
+  Array.iter (Posting.count_into s) g.in_h.nbrs
 
-let check_vertex g v =
-  if v < 0 || v >= g.vertex_count then
-    invalid_arg (Printf.sprintf "Multigraph: vertex %d out of range" v)
-
-let attributes g v =
-  check_vertex g v;
-  g.attrs.(v)
-
-let adjacency g dir v =
-  check_vertex g v;
-  match dir with Out -> g.out_adj.(v) | In -> g.in_adj.(v)
-
-let edge_types_between g v v' =
-  check_vertex g v;
-  check_vertex g v';
-  let adj = g.out_adj.(v) in
-  let rec search lo hi =
-    if lo >= hi then [||]
-    else
-      let mid = (lo + hi) / 2 in
-      let u, tys = adj.(mid) in
-      if u = v' then tys else if u < v' then search (mid + 1) hi else search lo mid
-  in
-  search 0 (Array.length adj)
-
-let has_edge g v ty v' = Sorted_ints.mem (edge_types_between g v v') ty
-
-let degree g v =
-  check_vertex g v;
-  (* Count distinct neighbours across both adjacency lists (each is
-     sorted by neighbour id), merging to avoid double counting. *)
-  let a = g.out_adj.(v) and b = g.in_adj.(v) in
-  let na = Array.length a and nb = Array.length b in
-  let rec loop i j n =
-    if i >= na && j >= nb then n
-    else if j >= nb then n + (na - i)
-    else if i >= na then n + (nb - j)
-    else
-      let x = fst a.(i) and y = fst b.(j) in
-      if x = y then loop (i + 1) (j + 1) (n + 1)
-      else if x < y then loop (i + 1) j (n + 1)
-      else loop i (j + 1) (n + 1)
-  in
-  loop 0 0 0
-
-let fold_edges f g init =
-  let acc = ref init in
-  Array.iteri
-    (fun v adj -> Array.iter (fun (v', tys) -> acc := f v tys v' !acc) adj)
-    g.out_adj;
-  !acc
+let out_of_heap_bytes g =
+  let total = ref 0 in
+  Array.iter
+    (fun p -> total := !total + Posting.out_of_heap_bytes p)
+    g.out_h.nbrs;
+  Array.iter
+    (fun p -> total := !total + Posting.out_of_heap_bytes p)
+    g.in_h.nbrs;
+  !total
 
 let pp_stats ppf g =
   Format.fprintf ppf

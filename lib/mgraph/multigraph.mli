@@ -5,7 +5,14 @@
     most one {e multi-edge}, labelled with a non-empty sorted set of edge
     types; every vertex carries a (possibly empty) sorted set of
     attribute ids. The structure is immutable once built — construct it
-    with {!Builder}. *)
+    with {!Builder}.
+
+    Internally the adjacency is {e packed}: each direction keeps one
+    frozen {!Posting} neighbour list per vertex (compressed according to
+    the build-time layout policy) plus flat pools for the multi-edge
+    type sets and attribute sets, instead of one heap block per edge.
+    Queries run directly over this form; {!adjacency} and {!export}
+    materialize the classic tuple view on demand. *)
 
 type vertex = int
 type edge_type = int
@@ -31,9 +38,10 @@ module Builder : sig
 
   val add_attribute : t -> vertex -> attribute -> unit
 
-  val build : t -> graph
-  (** Freeze into an immutable multigraph. The builder must not be used
-      afterwards. *)
+  val build : ?layout:Posting.policy -> t -> graph
+  (** Freeze into an immutable multigraph; [layout] picks the physical
+      posting layout of the neighbour lists (default [Auto]). The
+      builder must not be used afterwards. *)
 end
 
 (** {1 Accessors} *)
@@ -55,10 +63,16 @@ val triple_edge_count : t -> int
     IRI object. *)
 
 val attributes : t -> vertex -> attribute array
-(** Sorted attribute ids of a vertex. *)
+(** Sorted attribute ids of a vertex (a fresh array sliced from the
+    attribute pool). *)
+
+val neighbours : t -> direction -> vertex -> Posting.t
+(** The vertex's resident neighbour posting list — zero-copy, possibly
+    compressed. [neighbours g Out v] holds the [v'] with [v → v']. *)
 
 val adjacency : t -> direction -> vertex -> (vertex * edge_type array) array
-(** Neighbours with their multi-edge type sets, sorted by neighbour id.
+(** Neighbours with their multi-edge type sets, sorted by neighbour id,
+    materialized from the packed form (fresh arrays on every call).
     [adjacency g Out v] lists [v'] with [v → v']; [In] lists [v'] with
     [v' → v]. *)
 
@@ -67,7 +81,8 @@ val edge_types_between : t -> vertex -> vertex -> edge_type array
     absent). *)
 
 val has_edge : t -> vertex -> edge_type -> vertex -> bool
-(** [has_edge g v t v'] — does the atomic edge [v →t v'] exist? *)
+(** [has_edge g v t v'] — does the atomic edge [v →t v'] exist?
+    Allocation-free. *)
 
 val degree : t -> vertex -> int
 (** Number of distinct neighbour vertices, irrespective of edge
@@ -88,16 +103,28 @@ val fold_edges : (vertex -> edge_type array -> vertex -> 'a -> 'a) -> t -> 'a ->
 val export : t -> (vertex * edge_type array) array array * attribute array array
 (** [(out_adj, attrs)]: element [v] of [out_adj] lists [(v', types)]
     sorted by neighbour; element [v] of [attrs] is the sorted attribute
-    set of [v]. The returned arrays alias the graph's internals — treat
-    them as read-only. *)
+    set of [v]. Both are materialized fresh from the packed form. *)
 
 val import :
+  ?layout:Posting.policy ->
   out_adj:(vertex * edge_type array) array array ->
   attrs:attribute array array ->
+  unit ->
   t
 (** Rebuild a graph from {!export}ed parts, deriving the in-adjacency
     (deterministically: each in-list sorted by source vertex) and the
-    counts. @raise Invalid_argument on malformed input (neighbour out of
-    range, unsorted adjacency or type sets, empty multi-edge). *)
+    counts; neighbour postings freeze under [layout] (default [Auto]).
+    @raise Invalid_argument on malformed input (neighbour out of range,
+    unsorted adjacency or type sets, empty multi-edge). *)
+
+(** {1 Accounting} *)
+
+val posting_stats : t -> Posting.stats -> unit
+(** Accumulate the per-layout counts and out-of-heap payload bytes of
+    all neighbour postings (both directions) into the stats record. *)
+
+val out_of_heap_bytes : t -> int
+(** Total [Bigarray]-backed payload bytes of the neighbour postings —
+    bytes a reachable-heap walk cannot see. *)
 
 val pp_stats : Format.formatter -> t -> unit

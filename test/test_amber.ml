@@ -89,9 +89,11 @@ let test_attribute_index () =
          ~lit:{ Rdf.Term.value = "1994"; datatype = None; lang = None })
   in
   check_arr "hasName list" [| vertex d "Music_Band" |]
-    (Amber.Attribute_index.vertices_with idx a1);
+    (Mgraph.Posting.to_array (Amber.Attribute_index.vertices_with idx a1));
   check_arr "common candidates (paper u5)" [| vertex d "Music_Band" |]
-    (Amber.Attribute_index.candidates idx (Mgraph.Sorted_ints.of_list [ a1; a2 ]))
+    (Mgraph.Posting.to_array
+       (Amber.Attribute_index.candidates idx
+          (Mgraph.Sorted_ints.of_list [ a1; a2 ])))
 
 (* --- Synopsis index -------------------------------------------------- *)
 
@@ -137,16 +139,18 @@ let test_neighbourhood_index () =
   check_arr "born in london"
     (Mgraph.Sorted_ints.of_list
        [ vertex d "Christopher_Nolan"; vertex d "Amy_Winehouse" ])
-    born;
+    (Mgraph.Posting.to_array born);
   (* Multi-edge superset: wasBornIn AND diedIn. *)
   let both =
     Amber.Neighbourhood_index.neighbours idx london Mgraph.Multigraph.In [| 2; 5 |]
   in
-  check_arr "born and died" [| vertex d "Amy_Winehouse" |] both;
+  check_arr "born and died" [| vertex d "Amy_Winehouse" |]
+    (Mgraph.Posting.to_array both);
   let out =
     Amber.Neighbourhood_index.neighbours idx london Mgraph.Multigraph.Out [| 0 |]
   in
-  check_arr "london isPartOf" [| vertex d "England" |] out
+  check_arr "london isPartOf" [| vertex d "England" |]
+    (Mgraph.Posting.to_array out)
 
 (* --- Query graph ------------------------------------------------------ *)
 

@@ -7,6 +7,7 @@ let () =
          Test_rdf.suite;
          Test_turtle.suite;
          Test_mgraph.suite;
+         Test_posting.suite;
          Test_rtree.suite;
          Test_otil.suite;
          Test_sparql.suite;

@@ -46,7 +46,9 @@ let test_process_vertex_attributes () =
   let u = Option.get (Amber.Query_graph.vertex_of_var q "b") in
   (* Paper's C^A_{u5} example: both attributes pin Music_Band. *)
   match Amber.Matcher.process_vertex ctx q u with
-  | Some cands -> check_arr "music band only" [| vertex ctx "Music_Band" |] cands
+  | Some cands ->
+      check_arr "music band only" [| vertex ctx "Music_Band" |]
+        (Mgraph.Posting.to_array cands)
   | None -> Alcotest.fail "expected attribute candidates"
 
 let test_process_vertex_iri () =
@@ -63,7 +65,7 @@ let test_process_vertex_iri () =
       check_arr "amy and blake"
         (Mgraph.Sorted_ints.of_list
            [ vertex ctx "Amy_Winehouse"; vertex ctx "Blake_Fielder-Civil" ])
-        cands
+        (Mgraph.Posting.to_array cands)
   | None -> Alcotest.fail "expected IRI candidates"
 
 let test_process_vertex_unconstrained () =

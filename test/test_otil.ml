@@ -3,6 +3,8 @@
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
+module P = Mgraph.Posting
+
 let check_arr = Alcotest.(check (array int))
 
 let add t word v = Otil.add t (Mgraph.Sorted_ints.of_list word) v
@@ -20,19 +22,19 @@ let sample_trie () =
 let test_basics () =
   let t = sample_trie () in
   checki "cardinal" 6 (Otil.cardinal t);
-  check_arr "singleton {3}" [| 11; 12; 13; 14 |] (Otil.supersets t [| 3 |]);
-  check_arr "pair {1;3}" [| 11; 13 |] (Otil.supersets t [| 1; 3 |]);
-  check_arr "pair {2;3}" [| 12; 13 |] (Otil.supersets t [| 2; 3 |]);
-  check_arr "triple" [| 13 |] (Otil.supersets t [| 1; 2; 3 |]);
-  check_arr "no match" [||] (Otil.supersets t [| 4 |]);
+  check_arr "singleton {3}" [| 11; 12; 13; 14 |] (P.to_array (Otil.supersets t [| 3 |]));
+  check_arr "pair {1;3}" [| 11; 13 |] (P.to_array (Otil.supersets t [| 1; 3 |]));
+  check_arr "pair {2;3}" [| 12; 13 |] (P.to_array (Otil.supersets t [| 2; 3 |]));
+  check_arr "triple" [| 13 |] (P.to_array (Otil.supersets t [| 1; 2; 3 |]));
+  check_arr "no match" [||] (P.to_array (Otil.supersets t [| 4 |]));
   check_arr "empty query matches all" [| 10; 11; 12; 13; 14; 15 |]
-    (Otil.supersets t [||])
+    (P.to_array (Otil.supersets t [||]))
 
 let test_inverted_lists () =
   let t = sample_trie () in
-  check_arr "with_symbol 3" [| 11; 12; 13; 14 |] (Otil.with_symbol t 3);
-  check_arr "with_symbol 0" [| 15 |] (Otil.with_symbol t 0);
-  check_arr "with_symbol absent" [||] (Otil.with_symbol t 99)
+  check_arr "with_symbol 3" [| 11; 12; 13; 14 |] (P.to_array (Otil.with_symbol t 3));
+  check_arr "with_symbol 0" [| 15 |] (P.to_array (Otil.with_symbol t 0));
+  check_arr "with_symbol absent" [||] (P.to_array (Otil.with_symbol t 99))
 
 let test_validation () =
   let t = Otil.create () in
@@ -88,7 +90,7 @@ let prop_supersets =
                    if Mgraph.Sorted_ints.subset q w then Some v else None)
                  words)
           in
-          Mgraph.Sorted_ints.equal (Otil.supersets t q) expected)
+          Mgraph.Sorted_ints.equal (P.to_array (Otil.supersets t q)) expected)
         queries)
 
 let prop_inverted_consistency =
@@ -105,7 +107,9 @@ let prop_inverted_consistency =
       done;
       List.for_all
         (fun s ->
-          Mgraph.Sorted_ints.equal (Otil.with_symbol t s) (Otil.supersets t [| s |]))
+          Mgraph.Sorted_ints.equal
+            (P.to_array (Otil.with_symbol t s))
+            (P.to_array (Otil.supersets t [| s |])))
         (List.init 10 Fun.id))
 
 let suite =

@@ -100,6 +100,136 @@ let test_corrupt_magic () =
     | exception Rdf.Binary.Corrupt _ -> true
     | _ -> false)
 
+(* --- layout-tag validation --------------------------------------------- *)
+
+let contains_sub hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec loop i =
+    i + n <= h && (String.sub hay i n = needle || loop (i + 1))
+  in
+  loop 0
+
+(* Payload bounds of the first section carrying [want] in a snapshot:
+   (payload_start, payload_len). Framing only — no parsing. *)
+let find_section src want =
+  let pos = ref (String.length Amber.Snapshot.magic) in
+  let _version = Rdf.Binary.Varint.read src pos in
+  let count = Rdf.Binary.Varint.read src pos in
+  let rec loop i =
+    if i >= count then Alcotest.failf "section tag %d not found" want
+    else
+      let tag = Rdf.Binary.Varint.read src pos in
+      let len = Rdf.Binary.Varint.read src pos in
+      let start = !pos in
+      pos := start + len + 4;
+      if tag = want then (start, len) else loop (i + 1)
+  in
+  loop 0
+
+(* The byte-flip sweep above only ever trips the CRC guard. To reach the
+   posting decoder's own validation, poison a layout tag *and* recompute
+   the section CRC: the frame check passes, so the decoder must reject
+   the unknown tag itself — cleanly, as [Corrupt], not a crash. *)
+let test_poisoned_layout_tag () =
+  let good = snapshot_string (Amber.Engine.build Fixtures.paper_triples) in
+  (* v2 attribute-index section (tag 7): varint list count, then each
+     posting opens with its layout-tag varint. *)
+  let start, len = find_section good 7 in
+  let pos = ref start in
+  let lists = Rdf.Binary.Varint.read good pos in
+  checkb "fixture has attribute lists" true (lists > 0);
+  let bad = Bytes.of_string good in
+  Bytes.set bad !pos '\x09' (* valid varint, not a layout tag *);
+  let crc = Rdf.Binary.crc32 ~off:start ~len (Bytes.to_string bad) in
+  for shift = 0 to 3 do
+    Bytes.set bad
+      (start + len + shift)
+      (Char.chr ((crc lsr (8 * shift)) land 0xFF))
+  done;
+  let bad = Bytes.to_string bad in
+  (match Amber.Snapshot.decode bad with
+  | exception Rdf.Binary.Corrupt msg ->
+      checkb "error names the unknown layout tag" true
+        (contains_sub msg "layout tag")
+  | _ -> Alcotest.fail "poisoned layout tag must raise Corrupt");
+  match Amber.Snapshot.fsck bad with
+  | Error msg ->
+      checkb "fsck reports the unknown layout tag" true
+        (contains_sub msg "layout tag")
+  | Ok _ -> Alcotest.fail "fsck must reject a poisoned layout tag"
+
+(* --- per-layout round trips -------------------------------------------- *)
+
+let layout_cases =
+  [
+    ("auto", Mgraph.Posting.Auto);
+    ("raw", Mgraph.Posting.(Force Raw));
+    ("ef", Mgraph.Posting.(Force Ef));
+    ("blocked", Mgraph.Posting.(Force Blocked));
+  ]
+
+(* Every physical layout survives a snapshot round trip: the policy is
+   restored, answers are unchanged, and re-encoding the loaded engine is
+   byte-identical (stored layouts are authoritative, so compressed lists
+   reload compressed). *)
+let test_layout_roundtrips () =
+  let triples = Datagen.Lubm.generate ~universities:1 () in
+  let corpus = Datagen.Workload.corpus triples in
+  let queries =
+    Datagen.Workload.generate ~seed:7 corpus ~shape:Datagen.Workload.Star
+      ~size:3 ~count:2
+    @ Datagen.Workload.generate ~seed:8 corpus
+        ~shape:Datagen.Workload.Complex ~size:4 ~count:2
+  in
+  List.iter
+    (fun (name, policy) ->
+      let original = Amber.Engine.build ~layout:policy triples in
+      (let stats = Amber.Engine.posting_stats original in
+       match policy with
+       | Mgraph.Posting.Force Mgraph.Posting.Ef ->
+           checkb (name ^ ": compressed lists present") true
+             (stats.Mgraph.Posting.ef_lists > 0)
+       | Mgraph.Posting.Force Mgraph.Posting.Blocked ->
+           checkb (name ^ ": compressed lists present") true
+             (stats.Mgraph.Posting.blocked_lists > 0)
+       | _ -> ());
+      with_temp_file ".amberix" @@ fun path ->
+      Amber.Engine.save_snapshot original path;
+      let loaded = Amber.Engine.load_snapshot path in
+      checkb
+        (name ^ ": layout policy survives the snapshot")
+        true
+        (Amber.Engine.layout loaded = policy);
+      Alcotest.(check string)
+        (name ^ ": re-encoding is canonical")
+        (snapshot_string original) (snapshot_string loaded);
+      List.iter
+        (fun ast ->
+          checkb
+            (name ^ ": answers survive the snapshot")
+            true
+            (canonical original ast = canonical loaded ast))
+        queries)
+    layout_cases
+
+(* v1 files (plain delta-coded arrays, no layout tags) still load; they
+   report the [Auto] policy and answer identically. *)
+let test_v1_snapshot_compat () =
+  let original = Amber.Engine.build Fixtures.paper_triples in
+  let v1 =
+    Amber.Snapshot.to_string_v1 (Amber.Engine.snapshot_contents original)
+  in
+  with_temp_file ".amberix" @@ fun path ->
+  let oc = open_out_bin path in
+  output_string oc v1;
+  close_out oc;
+  let loaded = Amber.Engine.load_snapshot path in
+  checkb "v1 files read as Auto" true
+    (Amber.Engine.layout loaded = Mgraph.Posting.Auto);
+  let ast = Sparql.Parser.parse Fixtures.paper_query_text in
+  checkb "answers survive the v1 snapshot" true
+    (canonical original ast = canonical loaded ast)
+
 (* --- parallel build determinism ---------------------------------------- *)
 
 let test_parallel_byte_identical () =
@@ -197,6 +327,46 @@ let prop_snapshot_differential =
           else true)
         (queries_for seed triples))
 
+(* Same shape, but the engine froze under a forced compressed layout:
+   query evaluation runs directly over the Elias-Fano / blocked lists a
+   v2 snapshot restored, and must still agree with the oracle. *)
+let prop_compressed_snapshot_differential =
+  QCheck.Test.make
+    ~name:"compressed-layout engine loaded from snapshot = oracle" ~count:15
+    (QCheck.make
+       ~print:(fun seed ->
+         Printf.sprintf "seed %d (layout %s)" seed
+           (match seed mod 3 with 0 -> "ef" | 1 -> "blocked" | _ -> "auto"))
+       ~shrink:QCheck.Shrink.int
+       QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let layout =
+        match seed mod 3 with
+        | 0 -> Mgraph.Posting.(Force Ef)
+        | 1 -> Mgraph.Posting.(Force Blocked)
+        | _ -> Mgraph.Posting.Auto
+      in
+      let triples = random_triples seed in
+      let fresh = Amber.Engine.build ~layout triples in
+      with_temp_file ".amberix" @@ fun path ->
+      Amber.Engine.save_snapshot fresh path;
+      let loaded = Amber.Engine.load_snapshot path in
+      if Amber.Engine.layout loaded <> layout then
+        QCheck.Test.fail_reportf "seed %d: layout policy lost in snapshot"
+          seed;
+      List.for_all
+        (fun ast ->
+          let expected = Reference.canonical_answer triples ast in
+          let got = canonical loaded ast in
+          if got <> expected then
+            QCheck.Test.fail_reportf
+              "seed %d: compressed snapshot engine disagrees with oracle (%d \
+               vs %d rows) on:@.%s"
+              seed (List.length got) (List.length expected)
+              (Sparql.Ast.to_string ast)
+          else true)
+        (queries_for seed triples))
+
 (* --- endpoint cold start ------------------------------------------------ *)
 
 let test_endpoint_boot () =
@@ -271,11 +441,18 @@ let suite =
         Alcotest.test_case "truncations rejected" `Quick
           test_corrupt_truncations;
         Alcotest.test_case "foreign magics rejected" `Quick test_corrupt_magic;
+        Alcotest.test_case "poisoned layout tag rejected" `Quick
+          test_poisoned_layout_tag;
+        Alcotest.test_case "per-layout roundtrips" `Quick
+          test_layout_roundtrips;
+        Alcotest.test_case "v1 snapshot compatibility" `Quick
+          test_v1_snapshot_compat;
         Alcotest.test_case "parallel build byte-identical" `Quick
           test_parallel_byte_identical;
         Alcotest.test_case "parallel build quiesces pool" `Quick
           test_build_quiesces_pool;
         QCheck_alcotest.to_alcotest prop_snapshot_differential;
+        QCheck_alcotest.to_alcotest prop_compressed_snapshot_differential;
         Alcotest.test_case "endpoint boots from snapshot" `Quick
           test_endpoint_boot;
         Alcotest.test_case "boot requires a snapshot path" `Quick
