@@ -48,7 +48,7 @@ let usage () =
              [--json FILE] [--baseline FILE] [--layout raw|ef|blocked|auto]
 
   ids: table1 table4 table5 fig6..fig11 ablation profile kernels parallel
-       build analysis resource layouts (comma separated)
+       build analysis resource layouts updates (comma separated)
   --quick: small preset (scale 0.04, 5 queries/point, sizes 10,20,30)
   --json:  also write a machine-readable report (summaries with
            p95/p99, per-phase breakdowns, metrics registry) to FILE
@@ -221,9 +221,22 @@ let compare_with_baseline cfg =
               (List.rev !json_entries)
           in
           let rows = ref [] and regressed = ref [] in
-          let deltas_of pred base_json cur_json =
+          (* Fields (or whole suites) this run has but the baseline
+             lacks can't regress, but silently skipping them would let a
+             growing report drift out of the gate's coverage — so each
+             one warns on stderr (never fails the run). *)
+          let deltas_of ~suite ~kind pred base_json cur_json =
             let base = collect_fields pred "" base_json [] in
             let cur = collect_fields pred "" cur_json [] in
+            List.iter
+              (fun (p, _) ->
+                if not (List.mem_assoc p base) then
+                  Printf.eprintf
+                    "warning: baseline lacks %s field %s.%s present in this \
+                     run; not compared\n\
+                     %!"
+                    kind suite p)
+              cur;
             List.filter_map
               (fun (p, b) ->
                 if b > 1e-9 then
@@ -234,10 +247,21 @@ let compare_with_baseline cfg =
           List.iter
             (fun (suite, cur_json) ->
               match List.assoc_opt suite base_fields with
-              | None -> ()
+              | None ->
+                  Printf.eprintf
+                    "warning: baseline has no \"%s\" suite present in this \
+                     run; not compared\n\
+                     %!"
+                    suite
               | Some base_json ->
-                  let timings = deltas_of is_timing_key base_json cur_json in
-                  let bytes = deltas_of is_bytes_key base_json cur_json in
+                  let timings =
+                    deltas_of ~suite ~kind:"timing" is_timing_key base_json
+                      cur_json
+                  in
+                  let bytes =
+                    deltas_of ~suite ~kind:"bytes" is_bytes_key base_json
+                      cur_json
+                  in
                   let judge kind deltas =
                     if deltas = [] then ("-", "-", false)
                     else
@@ -1491,6 +1515,134 @@ let bench_layouts cfg ds =
              results)))
 
 (* ------------------------------------------------------------------ *)
+(* Live updates: write throughput, query latency vs delta fraction,    *)
+(* compaction pause; --only updates, recorded as BENCH_8.json          *)
+(* ------------------------------------------------------------------ *)
+
+let bench_updates cfg ds =
+  section
+    (Printf.sprintf
+       "Live updates: delta-overlay write throughput, query latency vs delta \
+        fraction, compaction pause on %s"
+       ds.ds_name);
+  let triples = Array.of_list (Lazy.force ds.triples) in
+  let n = Array.length triples in
+  let workload =
+    Datagen.Workload.generate ~seed:(cfg.seed + 91) (Lazy.force ds.corpus)
+      ~shape:Datagen.Workload.Star ~size:20 ~count:cfg.queries_per_point
+    @ Datagen.Workload.generate ~seed:(cfg.seed + 92) (Lazy.force ds.corpus)
+        ~shape:Datagen.Workload.Complex ~size:30 ~count:cfg.queries_per_point
+  in
+  let batch = 256 in
+  (* For each delta fraction f the engine holds the SAME merged world —
+     the last f·n triples arrive through Live_engine.update (in batches
+     of [batch]) instead of the offline build — so the latency columns
+     isolate the cost of querying through the overlay. In-memory live
+     engine (no directory): the figures are engine overhead, not disk. *)
+  let points =
+    List.map
+      (fun frac ->
+        let cut = n - int_of_float (frac *. float_of_int n) in
+        let base = Array.to_list (Array.sub triples 0 cut) in
+        let live =
+          Amber.Live_engine.of_engine
+            (Amber.Engine.build ~layout:cfg.layout base)
+        in
+        let n_updates = ref 0 in
+        let t_update, () =
+          Bench_util.Runner.time (fun () ->
+              let i = ref cut in
+              while !i < n do
+                let len = min batch (n - !i) in
+                ignore
+                  (Amber.Live_engine.update live
+                     ~adds:(Array.to_list (Array.sub triples !i len))
+                     ~dels:[]);
+                incr n_updates;
+                i := !i + len
+              done)
+        in
+        let engine =
+          Amber.Live_engine.engine (Amber.Live_engine.pin live)
+        in
+        let times =
+          List.filter_map
+            (fun ast ->
+              match
+                Bench_util.Runner.time (fun () ->
+                    Amber.Engine.query ~timeout:cfg.timeout
+                      ~limit:cfg.row_limit engine ast)
+              with
+              | dt, _ -> Some dt
+              | exception Amber.Deadline.Expired -> None)
+            workload
+        in
+        (* The compaction "pause" is writer-side only — readers keep
+           their pinned epochs throughout — but it bounds how stale a
+           durable generation can get. *)
+        let t_compact, _ =
+          Bench_util.Runner.time (fun () -> Amber.Live_engine.compact live)
+        in
+        ( frac,
+          n - cut,
+          !n_updates,
+          t_update,
+          Bench_util.Stats.median times,
+          Bench_util.Stats.p95 times,
+          List.length times,
+          t_compact ))
+      [ 0.0; 0.10; 0.50 ]
+  in
+  Bench_util.Table_fmt.print
+    ~header:
+      [
+        "delta";
+        "delta triples";
+        "updates";
+        "apply s";
+        "triples/s";
+        "median ms";
+        "p95 ms";
+        "answered";
+        "compact s";
+      ]
+    (List.map
+       (fun (frac, dn, updates, t_update, median, p95, answered, t_compact) ->
+         [
+           Printf.sprintf "%.0f%%" (100. *. frac);
+           string_of_int dn;
+           string_of_int updates;
+           Printf.sprintf "%.3f" t_update;
+           (if dn = 0 then "-"
+            else Printf.sprintf "%.0f" (float_of_int dn /. t_update));
+           Bench_util.Table_fmt.ms median;
+           Bench_util.Table_fmt.ms p95;
+           Printf.sprintf "%d/%d" answered (List.length workload);
+           Printf.sprintf "%.3f" t_compact;
+         ])
+       points);
+  add_json "updates"
+    (Printf.sprintf
+       {|{"dataset":"%s","triples":%d,"batch":%d,"points":[%s]}|}
+       ds.ds_name n batch
+       (String.concat ","
+          (List.map
+             (fun (frac, dn, updates, t_update, median, p95, answered,
+                   t_compact) ->
+               (* [triples_per_sec] deliberately avoids the comparator's
+                  "_s" timing suffix: it is a throughput, where bigger
+                  is better, so the regression gate must not read its
+                  growth as a slowdown. *)
+               Printf.sprintf
+                 {|{"delta_fraction":%.2f,"delta_triples":%d,"updates":%d,"update_s":%.9g,"triples_per_sec":%.1f,"query_median_s":%.9g,"query_p95_s":%.9g,"answered":%d,"unanswered":%d,"compaction_s":%.9g}|}
+                 frac dn updates t_update
+                 (if t_update > 0. then float_of_int dn /. t_update else 0.)
+                 median p95 answered
+                 (List.length workload - answered)
+                 t_compact)
+             points)))
+
+(* ------------------------------------------------------------------ *)
 (* Micro benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1599,6 +1751,7 @@ let () =
   if wants cfg "analysis" then bench_analysis cfg dbpedia;
   if wants cfg "resource" then bench_resource cfg dbpedia;
   if wants cfg "layouts" then bench_layouts cfg dbpedia;
+  if wants cfg "updates" then bench_updates cfg dbpedia;
   if cfg.micro then micro_benchmarks ();
   write_json_report cfg;
   let within_baseline = compare_with_baseline cfg in

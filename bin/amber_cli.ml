@@ -8,13 +8,18 @@
      amber lint    --data g.nt q1.sparql [q2.sparql ...] [--json]
      amber fsck    db.amberix (validate a snapshot without serving it)
      amber log tail flight.jsonl [--n N] [--json]  (flight-recorder sink)
+     amber update  live/ [--init BASE] [--add F] [--remove F] [--compact]
 
    Query text can also be passed inline with --sparql. Data files ending
    in .ttl are parsed as Turtle, anything else as N-Triples — except
    files starting with the "AMBERIX1" magic (written by `amber build`),
    which load as prebuilt index snapshots: every subcommand sniffs the
    magic, so `query`, `serve`, `stats` and `bench` all accept .amberix
-   inputs, skipping the offline rebuild. With --extended, queries may
+   inputs, skipping the offline rebuild. A --data argument that names a
+   directory is opened as a live-engine directory (`amber update
+   --init`): queries and `serve` see the current epoch — base plus
+   pending delta — and `serve` additionally accepts POST /update.
+   With --extended, queries may
    use UNION / OPTIONAL / FILTER (amber engine only). `query --profile`
    prints the per-query profile (phase tree, candidate counts, matcher
    counters); `query --explain` the matching plan; `query --trace-out f`
@@ -34,8 +39,11 @@ let read_file path =
 let data_arg =
   Arg.(
     required
-    & opt (some non_dir_file) None
-    & info [ "d"; "data" ] ~docv:"FILE" ~doc:"N-Triples data file.")
+    & opt (some file) None
+    & info [ "d"; "data" ] ~docv:"FILE"
+        ~doc:
+          "Data: an N-Triples/Turtle/.adb file, an .amberix snapshot, or a \
+           live-engine directory (see $(b,amber update)).")
 
 let query_file_arg =
   Arg.(
@@ -140,11 +148,37 @@ let query_text query_file sparql =
       prerr_endline "error: provide --query FILE or --sparql QUERY";
       exit 2
 
+(* Reopen a live directory, reporting where it stands. *)
+let open_live_dir dir =
+  match Amber.Live_engine.open_dir dir with
+  | live ->
+      let ep = Amber.Live_engine.pin live in
+      let d = Amber.Live_engine.delta ep in
+      Printf.eprintf
+        "amber: opened live directory %s (generation %d, version %d, delta \
+         +%d/-%d)\n%!"
+        dir
+        (Amber.Live_engine.generation ep)
+        (Amber.Live_engine.version ep)
+        (Amber.Delta.add_count d) (Amber.Delta.del_count d);
+      live
+  | exception Rdf.Binary.Corrupt msg ->
+      Printf.eprintf "corrupt live directory %s: %s\n" dir msg;
+      exit 1
+  | exception Sys_error msg ->
+      Printf.eprintf "cannot open live directory %s: %s\n" dir msg;
+      exit 1
+
 let load_triples path =
   let parse () =
     (* A snapshot holds the built indexes; engines needing raw triples
-       (baselines, compile) get them back out of the database. *)
-    if Amber.Snapshot.sniff_file path then
+       (baselines, compile) get them back out of the database. A live
+       directory contributes its merged world: base plus delta. *)
+    if Sys.is_directory path then
+      Amber.Database.to_triples
+        (Amber.Engine.db
+           (Amber.Live_engine.engine (Amber.Live_engine.pin (open_live_dir path))))
+    else if Amber.Snapshot.sniff_file path then
       Amber.Database.to_triples (Amber.Snapshot.read_file path).Amber.Snapshot.db
     else if Filename.check_suffix path ".ttl" then Rdf.Turtle.parse_file path
     else if Filename.check_suffix path ".adb" then Rdf.Binary.read_file path
@@ -168,7 +202,9 @@ let load_triples path =
    rebuild); anything else parses as triples and runs the offline stage
    (on [domains] domains when given). *)
 let load_engine ?domains path =
-  if Amber.Snapshot.sniff_file path then begin
+  if Sys.is_directory path then
+    Amber.Live_engine.engine (Amber.Live_engine.pin (open_live_dir path))
+  else if Amber.Snapshot.sniff_file path then begin
     match Bench_util.Runner.time (fun () -> Amber.Engine.load_snapshot path) with
     | dt, e ->
         Printf.eprintf "amber: loaded index snapshot in %.2fs\n%!" dt;
@@ -498,7 +534,8 @@ let fsck_cmd =
 
 let run_serve data port timeout limit open_objects domains slow_query log_sample
     log_sink =
-  let is_snapshot = Amber.Snapshot.sniff_file data in
+  let is_live = Sys.is_directory data in
+  let is_snapshot = (not is_live) && Amber.Snapshot.sniff_file data in
   let domains = Option.map (fun d -> max 1 (min 8 d)) domains in
   let config =
     {
@@ -509,6 +546,7 @@ let run_serve data port timeout limit open_objects domains slow_query log_sample
       open_objects;
       domains;
       snapshot = (if is_snapshot then Some data else None);
+      live_dir = (if is_live then Some data else None);
       slow_query = (if slow_query <= 0. then None else Some slow_query);
       log_sample;
       log_sink;
@@ -516,14 +554,18 @@ let run_serve data port timeout limit open_objects domains slow_query log_sample
   in
   let t_boot, server =
     Bench_util.Runner.time (fun () ->
-        if is_snapshot then Endpoint.boot config
+        if is_live || is_snapshot then Endpoint.boot config
         else Endpoint.create ~config (Amber.Engine.build ?domains (load_triples data)))
   in
   Printf.eprintf "%s: %.2fs\n%!"
-    (if is_snapshot then "snapshot boot" else "offline stage")
+    (if is_live then "live-directory boot"
+     else if is_snapshot then "snapshot boot"
+     else "offline stage")
     t_boot;
-  Printf.printf "SPARQL endpoint on http://%s:%d/sparql\n%!" config.Endpoint.host
-    (Endpoint.bound_port server);
+  Printf.printf "SPARQL endpoint on http://%s:%d/sparql%s\n%!"
+    config.Endpoint.host
+    (Endpoint.bound_port server)
+    (if is_live then " (live: POST /update enabled)" else "");
   Endpoint.serve server
 
 let port_arg =
@@ -563,6 +605,117 @@ let serve_cmd =
       const run_serve $ data_arg $ port_arg $ timeout_arg $ limit_arg
       $ open_objects_arg $ domains_arg $ slow_query_arg $ log_sample_arg
       $ log_sink_arg)
+
+(* --- update ------------------------------------------------------------ *)
+
+let run_update dir add_files remove_files compact init =
+  let manifest = Filename.concat dir "live.manifest" in
+  let live =
+    if Sys.file_exists manifest then begin
+      if init <> None then begin
+        Printf.eprintf
+          "error: %s is already a live directory; --init refuses to clobber it\n"
+          dir;
+        exit 2
+      end;
+      open_live_dir dir
+    end
+    else
+      match init with
+      | Some base -> Amber.Live_engine.of_engine ~dir (load_engine base)
+      | None ->
+          Printf.eprintf
+            "error: %s is not a live directory (no live.manifest); create one \
+             with --init BASE\n"
+            dir;
+          exit 2
+  in
+  let parse_batch files = List.concat_map load_triples files in
+  let adds = parse_batch add_files in
+  let dels = parse_batch remove_files in
+  let ep =
+    if adds = [] && dels = [] then Amber.Live_engine.pin live
+    else begin
+      let dt, ep =
+        Bench_util.Runner.time (fun () ->
+            Amber.Live_engine.update live ~adds ~dels)
+      in
+      Printf.eprintf "applied +%d/-%d in %.2f ms\n%!" (List.length adds)
+        (List.length dels) (1000. *. dt);
+      ep
+    end
+  in
+  let ep =
+    if compact then begin
+      let dt, ep =
+        Bench_util.Runner.time (fun () -> Amber.Live_engine.compact live)
+      in
+      Printf.eprintf "compacted into generation %d in %.2f ms\n%!"
+        (Amber.Live_engine.generation ep)
+        (1000. *. dt);
+      ep
+    end
+    else ep
+  in
+  let d = Amber.Live_engine.delta ep in
+  let engine = Amber.Live_engine.engine ep in
+  Printf.printf
+    "%s: generation %d, version %d, %d triples (delta +%d/-%d pending)\n" dir
+    (Amber.Live_engine.generation ep)
+    (Amber.Live_engine.version ep)
+    (Amber.Database.triple_count (Amber.Engine.db engine))
+    (Amber.Delta.add_count d) (Amber.Delta.del_count d)
+
+let live_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"LIVEDIR"
+        ~doc:"Live-engine directory (created by --init, then reusable).")
+
+let add_files_arg =
+  Arg.(
+    value
+    & opt_all non_dir_file []
+    & info [ "add" ] ~docv:"FILE"
+        ~doc:"Insert the triples of $(docv) (repeatable).")
+
+let remove_files_arg =
+  Arg.(
+    value
+    & opt_all non_dir_file []
+    & info [ "remove" ] ~docv:"FILE"
+        ~doc:"Delete the triples of $(docv) (repeatable).")
+
+let compact_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "compact" ]
+        ~doc:
+          "After applying the batch, merge the delta into a fresh generation \
+           (full rebuild, new gen-N.amberix, previous generation retained \
+           until the next compaction).")
+
+let init_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "init" ] ~docv:"BASE"
+        ~doc:
+          "Create $(i,LIVEDIR) as generation 0 from $(docv) (N-Triples, \
+           Turtle, .adb or .amberix). Refuses to overwrite an existing live \
+           directory.")
+
+let update_cmd =
+  let doc =
+    "apply insert/delete batches to a live-engine directory (snapshot-\
+     isolated readers keep their epoch; `amber serve LIVEDIR` exposes the \
+     same store over POST /update)"
+  in
+  Cmd.v (Cmd.info "update" ~doc)
+    Term.(
+      const run_update $ live_dir_arg $ add_files_arg $ remove_files_arg
+      $ compact_flag_arg $ init_arg)
 
 (* --- log --------------------------------------------------------------- *)
 
@@ -731,7 +884,7 @@ let build_cmd =
 
 let run_stats data =
   let db =
-    if Amber.Snapshot.sniff_file data then
+    if (not (Sys.is_directory data)) && Amber.Snapshot.sniff_file data then
       (Amber.Snapshot.read_file data).Amber.Snapshot.db
     else Amber.Database.of_triples (load_triples data)
   in
@@ -776,4 +929,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "amber" ~doc)
           [ query_cmd; build_cmd; stats_cmd; bench_cmd; explain_cmd; lint_cmd;
-            fsck_cmd; compile_cmd; serve_cmd; log_cmd ]))
+            fsck_cmd; compile_cmd; serve_cmd; update_cmd; log_cmd ]))

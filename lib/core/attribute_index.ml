@@ -2,9 +2,16 @@ module Posting = Mgraph.Posting
 
 type t = {
   lists : Posting.t array;  (* attribute id -> sorted vertex ids *)
+  patched : (int, Posting.t) Hashtbl.t option;
+      (* delta overlay: fully merged lists of the attribute ids the
+         write store touched (including ids past [lists]); [None] on
+         frozen indexes *)
+  n_attrs : int;  (* attribute_count; may exceed |lists| on overlays *)
   mutable probes : int;  (* lifetime lookup count; racy under domains,
                             lost increments are acceptable *)
 }
+
+let frozen lists = { lists; patched = None; n_attrs = Array.length lists; probes = 0 }
 
 let build ?(layout = Posting.Auto) db =
   let g = Database.graph db in
@@ -17,13 +24,12 @@ let build ?(layout = Posting.Auto) db =
   done;
   (* Vertices were visited in decreasing order, so each bucket is
      already sorted increasingly. *)
-  {
-    lists =
-      Array.map (fun l -> Posting.of_array ~policy:layout (Array.of_list l)) buckets;
-    probes = 0;
-  }
+  frozen
+    (Array.map (fun l -> Posting.of_array ~policy:layout (Array.of_list l)) buckets)
 
-let export t = Array.map Posting.to_array t.lists
+let export t =
+  if t.patched <> None then invalid_arg "Attribute_index.export: overlay index";
+  Array.map Posting.to_array t.lists
 
 let import ?(layout = Posting.Auto) lists =
   Array.iter
@@ -31,13 +37,36 @@ let import ?(layout = Posting.Auto) lists =
       if not (Mgraph.Sorted_ints.is_sorted l) || (Array.length l > 0 && l.(0) < 0)
       then invalid_arg "Attribute_index.import: list not sorted")
     lists;
-  { lists = Array.map (Posting.of_array ~policy:layout) lists; probes = 0 }
+  frozen (Array.map (Posting.of_array ~policy:layout) lists)
 
-let of_postings lists = { lists; probes = 0 }
-let postings t = t.lists
+let of_postings lists = frozen lists
+
+let postings t =
+  if t.patched <> None then invalid_arg "Attribute_index.postings: overlay index";
+  t.lists
+
+let overlay ~base ~attribute_count ~patched () =
+  if base.patched <> None then
+    invalid_arg "Attribute_index.overlay: base must be frozen";
+  if attribute_count < Array.length base.lists then
+    invalid_arg "Attribute_index.overlay: attribute_count below base";
+  let tbl = Hashtbl.create (2 * List.length patched + 1) in
+  List.iter
+    (fun (a, l) ->
+      if a < 0 || a >= attribute_count then
+        invalid_arg "Attribute_index.overlay: attribute id out of range";
+      if not (Mgraph.Sorted_ints.is_sorted l) || (Array.length l > 0 && l.(0) < 0)
+      then invalid_arg "Attribute_index.overlay: list not sorted";
+      if Hashtbl.mem tbl a then
+        invalid_arg "Attribute_index.overlay: duplicate attribute id";
+      Hashtbl.replace tbl a (Posting.raw l))
+    patched;
+  { lists = base.lists; patched = Some tbl; n_attrs = attribute_count; probes = 0 }
 
 let vertices_with t a =
-  if a < 0 || a >= Array.length t.lists then Posting.empty else t.lists.(a)
+  match t.patched with
+  | Some tbl when Hashtbl.mem tbl a -> Hashtbl.find tbl a
+  | _ -> if a < 0 || a >= Array.length t.lists then Posting.empty else t.lists.(a)
 
 let candidates t attrs =
   if Array.length attrs = 0 then
@@ -46,10 +75,15 @@ let candidates t attrs =
   let lists = Array.to_list (Array.map (vertices_with t) attrs) in
   Posting.inter_many lists
 
-let attribute_count t = Array.length t.lists
+let attribute_count t = t.n_attrs
 let probes t = t.probes
 
 let posting_stats t =
   let s = Posting.fresh_stats () in
-  Array.iter (Posting.count_into s) t.lists;
+  (match t.patched with
+  | None -> Array.iter (Posting.count_into s) t.lists
+  | Some _ ->
+      for a = 0 to t.n_attrs - 1 do
+        Posting.count_into s (vertices_with t a)
+      done);
   s

@@ -24,7 +24,19 @@ val of_postings : Mgraph.Posting.t array -> t
     load path (layouts come from the snapshot tags). *)
 
 val postings : t -> Mgraph.Posting.t array
-(** The resident posting lists, for the v2 snapshot codec. *)
+(** The resident posting lists, for the v2 snapshot codec.
+    @raise Invalid_argument on an overlay index (overlays are never
+    snapshotted directly — compaction re-freezes first). *)
+
+val overlay :
+  base:t -> attribute_count:int -> patched:(int * int array) list -> unit -> t
+(** [overlay ~base ~attribute_count ~patched ()] — delta overlay: each
+    [(a, vs)] in [patched] replaces attribute [a]'s list with the fully
+    merged sorted vertex list [vs] (ids [>= attribute_count base] are
+    new attributes the base has no list for). Untouched attributes fall
+    through to [base], which is shared and never mutated.
+    @raise Invalid_argument on an overlay base, unsorted lists, or ids
+    outside [attribute_count]. *)
 
 val vertices_with : t -> int -> Mgraph.Posting.t
 (** Sorted data vertices carrying one attribute (empty if none). *)

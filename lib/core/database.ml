@@ -1,3 +1,17 @@
+(* Dictionary extension of a delta overlay: ids past the frozen base
+   dictionaries' sizes map into these tables. The base dicts are mutable
+   hashtables shared by every epoch pinned on the same generation, so
+   they must never be interned into after freeze — new terms land here
+   instead. *)
+type ext = {
+  e_vertices : (string, int) Hashtbl.t;  (* new vertex key -> id *)
+  e_vertex_keys : string array;  (* id - base size -> key *)
+  e_edge_types : (string, int) Hashtbl.t;
+  e_edge_iris : string array;
+  e_attributes : (string, int) Hashtbl.t;
+  e_attr_data : (string * Rdf.Term.literal) array;
+}
+
 type t = {
   graph : Mgraph.Multigraph.t;
   vertices : Mgraph.Dict.t;  (* vertex key -> vertex id *)
@@ -5,6 +19,7 @@ type t = {
   attributes : Mgraph.Dict.t;  (* attribute key -> attribute id *)
   attribute_data : (string * Rdf.Term.literal) array;  (* id -> (pred, lit) *)
   triple_count : int;
+  ext : ext option;  (* Some on delta-overlay databases *)
 }
 
 (* Vertex dictionary keys: the raw IRI for IRIs, "_:label" for bnodes
@@ -23,6 +38,8 @@ let term_of_key key =
    canonical N-Triples rendering, separated by a NUL (never in IRIs). *)
 let attr_key pred lit =
   pred ^ "\x00" ^ Rdf.Term.to_string (Rdf.Term.Literal lit)
+
+let key_of_term = vertex_key
 
 let of_triples ?layout triples =
   let vertices = Mgraph.Dict.create ()
@@ -68,6 +85,7 @@ let of_triples ?layout triples =
     attributes;
     attribute_data = Array.of_list (List.rev !attribute_data);
     triple_count = !count;
+    ext = None;
   }
 
 type parts = {
@@ -113,6 +131,7 @@ let import p =
     attributes = p.p_attributes;
     attribute_data = p.p_attribute_data;
     triple_count = p.p_triple_count;
+    ext = None;
   }
 
 let graph t = t.graph
@@ -120,26 +139,69 @@ let graph t = t.graph
 let vertex_of_term t term =
   match vertex_key term with
   | None -> None
-  | Some key -> Mgraph.Dict.find_opt t.vertices key
+  | Some key -> (
+      match Mgraph.Dict.find_opt t.vertices key with
+      | Some _ as r -> r
+      | None -> (
+          match t.ext with
+          | None -> None
+          | Some e -> Hashtbl.find_opt e.e_vertices key))
 
-let term_of_vertex t v = term_of_key (Mgraph.Dict.value t.vertices v)
-let edge_type_of_iri t iri = Mgraph.Dict.find_opt t.edge_types iri
-let iri_of_edge_type t e = Mgraph.Dict.value t.edge_types e
+let term_of_vertex t v =
+  let base_n = Mgraph.Dict.size t.vertices in
+  if v < base_n then term_of_key (Mgraph.Dict.value t.vertices v)
+  else
+    match t.ext with
+    | Some e when v - base_n < Array.length e.e_vertex_keys ->
+        term_of_key e.e_vertex_keys.(v - base_n)
+    | _ -> invalid_arg "Database.term_of_vertex: unknown vertex id"
+
+let edge_type_of_iri t iri =
+  match Mgraph.Dict.find_opt t.edge_types iri with
+  | Some _ as r -> r
+  | None -> (
+      match t.ext with
+      | None -> None
+      | Some e -> Hashtbl.find_opt e.e_edge_types iri)
+
+let iri_of_edge_type t e =
+  let base_n = Mgraph.Dict.size t.edge_types in
+  if e < base_n then Mgraph.Dict.value t.edge_types e
+  else
+    match t.ext with
+    | Some x when e - base_n < Array.length x.e_edge_iris ->
+        x.e_edge_iris.(e - base_n)
+    | _ -> invalid_arg "Database.iri_of_edge_type: unknown edge type id"
 
 let attribute_of t ~pred ~lit =
-  Mgraph.Dict.find_opt t.attributes (attr_key pred lit)
+  let key = attr_key pred lit in
+  match Mgraph.Dict.find_opt t.attributes key with
+  | Some _ as r -> r
+  | None -> (
+      match t.ext with
+      | None -> None
+      | Some e -> Hashtbl.find_opt e.e_attributes key)
 
 let attribute_data t a =
-  if a < 0 || a >= Array.length t.attribute_data then
-    invalid_arg "Database.attribute_data: unknown attribute id"
-  else t.attribute_data.(a)
+  if a >= 0 && a < Array.length t.attribute_data then t.attribute_data.(a)
+  else
+    let base_n = Array.length t.attribute_data in
+    match t.ext with
+    | Some e when a >= base_n && a - base_n < Array.length e.e_attr_data ->
+        e.e_attr_data.(a - base_n)
+    | _ -> invalid_arg "Database.attribute_data: unknown attribute id"
 
 let attribute_predicate_exists t pred =
   Array.exists (fun (p, _) -> String.equal p pred) t.attribute_data
+  ||
+  match t.ext with
+  | None -> false
+  | Some e -> Array.exists (fun (p, _) -> String.equal p pred) e.e_attr_data
 
-let vertex_count t = Mgraph.Dict.size t.vertices
-let edge_type_count t = Mgraph.Dict.size t.edge_types
-let attribute_count t = Mgraph.Dict.size t.attributes
+let ext_len f t = match t.ext with None -> 0 | Some e -> Array.length (f e)
+let vertex_count t = Mgraph.Dict.size t.vertices + ext_len (fun e -> e.e_vertex_keys) t
+let edge_type_count t = Mgraph.Dict.size t.edge_types + ext_len (fun e -> e.e_edge_iris) t
+let attribute_count t = Mgraph.Dict.size t.attributes + ext_len (fun e -> e.e_attr_data) t
 let triple_count t = t.triple_count
 
 let to_triples t =
@@ -158,7 +220,7 @@ let to_triples t =
   for v = n - 1 downto 0 do
     Array.iter
       (fun a ->
-        let pred, lit = t.attribute_data.(a) in
+        let pred, lit = attribute_data t a in
         attr_triples :=
           Rdf.Triple.make (term_of_vertex t v) (Rdf.Term.iri pred)
             (Rdf.Term.Literal lit)
@@ -170,7 +232,7 @@ let to_triples t =
 let literals_of t ~vertex ~pred =
   Array.fold_right
     (fun a acc ->
-      let p, lit = t.attribute_data.(a) in
+      let p, lit = attribute_data t a in
       if String.equal p pred then lit :: acc else acc)
     (Mgraph.Multigraph.attributes t.graph vertex)
     []
@@ -178,10 +240,80 @@ let literals_of t ~vertex ~pred =
 let pp_stats ppf t =
   Format.fprintf ppf
     "@[<v>triples: %d@,%a@,attributes: %d@,attribute vertices: %d@]"
-    t.triple_count Mgraph.Multigraph.pp_stats t.graph
-    (Mgraph.Dict.size t.attributes)
+    t.triple_count Mgraph.Multigraph.pp_stats t.graph (attribute_count t)
     (Array.fold_left
        (fun n attrs -> if Array.length attrs > 0 then n + 1 else n)
        0
        (Array.init (Mgraph.Multigraph.vertex_count t.graph) (fun v ->
             Mgraph.Multigraph.attributes t.graph v)))
+
+(* ------------------------------------------------------------------ *)
+(* Delta overlay                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let is_overlay t = t.ext <> None
+
+let overlay ~base ~graph ~new_vertices ~new_edge_types ~new_attributes
+    ~triple_count () =
+  if base.ext <> None then
+    invalid_arg "Database.overlay: base must not itself be an overlay";
+  if not (Mgraph.Multigraph.is_overlay graph) then
+    invalid_arg "Database.overlay: graph must be a delta overlay";
+  let base_vn = Mgraph.Dict.size base.vertices in
+  if Mgraph.Multigraph.vertex_count graph <> base_vn + Array.length new_vertices
+  then invalid_arg "Database.overlay: vertex dictionary / graph size mismatch";
+  if triple_count < 0 then
+    invalid_arg "Database.overlay: negative triple count";
+  let table ~what keys =
+    let t = Hashtbl.create (2 * Array.length keys + 1) in
+    Array.iteri
+      (fun i key ->
+        if Hashtbl.mem t key then
+          invalid_arg (Printf.sprintf "Database.overlay: duplicate %s" what);
+        Hashtbl.replace t key i)
+      keys;
+    t
+  in
+  let e_vertices = table ~what:"vertex key" new_vertices in
+  Hashtbl.iter
+    (fun key _ ->
+      if Mgraph.Dict.mem base.vertices key then
+        invalid_arg "Database.overlay: new vertex already in base")
+    e_vertices;
+  let e_edge_types = table ~what:"edge type" new_edge_types in
+  Hashtbl.iter
+    (fun iri _ ->
+      if Mgraph.Dict.mem base.edge_types iri then
+        invalid_arg "Database.overlay: new edge type already in base")
+    e_edge_types;
+  let attr_keys = Array.map (fun (p, l) -> attr_key p l) new_attributes in
+  let e_attributes = table ~what:"attribute" attr_keys in
+  Hashtbl.iter
+    (fun key _ ->
+      if Mgraph.Dict.mem base.attributes key then
+        invalid_arg "Database.overlay: new attribute already in base")
+    e_attributes;
+  (* Shift table values past the base dictionaries so ids stay dense. *)
+  let shifted tbl by =
+    let t = Hashtbl.create (2 * Hashtbl.length tbl + 1) in
+    Hashtbl.iter (fun k i -> Hashtbl.replace t k (i + by)) tbl;
+    t
+  in
+  {
+    graph;
+    vertices = base.vertices;
+    edge_types = base.edge_types;
+    attributes = base.attributes;
+    attribute_data = base.attribute_data;
+    triple_count;
+    ext =
+      Some
+        {
+          e_vertices = shifted e_vertices base_vn;
+          e_vertex_keys = new_vertices;
+          e_edge_types = shifted e_edge_types (Mgraph.Dict.size base.edge_types);
+          e_edge_iris = new_edge_types;
+          e_attributes = shifted e_attributes (Mgraph.Dict.size base.attributes);
+          e_attr_data = new_attributes;
+        };
+  }

@@ -36,6 +36,39 @@ val import : parts -> t
 
 val graph : t -> Mgraph.Multigraph.t
 
+(** {1 Delta overlay} *)
+
+val overlay :
+  base:t ->
+  graph:Mgraph.Multigraph.t ->
+  new_vertices:string array ->
+  new_edge_types:string array ->
+  new_attributes:(string * Rdf.Term.literal) array ->
+  triple_count:int ->
+  unit ->
+  t
+(** [overlay ~base ~graph ...] wraps the delta-overlay [graph] (built by
+    {!Mgraph.Multigraph.overlay} over [base]'s packed graph) together
+    with dictionary {e extensions}: terms the write store introduced that
+    the frozen base dictionaries don't know. New vertex keys take ids
+    [vertex_count base + i] (in array order), and likewise for edge
+    types and [(predicate, literal)] attributes. The base dictionaries
+    are shared untouched — they are mutable hashtables visible to every
+    reader pinned on the same generation, so the overlay never interns
+    into them. [triple_count] is the exact post-delta triple count
+    (maintained by the delta compiler).
+    @raise Invalid_argument when [base] is already an overlay, [graph]
+    is not an overlay, sizes disagree, or a "new" key already exists in
+    the base. *)
+
+val is_overlay : t -> bool
+
+val key_of_term : Rdf.Term.t -> string option
+(** The vertex-dictionary key encoding of an IRI or blank-node term
+    ([None] for literals) — exposed so the delta compiler can assign ids
+    to vertices the base dictionaries don't know in a deterministic
+    (key-sorted) order. *)
+
 (** {1 Dictionary lookups (the mapping functions M and M⁻¹)} *)
 
 val vertex_of_term : t -> Rdf.Term.t -> int option

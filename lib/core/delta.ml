@@ -1,0 +1,292 @@
+module TS = Set.Make (Rdf.Triple)
+
+type t = { adds : TS.t; dels : TS.t }
+
+(* Invariant: adds ∩ dels = ∅ — [insert]/[remove] maintain it, so the
+   merged world is simply (base \ dels) ∪ adds with no ordering
+   ambiguity. *)
+
+let empty = { adds = TS.empty; dels = TS.empty }
+let insert t tr = { adds = TS.add tr t.adds; dels = TS.remove tr t.dels }
+let remove t tr = { adds = TS.remove tr t.adds; dels = TS.add tr t.dels }
+
+let apply t ~adds ~dels =
+  let t = List.fold_left remove t dels in
+  List.fold_left insert t adds
+
+let adds t = TS.elements t.adds
+let dels t = TS.elements t.dels
+let add_count t = TS.cardinal t.adds
+let del_count t = TS.cardinal t.dels
+let is_empty t = TS.is_empty t.adds && TS.is_empty t.dels
+let size t = add_count t + del_count t
+
+(* ------------------------------------------------------------------ *)
+(* Compilation: delta -> overlay engine                                 *)
+(* ------------------------------------------------------------------ *)
+
+module MG = Mgraph.Multigraph
+module SI = Mgraph.Sorted_ints
+
+(* (subject vertex-term, predicate IRI, object) views of a triple set,
+   split by object kind: IRI/bnode objects are edges, literal objects
+   are attributes. *)
+let classify set =
+  TS.fold
+    (fun { Rdf.Triple.subject; predicate; obj } (edges, attrs) ->
+      let pred =
+        match predicate with
+        | Rdf.Term.Iri iri -> iri
+        | Rdf.Term.Literal _ | Rdf.Term.Bnode _ -> assert false
+      in
+      match obj with
+      | Rdf.Term.Literal lit -> (edges, (subject, pred, lit) :: attrs)
+      | Rdf.Term.Iri _ | Rdf.Term.Bnode _ ->
+          ((subject, pred, obj) :: edges, attrs))
+    set ([], [])
+
+let sorted_keys tbl =
+  Array.of_list (List.sort String.compare (Hashtbl.fold (fun k _ l -> k :: l) tbl []))
+
+(* Group resolved edges by one endpoint: [sel] projects (owner, other,
+   type). *)
+let group sel lst =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let v, v', ty = sel e in
+      let prev = try Hashtbl.find tbl v with Not_found -> [] in
+      Hashtbl.replace tbl v ((v', ty) :: prev))
+    lst;
+  tbl
+
+let find_group tbl v = try Hashtbl.find tbl v with Not_found -> []
+
+let compile base delta =
+  let db = Engine.db base in
+  let g = Database.graph db in
+  let base_vn = Database.vertex_count db in
+  let base_en = Database.edge_type_count db in
+  let base_an = Database.attribute_count db in
+  let add_edges, add_attrs = classify delta.adds in
+  let del_edges, del_attrs = classify delta.dels in
+  (* -------- id assignment for terms the base doesn't know -------- *)
+  let new_v = Hashtbl.create 16 in
+  let note_term term =
+    match Database.key_of_term term with
+    | None -> ()
+    | Some key ->
+        if Database.vertex_of_term db term = None then
+          Hashtbl.replace new_v key ()
+  in
+  List.iter
+    (fun (s, _, o) ->
+      note_term s;
+      note_term o)
+    add_edges;
+  List.iter (fun (s, _, _) -> note_term s) add_attrs;
+  let new_vertex_keys = sorted_keys new_v in
+  let v_assign = Hashtbl.create 16 in
+  Array.iteri (fun i k -> Hashtbl.replace v_assign k (base_vn + i)) new_vertex_keys;
+  let vid term =
+    match Database.vertex_of_term db term with
+    | Some _ as r -> r
+    | None -> (
+        match Database.key_of_term term with
+        | None -> None
+        | Some key -> Hashtbl.find_opt v_assign key)
+  in
+  let new_e = Hashtbl.create 8 in
+  List.iter
+    (fun (_, p, _) ->
+      if Database.edge_type_of_iri db p = None then Hashtbl.replace new_e p ())
+    add_edges;
+  let new_edge_iris = sorted_keys new_e in
+  let e_assign = Hashtbl.create 8 in
+  Array.iteri (fun i p -> Hashtbl.replace e_assign p (base_en + i)) new_edge_iris;
+  let eid p =
+    match Database.edge_type_of_iri db p with
+    | Some _ as r -> r
+    | None -> Hashtbl.find_opt e_assign p
+  in
+  let akey p lit = (p, Rdf.Term.to_string (Rdf.Term.Literal lit)) in
+  let new_a = Hashtbl.create 8 in
+  List.iter
+    (fun (_, p, lit) ->
+      if Database.attribute_of db ~pred:p ~lit = None then
+        Hashtbl.replace new_a (akey p lit) (p, lit))
+    add_attrs;
+  let new_attr_keys =
+    List.sort compare (Hashtbl.fold (fun k _ l -> k :: l) new_a [])
+  in
+  let new_attr_pairs =
+    Array.of_list (List.map (fun k -> Hashtbl.find new_a k) new_attr_keys)
+  in
+  let a_assign = Hashtbl.create 8 in
+  List.iteri (fun i k -> Hashtbl.replace a_assign k (base_an + i)) new_attr_keys;
+  let aid p lit =
+    match Database.attribute_of db ~pred:p ~lit with
+    | Some _ as r -> r
+    | None -> Hashtbl.find_opt a_assign (akey p lit)
+  in
+  (* -------- resolve; deletions of unknown terms are no-ops -------- *)
+  let redges lst =
+    List.filter_map
+      (fun (s, p, o) ->
+        match (vid s, eid p, vid o) with
+        | Some si, Some ei, Some oi -> Some (si, ei, oi)
+        | _ -> None)
+      lst
+  in
+  let rattrs lst =
+    List.filter_map
+      (fun (s, p, lit) ->
+        match (vid s, aid p lit) with
+        | Some si, Some ai -> Some (si, ai)
+        | _ -> None)
+      lst
+  in
+  let eadds = redges add_edges and edels = redges del_edges in
+  let aadds = rattrs add_attrs and adels = rattrs del_attrs in
+  (* -------- merged adjacency of every touched vertex -------- *)
+  let out_adds = group (fun (s, e, o) -> (s, o, e)) eadds in
+  let out_dels = group (fun (s, e, o) -> (s, o, e)) edels in
+  let in_adds = group (fun (s, e, o) -> (o, s, e)) eadds in
+  let in_dels = group (fun (s, e, o) -> (o, s, e)) edels in
+  let touch tbl v = Hashtbl.replace tbl v () in
+  let out_touch = Hashtbl.create 16 and in_touch = Hashtbl.create 16 in
+  List.iter
+    (fun (s, _, o) ->
+      touch out_touch s;
+      touch in_touch o)
+    eadds;
+  List.iter
+    (fun (s, _, o) ->
+      touch out_touch s;
+      touch in_touch o)
+    edels;
+  let patch_dir dir touched adds_t dels_t =
+    Hashtbl.fold
+      (fun v () acc ->
+        let base_adj = if v < base_vn then MG.adjacency g dir v else [||] in
+        let m = Hashtbl.create (2 * Array.length base_adj + 4) in
+        Array.iter (fun (v', tys) -> Hashtbl.replace m v' tys) base_adj;
+        List.iter
+          (fun (v', ty) ->
+            match Hashtbl.find_opt m v' with
+            | None -> ()
+            | Some tys ->
+                let tys' = SI.diff tys [| ty |] in
+                if Array.length tys' = 0 then Hashtbl.remove m v'
+                else Hashtbl.replace m v' tys')
+          (find_group dels_t v);
+        List.iter
+          (fun (v', ty) ->
+            let tys =
+              match Hashtbl.find_opt m v' with None -> [||] | Some t -> t
+            in
+            Hashtbl.replace m v' (SI.union tys [| ty |]))
+          (find_group adds_t v);
+        let arr =
+          Array.of_list (Hashtbl.fold (fun v' tys l -> (v', tys) :: l) m [])
+        in
+        Array.sort (fun (a, _) (b, _) -> Int.compare a b) arr;
+        (v, arr) :: acc)
+      touched []
+  in
+  let out_patches = patch_dir MG.Out out_touch out_adds out_dels in
+  let in_patches = patch_dir MG.In in_touch in_adds in_dels in
+  (* -------- merged attribute sets -------- *)
+  let attr_touch = Hashtbl.create 16 in
+  List.iter (fun (v, _) -> touch attr_touch v) aadds;
+  List.iter (fun (v, _) -> touch attr_touch v) adels;
+  let group_attrs lst =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (v, a) ->
+        let prev = try Hashtbl.find tbl v with Not_found -> [] in
+        Hashtbl.replace tbl v (a :: prev))
+      lst;
+    tbl
+  in
+  let av_adds = group_attrs aadds and av_dels = group_attrs adels in
+  let attr_patches =
+    Hashtbl.fold
+      (fun v () acc ->
+        let base_attrs = if v < base_vn then MG.attributes g v else [||] in
+        let removed = SI.of_list (find_group av_dels v) in
+        let added = SI.of_list (find_group av_adds v) in
+        (v, SI.union (SI.diff base_attrs removed) added) :: acc)
+      attr_touch []
+  in
+  (* -------- exact triple count -------- *)
+  let present_edge (s, e, o) =
+    s < base_vn && o < base_vn && MG.has_edge g s e o
+  in
+  let present_attr (v, a) = v < base_vn && SI.mem (MG.attributes g v) a in
+  let count p l = List.fold_left (fun n x -> if p x then n + 1 else n) 0 l in
+  let triple_count =
+    Database.triple_count db
+    + count (fun e -> not (present_edge e)) eadds
+    + count (fun a -> not (present_attr a)) aadds
+    - count present_edge edels
+    - count present_attr adels
+  in
+  (* -------- assemble overlays -------- *)
+  let vertex_count = base_vn + Array.length new_vertex_keys in
+  let graph =
+    MG.overlay ~base:g ~vertex_count ~out:out_patches ~in_:in_patches
+      ~attrs:attr_patches ()
+  in
+  let odb =
+    Database.overlay ~base:db ~graph ~new_vertices:new_vertex_keys
+      ~new_edge_types:new_edge_iris ~new_attributes:new_attr_pairs
+      ~triple_count ()
+  in
+  (* Per-attribute vertex-list patches for the attribute index. *)
+  let base_ai = Engine.attribute_index base in
+  let a_changed = Hashtbl.create 16 in
+  List.iter (fun (_, a) -> touch a_changed a) aadds;
+  List.iter (fun (_, a) -> touch a_changed a) adels;
+  let by_attr lst =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (v, a) ->
+        let prev = try Hashtbl.find tbl a with Not_found -> [] in
+        Hashtbl.replace tbl a (v :: prev))
+      lst;
+    tbl
+  in
+  let aa = by_attr aadds and ad = by_attr adels in
+  let patched_lists =
+    Hashtbl.fold
+      (fun a () acc ->
+        let base_list =
+          Mgraph.Posting.to_array (Attribute_index.vertices_with base_ai a)
+        in
+        let removed = SI.of_list (find_group ad a) in
+        let added = SI.of_list (find_group aa a) in
+        (a, SI.union (SI.diff base_list removed) added) :: acc)
+      a_changed []
+  in
+  let attribute =
+    Attribute_index.overlay ~base:base_ai
+      ~attribute_count:(Database.attribute_count odb)
+      ~patched:patched_lists ()
+  in
+  let keys tbl = Hashtbl.fold (fun v () l -> v :: l) tbl [] in
+  let syn_touch = Hashtbl.copy out_touch in
+  List.iter (fun v -> touch syn_touch v) (keys in_touch);
+  List.iter (fun v -> touch syn_touch v) (keys attr_touch);
+  let synopsis =
+    Synopsis_index.overlay
+      ~base:(Engine.synopsis_index base)
+      ~graph ~touched:(keys syn_touch) ()
+  in
+  let neighbourhood =
+    Neighbourhood_index.overlay
+      ~base:(Engine.neighbourhood_index base)
+      ~graph ~touched_out:(keys out_touch) ~touched_in:(keys in_touch) ()
+  in
+  Engine.of_parts ~layout:(Engine.layout base) ~db:odb ~attribute ~synopsis
+    ~neighbourhood ()

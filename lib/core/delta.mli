@@ -1,0 +1,48 @@
+(** The write store: an immutable set-semantics delta of inserted and
+    deleted triples over a frozen base engine.
+
+    The merged world a delta denotes is [(base \ dels) ∪ adds]; {!insert}
+    and {!remove} keep the two sets disjoint, so there is never an
+    ordering ambiguity. {!compile} lowers a delta onto a base engine as
+    a {e delta overlay}: per-index patches (merged adjacency, attribute
+    lists, OTIL tries and synopses of exactly the touched vertices)
+    layered over the shared frozen structures, assembled into a fresh
+    {!Engine.t} the matcher queries through the unchanged kernel
+    interfaces. Compilation is O(|delta| + touched degree) and never
+    mutates the base, so readers pinned on older epochs are unaffected. *)
+
+type t
+
+val empty : t
+
+val insert : t -> Rdf.Triple.t -> t
+(** Record an insertion (also cancels a pending deletion of the same
+    triple). Inserting a triple the base already holds is harmless —
+    set semantics. *)
+
+val remove : t -> Rdf.Triple.t -> t
+(** Record a deletion (also cancels a pending insertion). Deleting a
+    triple the base never held is a no-op at compile time. *)
+
+val apply : t -> adds:Rdf.Triple.t list -> dels:Rdf.Triple.t list -> t
+(** Batch form: deletions first, then insertions (SPARQL UPDATE's
+    DELETE/INSERT order — a triple in both lists ends up present). *)
+
+val adds : t -> Rdf.Triple.t list
+(** Pending insertions, in {!Rdf.Triple.compare} order. *)
+
+val dels : t -> Rdf.Triple.t list
+
+val add_count : t -> int
+val del_count : t -> int
+val size : t -> int
+val is_empty : t -> bool
+
+val compile : Engine.t -> t -> Engine.t
+(** [compile base delta] — an overlay engine answering queries over the
+    merged world. [base] must itself be a frozen (non-overlay) engine:
+    layers do not chain; the caller recompiles the full cumulative delta
+    instead. New IRIs/bnodes, predicates and [(predicate, literal)]
+    attributes get ids past the base dictionaries, assigned in sorted
+    key order, so compilation is deterministic. The result shares the
+    base's packed structures and has fresh matcher caches. *)

@@ -36,6 +36,19 @@ val attribute_index : t -> Attribute_index.t
 val synopsis_index : t -> Synopsis_index.t
 val neighbourhood_index : t -> Neighbourhood_index.t
 
+val of_parts :
+  ?layout:Mgraph.Posting.policy ->
+  db:Database.t ->
+  attribute:Attribute_index.t ->
+  synopsis:Synopsis_index.t ->
+  neighbourhood:Neighbourhood_index.t ->
+  unit ->
+  t
+(** Assemble an engine from a database and prebuilt indexes — the delta
+    compiler's entry point for overlay engines. The engine gets fresh
+    matcher caches, so two engines assembled over the same base never
+    share LRU state (epoch isolation falls out by construction). *)
+
 type answer = {
   variables : string list;  (** projected variables, in SELECT order *)
   rows : Rdf.Term.t option list list;

@@ -30,7 +30,22 @@ val of_tries : incoming:Otil.t array -> outgoing:Otil.t array -> t
     @raise Invalid_argument on a length mismatch. *)
 
 val export : t -> Otil.t array * Otil.t array
-(** The ([N+], [N−]) trie arrays, for the snapshot codec. *)
+(** The ([N+], [N−]) trie arrays, for the snapshot codec.
+    @raise Invalid_argument on an overlay index. *)
+
+val overlay :
+  base:t ->
+  graph:Mgraph.Multigraph.t ->
+  touched_out:int list ->
+  touched_in:int list ->
+  unit ->
+  t
+(** Delta overlay: rebuild the prepared trie of every vertex in
+    [touched_out] / [touched_in] from the overlay [graph]'s merged
+    adjacency in that direction; untouched vertices keep the base tries
+    (shared, never mutated). New vertices ([>= vertex_count base]) not
+    listed as touched answer the empty neighbourhood.
+    @raise Invalid_argument on an overlay base or out-of-range ids. *)
 
 val neighbours :
   t -> int -> Mgraph.Multigraph.direction -> int array -> Mgraph.Posting.t

@@ -1,11 +1,21 @@
 type mode = Rtree | Scan
 
+(* Delta overlay: merged synopses of the vertices the write store
+   touched; everything else answers from the frozen base. *)
+type patch = {
+  s_touched : (int, Mgraph.Synopsis.t) Hashtbl.t;
+  s_graph : Mgraph.Multigraph.t;  (* overlay graph, for fallback lookups *)
+  s_vertices : int;  (* overlay vertex count (>= base) *)
+  s_upper : int array;  (* base upper ⊔ touched synopses *)
+}
+
 type t = {
   mode : mode;
   synopses : Mgraph.Synopsis.t array;  (* per data vertex *)
   lower : int array;  (* componentwise minimum over all synopses *)
   upper : int array;  (* componentwise maximum over all synopses *)
   tree : int Rtree.t;  (* populated in Rtree mode *)
+  patch : patch option;
   mutable probes : int;  (* lifetime lookup count; racy under domains,
                             lost increments are acceptable *)
 }
@@ -55,14 +65,16 @@ let of_synopses ?(mode = Rtree) ?(max_entries = 16) synopses =
           (List.init n (fun v ->
                (Rect.make ~lo:lower ~hi:synopses.(v), v)))
   in
-  { mode; synopses; lower; upper = upper_of synopses; tree; probes = 0 }
+  { mode; synopses; lower; upper = upper_of synopses; tree; patch = None; probes = 0 }
 
 let build ?mode ?max_entries db =
   let g = Database.graph db in
   let n = Mgraph.Multigraph.vertex_count g in
   of_synopses ?mode ?max_entries (synopses_range db ~lo:0 ~hi:n)
 
-let export t = (t.mode, t.synopses, t.tree)
+let export t =
+  if t.patch <> None then invalid_arg "Synopsis_index.export: overlay index";
+  (t.mode, t.synopses, t.tree)
 
 let import ~mode ~synopses ~tree =
   Array.iter
@@ -81,31 +93,95 @@ let import ~mode ~synopses ~tree =
     lower = lower_of synopses;
     upper = upper_of synopses;
     tree;
+    patch = None;
     probes = 0;
   }
 
 let mode t = t.mode
 
+let overlay ~base ~graph ~touched () =
+  if base.patch <> None then
+    invalid_arg "Synopsis_index.overlay: base must be frozen";
+  let n = Mgraph.Multigraph.vertex_count graph in
+  if n < Array.length base.synopses then
+    invalid_arg "Synopsis_index.overlay: graph smaller than base";
+  let tbl = Hashtbl.create (2 * List.length touched + 1) in
+  let upper = Array.copy base.upper in
+  List.iter
+    (fun v ->
+      if v < 0 || v >= n then
+        invalid_arg "Synopsis_index.overlay: vertex out of range";
+      let syn = Mgraph.Synopsis.of_vertex graph v in
+      for i = 0 to Mgraph.Synopsis.dims - 1 do
+        if syn.(i) > upper.(i) then upper.(i) <- syn.(i)
+      done;
+      Hashtbl.replace tbl v syn)
+    touched;
+  {
+    base with
+    patch = Some { s_touched = tbl; s_graph = graph; s_vertices = n; s_upper = upper };
+    probes = 0;
+  }
+
+let effective_synopsis t v =
+  match t.patch with
+  | None -> t.synopses.(v)
+  | Some p -> (
+      match Hashtbl.find_opt p.s_touched v with
+      | Some syn -> syn
+      | None ->
+          if v < Array.length t.synopses then t.synopses.(v)
+          else Mgraph.Synopsis.of_vertex p.s_graph v)
+
 let candidates t query =
   t.probes <- t.probes + 1;
-  match t.mode with
-  | Scan ->
+  match (t.mode, t.patch) with
+  | Scan, _ ->
+      let n =
+        match t.patch with
+        | None -> Array.length t.synopses
+        | Some p -> p.s_vertices
+      in
       let out = ref [] in
-      for v = Array.length t.synopses - 1 downto 0 do
-        if Mgraph.Synopsis.dominates ~data:t.synopses.(v) ~query then
+      for v = n - 1 downto 0 do
+        if Mgraph.Synopsis.dominates ~data:(effective_synopsis t v) ~query then
           out := v :: !out
       done;
       Array.of_list !out
-  | Rtree ->
+  | Rtree, patch ->
       let clamped =
         Array.init Mgraph.Synopsis.dims (fun i -> max query.(i) t.lower.(i))
       in
       let box = Rect.make ~lo:clamped ~hi:clamped in
       let vs = Rtree.fold_containing box (fun v acc -> v :: acc) t.tree [] in
-      Mgraph.Sorted_ints.of_list vs
+      let base = Mgraph.Sorted_ints.of_list vs in
+      (match patch with
+      | None -> base
+      | Some p ->
+          (* The tree only knows base synopses: drop every touched vertex
+             from its answer, then re-admit the touched ones whose merged
+             synopsis still dominates the query. *)
+          let kept =
+            Array.of_list
+              (List.filter
+                 (fun v -> not (Hashtbl.mem p.s_touched v))
+                 (Array.to_list base))
+          in
+          let extra = ref [] in
+          Hashtbl.iter
+            (fun v syn ->
+              if Mgraph.Synopsis.dominates ~data:syn ~query then
+                extra := v :: !extra)
+            p.s_touched;
+          Mgraph.Sorted_ints.union kept (Mgraph.Sorted_ints.of_list !extra))
 
 let candidates_of_signature t s = candidates t (Mgraph.Synopsis.of_signature s)
 
-let vertex_synopsis t v = t.synopses.(v)
-let maxima t = Array.copy t.upper
+let vertex_synopsis t v = effective_synopsis t v
+
+let maxima t =
+  match t.patch with
+  | None -> Array.copy t.upper
+  | Some p -> Array.copy p.s_upper
+
 let probes t = t.probes

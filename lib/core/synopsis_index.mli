@@ -29,7 +29,18 @@ val of_synopses :
 
 val export : t -> mode * Mgraph.Synopsis.t array * int Rtree.t
 (** Parts for the snapshot codec. The lower bound is not exported — it
-    is a function of the synopses and is recomputed on {!import}. *)
+    is a function of the synopses and is recomputed on {!import}.
+    @raise Invalid_argument on an overlay index. *)
+
+val overlay : base:t -> graph:Mgraph.Multigraph.t -> touched:int list -> unit -> t
+(** Delta overlay: the merged synopsis of every vertex in [touched] is
+    recomputed from the overlay [graph] and shadows the base entry (or
+    creates one for new vertices); {!candidates} answers the base R-tree
+    minus stale touched entries plus the touched vertices that still
+    dominate. {!maxima} becomes [base ⊔ touched] — still a sound upper
+    bound for Lemma 1 screening, merely loose after deletions. The base
+    index is shared, never mutated.
+    @raise Invalid_argument on an overlay base or out-of-range ids. *)
 
 val import :
   mode:mode -> synopses:Mgraph.Synopsis.t array -> tree:int Rtree.t -> t

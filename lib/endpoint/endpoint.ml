@@ -6,6 +6,7 @@ type config = {
   open_objects : bool;
   domains : int option;
   snapshot : string option;
+  live_dir : string option;
   slow_query : float option;
   log_sample : float;
   log_sink : string option;
@@ -13,12 +14,20 @@ type config = {
 
 let default_config =
   { host = "127.0.0.1"; port = 8080; timeout = Some 30.0; limit = Some 100_000;
-    open_objects = true; domains = None; snapshot = None;
+    open_objects = true; domains = None; snapshot = None; live_dir = None;
     slow_query = Some 1.0; log_sample = 1.0; log_sink = None }
+
+type source = Static of Amber.Engine.t | Live of Amber.Live_engine.t
+
+(* One pin per request: every handler sees a single consistent epoch,
+   whatever the writers do while the response is being computed. *)
+let engine_of_source = function
+  | Static engine -> engine
+  | Live live -> Amber.Live_engine.engine (Amber.Live_engine.pin live)
 
 type t = {
   config : config;
-  engine : Amber.Engine.t;
+  source : source;
   socket : Unix.file_descr;
   port : int;
 }
@@ -97,6 +106,8 @@ let service_description =
   {|AMbER SPARQL endpoint
 GET  /sparql?query=<urlencoded SPARQL>[&profile=1][&domains=N]
 POST /sparql   (application/x-www-form-urlencoded or application/sparql-query)
+POST /update   (form-encoded add=<N-Triples>&remove=<N-Triples>[&compact=1];
+                live-directory servers only, 405 on a static engine)
 GET  /metrics  (Prometheus text exposition)
 GET  /queries  (flight recorder: last recorded queries as JSON; ?n=K)
 GET  /healthz  (liveness: {"status":"ok",...})
@@ -162,8 +173,55 @@ let truthy = function
   | Some ("1" | "true" | "yes") -> true
   | Some _ | None -> false
 
-let handle_request_inner config engine ~meth ~target ~headers ~body =
+let handle_update source ~body =
+  match source with
+  | Static _ ->
+      ( 405,
+        "text/plain",
+        "update not supported: static engine (serve a live directory)\n" )
+  | Live live -> (
+      let _, form = parse_target ("?" ^ body) in
+      let parse_nt which =
+        match List.assoc_opt which form with
+        | None | Some "" -> []
+        | Some text -> Rdf.Ntriples.parse_string text
+      in
+      match
+        let adds = parse_nt "add" in
+        let dels = parse_nt "remove" in
+        (adds, dels)
+      with
+      | exception Rdf.Ntriples.Parse_error { line; message } ->
+          ( 400,
+            "text/plain",
+            Printf.sprintf "N-Triples parse error at line %d: %s\n" line message
+          )
+      | [], [] when not (truthy (List.assoc_opt "compact" form)) ->
+          (400, "text/plain", "missing 'add' or 'remove' parameter\n")
+      | adds, dels ->
+          let ep =
+            if adds = [] && dels = [] then Amber.Live_engine.pin live
+            else Amber.Live_engine.update live ~adds ~dels
+          in
+          let ep =
+            if truthy (List.assoc_opt "compact" form) then
+              Amber.Live_engine.compact live
+            else ep
+          in
+          let d = Amber.Live_engine.delta ep in
+          ( 200,
+            "application/json",
+            Printf.sprintf
+              {|{"added":%d,"removed":%d,"generation":%d,"version":%d,"delta_adds":%d,"delta_dels":%d}|}
+              (List.length adds) (List.length dels)
+              (Amber.Live_engine.generation ep)
+              (Amber.Live_engine.version ep)
+              (Amber.Delta.add_count d) (Amber.Delta.del_count d)
+            ^ "\n" ))
+
+let handle_request_inner config source ~meth ~target ~headers ~body =
   let path, params = parse_target target in
+  let engine = engine_of_source source in
   match (meth, path) with
   | "GET", "/" -> (200, "text/plain", service_description)
   | "GET", "/metrics" ->
@@ -294,20 +352,21 @@ let handle_request_inner config engine ~meth ~target ~headers ~body =
           | exception Amber.Deadline.Expired ->
               Obs.Metrics.incr m_timeouts;
               (503, "text/plain", "query timed out\n")))
-  | _, "/sparql" -> (405, "text/plain", "method not allowed\n")
+  | "POST", "/update" -> handle_update source ~body
+  | _, ("/sparql" | "/update") -> (405, "text/plain", "method not allowed\n")
   | _ -> (404, "text/plain", "not found\n")
 
-let handle_request config engine ~meth ~target ~headers ~body =
+let handle_request config source ~meth ~target ~headers ~body =
   Obs.Metrics.incr m_requests;
   let (status, _, _) as response =
-    handle_request_inner config engine ~meth ~target ~headers ~body
+    handle_request_inner config source ~meth ~target ~headers ~body
   in
   if status >= 400 then Obs.Metrics.incr m_errors;
   response
 
 (* --- socket plumbing ------------------------------------------------ *)
 
-let create ?(config = default_config) engine =
+let create_source ?(config = default_config) source =
   (* The server's flight-recorder policy is authoritative for the
      process-wide recorder every engine entry point records into. *)
   Obs.Query_log.configure ~sample_rate:config.log_sample
@@ -322,12 +381,17 @@ let create ?(config = default_config) engine =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> config.port
   in
-  { config; engine; socket; port }
+  { config; source; socket; port }
+
+let create ?config engine = create_source ?config (Static engine)
+let create_live ?config live = create_source ?config (Live live)
 
 let boot config =
-  match config.snapshot with
-  | None -> invalid_arg "Endpoint.boot: config.snapshot is None"
-  | Some path -> create ~config (Amber.Engine.load_snapshot path)
+  match (config.live_dir, config.snapshot) with
+  | Some dir, _ -> create_live ~config (Amber.Live_engine.open_dir dir)
+  | None, Some path -> create ~config (Amber.Engine.load_snapshot path)
+  | None, None ->
+      invalid_arg "Endpoint.boot: config.snapshot and config.live_dir are None"
 
 let bound_port t = t.port
 
@@ -429,7 +493,7 @@ let handle_connection t fd =
   | None -> ()
   | Some (meth, target, headers, body) ->
       let status, content_type, response_body =
-        try handle_request t.config t.engine ~meth ~target ~headers ~body
+        try handle_request t.config t.source ~meth ~target ~headers ~body
         with e ->
           (500, "text/plain", "internal error: " ^ Printexc.to_string e ^ "\n")
       in

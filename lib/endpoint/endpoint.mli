@@ -48,6 +48,11 @@ type config = {
       (** path to an ["AMBERIX1"] index snapshot for instant boot via
           {!boot}; [None] (the default) when the caller builds the
           engine itself. *)
+  live_dir : string option;
+      (** path to an {!Amber.Live_engine} directory. When set, {!boot}
+          opens it (taking precedence over [snapshot]) and the server
+          accepts [POST /update]; [None] (the default) serves a frozen
+          engine and [/update] answers 405. *)
   slow_query : float option;
       (** flight-recorder slow-query threshold in seconds (default 1.0):
           queries at or past it are always captured, whatever the
@@ -63,16 +68,32 @@ type config = {
 
 val default_config : config
 
+(** What the server queries: a frozen engine, or a {!Amber.Live_engine}
+    whose current epoch is pinned once per request — every response is
+    computed against a single consistent snapshot, however many updates
+    land while it is being rendered. *)
+type source = Static of Amber.Engine.t | Live of Amber.Live_engine.t
+
 type t
 
 val create : ?config:config -> Amber.Engine.t -> t
-(** Bind and listen. @raise Unix.Unix_error when binding fails. *)
+(** Bind and listen on a frozen engine ([Static]).
+    @raise Unix.Unix_error when binding fails. *)
+
+val create_live : ?config:config -> Amber.Live_engine.t -> t
+(** Bind and listen on a live engine: queries pin the current epoch per
+    request, and [POST /update] applies write batches (form-encoded
+    [add] / [remove] N-Triples bodies, [compact=1] to force a
+    compaction). @raise Unix.Unix_error when binding fails. *)
 
 val boot : config -> t
-(** Cold-start from [config.snapshot]: {!Amber.Engine.load_snapshot}
-    then {!create} — no index rebuild, boot time is O(read).
-    @raise Invalid_argument when [config.snapshot] is [None].
-    @raise Rdf.Binary.Corrupt on a damaged snapshot.
+(** Cold-start: with [config.live_dir], {!Amber.Live_engine.open_dir}
+    then {!create_live}; otherwise {!Amber.Engine.load_snapshot} from
+    [config.snapshot] then {!create} — no index rebuild, boot time is
+    O(read).
+    @raise Invalid_argument when both [snapshot] and [live_dir] are
+    [None].
+    @raise Rdf.Binary.Corrupt on a damaged snapshot or manifest.
     @raise Unix.Unix_error when binding fails. *)
 
 val bound_port : t -> int
@@ -89,7 +110,7 @@ val stop : t -> unit
 
 val handle_request :
   config ->
-  Amber.Engine.t ->
+  source ->
   meth:string ->
   target:string ->
   headers:(string * string) list ->

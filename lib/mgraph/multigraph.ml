@@ -18,7 +18,7 @@ type half = {
   over_pool : int array;  (* len-prefixed sets of the non-singleton edges *)
 }
 
-type t = {
+type packed = {
   vertex_count : int;
   edge_type_count : int;
   out_h : half;
@@ -28,6 +28,29 @@ type t = {
   multi_edge_count : int;
   triple_edge_count : int;
 }
+
+(* A touched vertex's full merged adjacency in one direction: the tuple
+   view plus the neighbour posting wrapped over it (Raw — overlay patches
+   are small and short-lived; compaction re-freezes under the layout
+   policy). *)
+type patch = { padj : (int * int array) array; pnbrs : Posting.t }
+
+(* A delta overlay over a frozen packed base: hashtables hold the fully
+   merged state of every vertex the write store touched; untouched
+   vertices fall through to the base. The base is never mutated, so an
+   overlay and its base can serve readers concurrently. *)
+type overlay = {
+  base : packed;
+  o_vertex_count : int;  (* >= base.vertex_count; tail ids are new *)
+  o_edge_type_count : int;
+  o_out : (int, patch) Hashtbl.t;
+  o_in : (int, patch) Hashtbl.t;
+  o_attrs : (int, int array) Hashtbl.t;
+  o_multi_edge_count : int;
+  o_triple_edge_count : int;
+}
+
+type t = Packed of packed | Overlay of overlay
 
 module Int_pair = struct
   type t = int * int
@@ -189,68 +212,133 @@ module Builder = struct
           | None -> [||]
           | Some l -> Sorted_ints.of_list l)
     in
-    pack ~policy:layout ~edge_type_count:!edge_type_count
-      ~multi_edge_count:!multi_edge_count
-      ~triple_edge_count:!triple_edge_count
-      (Array.map sort_adj out_lists)
-      attrs
+    Packed
+      (pack ~policy:layout ~edge_type_count:!edge_type_count
+         ~multi_edge_count:!multi_edge_count
+         ~triple_edge_count:!triple_edge_count
+         (Array.map sort_adj out_lists)
+         attrs)
 end
 
-let vertex_count g = g.vertex_count
-let edge_type_count g = g.edge_type_count
-let multi_edge_count g = g.multi_edge_count
-let triple_edge_count g = g.triple_edge_count
+let vertex_count = function
+  | Packed g -> g.vertex_count
+  | Overlay o -> o.o_vertex_count
+
+let edge_type_count = function
+  | Packed g -> g.edge_type_count
+  | Overlay o -> o.o_edge_type_count
+
+let multi_edge_count = function
+  | Packed g -> g.multi_edge_count
+  | Overlay o -> o.o_multi_edge_count
+
+let triple_edge_count = function
+  | Packed g -> g.triple_edge_count
+  | Overlay o -> o.o_triple_edge_count
 
 let check_vertex g v =
-  if v < 0 || v >= g.vertex_count then
+  if v < 0 || v >= vertex_count g then
     invalid_arg (Printf.sprintf "Multigraph: vertex %d out of range" v)
+
+let packed_attributes g v =
+  Array.sub g.apool g.aoffs.(v) (g.aoffs.(v + 1) - g.aoffs.(v))
 
 let attributes g v =
   check_vertex g v;
-  Array.sub g.apool g.aoffs.(v) (g.aoffs.(v + 1) - g.aoffs.(v))
+  match g with
+  | Packed g -> packed_attributes g v
+  | Overlay o -> (
+      match Hashtbl.find_opt o.o_attrs v with
+      | Some a -> Array.copy a
+      | None ->
+          if v < o.base.vertex_count then packed_attributes o.base v else [||])
 
 let half g = function Out -> g.out_h | In -> g.in_h
+let side o = function Out -> o.o_out | In -> o.o_in
 
 let neighbours g dir v =
   check_vertex g v;
-  (half g dir).nbrs.(v)
+  match g with
+  | Packed g -> (half g dir).nbrs.(v)
+  | Overlay o -> (
+      match Hashtbl.find_opt (side o dir) v with
+      | Some p -> p.pnbrs
+      | None ->
+          if v < o.base.vertex_count then (half o.base dir).nbrs.(v)
+          else Posting.empty)
 
-let adjacency g dir v =
-  check_vertex g v;
+let packed_adjacency g dir v =
   let h = half g dir in
   let base = h.voffs.(v) in
   let nb = Posting.to_array h.nbrs.(v) in
   Array.mapi (fun i v' -> (v', types_at h (base + i))) nb
 
-let edge_types_between g v v' =
+let adjacency g dir v =
   check_vertex g v;
-  check_vertex g v';
+  match g with
+  | Packed g -> packed_adjacency g dir v
+  | Overlay o -> (
+      match Hashtbl.find_opt (side o dir) v with
+      | Some p -> Array.map (fun (v', tys) -> (v', Array.copy tys)) p.padj
+      | None ->
+          if v < o.base.vertex_count then packed_adjacency o.base dir v
+          else [||])
+
+let packed_edge_types g v v' =
   match Posting.index_of g.out_h.nbrs.(v) v' with
   | None -> [||]
   | Some i -> types_at g.out_h (g.out_h.voffs.(v) + i)
 
+let edge_types_between g v v' =
+  check_vertex g v;
+  check_vertex g v';
+  match g with
+  | Packed g -> packed_edge_types g v v'
+  | Overlay o -> (
+      match Hashtbl.find_opt o.o_out v with
+      | Some p -> (
+          match Posting.index_of p.pnbrs v' with
+          | None -> [||]
+          | Some i -> Array.copy (snd p.padj.(i)))
+      | None ->
+          if v < o.base.vertex_count && v' < o.base.vertex_count then
+            packed_edge_types o.base v v'
+          else [||])
+
 let has_edge g v ty v' =
   check_vertex g v;
   check_vertex g v';
-  match Posting.index_of g.out_h.nbrs.(v) v' with
-  | None -> false
-  | Some i -> (
-      let c = g.out_h.ty_pool.(g.out_h.voffs.(v) + i) in
-      if c >= 0 then c = ty
-      else
-        let off = -c - 1 in
-        let k = g.out_h.over_pool.(off) in
-        let rec probe j =
-          j <= k && (g.out_h.over_pool.(off + j) = ty || probe (j + 1))
-        in
-        probe 1)
+  match g with
+  | Packed g -> (
+      match Posting.index_of g.out_h.nbrs.(v) v' with
+      | None -> false
+      | Some i -> (
+          let c = g.out_h.ty_pool.(g.out_h.voffs.(v) + i) in
+          if c >= 0 then c = ty
+          else
+            let off = -c - 1 in
+            let k = g.out_h.over_pool.(off) in
+            let rec probe j =
+              j <= k && (g.out_h.over_pool.(off + j) = ty || probe (j + 1))
+            in
+            probe 1))
+  | Overlay o -> (
+      match Hashtbl.find_opt o.o_out v with
+      | Some p -> (
+          match Posting.index_of p.pnbrs v' with
+          | None -> false
+          | Some i -> Sorted_ints.mem (snd p.padj.(i)) ty)
+      | None ->
+          v < o.base.vertex_count
+          && v' < o.base.vertex_count
+          && Sorted_ints.mem (packed_edge_types o.base v v') ty)
 
 let degree g v =
   check_vertex g v;
   (* Count distinct neighbours across both directions (each posting is
      sorted), merging to avoid double counting. *)
-  let a = Posting.to_array g.out_h.nbrs.(v)
-  and b = Posting.to_array g.in_h.nbrs.(v) in
+  let a = Posting.to_array (neighbours g Out v)
+  and b = Posting.to_array (neighbours g In v) in
   let na = Array.length a and nb = Array.length b in
   let rec loop i j n =
     if i >= na && j >= nb then n
@@ -266,13 +354,29 @@ let degree g v =
 
 let fold_edges f g init =
   let acc = ref init in
-  let h = g.out_h in
-  for v = 0 to g.vertex_count - 1 do
-    let base = h.voffs.(v) in
-    Posting.iteri
-      (fun i v' -> acc := f v (types_at h (base + i)) v' !acc)
-      h.nbrs.(v)
-  done;
+  (match g with
+  | Packed g ->
+      let h = g.out_h in
+      for v = 0 to g.vertex_count - 1 do
+        let base = h.voffs.(v) in
+        Posting.iteri
+          (fun i v' -> acc := f v (types_at h (base + i)) v' !acc)
+          h.nbrs.(v)
+      done
+  | Overlay o ->
+      let h = o.base.out_h in
+      for v = 0 to o.o_vertex_count - 1 do
+        match Hashtbl.find_opt o.o_out v with
+        | Some p ->
+            Array.iter (fun (v', tys) -> acc := f v tys v' !acc) p.padj
+        | None ->
+            if v < o.base.vertex_count then begin
+              let base = h.voffs.(v) in
+              Posting.iteri
+                (fun i v' -> acc := f v (types_at h (base + i)) v' !acc)
+                h.nbrs.(v)
+            end
+      done);
   !acc
 
 (* The out-adjacency (plus per-vertex attributes) determines the whole
@@ -280,8 +384,9 @@ let fold_edges f g init =
    them exactly as [Builder.build] would, so a round-trip through
    [export]/[import] is structurally identical to the original. *)
 let export g =
-  ( Array.init g.vertex_count (fun v -> adjacency g Out v),
-    Array.init g.vertex_count (fun v -> attributes g v) )
+  let n = vertex_count g in
+  ( Array.init n (fun v -> adjacency g Out v),
+    Array.init n (fun v -> attributes g v) )
 
 let import ?(layout = Posting.Auto) ~out_adj ~attrs () =
   let n = Array.length out_adj in
@@ -316,25 +421,153 @@ let import ?(layout = Posting.Auto) ~out_adj ~attrs () =
       if not (Sorted_ints.is_sorted a) || (Array.length a > 0 && a.(0) < 0) then
         invalid_arg "Multigraph.import: attribute set not sorted")
     attrs;
-  pack ~policy:layout ~edge_type_count:!edge_type_count
-    ~multi_edge_count:!multi_edge_count
-    ~triple_edge_count:!triple_edge_count out_adj attrs
+  Packed
+    (pack ~policy:layout ~edge_type_count:!edge_type_count
+       ~multi_edge_count:!multi_edge_count
+       ~triple_edge_count:!triple_edge_count out_adj attrs)
 
 let posting_stats g s =
-  Array.iter (Posting.count_into s) g.out_h.nbrs;
-  Array.iter (Posting.count_into s) g.in_h.nbrs
+  match g with
+  | Packed g ->
+      Array.iter (Posting.count_into s) g.out_h.nbrs;
+      Array.iter (Posting.count_into s) g.in_h.nbrs
+  | Overlay _ ->
+      (* Count every vertex's effective posting, patched or base. *)
+      let n = vertex_count g in
+      for v = 0 to n - 1 do
+        Posting.count_into s (neighbours g Out v);
+        Posting.count_into s (neighbours g In v)
+      done
 
 let out_of_heap_bytes g =
   let total = ref 0 in
-  Array.iter
-    (fun p -> total := !total + Posting.out_of_heap_bytes p)
-    g.out_h.nbrs;
-  Array.iter
-    (fun p -> total := !total + Posting.out_of_heap_bytes p)
-    g.in_h.nbrs;
+  (match g with
+  | Packed g ->
+      Array.iter
+        (fun p -> total := !total + Posting.out_of_heap_bytes p)
+        g.out_h.nbrs;
+      Array.iter
+        (fun p -> total := !total + Posting.out_of_heap_bytes p)
+        g.in_h.nbrs
+  | Overlay _ ->
+      let n = vertex_count g in
+      for v = 0 to n - 1 do
+        total :=
+          !total
+          + Posting.out_of_heap_bytes (neighbours g Out v)
+          + Posting.out_of_heap_bytes (neighbours g In v)
+      done);
   !total
 
 let pp_stats ppf g =
   Format.fprintf ppf
     "@[<v>vertices: %d@,multi-edges: %d@,atomic edges: %d@,edge types: %d@]"
-    g.vertex_count g.multi_edge_count g.triple_edge_count g.edge_type_count
+    (vertex_count g) (multi_edge_count g) (triple_edge_count g)
+    (edge_type_count g)
+
+(* ------------------------------------------------------------------ *)
+(* Delta overlay                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let is_overlay = function Packed _ -> false | Overlay _ -> true
+
+let validate_patch_adj ~n adj =
+  let last = ref (-1) in
+  Array.iter
+    (fun (v', types) ->
+      if v' < 0 || v' >= n then
+        invalid_arg
+          (Printf.sprintf "Multigraph.overlay: neighbour %d out of range" v');
+      if v' <= !last then
+        invalid_arg "Multigraph.overlay: patch adjacency not sorted";
+      last := v';
+      if Array.length types = 0 then
+        invalid_arg "Multigraph.overlay: empty multi-edge";
+      if not (Sorted_ints.is_sorted types) || types.(0) < 0 then
+        invalid_arg "Multigraph.overlay: multi-edge types not sorted")
+    adj
+
+(* Base contribution of vertex [v] to the pair / atomic edge counts. *)
+let packed_out_counts b v =
+  if v >= b.vertex_count then (0, 0)
+  else begin
+    let lo = b.out_h.voffs.(v) and hi = b.out_h.voffs.(v + 1) in
+    let triples = ref 0 in
+    for e = lo to hi - 1 do
+      let c = b.out_h.ty_pool.(e) in
+      triples := !triples + if c >= 0 then 1 else b.out_h.over_pool.(-c - 1)
+    done;
+    (hi - lo, !triples)
+  end
+
+let overlay ~base ~vertex_count:n ~out ~in_ ~attrs () =
+  match base with
+  | Overlay _ ->
+      (* One layer only: [Live_engine] recompiles the patch from the full
+         cumulative delta on every publish, so chaining never arises. *)
+      invalid_arg "Multigraph.overlay: base must be a packed graph"
+  | Packed b ->
+      if n < b.vertex_count then
+        invalid_arg "Multigraph.overlay: vertex_count below base";
+      let ety = ref b.edge_type_count in
+      let multi = ref b.multi_edge_count in
+      let triples = ref b.triple_edge_count in
+      let mk_patch adj =
+        validate_patch_adj ~n adj;
+        Array.iter
+          (fun (_, types) ->
+            let top = types.(Array.length types - 1) in
+            if top + 1 > !ety then ety := top + 1)
+          adj;
+        { padj = adj; pnbrs = Posting.raw (Array.map fst adj) }
+      in
+      let table entries =
+        let t = Hashtbl.create (2 * List.length entries + 1) in
+        List.iter
+          (fun (v, adj) ->
+            if v < 0 || v >= n then
+              invalid_arg "Multigraph.overlay: patched vertex out of range";
+            if Hashtbl.mem t v then
+              invalid_arg "Multigraph.overlay: duplicate patched vertex";
+            Hashtbl.replace t v (mk_patch adj))
+          entries;
+        t
+      in
+      let o_out = table out in
+      let o_in = table in_ in
+      (* Only the out side contributes to the counts (the in side mirrors
+         it); replace each touched vertex's base contribution with its
+         patched one. *)
+      Hashtbl.iter
+        (fun v p ->
+          let base_multi, base_triples = packed_out_counts b v in
+          multi := !multi - base_multi + Array.length p.padj;
+          let patch_triples =
+            Array.fold_left
+              (fun acc (_, tys) -> acc + Array.length tys)
+              0 p.padj
+          in
+          triples := !triples - base_triples + patch_triples)
+        o_out;
+      let o_attrs = Hashtbl.create (2 * List.length attrs + 1) in
+      List.iter
+        (fun (v, a) ->
+          if v < 0 || v >= n then
+            invalid_arg "Multigraph.overlay: attribute vertex out of range";
+          if not (Sorted_ints.is_sorted a) || (Array.length a > 0 && a.(0) < 0)
+          then invalid_arg "Multigraph.overlay: attribute set not sorted";
+          if Hashtbl.mem o_attrs v then
+            invalid_arg "Multigraph.overlay: duplicate attribute vertex";
+          Hashtbl.replace o_attrs v (Array.copy a))
+        attrs;
+      Overlay
+        {
+          base = b;
+          o_vertex_count = n;
+          o_edge_type_count = !ety;
+          o_out;
+          o_in;
+          o_attrs;
+          o_multi_edge_count = !multi;
+          o_triple_edge_count = !triples;
+        }

@@ -12,7 +12,13 @@
     the build-time layout policy) plus flat pools for the multi-edge
     type sets and attribute sets, instead of one heap block per edge.
     Queries run directly over this form; {!adjacency} and {!export}
-    materialize the classic tuple view on demand. *)
+    materialize the classic tuple view on demand.
+
+    A graph is either {e packed} (the frozen form above) or a {e delta
+    overlay}: a packed base plus the fully merged adjacency/attribute
+    state of every vertex a write store has touched (see {!overlay}).
+    Every accessor answers identically over either form, so the matcher
+    and indexes need not know which one they hold. *)
 
 type vertex = int
 type edge_type = int
@@ -116,6 +122,36 @@ val import :
     counts; neighbour postings freeze under [layout] (default [Auto]).
     @raise Invalid_argument on malformed input (neighbour out of range,
     unsorted adjacency or type sets, empty multi-edge). *)
+
+(** {1 Delta overlay} *)
+
+val overlay :
+  base:t ->
+  vertex_count:int ->
+  out:(vertex * (vertex * edge_type array) array) list ->
+  in_:(vertex * (vertex * edge_type array) array) list ->
+  attrs:(vertex * attribute array) list ->
+  unit ->
+  t
+(** [overlay ~base ~vertex_count ~out ~in_ ~attrs ()] layers a write
+    delta over the packed [base]. [vertex_count >= vertex_count base];
+    ids in [base.vertex_count .. vertex_count-1] are new vertices. [out]
+    / [in_] give the {e fully merged} post-delta adjacency of every
+    touched vertex in that direction (same shape and ordering rules as
+    {!import}); [attrs] the fully merged attribute set of every vertex
+    whose attributes changed. The two directions must mirror each other
+    — the caller (the delta compiler) is responsible for consistency.
+    Counts are recomputed exactly from the patches; the reported
+    {!edge_type_count} is an upper bound (a deletion that removes the
+    last use of the top edge type does not shrink it). The base is
+    shared, never copied or mutated.
+    @raise Invalid_argument if [base] is itself an overlay (layers do
+    not chain — recompile the full delta instead), or on malformed
+    patches. *)
+
+val is_overlay : t -> bool
+(** True on graphs built by {!overlay}; packed graphs (from {!Builder},
+    {!import}) answer false. *)
 
 (** {1 Accounting} *)
 

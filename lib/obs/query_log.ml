@@ -1,10 +1,12 @@
-type status = Ok | Timeout | Unsat | Error of string
+type status = Ok | Timeout | Unsat | Error of string | Update | Compaction
 
 let status_slug = function
   | Ok -> "ok"
   | Timeout -> "timeout"
   | Unsat -> "unsat"
   | Error _ -> "error"
+  | Update -> "update"
+  | Compaction -> "compaction"
 
 type record = {
   id : int;

@@ -16,9 +16,14 @@ type status =
   | Timeout  (** the query's deadline expired *)
   | Unsat  (** static analysis proved the query empty *)
   | Error of string  (** the engine raised; the exception message *)
+  | Update  (** a live-engine write published a new epoch *)
+  | Compaction  (** the delta was merged into a new base generation *)
 
 val status_slug : status -> string
-(** ["ok"] / ["timeout"] / ["unsat"] / ["error"]. *)
+(** ["ok"] / ["timeout"] / ["unsat"] / ["error"] / ["update"] /
+    ["compaction"]. Mutation records ([Update], [Compaction]) bypass
+    sampling like every non-[Ok] status — operators reading the flight
+    ring see writes interleaved with the queries they raced. *)
 
 type record = {
   id : int;  (** sequence number, assigned at capture *)

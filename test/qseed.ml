@@ -1,0 +1,27 @@
+(* Reproducibility for the randomized suites: one process-wide QCheck
+   seed, printed up front and stamped into every failure report, pinned
+   by the [QCHECK_SEED] environment variable. Each property gets a fresh
+   [Random.State] derived from the same seed, so replaying with
+   [QCHECK_SEED=<n> dune runtest] reruns the exact generation sequence
+   regardless of suite ordering. *)
+
+let seed =
+  match Option.bind (Sys.getenv_opt "QCHECK_SEED") int_of_string_opt with
+  | Some s -> s
+  | None ->
+      Random.self_init ();
+      Random.int 1_000_000_000
+
+let () =
+  Printf.printf "qcheck random seed: %d (replay with QCHECK_SEED=%d)\n%!" seed
+    seed
+
+let to_alcotest ?speed_level test =
+  QCheck_alcotest.to_alcotest ?speed_level
+    ~rand:(Random.State.make [| seed |])
+    test
+
+(* [QCheck.Test.fail_reportf] with the process seed prepended, so a CI
+   failure log alone is enough to replay the run. *)
+let fail_reportf fmt =
+  QCheck.Test.fail_reportf ("[QCHECK_SEED=%d] " ^^ fmt) seed

@@ -1,0 +1,524 @@
+(* Delta overlay and live engine tests: compiled overlays answer exactly
+   like an engine rebuilt from the merged world (and like the brute-force
+   oracle), epochs give snapshot isolation under writes and compactions,
+   the live directory survives crashes mid-compaction, and every
+   single-byte manifest corruption is rejected. *)
+
+module Reference = Baselines.Reference_eval
+module TSet = Set.Make (Rdf.Triple)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let canonical engine ast =
+  Reference.canonical_rows (Amber.Engine.query engine ast).Amber.Engine.rows
+
+let d n = "http://d/" ^ n
+let spo s p o = Rdf.Triple.spo (d s) (d p) (Rdf.Term.iri (d o))
+let att s p w = Rdf.Triple.spo (d s) (d p) (Rdf.Term.literal w)
+
+(* The delta's merged-world semantics, replayed on plain triple sets:
+   deletions first, then insertions. *)
+let merged_world base ~adds ~dels =
+  TSet.elements
+    (TSet.union (TSet.of_list adds)
+       (TSet.diff (TSet.of_list base) (TSet.of_list dels)))
+
+(* Workload queries carved out of [merged] itself, each answered by the
+   overlay engine and checked against the brute-force oracle. *)
+let check_oracle ?(seed = 11) label merged engine =
+  let corpus = Datagen.Workload.corpus merged in
+  let queries =
+    Datagen.Workload.generate ~seed corpus ~shape:Datagen.Workload.Star ~size:2
+      ~count:2
+    @ Datagen.Workload.generate ~seed:(seed + 77) corpus
+        ~shape:Datagen.Workload.Complex ~size:3 ~count:2
+  in
+  checkb (label ^ ": workload is non-empty") true (queries <> []);
+  List.iteri
+    (fun i ast ->
+      checkb
+        (Printf.sprintf "%s: query %d matches oracle" label i)
+        true
+        (canonical engine ast = Reference.canonical_answer merged ast))
+    queries
+
+let base_triples =
+  [
+    spo "e0" "p0" "e1";
+    spo "e1" "p0" "e2";
+    spo "e2" "p1" "e0";
+    spo "e0" "p1" "e2";
+    spo "e3" "p0" "e0";
+    att "e0" "lp0" "w0";
+    att "e2" "lp0" "w1";
+    att "e3" "lp1" "w0";
+  ]
+
+let q text = Sparql.Parser.parse text
+
+let probe_query =
+  q (Printf.sprintf "SELECT ?x ?y WHERE { ?x <%s> ?y . }" (d "p0"))
+
+(* --- compile correctness ------------------------------------------------ *)
+
+(* One batch that exercises every id-allocation path: existing vertices,
+   a new subject, a new object, a new predicate, a new attribute value
+   and a new attribute predicate — plus deletions of an edge, an
+   attribute, and a triple the base never held (a compile-time no-op). *)
+let test_insert_and_delete () =
+  let base = Amber.Engine.build base_triples in
+  let adds =
+    [
+      spo "e1" "p1" "e3";
+      spo "e4" "p0" "e1";
+      spo "e2" "p9" "e5";
+      att "e1" "lp0" "w2";
+      att "e4" "lp9" "w0";
+    ]
+  in
+  let dels = [ spo "e0" "p0" "e1"; att "e2" "lp0" "w1"; spo "e7" "p0" "e0" ] in
+  let delta = Amber.Delta.apply Amber.Delta.empty ~adds ~dels in
+  let overlay = Amber.Delta.compile base delta in
+  let merged = merged_world base_triples ~adds ~dels in
+  checki "exact merged triple count" (List.length merged)
+    (Amber.Database.triple_count (Amber.Engine.db overlay));
+  checkb "probe answers changed" true
+    (canonical overlay probe_query <> canonical base probe_query);
+  check_oracle "insert+delete" merged overlay;
+  (* The overlay must also agree with a from-scratch rebuild. *)
+  let rebuilt = Amber.Engine.build merged in
+  checkb "overlay = rebuilt on the probe" true
+    (canonical overlay probe_query = canonical rebuilt probe_query)
+
+let test_cancellation () =
+  let t = spo "e0" "p9" "e9" in
+  let delta = Amber.Delta.remove (Amber.Delta.insert Amber.Delta.empty t) t in
+  checki "insert then remove cancels the add" 0 (Amber.Delta.add_count delta);
+  checki "…leaving only the del" 1 (Amber.Delta.del_count delta);
+  let delta = Amber.Delta.insert (Amber.Delta.remove Amber.Delta.empty t) t in
+  checki "remove then insert leaves one add" 1 (Amber.Delta.add_count delta);
+  checki "…and no del" 0 (Amber.Delta.del_count delta);
+  (* Deleting a base triple and re-adding it restores the base world. *)
+  let b0 = List.hd base_triples in
+  let base = Amber.Engine.build base_triples in
+  let roundtrip =
+    Amber.Delta.insert (Amber.Delta.remove Amber.Delta.empty b0) b0
+  in
+  let overlay = Amber.Delta.compile base roundtrip in
+  checki "triple count restored" (List.length base_triples)
+    (Amber.Database.triple_count (Amber.Engine.db overlay));
+  checkb "answers restored" true
+    (canonical overlay probe_query = canonical base probe_query)
+
+let test_delete_everything () =
+  let base = Amber.Engine.build base_triples in
+  let delta =
+    Amber.Delta.apply Amber.Delta.empty ~adds:[] ~dels:base_triples
+  in
+  let overlay = Amber.Delta.compile base delta in
+  checki "empty world" 0 (Amber.Database.triple_count (Amber.Engine.db overlay));
+  checki "no rows" 0
+    (List.length (Amber.Engine.query overlay probe_query).Amber.Engine.rows)
+
+(* --- randomized overlay differential ------------------------------------ *)
+
+(* Random small base (deduplicated, so triple counts are exact), salted
+   differently from the other suites' generators. *)
+let random_base seed =
+  let rng = Datagen.Prng.create (0xd317a + seed) in
+  let n = 8 + Datagen.Prng.int rng 12 in
+  let triples = ref [] in
+  for _ = 1 to 20 + Datagen.Prng.int rng 40 do
+    triples :=
+      spo
+        (Printf.sprintf "e%d" (Datagen.Prng.int rng n))
+        (Printf.sprintf "p%d" (Datagen.Prng.int rng 4))
+        (Printf.sprintf "e%d" (Datagen.Prng.int rng n))
+      :: !triples
+  done;
+  for v = 0 to n - 1 do
+    if Datagen.Prng.bool rng 0.5 then
+      triples :=
+        att
+          (Printf.sprintf "e%d" v)
+          (Printf.sprintf "lp%d" (Datagen.Prng.int rng 2))
+          (Printf.sprintf "w%d" (Datagen.Prng.int rng 3))
+        :: !triples
+  done;
+  (n, TSet.elements (TSet.of_list !triples))
+
+(* A random write batch over (and beyond) the base vocabulary: edges and
+   attributes on existing vertices, brand-new vertices and predicates,
+   deletions sampled from the base plus some that miss. *)
+let random_batch rng n base =
+  let base_arr = Array.of_list base in
+  let v () = Printf.sprintf "e%d" (Datagen.Prng.int rng (n + 4)) in
+  let adds = ref [] in
+  for _ = 1 to 2 + Datagen.Prng.int rng 8 do
+    adds :=
+      (if Datagen.Prng.bool rng 0.75 then
+         spo (v ()) (Printf.sprintf "p%d" (Datagen.Prng.int rng 6)) (v ())
+       else
+         att (v ())
+           (Printf.sprintf "lp%d" (Datagen.Prng.int rng 3))
+           (Printf.sprintf "w%d" (Datagen.Prng.int rng 4)))
+      :: !adds
+  done;
+  let dels = ref [] in
+  for _ = 1 to Datagen.Prng.int rng 6 do
+    dels :=
+      (if Datagen.Prng.bool rng 0.7 && Array.length base_arr > 0 then
+         base_arr.(Datagen.Prng.int rng (Array.length base_arr))
+       else spo (v ()) (Printf.sprintf "p%d" (Datagen.Prng.int rng 6)) (v ()))
+      :: !dels
+  done;
+  (!adds, !dels)
+
+let queries_for seed triples =
+  let corpus = Datagen.Workload.corpus triples in
+  Datagen.Workload.generate ~seed corpus ~shape:Datagen.Workload.Star ~size:2
+    ~count:2
+  @ Datagen.Workload.generate ~seed:(seed + 300) corpus
+      ~shape:Datagen.Workload.Complex ~size:3 ~count:2
+
+let overlay_cases_checked = ref 0
+
+(* Two cumulative batches per seed: compile the first delta, then extend
+   it and recompile from the same frozen base — layers never chain. *)
+let prop_overlay_differential =
+  QCheck.Test.make ~name:"compiled overlay = rebuilt engine = oracle"
+    ~count:40
+    (QCheck.make
+       ~print:(fun seed -> Printf.sprintf "seed %d" seed)
+       ~shrink:QCheck.Shrink.int
+       QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let n, base = random_base seed in
+      let rng = Datagen.Prng.create (0xba7c4 + seed) in
+      let engine = Amber.Engine.build base in
+      let delta = ref Amber.Delta.empty in
+      let world = ref base in
+      let ok = ref true in
+      for step = 0 to 1 do
+        let adds, dels = random_batch rng n !world in
+        delta := Amber.Delta.apply !delta ~adds ~dels;
+        world := merged_world !world ~adds ~dels;
+        let overlay = Amber.Delta.compile engine !delta in
+        let got = Amber.Database.triple_count (Amber.Engine.db overlay) in
+        if got <> List.length !world then
+          ok :=
+            Qseed.fail_reportf
+              "seed %d step %d: overlay triple count %d, merged world has %d"
+              seed step got (List.length !world);
+        let rebuilt = Amber.Engine.build !world in
+        List.iter
+          (fun ast ->
+            incr overlay_cases_checked;
+            let expected = Reference.canonical_answer !world ast in
+            let got = canonical overlay ast in
+            if got <> expected then
+              ok :=
+                Qseed.fail_reportf
+                  "seed %d step %d: overlay disagrees with oracle (%d vs %d \
+                   rows) on:@.%s"
+                  seed step (List.length got) (List.length expected)
+                  (Sparql.Ast.to_string ast)
+            else if canonical rebuilt ast <> expected then
+              ok :=
+                Qseed.fail_reportf
+                  "seed %d step %d: rebuilt engine disagrees with oracle \
+                   on:@.%s"
+                  seed step (Sparql.Ast.to_string ast))
+          (queries_for (seed + step) !world)
+      done;
+      !ok)
+
+(* --- snapshot isolation -------------------------------------------------- *)
+
+let test_pin_isolation () =
+  let live = Amber.Live_engine.of_engine (Amber.Engine.build base_triples) in
+  let ep0 = Amber.Live_engine.pin live in
+  let before = canonical (Amber.Live_engine.engine ep0) probe_query in
+  let ep1 =
+    Amber.Live_engine.update live
+      ~adds:[ spo "e8" "p0" "e0" ]
+      ~dels:[ spo "e0" "p0" "e1" ]
+  in
+  let after = canonical (Amber.Live_engine.engine ep1) probe_query in
+  checkb "write visible in the new epoch" true (before <> after);
+  checkb "pinned epoch never observes the write" true
+    (canonical (Amber.Live_engine.engine ep0) probe_query = before);
+  checki "version bumped" 1 (Amber.Live_engine.version ep1);
+  let merged =
+    merged_world base_triples
+      ~adds:[ spo "e8" "p0" "e0" ]
+      ~dels:[ spo "e0" "p0" "e1" ]
+  in
+  check_oracle "post-update epoch" merged (Amber.Live_engine.engine ep1);
+  let ep2 = Amber.Live_engine.compact live in
+  checki "compaction bumps the generation" 1 (Amber.Live_engine.generation ep2);
+  checki "compaction bumps the version" 2 (Amber.Live_engine.version ep2);
+  checkb "compaction leaves an empty delta" true
+    (Amber.Delta.is_empty (Amber.Live_engine.delta ep2));
+  checkb "compaction preserves answers" true
+    (canonical (Amber.Live_engine.engine ep2) probe_query = after);
+  (* Pinned epochs survive the compaction untouched, caches included. *)
+  checkb "old pin still answers the old world" true
+    (canonical (Amber.Live_engine.engine ep0) probe_query = before)
+
+(* --- durability ---------------------------------------------------------- *)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun name -> try Sys.remove (Filename.concat dir name) with _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  end
+
+let with_temp_dir f =
+  let path = Filename.temp_file "amber_live" "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf path) (fun () -> f path)
+
+let adds1 = [ spo "e8" "p0" "e0"; att "e8" "lp0" "w9" ]
+let dels1 = [ spo "e0" "p0" "e1" ]
+
+let test_persistence_roundtrip () =
+  with_temp_dir @@ fun dir ->
+  let live =
+    Amber.Live_engine.of_engine ~dir (Amber.Engine.build base_triples)
+  in
+  let ep = Amber.Live_engine.update live ~adds:adds1 ~dels:dels1 in
+  let expected = canonical (Amber.Live_engine.engine ep) probe_query in
+  (* Reopen with a pending delta: manifest + gen-0 snapshot replay. *)
+  let reopened = Amber.Live_engine.open_dir dir in
+  let rep = Amber.Live_engine.pin reopened in
+  checki "reopened generation" 0 (Amber.Live_engine.generation rep);
+  checki "reopened version" 1 (Amber.Live_engine.version rep);
+  checki "reopened delta size" 3 (Amber.Delta.size (Amber.Live_engine.delta rep));
+  checkb "reopened answers match" true
+    (canonical (Amber.Live_engine.engine rep) probe_query = expected);
+  (* Compact, then reopen the new generation. *)
+  ignore (Amber.Live_engine.compact live);
+  checkb "gen-1 snapshot written" true
+    (Sys.file_exists (Filename.concat dir "gen-1.amberix"));
+  checkb "gen-0 snapshot retained until the next compaction" true
+    (Sys.file_exists (Filename.concat dir "gen-0.amberix"));
+  let reopened2 = Amber.Live_engine.open_dir dir in
+  let rep2 = Amber.Live_engine.pin reopened2 in
+  checki "compacted generation reopens" 1 (Amber.Live_engine.generation rep2);
+  checkb "compacted delta is empty" true
+    (Amber.Delta.is_empty (Amber.Live_engine.delta rep2));
+  checkb "compacted answers match" true
+    (canonical (Amber.Live_engine.engine rep2) probe_query = expected);
+  (* A second compaction prunes generation 0 but keeps generation 1. *)
+  ignore (Amber.Live_engine.update live ~adds:[ spo "e9" "p1" "e8" ] ~dels:[]);
+  ignore (Amber.Live_engine.compact live);
+  checkb "gen-0 pruned" false
+    (Sys.file_exists (Filename.concat dir "gen-0.amberix"));
+  checkb "gen-1 retained" true
+    (Sys.file_exists (Filename.concat dir "gen-1.amberix"));
+  checkb "gen-2 present" true
+    (Sys.file_exists (Filename.concat dir "gen-2.amberix"))
+
+(* A compaction killed mid-snapshot-write leaves a partial gen file (or
+   a stray .tmp); the manifest still names the previous generation, so
+   the directory reopens — and fsck rejects the partial bytes. *)
+let test_crash_mid_compaction () =
+  with_temp_dir @@ fun dir ->
+  let live =
+    Amber.Live_engine.of_engine ~dir (Amber.Engine.build base_triples)
+  in
+  let ep = Amber.Live_engine.update live ~adds:adds1 ~dels:dels1 in
+  let expected = canonical (Amber.Live_engine.engine ep) probe_query in
+  let good =
+    In_channel.with_open_bin (Filename.concat dir "gen-0.amberix")
+      In_channel.input_all
+  in
+  let partial = String.sub good 0 (String.length good / 2) in
+  List.iter
+    (fun name ->
+      Out_channel.with_open_bin (Filename.concat dir name) (fun oc ->
+          Out_channel.output_string oc partial))
+    [ "gen-1.amberix"; "gen-1.amberix.tmp" ];
+  (match Amber.Snapshot.fsck partial with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "fsck must reject the partial generation file");
+  (match Amber.Snapshot.fsck_file (Filename.concat dir "gen-1.amberix") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "fsck_file must reject the partial generation file");
+  let reopened = Amber.Live_engine.open_dir dir in
+  let rep = Amber.Live_engine.pin reopened in
+  checki "previous generation still loads" 0
+    (Amber.Live_engine.generation rep);
+  checkb "previous world intact" true
+    (canonical (Amber.Live_engine.engine rep) probe_query = expected);
+  (* The retried compaction overwrites the partial file atomically. *)
+  let ep2 = Amber.Live_engine.compact reopened in
+  checki "retried compaction lands" 1 (Amber.Live_engine.generation ep2);
+  (match Amber.Snapshot.fsck_file (Filename.concat dir "gen-1.amberix") with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "retried gen-1 must pass fsck: %s" msg);
+  let reopened2 = Amber.Live_engine.open_dir dir in
+  checkb "reopens on the retried generation" true
+    (canonical
+       (Amber.Live_engine.engine (Amber.Live_engine.pin reopened2))
+       probe_query
+    = expected)
+
+(* Every single-byte corruption of the manifest must be rejected: the
+   magic check, the strict varint reader and the CRC-32 frame between
+   them leave no silently-decodable flip. Same sweep the snapshot format
+   gets in test_snapshot.ml. *)
+let test_manifest_every_byte () =
+  with_temp_dir @@ fun dir ->
+  let live =
+    Amber.Live_engine.of_engine ~dir (Amber.Engine.build base_triples)
+  in
+  ignore (Amber.Live_engine.update live ~adds:adds1 ~dels:dels1);
+  let manifest = Filename.concat dir "live.manifest" in
+  let good = In_channel.with_open_bin manifest In_channel.input_all in
+  let write_manifest s =
+    Out_channel.with_open_bin manifest (fun oc ->
+        Out_channel.output_string oc s)
+  in
+  let rejects () =
+    match Amber.Live_engine.open_dir dir with
+    | exception Rdf.Binary.Corrupt _ -> true
+    | _ -> false
+  in
+  let bad = ref [] in
+  for i = 0 to String.length good - 1 do
+    let flipped = Bytes.of_string good in
+    Bytes.set flipped i (Char.chr (Char.code good.[i] lxor 0x01));
+    write_manifest (Bytes.to_string flipped);
+    if not (rejects ()) then bad := i :: !bad
+  done;
+  checkb
+    (Printf.sprintf "all %d single-byte flips rejected (passing offsets: %s)"
+       (String.length good)
+       (String.concat "," (List.map string_of_int (List.rev !bad))))
+    true (!bad = []);
+  List.iter
+    (fun k ->
+      write_manifest (String.sub good 0 k);
+      checkb (Printf.sprintf "prefix of %d bytes rejected" k) true (rejects ()))
+    [ 0; 1; 7; 12; String.length good / 2; String.length good - 1 ];
+  write_manifest (good ^ "\x00");
+  checkb "trailing garbage rejected" true (rejects ());
+  write_manifest good;
+  checki "pristine manifest still reopens" 1
+    (Amber.Live_engine.version (Amber.Live_engine.pin (Amber.Live_engine.open_dir dir)))
+
+(* --- concurrency stress -------------------------------------------------- *)
+
+(* One writer domain (updates, with periodic forced compactions) races
+   four query domains for ~2 seconds. Readers check, on every pin: the
+   epoch is never torn (version and generation move together and only
+   forward), and a pinned epoch is referentially transparent — asking it
+   the same query twice gives identical rows even while newer epochs
+   land, which would fail if the per-epoch matcher caches leaked across
+   epochs. *)
+let test_concurrent_stress () =
+  let live = Amber.Live_engine.of_engine (Amber.Engine.build base_triples) in
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let failure = Atomic.make None in
+  let fail msg = Atomic.compare_and_set failure None (Some msg) |> ignore in
+  let writer () =
+    let rng = Datagen.Prng.create 0x77a17e in
+    let i = ref 0 in
+    while Unix.gettimeofday () < deadline && Atomic.get failure = None do
+      incr i;
+      let fresh =
+        spo
+          (Printf.sprintf "e%d" (Datagen.Prng.int rng 40))
+          (Printf.sprintf "p%d" (Datagen.Prng.int rng 5))
+          (Printf.sprintf "e%d" (Datagen.Prng.int rng 40))
+      in
+      let stale = List.nth base_triples (Datagen.Prng.int rng 5) in
+      let ep =
+        if Datagen.Prng.bool rng 0.8 then
+          Amber.Live_engine.update live ~adds:[ fresh ] ~dels:[ stale ]
+        else Amber.Live_engine.update live ~adds:[ stale ] ~dels:[ fresh ]
+      in
+      ignore ep;
+      if !i mod 20 = 0 then ignore (Amber.Live_engine.compact live)
+    done
+  in
+  let reader k () =
+    let last_version = ref (-1) and last_generation = ref (-1) in
+    while Unix.gettimeofday () < deadline && Atomic.get failure = None do
+      let ep = Amber.Live_engine.pin live in
+      let v = Amber.Live_engine.version ep in
+      let g = Amber.Live_engine.generation ep in
+      if v < !last_version then
+        fail
+          (Printf.sprintf "reader %d: version went backwards (%d after %d)" k
+             v !last_version);
+      if g < !last_generation then
+        fail
+          (Printf.sprintf "reader %d: generation went backwards (%d after %d)"
+             k g !last_generation);
+      last_version := v;
+      last_generation := g;
+      let eng = Amber.Live_engine.engine ep in
+      let first = canonical eng probe_query in
+      let second = canonical eng probe_query in
+      if first <> second then
+        fail
+          (Printf.sprintf
+             "reader %d: pinned epoch v%d answered differently twice (torn \
+              epoch or cross-epoch cache entry)"
+             k v)
+    done
+  in
+  let domains =
+    Domain.spawn writer :: List.init 4 (fun k -> Domain.spawn (reader k))
+  in
+  List.iter Domain.join domains;
+  (match Atomic.get failure with
+  | Some msg -> Alcotest.fail msg
+  | None -> ());
+  let final = Amber.Live_engine.pin live in
+  checkb "writer made progress" true (Amber.Live_engine.version final > 10);
+  checkb "compactions happened" true (Amber.Live_engine.generation final > 0)
+
+(* Coverage floor for the randomized overlay property, mirroring the
+   differential suite's accounting. *)
+let test_overlay_coverage () =
+  checkb
+    (Printf.sprintf "overlay differential checked %d cases (>= 200)"
+       !overlay_cases_checked)
+    true
+    (!overlay_cases_checked >= 200)
+
+let suite =
+  [
+    ( "delta",
+      [
+        Alcotest.test_case "insert and delete compile" `Quick
+          test_insert_and_delete;
+        Alcotest.test_case "insert/remove cancellation" `Quick
+          test_cancellation;
+        Alcotest.test_case "delete everything" `Quick test_delete_everything;
+        Qseed.to_alcotest prop_overlay_differential;
+        Alcotest.test_case "overlay coverage >= 200 cases" `Quick
+          test_overlay_coverage;
+      ] );
+    ( "live-engine",
+      [
+        Alcotest.test_case "snapshot isolation across update and compaction"
+          `Quick test_pin_isolation;
+        Alcotest.test_case "live directory roundtrip" `Quick
+          test_persistence_roundtrip;
+        Alcotest.test_case "crash mid-compaction recovers" `Quick
+          test_crash_mid_compaction;
+        Alcotest.test_case "every manifest byte flip rejected" `Quick
+          test_manifest_every_byte;
+        Alcotest.test_case "writer vs 4 readers vs compactions (2s)" `Slow
+          test_concurrent_stress;
+      ] );
+  ]

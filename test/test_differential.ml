@@ -1,10 +1,13 @@
 (* Differential correctness harness: on randomized small multigraphs
    and generated workloads, sequential AMbER, parallel AMbER (4 domains)
-   and the brute-force oracle must produce identical canonical row sets.
-   Any disagreement prints the offending seed and query so the case can
-   be replayed and shrunk by hand. *)
+   and the brute-force oracle must produce identical canonical row sets —
+   both on frozen engines and under randomized schedules of inserts,
+   deletes and compactions against a live engine, where a query pinned
+   before a write must never observe it. Any disagreement prints the
+   offending seed and query so the case can be replayed and shrunk. *)
 
 module Reference = Baselines.Reference_eval
+module TSet = Set.Make (Rdf.Triple)
 
 (* Random small multigraph with literal attributes, in the common
    fragment (object/datatype predicates disjoint). Kept independent of
@@ -66,17 +69,17 @@ let check_one seed triples ast =
      answer record must be identical, field for field. *)
   let unscreened = Amber.Engine.query ~analyze:false engine ast in
   if screened <> unscreened then
-    QCheck.Test.fail_reportf
+    Qseed.fail_reportf
       "seed %d: ?analyze on/off answers differ (%d vs %d rows) on:@.%s" seed
       (List.length screened.Amber.Engine.rows)
       (List.length unscreened.Amber.Engine.rows)
       (Sparql.Ast.to_string ast)
   else if seq <> expected then
-    QCheck.Test.fail_reportf
+    Qseed.fail_reportf
       "seed %d: sequential AMbER disagrees with oracle (%d vs %d rows) on:@.%s"
       seed (List.length seq) (List.length expected) (Sparql.Ast.to_string ast)
   else if par <> expected then
-    QCheck.Test.fail_reportf
+    Qseed.fail_reportf
       "seed %d: parallel AMbER (4 domains) disagrees with oracle (%d vs %d \
        rows) on:@.%s"
       seed (List.length par) (List.length expected) (Sparql.Ast.to_string ast)
@@ -107,11 +110,154 @@ let test_coverage () =
     true
     (!cases_checked >= 200)
 
+(* --- update-interleaving schedules -------------------------------------- *)
+
+let canonical engine ast =
+  Reference.canonical_rows (Amber.Engine.query engine ast).Amber.Engine.rows
+
+(* A random write batch over (and a little beyond) the schedule's
+   vocabulary: fresh vertices and predicates appear, deletions are drawn
+   from the current world plus some that miss. *)
+let random_batch rng n world =
+  let e i = Printf.sprintf "http://d/e%d" i in
+  let p i = Printf.sprintf "http://d/p%d" i in
+  let lp i = Printf.sprintf "http://d/lp%d" i in
+  let v () = e (Datagen.Prng.int rng (n + 4)) in
+  let random_edge () =
+    Rdf.Triple.spo (v ())
+      (p (Datagen.Prng.int rng 6))
+      (Rdf.Term.iri (v ()))
+  in
+  let adds = ref [] in
+  for _ = 1 to 1 + Datagen.Prng.int rng 6 do
+    adds :=
+      (if Datagen.Prng.bool rng 0.75 then random_edge ()
+       else
+         Rdf.Triple.spo (v ())
+           (lp (Datagen.Prng.int rng 3))
+           (Rdf.Term.literal (Printf.sprintf "w%d" (Datagen.Prng.int rng 4))))
+      :: !adds
+  done;
+  let world_arr = Array.of_list (TSet.elements world) in
+  let dels = ref [] in
+  for _ = 1 to Datagen.Prng.int rng 4 do
+    dels :=
+      (if Datagen.Prng.bool rng 0.7 && Array.length world_arr > 0 then
+         world_arr.(Datagen.Prng.int rng (Array.length world_arr))
+       else random_edge ())
+      :: !dels
+  done;
+  (!adds, !dels)
+
+let schedules_run = ref 0
+let interleaved_cases = ref 0
+
+(* One schedule: a random sequence of update / compact / observe steps
+   against a live engine, with the brute-force oracle replaying the same
+   writes on a plain triple set. After EVERY step the current epoch must
+   agree with the oracle, sequentially and on 4 domains; and an epoch
+   pinned before the first write must keep answering the original world
+   to the very end, whatever landed after it. *)
+let run_schedule seed =
+  incr schedules_run;
+  let rng = Datagen.Prng.create (0x5c4ed + seed) in
+  let base = TSet.elements (TSet.of_list (random_triples seed)) in
+  let n = 24 in
+  let live = Amber.Live_engine.of_engine (Amber.Engine.build base) in
+  let world = ref (TSet.of_list base) in
+  let pinned = Amber.Live_engine.pin live in
+  let pin_queries = queries_for seed base in
+  let pin_expected =
+    List.map (canonical (Amber.Live_engine.engine pinned)) pin_queries
+  in
+  let check_current step =
+    let merged = TSet.elements !world in
+    let engine = Amber.Live_engine.engine (Amber.Live_engine.pin live) in
+    List.iter
+      (fun ast ->
+        incr interleaved_cases;
+        let expected = Reference.canonical_answer merged ast in
+        let seq = canonical engine ast in
+        let par =
+          Reference.canonical_rows
+            (Amber.Engine.query ~domains:4 engine ast).Amber.Engine.rows
+        in
+        if seq <> expected then
+          Qseed.fail_reportf
+            "seed %d step %d: live engine disagrees with oracle (%d vs %d \
+             rows) on:@.%s"
+            seed step (List.length seq) (List.length expected)
+            (Sparql.Ast.to_string ast)
+        else if par <> expected then
+          Qseed.fail_reportf
+            "seed %d step %d: parallel live engine (4 domains) disagrees \
+             with oracle (%d vs %d rows) on:@.%s"
+            seed step (List.length par) (List.length expected)
+            (Sparql.Ast.to_string ast))
+      (match merged with [] -> [] | _ -> queries_for (seed + step) merged)
+  in
+  let steps = 3 + Datagen.Prng.int rng 3 in
+  let last_version = ref (Amber.Live_engine.version pinned) in
+  for step = 1 to steps do
+    (match Datagen.Prng.int rng 5 with
+    | 0 | 1 | 2 ->
+        let adds, dels = random_batch rng n !world in
+        let ep = Amber.Live_engine.update live ~adds ~dels in
+        world :=
+          TSet.union (TSet.of_list adds) (TSet.diff !world (TSet.of_list dels));
+        if Amber.Live_engine.version ep <= !last_version then
+          Qseed.fail_reportf "seed %d step %d: version not monotone" seed step;
+        last_version := Amber.Live_engine.version ep
+    | 3 ->
+        let ep = Amber.Live_engine.compact live in
+        if Amber.Live_engine.version ep <= !last_version then
+          Qseed.fail_reportf "seed %d step %d: version not monotone" seed step;
+        last_version := Amber.Live_engine.version ep
+    | _ -> (* observe-only step *) ());
+    check_current step
+  done;
+  (* Snapshot isolation: the pre-write pin never observed any of it. *)
+  List.iter2
+    (fun ast expected ->
+      incr interleaved_cases;
+      if canonical (Amber.Live_engine.engine pinned) ast <> expected then
+        Qseed.fail_reportf
+          "seed %d: epoch pinned before the schedule changed its answer \
+           on:@.%s"
+          seed (Sparql.Ast.to_string ast))
+    pin_queries pin_expected;
+  true
+
+let prop_update_interleaving =
+  QCheck.Test.make
+    ~name:"live engine = oracle under random update/compact schedules"
+    ~count:200
+    (QCheck.make
+       ~print:(fun seed ->
+         Printf.sprintf "schedule seed %d (%d base triples)" seed
+           (List.length (random_triples seed)))
+       ~shrink:QCheck.Shrink.int
+       QCheck.Gen.(int_bound 1_000_000))
+    run_schedule
+
+(* ≥ 200 schedules actually ran, each checked after every step. *)
+let test_schedule_coverage () =
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "update-interleaving harness ran %d schedules (>= 200), %d \
+        step-checks"
+       !schedules_run !interleaved_cases)
+    true
+    (!schedules_run >= 200 && !interleaved_cases >= 200)
+
 let suite =
   [
     ( "differential",
       [
-        QCheck_alcotest.to_alcotest prop_differential;
+        Qseed.to_alcotest prop_differential;
         Alcotest.test_case "coverage >= 200 cases" `Quick test_coverage;
+        Qseed.to_alcotest prop_update_interleaving;
+        Alcotest.test_case "schedule coverage >= 200" `Quick
+          test_schedule_coverage;
       ] );
   ]

@@ -15,7 +15,9 @@ let contains haystack needle =
 let config = { Endpoint.default_config with timeout = Some 5.0 }
 
 let handle ?(meth = "GET") ?(headers = []) ?(body = "") target =
-  Endpoint.handle_request config (Lazy.force engine) ~meth ~target ~headers ~body
+  Endpoint.handle_request config
+    (Endpoint.Static (Lazy.force engine))
+    ~meth ~target ~headers ~body
 
 let test_url_decode () =
   checks "plus is space" "a b" (Endpoint.url_decode "a+b");
@@ -208,6 +210,56 @@ let test_queries_route () =
   let _, _, capped = handle "/queries?n=1" in
   checki "n caps" 1 (List.length (Obs.Json.to_list (Obs.Json.parse capped)))
 
+(* POST /update against a live source: writes land, deletions land,
+   compaction is reachable over HTTP, and a static server refuses. *)
+let test_update_route () =
+  let live = Amber.Live_engine.of_engine (Lazy.force engine) in
+  let handle_live ?(body = "") ?(meth = "POST") target =
+    Endpoint.handle_request config (Endpoint.Live live) ~meth ~target
+      ~headers:[ ("Content-Type", "application/x-www-form-urlencoded") ]
+      ~body
+  in
+  let nt =
+    "<http://ex/fresh> <http://dbpedia.org/ontology/wasBornIn> \
+     <http://ex/city> .\n"
+  in
+  let status, ctype, body =
+    handle_live ~body:("add=" ^ encode nt) "/update"
+  in
+  checki "update accepted" 200 status;
+  checks "json response" "application/json" ctype;
+  let json = Obs.Json.parse body in
+  let num k = Option.bind (Obs.Json.member k json) Obs.Json.to_float in
+  checkb "one triple added" true (num "added" = Some 1.);
+  checkb "version bumped" true (num "version" = Some 1.);
+  (* The write is immediately visible to the next query request. *)
+  let status, _, rows = handle_live ~meth:"GET" ("/sparql?query=" ^ encode simple_query) in
+  checki "query after update" 200 status;
+  checkb "new subject visible" true (contains rows "http://ex/fresh");
+  checkb "old rows intact" true (contains rows "Amy_Winehouse");
+  (* Remove it again and compact in the same request. *)
+  let status, _, body =
+    handle_live ~body:("remove=" ^ encode nt ^ "&compact=1") "/update"
+  in
+  checki "removal accepted" 200 status;
+  let json = Obs.Json.parse body in
+  let num k = Option.bind (Obs.Json.member k json) Obs.Json.to_float in
+  checkb "compaction bumped generation" true (num "generation" = Some 1.);
+  checkb "delta drained" true
+    (num "delta_adds" = Some 0. && num "delta_dels" = Some 0.);
+  let _, _, rows = handle_live ~meth:"GET" ("/sparql?query=" ^ encode simple_query) in
+  checkb "removed subject gone" false (contains rows "http://ex/fresh");
+  (* Error paths: bad N-Triples, empty batch, wrong method, static server. *)
+  let status, _, _ = handle_live ~body:"add=not%20ntriples" "/update" in
+  checki "parse error rejected" 400 status;
+  let status, _, _ = handle_live ~body:"" "/update" in
+  checki "empty batch rejected" 400 status;
+  let status, _, _ = handle_live ~meth:"GET" "/update" in
+  checki "GET /update refused" 405 status;
+  let status, _, body = handle ~meth:"POST" ~body:("add=" ^ encode nt) "/update" in
+  checki "static server refuses" 405 status;
+  checkb "explains why" true (contains body "static")
+
 (* One full HTTP round trip over a real socket. *)
 let test_socket_roundtrip () =
   let server =
@@ -255,6 +307,7 @@ let suite =
         Alcotest.test_case "domains param" `Quick test_domains_param;
         Alcotest.test_case "healthz" `Quick test_healthz;
         Alcotest.test_case "queries route" `Quick test_queries_route;
+        Alcotest.test_case "update route" `Quick test_update_route;
         Alcotest.test_case "socket roundtrip" `Quick test_socket_roundtrip;
       ] );
   ]

@@ -108,8 +108,9 @@ let test_construct_roundtrip () =
 let test_endpoint_forms () =
   let config = { Endpoint.default_config with timeout = Some 5.0 } in
   let handle target =
-    Endpoint.handle_request config (Lazy.force engine) ~meth:"GET" ~target
-      ~headers:[] ~body:""
+    Endpoint.handle_request config
+      (Endpoint.Static (Lazy.force engine))
+      ~meth:"GET" ~target ~headers:[] ~body:""
   in
   let encode s =
     let buf = Buffer.create (String.length s * 2) in

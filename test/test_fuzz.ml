@@ -139,12 +139,12 @@ let suite =
   [
     ( "fuzz",
       [
-        QCheck_alcotest.to_alcotest prop_ntriples;
-        QCheck_alcotest.to_alcotest prop_turtle;
-        QCheck_alcotest.to_alcotest prop_sparql;
-        QCheck_alcotest.to_alcotest prop_sparql_algebra;
-        QCheck_alcotest.to_alcotest prop_binary;
-        QCheck_alcotest.to_alcotest prop_engine_total;
-        QCheck_alcotest.to_alcotest prop_parallel_engine;
+        Qseed.to_alcotest prop_ntriples;
+        Qseed.to_alcotest prop_turtle;
+        Qseed.to_alcotest prop_sparql;
+        Qseed.to_alcotest prop_sparql_algebra;
+        Qseed.to_alcotest prop_binary;
+        Qseed.to_alcotest prop_engine_total;
+        Qseed.to_alcotest prop_parallel_engine;
       ] );
   ]

@@ -32,5 +32,6 @@ let () =
          Test_algebra_ref.suite;
          Test_parallel.suite;
          Test_differential.suite;
+         Test_delta.suite;
          Test_analysis.suite;
        ])
