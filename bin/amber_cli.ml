@@ -4,7 +4,7 @@
      amber build   g.nt -o db.amberix [--domains N] [--layout L]  (index snapshot)
      amber stats   --data g.nt
      amber bench   --data g.nt --query q.sparql (time one query on all engines)
-     amber explain --data g.nt --query q.sparql (AMbER's matching plan)
+     amber explain --data g.nt --query q.sparql [--plan P] [--json]
      amber lint    --data g.nt q1.sparql [q2.sparql ...] [--json]
      amber fsck    db.amberix (validate a snapshot without serving it)
      amber log tail flight.jsonl [--n N] [--json]  (flight-recorder sink)
@@ -23,7 +23,10 @@
    use UNION / OPTIONAL / FILTER (amber engine only). `query --profile`
    prints the per-query profile (phase tree, candidate counts, matcher
    counters); `query --explain` the matching plan; `query --trace-out f`
-   writes the phase tree as Chrome trace-event JSON for Perfetto. *)
+   writes the phase tree as Chrome trace-event JSON for Perfetto.
+   --plan paper|adaptive|forced:<rtree|attrs|scan> picks the planner
+   policy on `query`, `explain` and `serve`; answers never depend on
+   it. *)
 
 open Cmdliner
 
@@ -140,6 +143,32 @@ let trace_out_arg =
            Implies a profiled run; with --domains N the per-domain chunk \
            spans appear as separate lanes (amber engine, SELECT only).")
 
+let plan_conv =
+  let parse v =
+    match Amber.Stats.mode_of_string v with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf
+                "unknown plan %S (expected paper, adaptive or \
+                 forced:<rtree|attrs|scan>)"
+                v))
+  in
+  let print ppf m = Format.pp_print_string ppf (Amber.Stats.mode_to_string m) in
+  Arg.conv (parse, print)
+
+let plan_arg =
+  Arg.(
+    value
+    & opt (some plan_conv) None
+    & info [ "plan" ] ~docv:"PLAN"
+        ~doc:
+          "Seed/ordering policy: paper (the fixed r1/r2 order and R-tree \
+           probe), adaptive (cardinality-driven, the default), or \
+           forced:<rtree|attrs|scan> to pin the seed strategy. Answers are \
+           identical across plans (amber engine only).")
+
 let query_text query_file sparql =
   match (sparql, query_file) with
   | Some q, _ -> q
@@ -246,8 +275,14 @@ let print_answer ?(format = `Table) variables rows truncated =
 
 (* --- query ----------------------------------------------------------- *)
 
+let json_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit one machine-readable JSON array instead of pretty text.")
+
 let run_query data query_file sparql timeout limit engine open_objects extended
-    format profile explain domains trace_out =
+    format profile explain domains trace_out plan =
   let src = query_text query_file sparql in
   if (profile || explain || trace_out <> None) && (extended || engine <> `Amber)
   then
@@ -256,6 +291,8 @@ let run_query data query_file sparql timeout limit engine open_objects extended
        only; ignored";
   if domains <> None && (extended || engine <> `Amber) then
     prerr_endline "note: --domains applies to the plain amber engine only; ignored";
+  if plan <> None && (extended || engine <> `Amber) then
+    prerr_endline "note: --plan applies to the plain amber engine only; ignored";
   let domains = Option.map (fun d -> max 1 (min 8 d)) domains in
   if extended then begin
     let e = load_engine ?domains data in
@@ -307,7 +344,7 @@ let run_query data query_file sparql timeout limit engine open_objects extended
         match Sparql.Parser.parse_result src with
         | Ok ast ->
             Format.printf "%a@." Amber.Engine.pp_explanation
-              (Amber.Engine.explain ~open_objects e ast);
+              (Amber.Engine.explain ~open_objects ?plan e ast);
             Format.printf "%a@." Amber.Analysis.pp_report
               (Amber.Engine.analyze ~open_objects e ast)
         | Error _ -> () (* the query path reports the parse error below *)
@@ -323,7 +360,7 @@ let run_query data query_file sparql timeout limit engine open_objects extended
         match
           Bench_util.Runner.time (fun () ->
               Amber.Engine.query_string_profiled ?timeout ?limit ~open_objects
-                ?domains e src)
+                ?domains ?plan e src)
         with
         | dt, (a, p) ->
             print_answer ~format a.Amber.Engine.variables a.rows a.truncated;
@@ -351,16 +388,18 @@ let run_query data query_file sparql timeout limit engine open_objects extended
               match Sparql.Parser.parse_any src with
               | Sparql.Parser.Q_select ast ->
                   let a =
-                    Amber.Engine.query ?timeout ?limit ~open_objects ?domains e
-                      ast
+                    Amber.Engine.query ?timeout ?limit ~open_objects ?domains
+                      ?plan e ast
                   in
                   `Rows a
               | Sparql.Parser.Q_ask ast ->
-                  `Bool (Amber.Engine.ask ?timeout ~open_objects ?domains e ast)
+                  `Bool
+                    (Amber.Engine.ask ?timeout ~open_objects ?domains ?plan e
+                       ast)
               | Sparql.Parser.Q_construct (template, ast) ->
                   `Triples
                     (Amber.Engine.construct ?timeout ?limit ~open_objects
-                       ?domains e ~template ast))
+                       ?domains ?plan e ~template ast))
         with
         | dt, result ->
             (match result with
@@ -388,11 +427,11 @@ let query_cmd =
     Term.(
       const run_query $ data_arg $ query_file_arg $ sparql_arg $ timeout_arg
       $ limit_arg $ engine_arg $ open_objects_arg $ extended_arg $ format_arg
-      $ profile_arg $ explain_flag_arg $ domains_arg $ trace_out_arg)
+      $ profile_arg $ explain_flag_arg $ domains_arg $ trace_out_arg $ plan_arg)
 
 (* --- explain ----------------------------------------------------------- *)
 
-let run_explain data query_file sparql open_objects =
+let run_explain data query_file sparql open_objects plan json_out =
   let src = query_text query_file sparql in
   let ast =
     match Sparql.Parser.parse_result src with
@@ -402,17 +441,21 @@ let run_explain data query_file sparql open_objects =
         exit 1
   in
   let e = load_engine data in
-  Format.printf "%a@." Amber.Engine.pp_explanation
-    (Amber.Engine.explain ~open_objects e ast);
-  Format.printf "%a@." Amber.Analysis.pp_report
-    (Amber.Engine.analyze ~open_objects e ast)
+  let explanation = Amber.Engine.explain ~open_objects ?plan e ast in
+  if json_out then
+    print_endline (Amber.Engine.explanation_to_json explanation)
+  else begin
+    Format.printf "%a@." Amber.Engine.pp_explanation explanation;
+    Format.printf "%a@." Amber.Analysis.pp_report
+      (Amber.Engine.analyze ~open_objects e ast)
+  end
 
 let explain_cmd =
   let doc = "show AMbER's decomposition and matching order for a query" in
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(
       const run_explain $ data_arg $ query_file_arg $ sparql_arg
-      $ open_objects_arg)
+      $ open_objects_arg $ plan_arg $ json_flag_arg)
 
 (* --- lint -------------------------------------------------------------- *)
 
@@ -490,12 +533,6 @@ let lint_queries_arg =
     & pos_all non_dir_file []
     & info [] ~docv:"QUERY" ~doc:"SPARQL query files to analyze.")
 
-let json_flag_arg =
-  Arg.(
-    value & flag
-    & info [ "json" ]
-        ~doc:"Emit one machine-readable JSON array instead of pretty text.")
-
 let lint_cmd =
   let doc =
     "statically analyze queries against a dataset: unsatisfiability proofs, \
@@ -533,7 +570,7 @@ let fsck_cmd =
 (* --- serve ------------------------------------------------------------- *)
 
 let run_serve data port timeout limit open_objects domains slow_query log_sample
-    log_sink =
+    log_sink plan =
   let is_live = Sys.is_directory data in
   let is_snapshot = (not is_live) && Amber.Snapshot.sniff_file data in
   let domains = Option.map (fun d -> max 1 (min 8 d)) domains in
@@ -550,6 +587,7 @@ let run_serve data port timeout limit open_objects domains slow_query log_sample
       slow_query = (if slow_query <= 0. then None else Some slow_query);
       log_sample;
       log_sink;
+      plan;
     }
   in
   let t_boot, server =
@@ -604,7 +642,7 @@ let serve_cmd =
     Term.(
       const run_serve $ data_arg $ port_arg $ timeout_arg $ limit_arg
       $ open_objects_arg $ domains_arg $ slow_query_arg $ log_sample_arg
-      $ log_sink_arg)
+      $ log_sink_arg $ plan_arg)
 
 (* --- update ------------------------------------------------------------ *)
 
@@ -761,10 +799,28 @@ let run_log_tail file n json_out =
               if String.length query > 72 then String.sub query 0 69 ^ "..."
               else query
             in
-            Printf.printf "#%-5.0f %-7s %9.2f ms %7.0f rows  %s%s  %s\n"
+            (* One compact plan cell: the mode, plus the seed strategies
+               actually chosen (e.g. "adaptive[attrs,rtree]"). *)
+            let plan =
+              match str "plan" with
+              | "" -> "-"
+              | mode -> (
+                  match Obs.Json.member "plan_seeds" v with
+                  | Some (Obs.Json.Arr (_ :: _ as seeds)) ->
+                      let slugs =
+                        List.filter_map
+                          (fun seed ->
+                            Option.bind (Obs.Json.member "strategy" seed)
+                              Obs.Json.to_string)
+                          seeds
+                      in
+                      Printf.sprintf "%s[%s]" mode (String.concat "," slugs)
+                  | _ -> mode)
+            in
+            Printf.printf "#%-5.0f %-7s %9.2f ms %7.0f rows  %-18s %s%s  %s\n"
               (num "id") (str "status")
               (1000. *. num "seconds")
-              (num "rows") (str "hash") slow query)
+              (num "rows") plan (str "hash") slow query)
     lines;
   if !malformed then exit 1
 

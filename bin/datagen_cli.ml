@@ -1,7 +1,7 @@
 (* datagen — generate benchmark datasets and query workloads.
 
      datagen dataset --kind lubm --out data.nt [--universities 3]
-     datagen dataset --kind dbpedia --out data.nt [--scale 0.1]
+     datagen dataset --kind dbpedia --out data.nt [--scale 0.1] [--skew F]
      datagen workload --data data.nt --shape star --size 20 --count 50 --out dir/ *)
 
 open Cmdliner
@@ -33,14 +33,29 @@ let universities_arg =
     value & opt int 3
     & info [ "universities" ] ~docv:"N" ~doc:"University count for the lubm kind.")
 
-let run_dataset kind out seed scale universities =
+let skew_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "skew" ] ~docv:"F"
+        ~doc:
+          "Degree skew for dbpedia/yago kinds: 0 (default) keeps the \
+           historical shape; larger values concentrate edges on hub \
+           entities (try 1.0-2.0) — the datasets the adaptive planner is \
+           benchmarked against.")
+
+let run_dataset kind out seed scale universities skew =
   let triples =
     match kind with
-    | `Lubm -> Datagen.Lubm.generate ~seed ~universities ()
+    | `Lubm ->
+        if skew > 0.0 then
+          prerr_endline "note: --skew applies to dbpedia/yago kinds only; ignored";
+        Datagen.Lubm.generate ~seed ~universities ()
     | `Dbpedia ->
-        Datagen.Scale_free.generate ~seed (Datagen.Scale_free.dbpedia_like ~scale ())
+        Datagen.Scale_free.generate ~seed ~skew
+          (Datagen.Scale_free.dbpedia_like ~scale ())
     | `Yago ->
-        Datagen.Scale_free.generate ~seed (Datagen.Scale_free.yago_like ~scale ())
+        Datagen.Scale_free.generate ~seed ~skew
+          (Datagen.Scale_free.yago_like ~scale ())
   in
   (* Pick the serialization from the file extension. *)
   if Filename.check_suffix out ".adb" then Rdf.Binary.write_file out triples
@@ -52,7 +67,7 @@ let dataset_cmd =
   Cmd.v (Cmd.info "dataset" ~doc)
     Term.(
       const run_dataset $ kind_arg $ out_arg $ seed_arg $ scale_arg
-      $ universities_arg)
+      $ universities_arg $ skew_arg)
 
 (* --- workload --------------------------------------------------------- *)
 

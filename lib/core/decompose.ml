@@ -1,4 +1,4 @@
-type strategy = Paper | By_degree | Arbitrary
+type strategy = Paper | By_degree | Arbitrary | Estimate of (int -> int)
 
 type component = {
   core_order : int array;
@@ -117,6 +117,10 @@ let plan ?(strategy = Paper) ?(satellites = true) (q : Query_graph.t) =
     | Paper -> (r1 q plan0 u, r2 q u)
     | By_degree -> (Query_graph.degree q u, 0)
     | Arbitrary -> (0, 0)
+    (* Cardinality-driven: fewest estimated candidates first (the rank
+       is maximized, hence the negation), ties broken by the paper's
+       r2 so the order degrades gracefully when estimates tie. *)
+    | Estimate f -> (-f u, r2 q u)
   in
   let better u v =
     (* [u] strictly better than [v]? Lexicographic rank, ties to the

@@ -14,6 +14,11 @@ type strategy =
   | Paper  (** r1 then r2, the paper's heuristic *)
   | By_degree  (** order by variable-degree only (ablation) *)
   | Arbitrary  (** first-seen order (ablation baseline) *)
+  | Estimate of (int -> int)
+      (** cardinality-driven: order by increasing estimated candidate
+          count (the adaptive planner passes
+          {!Stats.estimate_vertex}), ties broken by [r2] then vertex
+          id — the paper's heuristic remains the [Paper] fallback *)
 
 type component = {
   core_order : int array;

@@ -288,5 +288,10 @@ let compile base delta =
       ~base:(Engine.neighbourhood_index base)
       ~graph ~touched_out:(keys out_touch) ~touched_in:(keys in_touch) ()
   in
-  Engine.of_parts ~layout:(Engine.layout base) ~db:odb ~attribute ~synopsis
-    ~neighbourhood ()
+  (* The overlay inherits the base generation's statistics: stale
+     against the delta, but estimates only steer plans — answers are
+     strategy-independent — and recomputing per published epoch would
+     put an O(E) scan on the update path. Compaction rebuilds them. *)
+  Engine.of_parts ~layout:(Engine.layout base)
+    ~stats:(lazy (Engine.statistics base))
+    ~db:odb ~attribute ~synopsis ~neighbourhood ()

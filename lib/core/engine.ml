@@ -6,18 +6,25 @@ type t = {
   literal_bindings : Literal_bindings.t;
   shared : Matcher.shared;  (* cross-query A/S candidate LRUs *)
   layout : Mgraph.Posting.policy;  (* posting layout the indexes froze under *)
+  statistics : Stats.t Lazy.t;
+      (* planner statistics: computed at build time, loaded from the
+         snapshot's optional stats section, or inherited (stale but
+         sound — estimates never change answers) by live overlays *)
 }
 
 exception Unsupported = Query_graph.Unsupported
 
 (* One matcher context per query (or per domain): [caches:false] is the
    uncached ablation the kernels benchmark compares against. *)
-let make_ctx ?(caches = true) t ~deadline ~stats =
+let make_ctx ?(caches = true) ?plan ?model t ~deadline ~stats =
   Matcher.make_ctx
     ?probe_cache:(if caches then Some (Probe_cache.create ()) else None)
     ?shared:(if caches then Some t.shared else None)
+    ?plan ?model
     ~db:t.db ~attribute:t.attribute ~synopsis:t.synopsis
     ~neighbourhood:t.neighbourhood ~deadline ~stats ()
+
+let statistics t = Lazy.force t.statistics
 
 let db t = t.db
 let attribute_index t = t.attribute
@@ -39,7 +46,7 @@ let deadline_of = function
    is a Cartesian product of satellite sets, so one solution may cover
    the limit on its own); capping factors of a cross-component product
    at L preserves the first L products. *)
-let collect_solutions ctx q plan limit =
+let collect_solutions ?(seed_reports = ref []) ctx q plan limit =
   let components = plan.Decompose.components in
   let out = Array.make (Array.length components) [] in
   (try
@@ -47,7 +54,9 @@ let collect_solutions ctx q plan limit =
        (fun i comp ->
          let embeddings = ref 0 in
          let sols = ref [] in
-         Matcher.solve_component ctx q plan comp ~emit:(fun sol ->
+         let seeds, report = Matcher.initial_candidates_choice ctx q comp in
+         Option.iter (fun r -> seed_reports := r :: !seed_reports) report;
+         Matcher.solve_component_seeded ctx q plan comp ~seeds ~emit:(fun sol ->
              sols := sol :: !sols;
              embeddings := !embeddings + Matcher.count_embeddings sol;
              match limit with
@@ -196,6 +205,21 @@ let m_analysis_warnings =
   Obs.Metrics.counter m "amber_analysis_warning_total"
     ~help:"Warnings raised by static query analysis"
 
+let m_plan_strategy strategy =
+  Obs.Metrics.counter m "amber_plan_strategy_total"
+    ~labels:[ ("strategy", strategy) ]
+    ~help:
+      "Seed-strategy selections made when materializing a component's \
+       initial candidates (rtree = synopsis R-tree probe, attrs = \
+       attribute/IRI intersection, scan = direct dominance scan)"
+
+let record_seed_metrics reports =
+  List.iter
+    (fun (r : Stats.seed_report) ->
+      Obs.Metrics.incr
+        (m_plan_strategy (Stats.strategy_slug r.Stats.choice.Stats.strategy)))
+    reports
+
 let record_query_metrics ~seconds (stats : Matcher.stats) =
   Obs.Metrics.incr m_queries;
   Obs.Metrics.observe m_seconds seconds;
@@ -235,8 +259,19 @@ let analysis_slug report =
       | 0 -> "ok"
       | n -> Printf.sprintf "warnings=%d" n)
 
+(* Flight-recorder view of the seed reports: one (variable, strategy,
+   estimate, actual) row per component, in component order. *)
+let plan_seed_rows reports =
+  List.rev_map
+    (fun (r : Stats.seed_report) ->
+      ( r.Stats.variable,
+        Stats.strategy_slug r.Stats.choice.Stats.strategy,
+        r.Stats.choice.Stats.est_candidates,
+        r.Stats.actual ))
+    reports
+
 let record_flight ~seconds ~ast ~domains ~status ~core_order ~phases ~analysis
-    ~gc ~(stats : Matcher.stats) answer =
+    ~gc ~plan_mode ~plan_seeds ~(stats : Matcher.stats) answer =
   let text = Sparql.Ast.to_string ast in
   let rows, truncated =
     match answer with
@@ -255,6 +290,8 @@ let record_flight ~seconds ~ast ~domains ~status ~core_order ~phases ~analysis
       truncated;
       domains;
       core_order;
+      plan_mode;
+      plan_seeds;
       phases;
       candidates_scanned = stats.Matcher.candidates_scanned;
       solutions = stats.Matcher.solutions;
@@ -484,7 +521,7 @@ let build_indexes ?synopsis_mode ?layout ~domains db =
     (attribute, synopsis, neighbourhood)
   end
 
-let of_parts ?(layout = Mgraph.Posting.Auto) ~db ~attribute ~synopsis
+let of_parts ?(layout = Mgraph.Posting.Auto) ?stats ~db ~attribute ~synopsis
     ~neighbourhood () =
   {
     db;
@@ -494,6 +531,10 @@ let of_parts ?(layout = Mgraph.Posting.Auto) ~db ~attribute ~synopsis
     literal_bindings = Literal_bindings.create db;
     shared = Matcher.make_shared ();
     layout;
+    statistics =
+      (match stats with
+      | Some s -> s
+      | None -> lazy (Stats.compute db attribute synopsis));
   }
 
 let build ?synopsis_mode ?layout ?(domains = 1) triples =
@@ -501,7 +542,12 @@ let build ?synopsis_mode ?layout ?(domains = 1) triples =
   let attribute, synopsis, neighbourhood =
     build_indexes ?synopsis_mode ?layout ~domains db
   in
-  of_parts ?layout ~db ~attribute ~synopsis ~neighbourhood ()
+  let t = of_parts ?layout ~db ~attribute ~synopsis ~neighbourhood () in
+  (* Planner statistics are part of the offline stage: pay the O(E)
+     pass now, not on the first adaptive query. *)
+  let (_ : Stats.t), dt = timed (fun () -> Lazy.force t.statistics) in
+  Obs.Metrics.observe (m_index_build "stats") dt;
+  t
 
 let layout t = t.layout
 
@@ -521,13 +567,16 @@ let layout t = t.layout
    mutable state. *)
 let chunks_per_domain = 8
 
-let collect_solutions_parallel ?caches t q plan ~domains ~deadline ~stats limit =
+let collect_solutions_parallel ?caches ?plan:plan_mode ?model
+    ?(seed_reports = ref []) t q plan ~domains ~deadline ~stats limit =
   let components = plan.Decompose.components in
   let out = Array.make (Array.length components) [] in
   let pool = Domain_pool.global () in
   (* Seed computation is sequential and cheap; charge it to the query's
-     aggregate stats directly. *)
-  let seed_ctx = make_ctx ?caches t ~deadline ~stats in
+     aggregate stats directly. The strategy choice happens here, once —
+     the chunks inherit the materialized seed set, so the parallel run
+     enumerates exactly the sequential candidates. *)
+  let seed_ctx = make_ctx ?caches ?plan:plan_mode ?model t ~deadline ~stats in
   Obs.Metrics.incr m_parallel_queries;
   (* When the calling domain is being profiled, each chunk collects its
      own span subtree on the worker domain that runs it ([Span.collect]
@@ -540,7 +589,8 @@ let collect_solutions_parallel ?caches t q plan ~domains ~deadline ~stats limit 
   (try
      Array.iteri
        (fun i comp ->
-         let seeds = Matcher.initial_candidates seed_ctx q comp in
+         let seeds, report = Matcher.initial_candidates_choice seed_ctx q comp in
+         Option.iter (fun r -> seed_reports := r :: !seed_reports) report;
          let n = Array.length seeds in
          (* Below a couple of seeds per domain the chunking bookkeeping
             cannot pay for itself: keep the component sequential. *)
@@ -602,10 +652,26 @@ let collect_solutions_parallel ?caches t q plan ~domains ~deadline ~stats limit 
 
 (* Sequential below [domains = 2]: the one-domain case must not pay for
    chunking, atomics or pool traffic. *)
-let collect ?caches t q plan ~domains ~deadline ~stats limit =
+let collect ?caches ?plan:plan_mode ?model ?seed_reports t q plan ~domains
+    ~deadline ~stats limit =
   if domains <= 1 then
-    collect_solutions (make_ctx ?caches t ~deadline ~stats) q plan limit
-  else collect_solutions_parallel ?caches t q plan ~domains ~deadline ~stats limit
+    collect_solutions ?seed_reports
+      (make_ctx ?caches ?plan:plan_mode ?model t ~deadline ~stats)
+      q plan limit
+  else
+    collect_solutions_parallel ?caches ?plan:plan_mode ?model ?seed_reports t q
+      plan ~domains ~deadline ~stats limit
+
+(* Ordering strategy implied by the plan mode: an explicit [?strategy]
+   (the ablation knob) wins; otherwise a plan with a cost model orders
+   core vertices by estimated cardinality and the paper plan keeps the
+   r1/r2 heuristic. *)
+let order_strategy ~strategy ~model q =
+  match (strategy, model) with
+  | (Some _ as s), _ -> s
+  | None, Some st ->
+      Some (Decompose.Estimate (fun u -> Stats.estimate_vertex st q u))
+  | None, None -> None
 
 (* First unsat proof from the index-backed screening — the [?analyze]
    short-circuit test. Every proof implies the matcher would find zero
@@ -617,12 +683,22 @@ let screen_proof t q ast =
   Analysis.unsat_proof (Analysis.report_of_items items)
 
 let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
-    ?caches ?(analyze = true) ?(domains = 1) t (ast : Sparql.Ast.t) =
+    ?caches ?(analyze = true) ?(domains = 1) ?(plan = Stats.Adaptive) t
+    (ast : Sparql.Ast.t) =
   let t0 = Unix.gettimeofday () in
   let gc0 = Obs.Resource.gc_mark () in
   let domains = max 1 domains in
   let deadline = deadline_of timeout in
   let stats = Matcher.fresh_stats () in
+  let plan_mode = plan in
+  (* The paper plan never touches the cost model, so it also never
+     forces a lazy statistics computation. *)
+  let model =
+    match plan_mode with
+    | Stats.Paper -> None
+    | _ -> Some (Lazy.force t.statistics)
+  in
+  let seed_reports = ref [] in
   let selected = Sparql.Ast.selected_variables ast in
   let effective_limit =
     match (limit, ast.limit) with
@@ -647,10 +723,13 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
       ~seconds:(Unix.gettimeofday () -. t0)
       ~ast ~domains ~status ~core_order:!core_order
       ~phases:(List.rev !phases) ~analysis:!analysis_note
+      ~plan_mode:(Stats.mode_to_string plan_mode)
+      ~plan_seeds:(plan_seed_rows !seed_reports)
       ~gc:(Obs.Resource.gc_since gc0) ~stats answer
   in
   let finish ?(status = Obs.Query_log.Ok) answer =
     record_query_metrics ~seconds:(Unix.gettimeofday () -. t0) stats;
+    record_seed_metrics !seed_reports;
     flight status (Some answer);
     (answer, stats)
   in
@@ -660,6 +739,7 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
           match Query_graph.build ?open_objects t.db ast with
           | Query_graph.Unsatisfiable _ -> None
           | Query_graph.Query q ->
+              let strategy = order_strategy ~strategy ~model q in
               let plan = Decompose.plan ?strategy ?satellites q in
               core_order := core_order_names q plan;
               Some (q, plan))
@@ -693,8 +773,8 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
             in
             match
               phase "match" (fun () ->
-                  collect ?caches t q plan ~domains ~deadline ~stats
-                    solution_cap)
+                  collect ?caches ~plan:plan_mode ?model ~seed_reports t q plan
+                    ~domains ~deadline ~stats solution_cap)
             with
             | None -> finish (empty_answer selected)
             | Some solutions ->
@@ -708,15 +788,15 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
     Printexc.raise_with_backtrace e bt
 
 let query ?timeout ?limit ?strategy ?satellites ?open_objects ?caches ?analyze
-    ?domains t ast =
+    ?domains ?plan t ast =
   fst
     (query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
-       ?caches ?analyze ?domains t ast)
+       ?caches ?analyze ?domains ?plan t ast)
 
 let query_string ?timeout ?limit ?strategy ?satellites ?open_objects ?namespaces
-    ?analyze ?domains t src =
-  query ?timeout ?limit ?strategy ?satellites ?open_objects ?analyze ?domains t
-    (Sparql.Parser.parse ?namespaces src)
+    ?analyze ?domains ?plan t src =
+  query ?timeout ?limit ?strategy ?satellites ?open_objects ?analyze ?domains
+    ?plan t (Sparql.Parser.parse ?namespaces src)
 
 let count_embeddings ?timeout ?open_objects t ast =
   let deadline = deadline_of timeout in
@@ -755,6 +835,8 @@ type core_step = {
   variable : string;
   r1 : int;
   r2 : int;
+  estimate : int;  (* cost-model cardinality estimate for this vertex *)
+  strategy : string option;  (* seed strategy, position 0 only *)
   satellite_vars : string list;
   initial_candidates : int option;
 }
@@ -762,15 +844,22 @@ type core_step = {
 type explanation =
   | Unsat of string
   | Plan of {
+      plan_mode : string;
       components : core_step list list;
       open_objects : (string * string) list;
     }
 
-let explain ?strategy ?satellites ?open_objects t ast =
+let explain ?strategy ?satellites ?open_objects ?(plan = Stats.Adaptive) t ast =
   match Query_graph.build ?open_objects t.db ast with
   | Query_graph.Unsatisfiable { proof; _ } ->
       Unsat (Analysis.proof_to_string proof)
   | Query_graph.Query q ->
+      let plan_mode = plan in
+      (* Introspection always forces the statistics: estimates belong in
+         the report even when the paper plan would not consult them. *)
+      let st = Lazy.force t.statistics in
+      let model = match plan_mode with Stats.Paper -> None | _ -> Some st in
+      let strategy = order_strategy ~strategy ~model q in
       let plan = Decompose.plan ?strategy ?satellites q in
       (* Introspection probes stay out of the engine caches so they
          neither warm them nor skew the hit counters. *)
@@ -802,10 +891,19 @@ let explain ?strategy ?satellites ?open_objects t ast =
                                       extra))
                         end
                       in
+                      let seed_strategy =
+                        if i <> 0 then None
+                        else
+                          Some
+                            (Stats.strategy_slug
+                               (Stats.choice_for st q u plan_mode).Stats.strategy)
+                      in
                       {
                         variable = q.Query_graph.var_names.(u);
                         r1 = Decompose.r1 q plan u;
                         r2 = Decompose.r2 q u;
+                        estimate = Stats.estimate_vertex st q u;
+                        strategy = seed_strategy;
                         satellite_vars =
                           List.map
                             (fun s -> q.Query_graph.var_names.(s))
@@ -817,6 +915,7 @@ let explain ?strategy ?satellites ?open_objects t ast =
       in
       Plan
         {
+          plan_mode = Stats.mode_to_string plan_mode;
           components;
           open_objects =
             List.map
@@ -827,15 +926,19 @@ let explain ?strategy ?satellites ?open_objects t ast =
 
 let pp_explanation ppf = function
   | Unsat reason -> Format.fprintf ppf "unsatisfiable: %s" reason
-  | Plan { components; open_objects } ->
+  | Plan { plan_mode; components; open_objects } ->
       Format.fprintf ppf "@[<v>";
+      Format.fprintf ppf "plan: %s@," plan_mode;
       List.iteri
         (fun i steps ->
           Format.fprintf ppf "component %d:@," i;
           List.iter
             (fun s ->
-              Format.fprintf ppf "  ?%s (r1=%d, r2=%d)%s%s@," s.variable s.r1
-                s.r2
+              Format.fprintf ppf "  ?%s (r1=%d, r2=%d, est=%d)%s%s%s@,"
+                s.variable s.r1 s.r2 s.estimate
+                (match s.strategy with
+                | Some slug -> " seed=" ^ slug
+                | None -> "")
                 (match s.initial_candidates with
                 | Some n -> Printf.sprintf " |C_init|=%d" n
                 | None -> "")
@@ -854,6 +957,51 @@ let pp_explanation ppf = function
             (fun (v, p) -> Format.fprintf ppf "  ?%s via <%s>@," v p)
             opens);
       Format.fprintf ppf "@]"
+
+let explanation_to_json e =
+  let buf = Buffer.create 512 in
+  (match e with
+  | Unsat reason ->
+      Buffer.add_string buf
+        (Printf.sprintf {|{"unsat":true,"reason":%s}|}
+           (Profile.json_string reason))
+  | Plan { plan_mode; components; open_objects } ->
+      Buffer.add_string buf
+        (Printf.sprintf {|{"unsat":false,"plan":%s,"components":[|}
+           (Profile.json_string plan_mode));
+      List.iteri
+        (fun i steps ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '[';
+          List.iteri
+            (fun j s ->
+              if j > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf
+                (Printf.sprintf
+                   {|{"variable":%s,"r1":%d,"r2":%d,"estimate":%d,"strategy":%s,"initial_candidates":%s,"satellites":[%s]}|}
+                   (Profile.json_string s.variable)
+                   s.r1 s.r2 s.estimate
+                   (match s.strategy with
+                   | Some slug -> Profile.json_string slug
+                   | None -> "null")
+                   (match s.initial_candidates with
+                   | Some n -> string_of_int n
+                   | None -> "null")
+                   (String.concat ","
+                      (List.map Profile.json_string s.satellite_vars))))
+            steps;
+          Buffer.add_char buf ']')
+        components;
+      Buffer.add_string buf {|],"open_objects":[|};
+      List.iteri
+        (fun i (v, p) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf {|{"variable":%s,"predicate":%s}|}
+               (Profile.json_string v) (Profile.json_string p)))
+        open_objects;
+      Buffer.add_string buf "]}");
+  Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* Profiled execution                                                  *)
@@ -889,7 +1037,8 @@ let vertex_reports t q (plan : Decompose.plan) =
 (* The profiled pipeline, run under an already-open root span: returns
    the answer plus the [(q, plan, vertices)] shape when matching ran. *)
 let profiled_body ?limit ?strategy ?satellites ?open_objects ?caches ~analyze
-    ~domains ~deadline ~stats ~analysis t (ast : Sparql.Ast.t) =
+    ~domains ~deadline ~stats ~analysis ~plan_mode ~model ~seed_reports t
+    (ast : Sparql.Ast.t) =
         let selected = Sparql.Ast.selected_variables ast in
         let effective_limit =
           match (limit, ast.Sparql.Ast.limit) with
@@ -912,6 +1061,7 @@ let profiled_body ?limit ?strategy ?satellites ?open_objects ?caches ~analyze
                            :: Analysis.lint_ast ast));
                   None
               | Query_graph.Query q ->
+                  let strategy = order_strategy ~strategy ~model q in
                   let plan = Decompose.plan ?strategy ?satellites q in
                   Obs.Span.annotate "components"
                     (string_of_int (Array.length plan.Decompose.components));
@@ -956,8 +1106,8 @@ let profiled_body ?limit ?strategy ?satellites ?open_objects ?caches ~analyze
                   if domains > 1 then
                     Obs.Span.annotate "domains" (string_of_int domains);
                   let sols =
-                    collect ?caches t q plan ~domains ~deadline ~stats
-                      solution_cap
+                    collect ?caches ~plan:plan_mode ?model ~seed_reports t q
+                      plan ~domains ~deadline ~stats solution_cap
                   in
                   Obs.Span.annotate "solutions"
                     (string_of_int stats.Matcher.solutions);
@@ -985,12 +1135,20 @@ let profiled_body ?limit ?strategy ?satellites ?open_objects ?caches ~analyze
    per-domain merge. [parse] runs under the root span so
    query_string_profiled attributes parsing time too. *)
 let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
-    ?(analyze = true) ?(domains = 1) t ~(parse : unit -> Sparql.Ast.t) =
+    ?(analyze = true) ?(domains = 1) ?(plan = Stats.Adaptive) t
+    ~(parse : unit -> Sparql.Ast.t) =
   let t0 = Unix.gettimeofday () in
   let gc0 = Obs.Resource.gc_mark () in
   let domains = max 1 domains in
   let deadline = deadline_of timeout in
   let stats = Matcher.fresh_stats () in
+  let plan_mode = plan in
+  let model =
+    match plan_mode with
+    | Stats.Paper -> None
+    | _ -> Some (Lazy.force t.statistics)
+  in
+  let seed_reports = ref [] in
   let analysis = ref None in
   let parsed = ref None in
   let (answer, shape), span =
@@ -999,7 +1157,8 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
           let ast = Obs.Span.with_ ~name:"parse" parse in
           parsed := Some ast;
           profiled_body ?limit ?strategy ?satellites ?open_objects ?caches
-            ~analyze ~domains ~deadline ~stats ~analysis t ast)
+            ~analyze ~domains ~deadline ~stats ~analysis ~plan_mode ~model
+            ~seed_reports t ast)
     with e ->
       let bt = Printexc.get_raw_backtrace () in
       (* The span tree of a raising run is lost (the root unwinds), but
@@ -1012,11 +1171,14 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
             ~seconds:(Unix.gettimeofday () -. t0)
             ~ast ~domains ~status:(status_of_exn e) ~core_order:[] ~phases:[]
             ~analysis:(Option.map analysis_slug !analysis)
+            ~plan_mode:(Stats.mode_to_string plan_mode)
+            ~plan_seeds:(plan_seed_rows !seed_reports)
             ~gc:(Obs.Resource.gc_since gc0) ~stats None
       | None -> ());
       Printexc.raise_with_backtrace e bt
   in
   record_query_metrics ~seconds:(Obs.Span.duration span) stats;
+  record_seed_metrics !seed_reports;
   (match !analysis with
   | Some report ->
       Obs.Metrics.add m_analysis_warnings
@@ -1044,6 +1206,8 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
         ~seconds:(Obs.Span.duration span)
         ~ast ~domains ~status ~core_order ~phases
         ~analysis:(Option.map analysis_slug !analysis)
+        ~plan_mode:(Stats.mode_to_string plan_mode)
+        ~plan_seeds:(plan_seed_rows !seed_reports)
         ~gc:(Obs.Resource.gc_since gc0) ~stats (Some answer)
   | None -> ());
   ( answer,
@@ -1055,29 +1219,31 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
       rows = List.length answer.rows;
       truncated = answer.truncated;
       analysis = !analysis;
+      plan_mode = Stats.mode_to_string plan_mode;
+      plan_seeds = List.rev !seed_reports;
     } )
 
 let query_profiled ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
-    ?analyze ?domains t ast =
+    ?analyze ?domains ?plan t ast =
   profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
-    ?analyze ?domains t ~parse:(fun () -> ast)
+    ?analyze ?domains ?plan t ~parse:(fun () -> ast)
 
 let query_string_profiled ?timeout ?limit ?strategy ?satellites ?open_objects
-    ?namespaces ?analyze ?domains t src =
+    ?namespaces ?analyze ?domains ?plan t src =
   profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?analyze
-    ?domains t ~parse:(fun () -> Sparql.Parser.parse ?namespaces src)
+    ?domains ?plan t ~parse:(fun () -> Sparql.Parser.parse ?namespaces src)
 
 let recommended_domains () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
 
 (* Kept for callers of the pre-pool API: [query] with [domains]
    defaulting to the machine's recommended count. *)
 let query_parallel ?timeout ?limit ?strategy ?satellites ?open_objects ?analyze
-    ?domains t ast =
+    ?domains ?plan t ast =
   let domains =
     match domains with Some d -> max 1 d | None -> recommended_domains ()
   in
-  query ?timeout ?limit ?strategy ?satellites ?open_objects ?analyze ~domains t
-    ast
+  query ?timeout ?limit ?strategy ?satellites ?open_objects ?analyze ~domains
+    ?plan t ast
 
 (* ------------------------------------------------------------------ *)
 (* Persistence                                                         *)
@@ -1098,6 +1264,7 @@ let snapshot_contents t =
     synopsis = t.synopsis;
     neighbourhood = t.neighbourhood;
     layout = t.layout;
+    stats = Some (Lazy.force t.statistics);
   }
 
 let save_snapshot t path =
@@ -1107,21 +1274,24 @@ let save_snapshot t path =
 let load_snapshot path =
   let c, dt = timed (fun () -> Snapshot.read_file path) in
   Obs.Metrics.observe m_snapshot_load dt;
-  of_parts ~layout:c.Snapshot.layout ~db:c.Snapshot.db
-    ~attribute:c.Snapshot.attribute ~synopsis:c.Snapshot.synopsis
-    ~neighbourhood:c.Snapshot.neighbourhood ()
+  (* A v1 snapshot (or a v2 written before the stats section existed)
+     carries no statistics: rebuild them lazily, on first adaptive use. *)
+  of_parts ~layout:c.Snapshot.layout
+    ?stats:(Option.map Lazy.from_val c.Snapshot.stats)
+    ~db:c.Snapshot.db ~attribute:c.Snapshot.attribute
+    ~synopsis:c.Snapshot.synopsis ~neighbourhood:c.Snapshot.neighbourhood ()
 
 (* ------------------------------------------------------------------ *)
 (* ASK and CONSTRUCT forms                                             *)
 (* ------------------------------------------------------------------ *)
 
-let ask ?timeout ?open_objects ?domains t ast =
-  let answer = query ?timeout ~limit:1 ?open_objects ?domains t ast in
+let ask ?timeout ?open_objects ?domains ?plan t ast =
+  let answer = query ?timeout ~limit:1 ?open_objects ?domains ?plan t ast in
   answer.rows <> []
 
-let construct ?timeout ?limit ?open_objects ?domains t ~template
+let construct ?timeout ?limit ?open_objects ?domains ?plan t ~template
     (ast : Sparql.Ast.t) =
-  let answer = query ?timeout ?limit ?open_objects ?domains t ast in
+  let answer = query ?timeout ?limit ?open_objects ?domains ?plan t ast in
   let vars = answer.variables in
   let instantiate binding term =
     match term with

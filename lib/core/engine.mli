@@ -38,6 +38,7 @@ val neighbourhood_index : t -> Neighbourhood_index.t
 
 val of_parts :
   ?layout:Mgraph.Posting.policy ->
+  ?stats:Stats.t Lazy.t ->
   db:Database.t ->
   attribute:Attribute_index.t ->
   synopsis:Synopsis_index.t ->
@@ -47,7 +48,18 @@ val of_parts :
 (** Assemble an engine from a database and prebuilt indexes — the delta
     compiler's entry point for overlay engines. The engine gets fresh
     matcher caches, so two engines assembled over the same base never
-    share LRU state (epoch isolation falls out by construction). *)
+    share LRU state (epoch isolation falls out by construction).
+    [stats] supplies the cost-model statistics (the delta compiler
+    passes the base generation's — stale against the overlay, but
+    estimates only steer plans, never answers); omitted, they are
+    computed lazily on first adaptive use. *)
+
+val statistics : t -> Stats.t
+(** The engine's cost-model statistics (forced if still lazy) — the
+    input of adaptive planning and the payload of the optional snapshot
+    stats section. {!build} computes them eagerly (the [stats] bar of
+    [amber_index_build_seconds]); snapshot loads reuse the persisted
+    section when present. *)
 
 type answer = {
   variables : string list;  (** projected variables, in SELECT order *)
@@ -70,6 +82,7 @@ val query :
   ?caches:bool ->
   ?analyze:bool ->
   ?domains:int ->
+  ?plan:Stats.mode ->
   t ->
   Sparql.Ast.t ->
   answer
@@ -102,6 +115,15 @@ val query :
     their order) is identical to the sequential run. With a limit the
     chunks race to the cap and the prefix taken may differ (row count
     and [truncated] are still exact).
+    @param plan seed-strategy and ordering policy (default
+    [Stats.Adaptive]): [Paper] reproduces the paper's fixed plan
+    (r1/r2 order, R-tree seed probe) and touches no statistics;
+    [Adaptive] orders core vertices by {!Stats.estimate_vertex} and
+    picks each component's seed strategy by estimated cost
+    ({!Stats.choice_for}); [Forced s] pins the seed strategy (ordering
+    stays cardinality-driven). All strategies materialize the same
+    candidate sets, so plans never change answers — only the work done
+    to reach them.
     @raise Unsupported on out-of-fragment queries.
     @raise Deadline.Expired on timeout (each domain polls its own
     deadline clone; the run joins every chunk before re-raising). *)
@@ -115,6 +137,7 @@ val query_string :
   ?namespaces:Rdf.Namespace.t ->
   ?analyze:bool ->
   ?domains:int ->
+  ?plan:Stats.mode ->
   t ->
   string ->
   answer
@@ -133,6 +156,7 @@ val query_with_stats :
   ?caches:bool ->
   ?analyze:bool ->
   ?domains:int ->
+  ?plan:Stats.mode ->
   t ->
   Sparql.Ast.t ->
   answer * Matcher.stats
@@ -162,6 +186,7 @@ val query_profiled :
   ?caches:bool ->
   ?analyze:bool ->
   ?domains:int ->
+  ?plan:Stats.mode ->
   t ->
   Sparql.Ast.t ->
   answer * Profile.t
@@ -175,6 +200,7 @@ val query_string_profiled :
   ?namespaces:Rdf.Namespace.t ->
   ?analyze:bool ->
   ?domains:int ->
+  ?plan:Stats.mode ->
   t ->
   string ->
   answer * Profile.t
@@ -223,6 +249,7 @@ val query_parallel :
   ?open_objects:bool ->
   ?analyze:bool ->
   ?domains:int ->
+  ?plan:Stats.mode ->
   t ->
   Sparql.Ast.t ->
   answer
@@ -258,6 +285,10 @@ type core_step = {
   variable : string;
   r1 : int;  (** #satellites anchored (the paper's first rank) *)
   r2 : int;  (** total incident edge-type count (second rank) *)
+  estimate : int;  (** {!Stats.estimate_vertex} candidate estimate *)
+  strategy : string option;
+      (** seed-strategy slug the plan would use — only for the first
+          core vertex of its component *)
   satellite_vars : string list;
   initial_candidates : int option;
       (** |C_init| from the synopsis index ∩ ProcessVertex — only for
@@ -267,6 +298,7 @@ type core_step = {
 type explanation =
   | Unsat of string
   | Plan of {
+      plan_mode : string;  (** {!Stats.mode_to_string} of the policy *)
       components : core_step list list;  (** matching order per component *)
       open_objects : (string * string) list;  (** (subject var, predicate) *)
     }
@@ -275,13 +307,21 @@ val explain :
   ?strategy:Decompose.strategy ->
   ?satellites:bool ->
   ?open_objects:bool ->
+  ?plan:Stats.mode ->
   t ->
   Sparql.Ast.t ->
   explanation
-(** Describe how {!query} would attack the query, without running it.
+(** Describe how {!query} would attack the query, without running it
+    (default plan [Adaptive], matching the query default; explain
+    always forces the statistics, so even [Paper] reports
+    estimates).
     @raise Unsupported on out-of-fragment queries. *)
 
 val pp_explanation : Format.formatter -> explanation -> unit
+
+val explanation_to_json : explanation -> string
+(** Machine-readable form of {!explain} — the CLI's [--json] and the
+    CI plan-schema check consume this. *)
 
 (** {1 Persistence}
 
@@ -330,6 +370,7 @@ val ask :
   ?timeout:float ->
   ?open_objects:bool ->
   ?domains:int ->
+  ?plan:Stats.mode ->
   t ->
   Sparql.Ast.t ->
   bool
@@ -341,6 +382,7 @@ val construct :
   ?limit:int ->
   ?open_objects:bool ->
   ?domains:int ->
+  ?plan:Stats.mode ->
   t ->
   template:Sparql.Ast.triple_pattern list ->
   Sparql.Ast.t ->

@@ -82,6 +82,8 @@ let record_event status text ~phase ~seconds =
       truncated = false;
       domains = 1;
       core_order = [];
+      plan_mode = "";
+      plan_seeds = [];
       phases = [ (phase, seconds) ];
       candidates_scanned = 0;
       solutions = 0;

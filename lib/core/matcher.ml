@@ -69,11 +69,14 @@ type ctx = {
   stats : stats;
   probe_cache : Probe_cache.t option;  (* query-scoped; [None] disables *)
   shared : shared option;  (* engine-scoped; [None] disables *)
+  plan : Stats.mode;  (* seed-strategy selection policy *)
+  model : Stats.t option;  (* cost model; [None] = paper behaviour *)
 }
 
-let make_ctx ?probe_cache ?shared ~db ~attribute ~synopsis ~neighbourhood
-    ~deadline ~stats () =
-  { db; attribute; synopsis; neighbourhood; deadline; stats; probe_cache; shared }
+let make_ctx ?probe_cache ?shared ?(plan = Stats.Paper) ?model ~db ~attribute
+    ~synopsis ~neighbourhood ~deadline ~stats () =
+  { db; attribute; synopsis; neighbourhood; deadline; stats; probe_cache;
+    shared; plan; model }
 
 type solution = {
   core : (int * int) list;
@@ -245,15 +248,105 @@ let count_embeddings sol =
       else n * k)
     1 sol.sats
 
-let initial_candidates ctx (q : Query_graph.t) (comp : Decompose.component) =
+(* Direct dominance scan over the synopsis table — the same candidate
+   set an R-tree probe yields, materialized by one Lemma-1 test per
+   data vertex instead of a tree descent. Cheaper when the query
+   synopsis prunes almost nothing. Shares the cross-query LRU with the
+   R-tree path (same key, same value). *)
+let scan_candidates ctx (q : Query_graph.t) u =
+  let syn = Mgraph.Synopsis.of_signature (Query_graph.signature q u) in
+  let probe () =
+    ctx.stats.synopsis_probes <- ctx.stats.synopsis_probes + 1;
+    let n = Mgraph.Multigraph.vertex_count (Database.graph ctx.db) in
+    let acc = ref [] in
+    for v = n - 1 downto 0 do
+      if
+        Mgraph.Synopsis.dominates
+          ~data:(Synopsis_index.vertex_synopsis ctx.synopsis v)
+          ~query:syn
+      then acc := v :: !acc
+    done;
+    Array.of_list !acc
+  in
+  match ctx.shared with
+  | None -> probe ()
+  | Some s ->
+      Mutex.lock s.lock;
+      let cached = Lru.find s.syn_cache syn in
+      Mutex.unlock s.lock;
+      (match cached with
+      | Some r -> r
+      | None ->
+          let r = probe () in
+          Mutex.lock s.lock;
+          Lru.add s.syn_cache syn r;
+          Mutex.unlock s.lock;
+          r)
+
+(* Attribute-first seeding: intersect the attribute/IRI candidate lists,
+   then apply the Lemma-1 dominance test per survivor — the synopsis
+   set is never materialized. [None] when the vertex carries neither
+   attributes nor IRI constraints (nothing to intersect). *)
+let attrs_candidates ctx (q : Query_graph.t) u =
+  match process_vertex ctx q u with
+  | None -> None
+  | Some pv ->
+      ctx.stats.synopsis_probes <- ctx.stats.synopsis_probes + 1;
+      let syn = Mgraph.Synopsis.of_signature (Query_graph.signature q u) in
+      let acc = ref [] in
+      Mgraph.Posting.iter
+        (fun v ->
+          if
+            Mgraph.Synopsis.dominates
+              ~data:(Synopsis_index.vertex_synopsis ctx.synopsis v)
+              ~query:syn
+          then acc := v :: !acc)
+        pv;
+      Some (Array.of_list (List.rev !acc))
+
+let initial_candidates_choice ctx (q : Query_graph.t)
+    (comp : Decompose.component) =
   match Array.length comp.core_order with
-  | 0 -> [||]
-  | _ ->
+  | 0 -> ([||], None)
+  | _ -> (
       let u = comp.core_order.(0) in
-      let structural = Mgraph.Posting.raw (synopsis_candidates ctx q u) in
-      (match inter_opt (Some structural) (process_vertex ctx q u) with
-      | Some c -> Mgraph.Posting.to_array c
-      | None -> [||])
+      let rtree_seeds () =
+        let structural = Mgraph.Posting.raw (synopsis_candidates ctx q u) in
+        match inter_opt (Some structural) (process_vertex ctx q u) with
+        | Some c -> Mgraph.Posting.to_array c
+        | None -> [||]
+      in
+      match ctx.model with
+      | None -> (rtree_seeds (), None)
+      | Some st ->
+          let choice = Stats.choice_for st q u ctx.plan in
+          let seeds, choice =
+            match choice.Stats.strategy with
+            | Stats.Rtree -> (rtree_seeds (), choice)
+            | Stats.Scan -> (
+                let structural = Mgraph.Posting.raw (scan_candidates ctx q u) in
+                match inter_opt (Some structural) (process_vertex ctx q u) with
+                | Some c -> (Mgraph.Posting.to_array c, choice)
+                | None -> ([||], choice))
+            | Stats.Attrs -> (
+                match attrs_candidates ctx q u with
+                | Some seeds -> (seeds, choice)
+                | None ->
+                    ( rtree_seeds (),
+                      { choice with Stats.strategy = Stats.Rtree; fallback = true }
+                    ))
+          in
+          let report =
+            {
+              Stats.variable = q.var_names.(u);
+              vertex = u;
+              choice;
+              actual = Array.length seeds;
+            }
+          in
+          (seeds, Some report))
+
+let initial_candidates ctx q comp = fst (initial_candidates_choice ctx q comp)
 
 let solve_component_seeded ctx (q : Query_graph.t) (plan : Decompose.plan)
     (comp : Decompose.component) ~seeds ~emit =

@@ -71,11 +71,19 @@ type ctx = {
       (** query-scoped memo; [None] disables (ablation) *)
   shared : shared option;
       (** engine-scoped LRUs; [None] disables (ablation) *)
+  plan : Stats.mode;
+      (** seed-strategy policy for {!initial_candidates}; the default
+          [Paper] reproduces the fixed R-tree-then-refine probe *)
+  model : Stats.t option;
+      (** the cost model driving non-[Paper] plans; [None] forces the
+          paper behaviour whatever [plan] says *)
 }
 
 val make_ctx :
   ?probe_cache:Probe_cache.t ->
   ?shared:shared ->
+  ?plan:Stats.mode ->
+  ?model:Stats.t ->
   db:Database.t ->
   attribute:Attribute_index.t ->
   synopsis:Synopsis_index.t ->
@@ -111,7 +119,17 @@ val solve_component :
 val initial_candidates : ctx -> Query_graph.t -> Decompose.component -> int array
 (** Candidate data vertices of the component's initial core vertex: the
     synopsis index probe refined by {!process_vertex} (Algorithm 3,
-    lines 4-5). *)
+    lines 4-5) — or, under a non-[Paper] plan with a cost model, the
+    strategy {!Stats.choice_for} picks. All three strategies
+    materialize the {e same} sorted candidate set (the R-tree probe,
+    the dominance scan and the attrs-then-dominance filter compute one
+    intersection three ways), so plans never change answers. *)
+
+val initial_candidates_choice :
+  ctx -> Query_graph.t -> Decompose.component -> int array * Stats.seed_report option
+(** {!initial_candidates} plus the recorded strategy choice (estimates,
+    costs and the actual candidate count) — [None] for an empty
+    component or a context without a cost model. *)
 
 val solve_component_seeded :
   ctx ->

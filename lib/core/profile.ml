@@ -13,6 +13,8 @@ type t = {
   rows : int;
   truncated : bool;
   analysis : Amber_analysis.report option;
+  plan_mode : string;
+  plan_seeds : Stats.seed_report list;
 }
 
 let pp ppf t =
@@ -39,6 +41,18 @@ let pp ppf t =
         (if order = [] then "-"
          else String.concat " -> " (List.map (fun v -> "?" ^ v) order)))
     t.core_order;
+  Format.fprintf ppf "plan: %s@," t.plan_mode;
+  if t.plan_seeds <> [] then begin
+    Format.fprintf ppf "seed strategies (est -> actual):@,";
+    List.iter
+      (fun r ->
+        let c = r.Stats.choice in
+        Format.fprintf ppf "  ?%-12s %-6s%s %8d -> %d@," r.Stats.variable
+          (Stats.strategy_slug c.Stats.strategy)
+          (if c.Stats.fallback then " (fallback)" else "")
+          c.Stats.est_candidates r.Stats.actual)
+      t.plan_seeds
+  end;
   if t.vertices <> [] then begin
     Format.fprintf ppf "candidates (synopsis -> refined):@,";
     List.iter
@@ -71,6 +85,24 @@ let json_escape s =
       | c -> Buffer.add_char buf c)
     s;
   Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let seed_to_json r =
+  let c = r.Stats.choice in
+  Printf.sprintf
+    {|{"variable":%s,"strategy":%s,"fallback":%b,"estimate":%d,"actual":%d,"cost_rtree":%d,"cost_attrs":%s,"cost_scan":%d}|}
+    (json_string r.Stats.variable)
+    (json_string (Stats.strategy_slug c.Stats.strategy))
+    c.Stats.fallback c.Stats.est_candidates r.Stats.actual c.Stats.cost_rtree
+    (match c.Stats.cost_attrs with
+    | None -> "null"
+    | Some n -> string_of_int n)
+    c.Stats.cost_scan
+
+let plan_to_json ~plan_mode ~plan_seeds =
+  Printf.sprintf {|{"mode":%s,"seeds":[%s]}|} (json_string plan_mode)
+    (String.concat "," (List.map seed_to_json plan_seeds))
 
 let to_json t =
   let buf = Buffer.create 512 in
@@ -106,6 +138,9 @@ let to_json t =
        s.Matcher.probe_cache_misses s.Matcher.candidates_scanned
        s.Matcher.satellite_rejections s.Matcher.solutions);
   Buffer.add_string buf (Obs.Span.to_json t.span);
+  Buffer.add_string buf {|,"plan":|};
+  Buffer.add_string buf
+    (plan_to_json ~plan_mode:t.plan_mode ~plan_seeds:t.plan_seeds);
   Buffer.add_string buf {|,"analysis":|};
   (match t.analysis with
   | None -> Buffer.add_string buf "null"

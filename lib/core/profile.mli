@@ -29,6 +29,14 @@ type t = {
       (** the static analyzer's report ([None] when the run was profiled
           with [?analyze:false]); an unsat proof here means the run was
           short-circuited to the empty answer *)
+  plan_mode : string;
+      (** the plan policy the run executed under
+          ({!Stats.mode_to_string}: ["paper"], ["adaptive"] or
+          ["forced:<strategy>"]) *)
+  plan_seeds : Stats.seed_report list;
+      (** per-component seed-strategy decisions (choice, cost estimates
+          and the actual candidate count) — empty under the paper plan,
+          which carries no cost model *)
 }
 
 val pp : Format.formatter -> t -> unit
@@ -38,3 +46,10 @@ val pp : Format.formatter -> t -> unit
 val to_json : t -> string
 (** Machine-readable form, embedded in endpoint responses
     ([?profile=1]) and benchmark JSON. *)
+
+val json_string : string -> string
+(** JSON string literal (quoted, escaped) — shared by the other
+    hand-rolled JSON emitters of this layer ({!Engine.explanation_to_json}). *)
+
+val plan_to_json : plan_mode:string -> plan_seeds:Stats.seed_report list -> string
+(** The [{"mode":…,"seeds":[…]}] object embedded by {!to_json}. *)

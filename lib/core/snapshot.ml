@@ -38,6 +38,7 @@ type contents = {
   synopsis : Synopsis_index.t;
   neighbourhood : Neighbourhood_index.t;
   layout : Mgraph.Posting.policy;
+  stats : Stats.t option;
 }
 
 let corrupt fmt = Printf.ksprintf (fun s -> raise (B.Corrupt s)) fmt
@@ -53,6 +54,12 @@ let tag_attribute_index = 7
 let tag_otil_in = 8
 let tag_otil_out = 9
 let tag_synopsis = 10
+
+(* v2 only, and optional even there: a snapshot written by an engine
+   that computed its statistics carries them; older v2 files (and every
+   v1 file) simply end at the synopsis section and load with
+   [stats = None] — the engine rebuilds them lazily. *)
+let tag_stats = 11
 
 let section_order =
   [
@@ -275,7 +282,9 @@ let add_section buf tag payload =
 let encode_version v buf t =
   Buffer.add_string buf magic;
   B.Varint.write buf v;
-  B.Varint.write buf (List.length section_order);
+  let with_stats = v >= 2 && t.stats <> None in
+  B.Varint.write buf
+    (List.length section_order + if with_stats then 1 else 0);
   let parts = Database.export t.db in
   let incoming, outgoing = Neighbourhood_index.export t.neighbourhood in
   let section tag fill =
@@ -308,7 +317,11 @@ let encode_version v buf t =
   in
   section tag_otil_in (fun b -> write_tries b incoming);
   section tag_otil_out (fun b -> write_tries b outgoing);
-  section tag_synopsis (fun b -> write_synopsis b t.synopsis)
+  section tag_synopsis (fun b -> write_synopsis b t.synopsis);
+  match t.stats with
+  | Some st when with_stats ->
+      section tag_stats (fun b -> write_string b (Stats.encode st))
+  | _ -> ()
 
 let encode buf t = encode_version version buf t
 let encode_v1 buf t = encode_version version_v1 buf t
@@ -354,8 +367,12 @@ let decode src =
   if v <> version && v <> version_v1 then
     corrupt "unsupported snapshot version %d" v;
   let count = B.Varint.read src pos in
-  if count <> List.length section_order then
-    corrupt "unexpected section count %d" count;
+  let base_count = List.length section_order in
+  (* The stats section is optional (and v2-only): a count of
+     [base_count] is a pre-stats file, [base_count + 1] carries it. *)
+  if
+    count <> base_count && not (v >= 2 && count = base_count + 1)
+  then corrupt "unexpected section count %d" count;
   let sect tag parse = read_section src pos tag parse in
   let triple_count, layout =
     sect tag_meta (fun s p ->
@@ -382,6 +399,16 @@ let decode src =
   let incoming = sect tag_otil_in (read_tries ~policy:layout) in
   let outgoing = sect tag_otil_out (read_tries ~policy:layout) in
   let synopsis = sect tag_synopsis read_synopsis in
+  let stats =
+    if count = List.length section_order then None
+    else
+      Some
+        (sect tag_stats (fun s p ->
+             match Stats.decode (read_string s p) with
+             | st -> st
+             | exception Stats.Corrupt msg ->
+                 corrupt "bad stats section: %s" msg))
+  in
   if !pos <> String.length src then corrupt "trailing bytes after sections";
   let db =
     match
@@ -431,7 +458,11 @@ let decode src =
   | _, synopses, _ ->
       if Array.length synopses <> n then
         corrupt "synopsis index / graph size mismatch");
-  { db; attribute; synopsis; neighbourhood; layout }
+  (match stats with
+  | Some st when Stats.(st.vertices) <> n ->
+      corrupt "stats section / graph size mismatch"
+  | _ -> ());
+  { db; attribute; synopsis; neighbourhood; layout; stats }
 
 (* ------------------------------------------------------------------ *)
 (* Static validation (fsck)                                            *)
@@ -448,6 +479,7 @@ let section_name = function
   | 8 -> "otil-in"
   | 9 -> "otil-out"
   | 10 -> "synopsis"
+  | 11 -> "stats"
   | t -> Printf.sprintf "unknown-%d" t
 
 (* Frame-only walk: magic, version, then every section's tag, payload
@@ -462,8 +494,14 @@ let frame_walk src =
   if v <> version && v <> version_v1 then
     corrupt "unsupported snapshot version %d" v;
   let count = B.Varint.read src pos in
-  if count <> List.length section_order then
-    corrupt "unexpected section count %d" count;
+  let base_count = List.length section_order in
+  if
+    count <> base_count && not (v >= 2 && count = base_count + 1)
+  then corrupt "unexpected section count %d" count;
+  let expected_tags =
+    if count = base_count then section_order
+    else section_order @ [ tag_stats ]
+  in
   List.map
     (fun expected_tag ->
       let tag = B.Varint.read src pos in
@@ -480,7 +518,7 @@ let frame_walk src =
         corrupt "bad CRC in section %d (%s)" tag (section_name tag);
       pos := payload_end + 4;
       (section_name tag, len))
-    section_order
+    expected_tags
 
 type fsck_report = {
   sections : (string * int) list;

@@ -37,6 +37,11 @@ type contents = {
   layout : Mgraph.Posting.policy;
       (** posting layout policy the indexes froze under; v1 files read
           as [Auto] *)
+  stats : Stats.t option;
+      (** the cost-model statistics, persisted as an optional trailing
+          v2 section — [None] for v1 files and for v2 files written
+          before the section existed (the engine then rebuilds the
+          statistics lazily, on first adaptive query) *)
 }
 (** The persisted engine state. Derived per-query structures (literal
     bindings, caches) are rebuilt on load. *)

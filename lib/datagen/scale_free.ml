@@ -31,8 +31,9 @@ let entity_iri i = Printf.sprintf "http://example.org/resource/E%d" i
 let predicate_iri p = Printf.sprintf "http://example.org/ontology/p%d" p
 let literal_predicate_iri p = Printf.sprintf "http://example.org/ontology/lit%d" p
 
-let generate ?(seed = 7) profile =
+let generate ?(seed = 7) ?(skew = 0.0) profile =
   if profile.entities < 2 then invalid_arg "Scale_free.generate: too few entities";
+  if skew < 0.0 then invalid_arg "Scale_free.generate: negative skew";
   let rng = Prng.create seed in
   let triples = ref [] in
   let emit s p o = triples := Rdf.Triple.spo s p o :: !triples in
@@ -46,16 +47,23 @@ let generate ?(seed = 7) profile =
   for v = 0 to profile.entities - 1 do
     push v
   done;
+  (* [skew] exaggerates the hubs: their seed weight grows with it, and
+     the uniform dash below shrinks, so degree mass concentrates — the
+     knob the planner benchmarks turn to make the fixed paper plan pay
+     for probing a hub-dominated R-tree region. [skew = 0.] reproduces
+     the historical shape exactly (same PRNG draw sequence). *)
   let hubs = max 1 (profile.entities / 200) in
+  let hub_weight = 40 + int_of_float (skew *. 400.0) in
   for h = 0 to hubs - 1 do
-    for _ = 1 to 40 do
+    for _ = 1 to hub_weight do
       push h
     done
   done;
   let pool = ref (Array.of_list !pool_list) in
   let pick_preferential () =
     (* Mostly degree-proportional, with a uniform dash for coverage. *)
-    if Prng.bool rng 0.15 then Prng.int rng profile.entities
+    let uniform_dash = Float.max 0.02 (0.15 /. (1.0 +. (4.0 *. skew))) in
+    if Prng.bool rng uniform_dash then Prng.int rng profile.entities
     else !pool.(Prng.int rng (Array.length !pool))
   in
   let extra = ref [] and extra_count = ref 0 in

@@ -10,12 +10,13 @@ type config = {
   slow_query : float option;
   log_sample : float;
   log_sink : string option;
+  plan : Amber.Stats.mode option;
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 8080; timeout = Some 30.0; limit = Some 100_000;
     open_objects = true; domains = None; snapshot = None; live_dir = None;
-    slow_query = Some 1.0; log_sample = 1.0; log_sink = None }
+    slow_query = Some 1.0; log_sample = 1.0; log_sink = None; plan = None }
 
 type source = Static of Amber.Engine.t | Live of Amber.Live_engine.t
 
@@ -118,6 +119,8 @@ analyze=1 embeds the static-analysis report (unsatisfiability proofs,
 warnings, hints) as an "analysis" member of the JSON results.
 domains=N matches on up to N domains of the shared pool (1-8;
 overrides the server's configured default).
+plan=paper|adaptive|forced:<rtree|attrs|scan> picks the seed/ordering
+policy (default adaptive; answers are identical across plans).
 |}
 
 (* --- metrics --------------------------------------------------------- *)
@@ -281,6 +284,20 @@ let handle_request_inner config source ~meth ~target ~headers ~body =
             | Some d, _ | None, Some d -> Some (max 1 (min 8 d))
             | None, None -> None
           in
+          (* ?plan=paper|adaptive|forced:<rtree|attrs|scan> (request)
+             overrides the server default; an unknown value is a 400,
+             not a silent fallback — plans change performance, and an
+             operator probing one should learn of the typo. *)
+          let plan =
+            match
+              (List.assoc_opt "plan" params, List.assoc_opt "plan" form_params)
+            with
+            | Some v, _ | None, Some v -> (
+                match Amber.Stats.mode_of_string v with
+                | Some m -> Ok (Some m)
+                | None -> Error v)
+            | None, None -> Ok config.plan
+          in
           let render_rows answer =
             match fmt with
             | `Json ->
@@ -288,7 +305,7 @@ let handle_request_inner config source ~meth ~target ~headers ~body =
             | `Csv -> (200, "text/csv", Amber.Results.to_csv answer)
             | `Tsv -> (200, "text/tab-separated-values", Amber.Results.to_tsv answer)
           in
-          let respond () =
+          let respond plan =
             if needs_algebra src then
               render_rows
                 (Amber.Extended.query_string ?timeout:config.timeout
@@ -308,7 +325,8 @@ let handle_request_inner config source ~meth ~target ~headers ~body =
                   if profile_requested && fmt = `Json then begin
                     let answer, profile =
                       Amber.Engine.query_profiled ?timeout:config.timeout
-                        ?limit:config.limit ~open_objects ?domains engine ast
+                        ?limit:config.limit ~open_objects ?domains ?plan engine
+                        ast
                     in
                     ( 200,
                       "application/sparql-results+json",
@@ -321,27 +339,38 @@ let handle_request_inner config source ~meth ~target ~headers ~body =
                       maybe_analysis
                         (Amber.Results.to_json
                            (Amber.Engine.query ?timeout:config.timeout
-                              ?limit:config.limit ~open_objects ?domains engine
-                              ast)) )
+                              ?limit:config.limit ~open_objects ?domains ?plan
+                              engine ast)) )
                   else
                     render_rows
                       (Amber.Engine.query ?timeout:config.timeout
-                         ?limit:config.limit ~open_objects ?domains engine ast)
+                         ?limit:config.limit ~open_objects ?domains ?plan engine
+                         ast)
               | Sparql.Parser.Q_ask ast ->
                   ( 200,
                     "application/sparql-results+json",
                     Amber.Results.ask_json
                       (Amber.Engine.ask ?timeout:config.timeout ~open_objects
-                         ?domains engine ast) )
+                         ?domains ?plan engine ast) )
               | Sparql.Parser.Q_construct (template, ast) ->
                   ( 200,
                     "application/n-triples",
                     Rdf.Ntriples.to_string
                       (Amber.Engine.construct ?timeout:config.timeout
-                         ?limit:config.limit ~open_objects ?domains engine
+                         ?limit:config.limit ~open_objects ?domains ?plan engine
                          ~template ast) )
           in
-          match respond () with
+          match
+            match plan with
+            | Error v ->
+                ( 400,
+                  "text/plain",
+                  Printf.sprintf
+                    "unknown plan %S (expected paper, adaptive or \
+                     forced:<rtree|attrs|scan>)\n"
+                    v )
+            | Ok plan -> respond plan
+          with
           | response -> response
           | exception Sparql.Parser.Error { line; col; message } ->
               ( 400,

@@ -64,6 +64,11 @@ type config = {
   log_sink : string option;
       (** append captured flight records to this file as JSON lines
           (default [None] — in-memory ring only). *)
+  plan : Amber.Stats.mode option;
+      (** default plan policy for every query; a request's
+          [plan=paper|adaptive|forced:<strategy>] parameter overrides
+          it (an unknown value answers 400). [None] = the engine
+          default ([Adaptive]). *)
 }
 
 val default_config : config

@@ -19,6 +19,8 @@ type record = {
   truncated : bool;
   domains : int;
   core_order : string list list;
+  plan_mode : string;
+  plan_seeds : (string * string * int * int) list;
   phases : (string * float) list;
   candidates_scanned : int;
   solutions : int;
@@ -122,6 +124,19 @@ let record_to_value r =
           (List.map
              (fun comp -> Json.Arr (List.map (fun v -> Json.Str v) comp))
              r.core_order) );
+      ("plan", Json.Str r.plan_mode);
+      ( "plan_seeds",
+        Json.Arr
+          (List.map
+             (fun (variable, strategy, est, actual) ->
+               Json.Obj
+                 [
+                   ("variable", Json.Str variable);
+                   ("strategy", Json.Str strategy);
+                   ("estimate", Json.Num (float_of_int est));
+                   ("actual", Json.Num (float_of_int actual));
+                 ])
+             r.plan_seeds) );
       ( "phases",
         Json.Obj (List.map (fun (name, s) -> (name, Json.Num s)) r.phases) );
       ("candidates_scanned", Json.Num (float_of_int r.candidates_scanned));

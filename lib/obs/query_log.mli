@@ -36,6 +36,13 @@ type record = {
   truncated : bool;  (** hit the row limit *)
   domains : int;  (** domains requested for the match phase *)
   core_order : string list list;  (** chosen vertex order per component *)
+  plan_mode : string;
+      (** plan policy slug (["paper"], ["adaptive"], ["forced:<s>"]);
+          [""] for records that ran no planner (updates, compactions) *)
+  plan_seeds : (string * string * int * int) list;
+      (** per-component seed decisions:
+          [(variable, strategy_slug, estimate, actual)] — kept as plain
+          strings/ints so the recorder stays engine-agnostic *)
   phases : (string * float) list;  (** phase name, seconds; query order *)
   candidates_scanned : int;
   solutions : int;

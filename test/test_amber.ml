@@ -476,8 +476,11 @@ let test_engine_satellites_ablation () =
 
 let test_engine_explain () =
   let e = engine () in
-  (match Amber.Engine.explain e (Fixtures.parse_query Fixtures.paper_query_text) with
-  | Amber.Engine.Plan { components = [ steps ]; open_objects = [] } ->
+  (match
+     Amber.Engine.explain ~plan:Amber.Stats.Paper e
+       (Fixtures.parse_query Fixtures.paper_query_text)
+   with
+  | Amber.Engine.Plan { plan_mode = "paper"; components = [ steps ]; open_objects = [] } ->
       let vars = List.map (fun s -> s.Amber.Engine.variable) steps in
       checkb "paper core order" true (vars = [ "X1"; "X3"; "X5" ]);
       let first = List.hd steps in

@@ -1,10 +1,12 @@
 (* Differential correctness harness: on randomized small multigraphs
-   and generated workloads, sequential AMbER, parallel AMbER (4 domains)
-   and the brute-force oracle must produce identical canonical row sets —
-   both on frozen engines and under randomized schedules of inserts,
-   deletes and compactions against a live engine, where a query pinned
-   before a write must never observe it. Any disagreement prints the
-   offending seed and query so the case can be replayed and shrunk. *)
+   and generated workloads, sequential AMbER, parallel AMbER (4 domains),
+   every planner policy (paper, adaptive, each forced seed strategy) and
+   the brute-force oracle must produce identical canonical row sets —
+   both on frozen engines (uniform and skewed graph shapes) and under
+   randomized schedules of inserts, deletes and compactions against a
+   live engine, where a query pinned before a write must never observe
+   it. Any disagreement prints the offending seed and query so the case
+   can be replayed and shrunk. *)
 
 module Reference = Baselines.Reference_eval
 module TSet = Set.Make (Rdf.Triple)
@@ -110,6 +112,106 @@ let test_coverage () =
     true
     (!cases_checked >= 200)
 
+(* --- plan agreement ----------------------------------------------------- *)
+
+(* Every planner policy the engine accepts. Plans steer seed-vertex
+   strategy and core ordering only; the contract under test is that the
+   canonical answer set never moves. *)
+let plans =
+  Amber.Stats.
+    [
+      ("paper", Paper);
+      ("adaptive", Adaptive);
+      ("forced:rtree", Forced Rtree);
+      ("forced:attrs", Forced Attrs);
+      ("forced:scan", Forced Scan);
+    ]
+
+let plan_cases = ref 0
+
+(* Heavier-tailed variant of [random_triples]: two hub vertices receive
+   most in-edges and carry every attribute while the fringe rarely does,
+   so cardinality estimates diverge sharply across vertices and the
+   adaptive planner makes genuinely different choices than the paper
+   heuristic. *)
+let skewed_triples seed =
+  let rng = Datagen.Prng.create (0xb1a5 + seed) in
+  let n = 12 + Datagen.Prng.int rng 12 in
+  let e i = Printf.sprintf "http://d/e%d" i in
+  let p i = Printf.sprintf "http://d/p%d" i in
+  let lp i = Printf.sprintf "http://d/lp%d" i in
+  let triples = ref [] in
+  for _ = 1 to 50 + Datagen.Prng.int rng 60 do
+    let s = Datagen.Prng.int rng n in
+    let o =
+      if Datagen.Prng.bool rng 0.8 then Datagen.Prng.int rng 2
+      else Datagen.Prng.int rng n
+    in
+    triples :=
+      Rdf.Triple.spo (e s)
+        (p (Datagen.Prng.int rng 3))
+        (Rdf.Term.iri (e o))
+      :: !triples
+  done;
+  for v = 0 to n - 1 do
+    if v < 2 || Datagen.Prng.bool rng 0.25 then
+      triples :=
+        Rdf.Triple.spo (e v)
+          (lp (Datagen.Prng.int rng 2))
+          (Rdf.Term.literal (Printf.sprintf "w%d" (Datagen.Prng.int rng 2)))
+        :: !triples
+  done;
+  !triples
+
+let check_plans label seed triples ast =
+  let expected = Reference.canonical_answer triples ast in
+  let engine = Amber.Engine.build triples in
+  List.for_all
+    (fun (name, plan) ->
+      incr plan_cases;
+      let got =
+        Reference.canonical_rows
+          (Amber.Engine.query ~plan engine ast).Amber.Engine.rows
+      in
+      if got <> expected then
+        Qseed.fail_reportf
+          "seed %d (%s): plan %s disagrees with oracle (%d vs %d rows) \
+           on:@.%s"
+          seed label name (List.length got) (List.length expected)
+          (Sparql.Ast.to_string ast)
+      else true)
+    plans
+
+let prop_plan_agreement =
+  QCheck.Test.make
+    ~name:"paper = adaptive = every forced strategy = oracle (uniform + skew)"
+    ~count:30
+    (QCheck.make
+       ~print:(fun seed ->
+         let skewed = skewed_triples seed in
+         Printf.sprintf "seed %d (%d skewed triples):\n%s" seed
+           (List.length skewed)
+           (String.concat "\n"
+              (List.map Sparql.Ast.to_string
+                 (queries_for (seed + 77) skewed))))
+       ~shrink:QCheck.Shrink.int
+       QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let uniform = random_triples seed in
+      let skewed = skewed_triples seed in
+      List.for_all (check_plans "uniform" seed uniform)
+        (queries_for seed uniform)
+      && List.for_all (check_plans "skewed" seed skewed)
+           (queries_for (seed + 77) skewed))
+
+(* 30 seeds x (2 + 2 queries) x 2 graph shapes x 5 plans = 1200. *)
+let test_plan_coverage () =
+  Alcotest.(check bool)
+    (Printf.sprintf "plan-agreement harness checked %d cases (>= 500)"
+       !plan_cases)
+    true
+    (!plan_cases >= 500)
+
 (* --- update-interleaving schedules -------------------------------------- *)
 
 let canonical engine ast =
@@ -182,6 +284,14 @@ let run_schedule seed =
           Reference.canonical_rows
             (Amber.Engine.query ~domains:4 engine ast).Amber.Engine.rows
         in
+        (* The overlay inherits the base generation's (stale) statistics;
+           the paper plan ignores them entirely. Both must still agree
+           with the oracle after every update and across compactions. *)
+        let paper =
+          Reference.canonical_rows
+            (Amber.Engine.query ~plan:Amber.Stats.Paper engine ast)
+              .Amber.Engine.rows
+        in
         if seq <> expected then
           Qseed.fail_reportf
             "seed %d step %d: live engine disagrees with oracle (%d vs %d \
@@ -193,6 +303,12 @@ let run_schedule seed =
             "seed %d step %d: parallel live engine (4 domains) disagrees \
              with oracle (%d vs %d rows) on:@.%s"
             seed step (List.length par) (List.length expected)
+            (Sparql.Ast.to_string ast)
+        else if paper <> expected then
+          Qseed.fail_reportf
+            "seed %d step %d: paper plan on live engine disagrees with \
+             oracle (%d vs %d rows) on:@.%s"
+            seed step (List.length paper) (List.length expected)
             (Sparql.Ast.to_string ast))
       (match merged with [] -> [] | _ -> queries_for (seed + step) merged)
   in
@@ -256,6 +372,9 @@ let suite =
       [
         Qseed.to_alcotest prop_differential;
         Alcotest.test_case "coverage >= 200 cases" `Quick test_coverage;
+        Qseed.to_alcotest prop_plan_agreement;
+        Alcotest.test_case "plan coverage >= 500 cases" `Quick
+          test_plan_coverage;
         Qseed.to_alcotest prop_update_interleaving;
         Alcotest.test_case "schedule coverage >= 200" `Quick
           test_schedule_coverage;

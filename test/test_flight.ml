@@ -25,6 +25,8 @@ let mk ?(status = Obs.Query_log.Ok) ?(seconds = 0.01) ?(rows = 1) query =
     truncated = false;
     domains = 1;
     core_order = [ [ "s" ] ];
+    plan_mode = "paper";
+    plan_seeds = [ ("s", "rtree", 10, 10) ];
     phases = [ ("decompose", 0.001); ("match", 0.008) ];
     candidates_scanned = 10;
     solutions = rows;

@@ -230,6 +230,28 @@ let test_v1_snapshot_compat () =
   checkb "answers survive the v1 snapshot" true
     (canonical original ast = canonical loaded ast)
 
+(* v2 files carry an optional trailing stats section: a fresh save
+   includes it and the loaded engine reuses it verbatim; files without
+   it (v1 here, but also pre-stats v2 files) still load and rebuild the
+   statistics lazily from the indexes — which must land on the same
+   values, stats being a deterministic function of the indexes. *)
+let test_stats_section_roundtrip () =
+  let original = Amber.Engine.build Fixtures.paper_triples in
+  let contents = Amber.Engine.snapshot_contents original in
+  checkb "fresh snapshots carry stats" true (contents.Amber.Snapshot.stats <> None);
+  with_temp_file ".amberix" @@ fun path ->
+  Amber.Engine.save_snapshot original path;
+  let loaded = Amber.Engine.load_snapshot path in
+  checkb "stats survive the snapshot" true
+    (Amber.Engine.statistics loaded = Amber.Engine.statistics original);
+  let v1 = Amber.Snapshot.to_string_v1 contents in
+  let oc = open_out_bin path in
+  output_string oc v1;
+  close_out oc;
+  let from_v1 = Amber.Engine.load_snapshot path in
+  checkb "stats-less files rebuild identical stats lazily" true
+    (Amber.Engine.statistics from_v1 = Amber.Engine.statistics original)
+
 (* --- parallel build determinism ---------------------------------------- *)
 
 let test_parallel_byte_identical () =
@@ -447,6 +469,8 @@ let suite =
           test_layout_roundtrips;
         Alcotest.test_case "v1 snapshot compatibility" `Quick
           test_v1_snapshot_compat;
+        Alcotest.test_case "stats section roundtrip + lazy rebuild" `Quick
+          test_stats_section_roundtrip;
         Alcotest.test_case "parallel build byte-identical" `Quick
           test_parallel_byte_identical;
         Alcotest.test_case "parallel build quiesces pool" `Quick
