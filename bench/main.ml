@@ -48,7 +48,8 @@ let usage () =
              [--json FILE] [--baseline FILE] [--layout raw|ef|blocked|auto]
 
   ids: table1 table4 table5 fig6..fig11 ablation profile kernels parallel
-       build analysis resource layouts updates plans (comma separated)
+       build analysis resource layouts updates plans rewrites (comma
+       separated)
   --quick: small preset (scale 0.04, 5 queries/point, sizes 10,20,30)
   --json:  also write a machine-readable report (summaries with
            p95/p99, per-phase breakdowns, metrics registry) to FILE
@@ -221,10 +222,12 @@ let compare_with_baseline cfg =
               (List.rev !json_entries)
           in
           let rows = ref [] and regressed = ref [] in
-          (* Fields (or whole suites) this run has but the baseline
-             lacks can't regress, but silently skipping them would let a
-             growing report drift out of the gate's coverage — so each
-             one warns on stderr (never fails the run). *)
+          (* Fields (or whole suites) present on only one side cannot
+             regress, but silently skipping them would let either report
+             drift out of the gate's coverage — a new field this run
+             grew, or an old one a refactor dropped, both deserve a
+             note. So each direction warns on stderr (never fails the
+             run). *)
           let deltas_of ~suite ~kind pred base_json cur_json =
             let base = collect_fields pred "" base_json [] in
             let cur = collect_fields pred "" cur_json [] in
@@ -237,6 +240,15 @@ let compare_with_baseline cfg =
                      %!"
                     kind suite p)
               cur;
+            List.iter
+              (fun (p, _) ->
+                if not (List.mem_assoc p cur) then
+                  Printf.eprintf
+                    "warning: this run lacks %s field %s.%s present in the \
+                     baseline; not compared\n\
+                     %!"
+                    kind suite p)
+              base;
             List.filter_map
               (fun (p, b) ->
                 if b > 1e-9 then
@@ -291,6 +303,15 @@ let compare_with_baseline cfg =
                       :: !rows
                   end)
             current;
+          List.iter
+            (fun (suite, _) ->
+              if not (List.mem_assoc suite current) then
+                Printf.eprintf
+                  "warning: this run has no \"%s\" suite present in the \
+                   baseline; not compared\n\
+                   %!"
+                  suite)
+            base_fields;
           if !rows = [] then begin
             Printf.printf
               "no timing or bytes fields shared with the baseline (different \
@@ -1818,6 +1839,169 @@ let bench_plans cfg =
   add_json "plans"
     (Printf.sprintf {|{"datasets":[%s]}|} (String.concat "," ds_json))
 
+(* ------------------------------------------------------------------ *)
+(* Semantic rewriter: minimal vs redundant workloads with the rewrite  *)
+(* pass on and off; --only rewrites, recorded as BENCH_10.json         *)
+(* ------------------------------------------------------------------ *)
+
+let bench_rewrites cfg ds =
+  section
+    (Printf.sprintf
+       "Semantic rewriter: rewrite on/off over minimal and redundant \
+        workloads on %s"
+       ds.ds_name);
+  let engine = Amber.Engine.build ~layout:cfg.layout (Lazy.force ds.triples) in
+  let base_queries =
+    Datagen.Workload.generate ~seed:(cfg.seed + 91) (Lazy.force ds.corpus)
+      ~shape:Datagen.Workload.Complex ~size:4 ~count:cfg.queries_per_point
+  in
+  (* Both suites project the original variables under DISTINCT — the
+     setting where core minimization is sound — so the two columns
+     differ only in what the rewriter can find. "minimal" is the
+     workload as generated (nothing removable: measures pure rewriter
+     overhead); "redundant" duplicates the first pattern verbatim and
+     appends a variable-renamed copy of the whole clause, which folds
+     back onto the original under a homomorphism fixing the projected
+     variables — exactly the redundancy minimization removes. *)
+  let minimal ast =
+    Sparql.Ast.make ~distinct:true
+      (Sparql.Ast.Select_vars (Sparql.Ast.variables ast))
+      ast.Sparql.Ast.where
+  in
+  let redundant ast =
+    let open Sparql.Ast in
+    let rename = function Var v -> Var (v ^ "_r") | t -> t in
+    let copy =
+      List.map
+        (fun p ->
+          { subject = rename p.subject;
+            predicate = p.predicate;
+            obj = rename p.obj })
+        ast.where
+    in
+    let dup = match ast.where with [] -> [] | p :: _ -> [ p ] in
+    make ~distinct:true (Select_vars (variables ast)) (ast.where @ dup @ copy)
+  in
+  let steps_fired ast =
+    let r =
+      Amber.Rewrite.apply ~db:(Amber.Engine.db engine)
+        ~attribute:(Amber.Engine.attribute_index engine)
+        ~stats:(lazy (Amber.Engine.statistics engine))
+        ast
+    in
+    List.length r.Amber.Rewrite.steps
+  in
+  let suites =
+    [
+      ("minimal", List.map minimal base_queries);
+      ("redundant", List.map redundant base_queries);
+    ]
+  in
+  let suite_json =
+    List.map
+      (fun (suite, queries) ->
+        let fired = List.fold_left (fun n q -> n + steps_fired q) 0 queries in
+        (* Caches off so the second mode can't inherit the first one's
+           candidate sets; each (query, mode) is timed twice keeping the
+           best, and an expired attempt is scored at the full budget. *)
+        let per_query =
+          List.map
+            (fun ast ->
+              List.map
+                (fun (mode, rewrite) ->
+                  let attempt () =
+                    match
+                      Bench_util.Runner.time (fun () ->
+                          Amber.Engine.query ~timeout:cfg.timeout
+                            ~limit:cfg.row_limit ~caches:false ~rewrite engine
+                            ast)
+                    with
+                    | dt, a -> (dt, Some a)
+                    | exception Amber.Deadline.Expired -> (cfg.timeout, None)
+                  in
+                  let d1, a1 = attempt () in
+                  let d2, a2 = attempt () in
+                  let answer = match a1 with Some _ -> a1 | None -> a2 in
+                  (mode, (min d1 d2, answer)))
+                [ ("on", true); ("off", false) ])
+            queries
+        in
+        (* The point of the whole exercise: the rewriter must be
+           invisible in the answers. Row ORDER may shift (the rewritten
+           clause seeds a different core order), so compare sorted; a
+           truncated answer is an order-dependent prefix and is skipped
+           here (the differential tests cover identity at sizes where
+           nothing truncates). *)
+        List.iter
+          (fun results ->
+            let answered = List.filter_map (fun (_, (_, a)) -> a) results in
+            if
+              List.for_all (fun a -> not a.Amber.Engine.truncated) answered
+            then
+              match
+                List.map
+                  (fun a -> List.sort compare a.Amber.Engine.rows)
+                  answered
+              with
+              | [] -> ()
+              | first :: rest ->
+                  if not (List.for_all (fun rows -> rows = first) rest)
+                  then begin
+                    Printf.eprintf
+                      "FATAL: rewrite on/off disagree on answers (%s, %s)\n"
+                      ds.ds_name suite;
+                    exit 2
+                  end)
+          per_query;
+        let rows =
+          List.map
+            (fun mode ->
+              let samples =
+                List.map (fun results -> List.assoc mode results) per_query
+              in
+              let times = List.map fst samples in
+              let answered =
+                List.length (List.filter (fun (_, a) -> a <> None) samples)
+              in
+              ( mode,
+                Bench_util.Stats.median times,
+                Bench_util.Stats.p95 times,
+                answered ))
+            [ "on"; "off" ]
+        in
+        Bench_util.Table_fmt.print
+          ~header:
+            [
+              Printf.sprintf "%s (rewrites fired: %d)" suite fired;
+              "median ms";
+              "p95 ms";
+              "answered";
+            ]
+          (List.map
+             (fun (mode, median, p95, answered) ->
+               [
+                 "rewrite=" ^ mode;
+                 Bench_util.Table_fmt.ms median;
+                 Bench_util.Table_fmt.ms p95;
+                 Printf.sprintf "%d/%d" answered (List.length queries);
+               ])
+             rows);
+        Printf.sprintf
+          {|{"suite":"%s","queries":%d,"rewrites_fired":%d,"modes":[%s]}|}
+          suite (List.length queries) fired
+          (String.concat ","
+             (List.map
+                (fun (mode, median, p95, answered) ->
+                  Printf.sprintf
+                    {|{"rewrite":"%s","median_s":%.9g,"p95_s":%.9g,"answered":%d}|}
+                    mode median p95 answered)
+                rows)))
+      suites
+  in
+  add_json "rewrites"
+    (Printf.sprintf {|{"dataset":"%s","triples":%d,"suites":[%s]}|} ds.ds_name
+       (List.length (Lazy.force ds.triples))
+       (String.concat "," suite_json))
 
 (* ------------------------------------------------------------------ *)
 (* Micro benchmarks (Bechamel)                                         *)
@@ -1930,6 +2114,7 @@ let () =
   if wants cfg "layouts" then bench_layouts cfg dbpedia;
   if wants cfg "updates" then bench_updates cfg dbpedia;
   if wants cfg "plans" then bench_plans cfg;
+  if wants cfg "rewrites" then bench_rewrites cfg dbpedia;
   if cfg.micro then micro_benchmarks ();
   write_json_report cfg;
   let within_baseline = compare_with_baseline cfg in

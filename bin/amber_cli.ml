@@ -26,7 +26,11 @@
    writes the phase tree as Chrome trace-event JSON for Perfetto.
    --plan paper|adaptive|forced:<rtree|attrs|scan> picks the planner
    policy on `query`, `explain` and `serve`; answers never depend on
-   it. *)
+   it. --rewrite on|off toggles the semantic query rewriter on the same
+   three commands (default on; equivalence-preserving, answers never
+   depend on it either). `lint` additionally prints what the rewriter
+   would simplify; `lint --strict` exits non-zero on warnings, not just
+   on proven-empty queries. *)
 
 open Cmdliner
 
@@ -169,6 +173,30 @@ let plan_arg =
            forced:<rtree|attrs|scan> to pin the seed strategy. Answers are \
            identical across plans (amber engine only).")
 
+let rewrite_conv =
+  let parse v =
+    match String.lowercase_ascii v with
+    | "on" | "true" | "1" | "yes" -> Ok true
+    | "off" | "false" | "0" | "no" -> Ok false
+    | _ ->
+        Error
+          (`Msg (Printf.sprintf "unknown rewrite %S (expected on or off)" v))
+  in
+  let print ppf b = Format.pp_print_string ppf (if b then "on" else "off") in
+  Arg.conv (parse, print)
+
+let rewrite_arg =
+  Arg.(
+    value
+    & opt (some rewrite_conv) None
+    & info [ "rewrite" ] ~docv:"on|off"
+        ~doc:
+          "Toggle the semantic query rewriter (duplicate elimination, core \
+           minimization, constant propagation, Cartesian-product hints) run \
+           before planning. Default on; every pass is \
+           equivalence-preserving, so answers are identical either way \
+           (amber engine only).")
+
 let query_text query_file sparql =
   match (sparql, query_file) with
   | Some q, _ -> q
@@ -282,7 +310,7 @@ let json_flag_arg =
         ~doc:"Emit one machine-readable JSON array instead of pretty text.")
 
 let run_query data query_file sparql timeout limit engine open_objects extended
-    format profile explain domains trace_out plan =
+    format profile explain domains trace_out plan rewrite =
   let src = query_text query_file sparql in
   if (profile || explain || trace_out <> None) && (extended || engine <> `Amber)
   then
@@ -293,6 +321,9 @@ let run_query data query_file sparql timeout limit engine open_objects extended
     prerr_endline "note: --domains applies to the plain amber engine only; ignored";
   if plan <> None && (extended || engine <> `Amber) then
     prerr_endline "note: --plan applies to the plain amber engine only; ignored";
+  if rewrite <> None && (extended || engine <> `Amber) then
+    prerr_endline
+      "note: --rewrite applies to the plain amber engine only; ignored";
   let domains = Option.map (fun d -> max 1 (min 8 d)) domains in
   if extended then begin
     let e = load_engine ?domains data in
@@ -344,7 +375,7 @@ let run_query data query_file sparql timeout limit engine open_objects extended
         match Sparql.Parser.parse_result src with
         | Ok ast ->
             Format.printf "%a@." Amber.Engine.pp_explanation
-              (Amber.Engine.explain ~open_objects ?plan e ast);
+              (Amber.Engine.explain ~open_objects ?plan ?rewrite e ast);
             Format.printf "%a@." Amber.Analysis.pp_report
               (Amber.Engine.analyze ~open_objects e ast)
         | Error _ -> () (* the query path reports the parse error below *)
@@ -360,7 +391,7 @@ let run_query data query_file sparql timeout limit engine open_objects extended
         match
           Bench_util.Runner.time (fun () ->
               Amber.Engine.query_string_profiled ?timeout ?limit ~open_objects
-                ?domains ?plan e src)
+                ?domains ?plan ?rewrite e src)
         with
         | dt, (a, p) ->
             print_answer ~format a.Amber.Engine.variables a.rows a.truncated;
@@ -389,17 +420,17 @@ let run_query data query_file sparql timeout limit engine open_objects extended
               | Sparql.Parser.Q_select ast ->
                   let a =
                     Amber.Engine.query ?timeout ?limit ~open_objects ?domains
-                      ?plan e ast
+                      ?plan ?rewrite e ast
                   in
                   `Rows a
               | Sparql.Parser.Q_ask ast ->
                   `Bool
-                    (Amber.Engine.ask ?timeout ~open_objects ?domains ?plan e
-                       ast)
+                    (Amber.Engine.ask ?timeout ~open_objects ?domains ?plan
+                       ?rewrite e ast)
               | Sparql.Parser.Q_construct (template, ast) ->
                   `Triples
                     (Amber.Engine.construct ?timeout ?limit ~open_objects
-                       ?domains ?plan e ~template ast))
+                       ?domains ?plan ?rewrite e ~template ast))
         with
         | dt, result ->
             (match result with
@@ -427,11 +458,12 @@ let query_cmd =
     Term.(
       const run_query $ data_arg $ query_file_arg $ sparql_arg $ timeout_arg
       $ limit_arg $ engine_arg $ open_objects_arg $ extended_arg $ format_arg
-      $ profile_arg $ explain_flag_arg $ domains_arg $ trace_out_arg $ plan_arg)
+      $ profile_arg $ explain_flag_arg $ domains_arg $ trace_out_arg $ plan_arg
+      $ rewrite_arg)
 
 (* --- explain ----------------------------------------------------------- *)
 
-let run_explain data query_file sparql open_objects plan json_out =
+let run_explain data query_file sparql open_objects plan rewrite json_out =
   let src = query_text query_file sparql in
   let ast =
     match Sparql.Parser.parse_result src with
@@ -441,7 +473,7 @@ let run_explain data query_file sparql open_objects plan json_out =
         exit 1
   in
   let e = load_engine data in
-  let explanation = Amber.Engine.explain ~open_objects ?plan e ast in
+  let explanation = Amber.Engine.explain ~open_objects ?plan ?rewrite e ast in
   if json_out then
     print_endline (Amber.Engine.explanation_to_json explanation)
   else begin
@@ -455,11 +487,34 @@ let explain_cmd =
   Cmd.v (Cmd.info "explain" ~doc)
     Term.(
       const run_explain $ data_arg $ query_file_arg $ sparql_arg
-      $ open_objects_arg $ plan_arg $ json_flag_arg)
+      $ open_objects_arg $ plan_arg $ rewrite_arg $ json_flag_arg)
 
 (* --- lint -------------------------------------------------------------- *)
 
-let run_lint data query_files query_file sparql open_objects json_out =
+(* One human-readable line summarizing what the rewriter would do to a
+   query — e.g. "2 pattern(s) removable by core minimization". *)
+let rewrite_suggestions steps =
+  let count kind =
+    List.length
+      (List.filter
+         (fun (s : Amber.Rewrite.step) ->
+           Amber.Rewrite.kind_slug s.Amber_rewrite.kind = kind)
+         steps)
+  in
+  let dups = count "duplicate-pattern" in
+  let mins = count "core-minimization" in
+  let props = count "constant-propagation" in
+  let carts = count "cartesian-product" in
+  List.filter_map
+    (fun (n, text) -> if n = 0 then None else Some (Printf.sprintf text n))
+    [
+      (dups, format_of_string "%d duplicate pattern(s) removable");
+      (mins, format_of_string "%d pattern(s) removable by core minimization");
+      (props, format_of_string "%d variable(s) data-forced to a constant");
+      (carts, format_of_string "%d Cartesian product(s) between unconnected groups");
+    ]
+
+let run_lint data query_files query_file sparql open_objects strict json_out =
   let sources =
     (match sparql with Some q -> [ ("<inline>", q) ] | None -> [])
     @ (match query_file with Some f -> [ (f, read_file f) ] | None -> [])
@@ -470,7 +525,9 @@ let run_lint data query_files query_file sparql open_objects json_out =
     exit 2
   end;
   let e = load_engine data in
-  let any_unsat = ref false and any_error = ref false in
+  let any_unsat = ref false
+  and any_error = ref false
+  and any_warning = ref false in
   let reports =
     List.map
       (fun (name, src) ->
@@ -481,7 +538,18 @@ let run_lint data query_files query_file sparql open_objects json_out =
         | Ok ast ->
             let report = Amber.Engine.analyze ~open_objects e ast in
             if Amber.Analysis.unsat_proof report <> None then any_unsat := true;
-            (name, Ok report))
+            if Amber.Analysis.warnings report <> [] then any_warning := true;
+            (* A dry rewriter run: what the engine would simplify away
+               before planning. Advisory only — never affects the exit
+               code. *)
+            let rewrites =
+              (Amber.Rewrite.apply ~open_objects ~db:(Amber.Engine.db e)
+                 ~attribute:(Amber.Engine.attribute_index e)
+                 ~stats:(lazy (Amber.Engine.statistics e))
+                 ast)
+                .Amber.Rewrite.steps
+            in
+            (name, Ok (report, rewrites)))
       sources
   in
   if json_out then begin
@@ -506,9 +574,11 @@ let run_lint data query_files query_file sparql open_objects json_out =
       | Error msg ->
           Printf.sprintf "{\"query\":%s,\"parse_error\":%s}" (quote name)
             (quote msg)
-      | Ok report ->
-          Printf.sprintf "{\"query\":%s,\"report\":%s}" (quote name)
+      | Ok (report, rewrites) ->
+          Printf.sprintf "{\"query\":%s,\"report\":%s,\"rewrites\":%s}"
+            (quote name)
             (Amber.Analysis.report_to_json report)
+            (Amber.Rewrite.steps_to_json rewrites)
     in
     print_endline ("[" ^ String.concat "," (List.map item reports) ^ "]")
   end
@@ -517,15 +587,19 @@ let run_lint data query_files query_file sparql open_objects json_out =
       (fun (name, res) ->
         match res with
         | Error msg -> Printf.printf "%s: SPARQL parse error: %s\n" name msg
-        | Ok report ->
+        | Ok (report, rewrites) ->
             if Amber.Analysis.unsat_proof report = None
                && Amber.Analysis.warnings report = []
                && Amber.Analysis.hints report = []
             then Printf.printf "%s: clean\n" name
-            else Format.printf "%s:@.%a@." name Amber.Analysis.pp_report report)
+            else Format.printf "%s:@.%a@." name Amber.Analysis.pp_report report;
+            List.iter
+              (fun line -> Printf.printf "  rewriter: %s\n" line)
+              (rewrite_suggestions rewrites))
       reports;
   if !any_unsat then exit 1;
-  if !any_error then exit 2
+  if !any_error then exit 2;
+  if strict && !any_warning then exit 1
 
 let lint_queries_arg =
   Arg.(
@@ -533,15 +607,24 @@ let lint_queries_arg =
     & pos_all non_dir_file []
     & info [] ~docv:"QUERY" ~doc:"SPARQL query files to analyze.")
 
+let strict_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Exit non-zero when any query raises an analyzer warning, not only \
+           when one is proven empty.")
+
 let lint_cmd =
   let doc =
     "statically analyze queries against a dataset: unsatisfiability proofs, \
-     warnings and hints (exit 1 if any query is proven empty)"
+     warnings, hints and rewriter suggestions (exit 1 if any query is proven \
+     empty; with --strict, also on warnings)"
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(
       const run_lint $ data_arg $ lint_queries_arg $ query_file_arg $ sparql_arg
-      $ open_objects_arg $ json_flag_arg)
+      $ open_objects_arg $ strict_flag_arg $ json_flag_arg)
 
 (* --- fsck -------------------------------------------------------------- *)
 
@@ -570,7 +653,7 @@ let fsck_cmd =
 (* --- serve ------------------------------------------------------------- *)
 
 let run_serve data port timeout limit open_objects domains slow_query log_sample
-    log_sink plan =
+    log_sink plan rewrite =
   let is_live = Sys.is_directory data in
   let is_snapshot = (not is_live) && Amber.Snapshot.sniff_file data in
   let domains = Option.map (fun d -> max 1 (min 8 d)) domains in
@@ -588,6 +671,7 @@ let run_serve data port timeout limit open_objects domains slow_query log_sample
       log_sample;
       log_sink;
       plan;
+      rewrite = Option.value ~default:true rewrite;
     }
   in
   let t_boot, server =
@@ -642,7 +726,7 @@ let serve_cmd =
     Term.(
       const run_serve $ data_arg $ port_arg $ timeout_arg $ limit_arg
       $ open_objects_arg $ domains_arg $ slow_query_arg $ log_sample_arg
-      $ log_sink_arg $ plan_arg)
+      $ log_sink_arg $ plan_arg $ rewrite_arg)
 
 (* --- update ------------------------------------------------------------ *)
 

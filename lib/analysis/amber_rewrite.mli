@@ -1,0 +1,123 @@
+(** Semantic query rewriting — equivalence-preserving simplification of
+    a SPARQL basic graph pattern, run {e before} decomposition and
+    planning.
+
+    This module is the engine-independent half of the rewriter: the
+    step vocabulary, its renderings, and the passes that need nothing
+    but the AST (duplicate elimination, homomorphic core minimization,
+    Cartesian-product detection). The data-dependent pass — constant
+    propagation, which needs dictionary and adjacency lookups — is
+    parameterized by a {!singleton} callback so the library stays free
+    of engine types; [Amber.Rewrite] (lib/core) supplies the
+    index-backed callback and the blow-up estimator.
+
+    Soundness contract, checked by the differential test suite against
+    the brute-force oracle:
+
+    - {b duplicate elimination} is unconditionally sound: a solution
+      mapping satisfies a verbatim repeat of a pattern iff it satisfies
+      the original, and BGP solution multiplicity does not depend on
+      pattern repetition.
+    - {b core minimization} removes a pattern [t] only when a query
+      self-homomorphism [h] — identity on every {e protected} variable
+      (projected or named in ORDER BY) and on all constants — maps the
+      whole clause into the clause without [t]. Then for any solution μ
+      of the reduced query, μ∘h solves the original and agrees with μ
+      on the protected variables, so the {e projected answer set} is
+      unchanged. Because variable elimination can change embedding
+      {e multiplicities}, this pass only runs under [DISTINCT].
+    - {b constant propagation} substitutes [?v := c] only when the
+      {!singleton} callback certifies that the data admits exactly one
+      binding for [?v] in some pattern; the substitution is then a
+      multiplicity-preserving bijection on solutions, sound under bag
+      semantics too. The forced value is returned as a binding so the
+      caller can re-attach it to projected rows.
+    - {b Cartesian-product detection} never changes the query: it only
+      surfaces a structured step. *)
+
+type kind =
+  | Duplicate_pattern of { first : int; dup : int }
+      (** Pattern [dup] repeated pattern [first] verbatim and was
+          dropped (indices into the clause at the time of removal). *)
+  | Core_minimization of { removed : int; folded : (string * string) list }
+      (** Pattern [removed] was folded into the rest by a
+          self-homomorphism; [folded] lists its non-identity variable
+          mappings as [(variable, image text)]. *)
+  | Constant_propagation of { variable : string; value : string }
+      (** [?variable] was substituted by the ground term [value]
+          (printed form) everywhere in the clause. *)
+  | Cartesian_product of { components : int; estimated_rows : int option }
+      (** The (rewritten) clause splits into [components]
+          variable-disjoint groups; the answer is their Cartesian
+          product, estimated at [estimated_rows] when a cost model was
+          available. Advisory — the clause is not modified. *)
+
+type step = {
+  kind : kind;
+  spans : Amber_analysis.span list;
+      (** removed / substituted patterns, indexed into the clause as it
+          stood when the pass fired *)
+  justification : string;  (** one-line human-readable soundness note *)
+}
+
+val kind_slug : kind -> string
+(** Stable machine-readable slug: ["duplicate-pattern"],
+    ["core-minimization"], ["constant-propagation"],
+    ["cartesian-product"]. *)
+
+val slugs : step list -> string list
+(** [kind_slug] of every step, in application order. *)
+
+val pp_step : Format.formatter -> step -> unit
+val step_to_json : step -> string
+val steps_to_json : step list -> string
+(** JSON array of {!step_to_json} objects:
+    [{"kind":…,"justification":…,"spans":[{"pattern":…,"text":…},…],…}]
+    with kind-specific fields ([first]/[dup], [removed]/[folded],
+    [variable]/[value], [components]/[estimated_rows]). *)
+
+val protected_variables : Sparql.Ast.t -> string list
+(** The variables core minimization must fix: projected variables
+    ([SELECT *] protects everything) plus ORDER BY keys. *)
+
+type result = {
+  ast : Sparql.Ast.t;
+      (** the rewritten query — only [where] ever differs from the
+          input *)
+  bindings : (string * Sparql.Ast.term) list;
+      (** values forced by constant propagation; substituted variables
+          no longer occur in [ast.where], so callers projecting the
+          {e original} SELECT list must re-attach these to rows *)
+  steps : step list;  (** applied rewrites, in application order *)
+}
+
+val rewrite :
+  ?max_patterns:int ->
+  ?mutate:bool ->
+  ?singleton:(Sparql.Ast.triple_pattern -> (string * Sparql.Ast.term) option) ->
+  ?component_rows:(Sparql.Ast.triple_pattern list -> int) ->
+  Sparql.Ast.t ->
+  result
+(** Run all passes to fixpoint: duplicate elimination, constant
+    propagation (when [singleton] is given), core minimization (under
+    [DISTINCT] only), then Cartesian detection.
+
+    @param max_patterns clause-size ceiling for the core-minimization
+    search (default 16); larger clauses skip that pass — the
+    backtracking homomorphism search is exponential in the worst case
+    and also internally budgeted, so a pathological clause degrades to
+    a no-op, never to a wrong answer.
+    @param mutate when [false], skip every clause-changing pass and run
+    only the advisory Cartesian detection; the result's [ast] is the
+    input and [bindings] is empty. Callers whose evaluation semantics
+    depend on the clause's literal shape (the engine's open-objects
+    extension lifts object variables by occurrence count, so removing a
+    duplicate or grounding a subject changes which literals bind) must
+    pass [false].
+    @param singleton certifies data-forced bindings: given a pattern,
+    return [Some (variable, ground term)] when the data admits exactly
+    one binding for that variable in that pattern considered alone.
+    The callback's answer is trusted — an unsound callback yields an
+    unsound rewrite.
+    @param component_rows estimated row count of one variable-connected
+    pattern group, used only for the Cartesian step's blow-up figure. *)

@@ -146,6 +146,23 @@ let project_answer t ~q ~(ast : Sparql.Ast.t) ~deadline ~selected
   in
   { variables = selected; rows; truncated }
 
+(* Re-attach values the rewriter's constant propagation substituted
+   away: the variable no longer occurs in the rewritten clause, so the
+   projection above yielded [None] for its column — fill in the forced
+   term. Every row gets the same constant, so DISTINCT dedup and ORDER
+   BY comparisons are unaffected by patching after the fact. *)
+let reattach_bindings ~selected bindings answer =
+  if bindings = [] then answer
+  else begin
+    let forced = List.map (fun v -> List.assoc_opt v bindings) selected in
+    let patch row =
+      List.map2
+        (fun f cell -> match cell with Some _ -> cell | None -> f)
+        forced row
+    in
+    { answer with rows = List.map patch answer.rows }
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Default-registry metrics                                            *)
 (* ------------------------------------------------------------------ *)
@@ -271,7 +288,7 @@ let plan_seed_rows reports =
     reports
 
 let record_flight ~seconds ~ast ~domains ~status ~core_order ~phases ~analysis
-    ~gc ~plan_mode ~plan_seeds ~(stats : Matcher.stats) answer =
+    ~gc ~plan_mode ~plan_seeds ~rewrites ~(stats : Matcher.stats) answer =
   let text = Sparql.Ast.to_string ast in
   let rows, truncated =
     match answer with
@@ -292,6 +309,7 @@ let record_flight ~seconds ~ast ~domains ~status ~core_order ~phases ~analysis
       core_order;
       plan_mode;
       plan_seeds;
+      rewrites;
       phases;
       candidates_scanned = stats.Matcher.candidates_scanned;
       solutions = stats.Matcher.solutions;
@@ -683,8 +701,8 @@ let screen_proof t q ast =
   Analysis.unsat_proof (Analysis.report_of_items items)
 
 let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
-    ?caches ?(analyze = true) ?(domains = 1) ?(plan = Stats.Adaptive) t
-    (ast : Sparql.Ast.t) =
+    ?caches ?(analyze = true) ?(domains = 1) ?(plan = Stats.Adaptive)
+    ?(rewrite = true) t (ast : Sparql.Ast.t) =
   let t0 = Unix.gettimeofday () in
   let gc0 = Obs.Resource.gc_mark () in
   let domains = max 1 domains in
@@ -718,6 +736,7 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
   in
   let core_order = ref [] in
   let analysis_note = ref None in
+  let rewrite_steps = ref [] in
   let flight status answer =
     record_flight
       ~seconds:(Unix.gettimeofday () -. t0)
@@ -725,6 +744,7 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
       ~phases:(List.rev !phases) ~analysis:!analysis_note
       ~plan_mode:(Stats.mode_to_string plan_mode)
       ~plan_seeds:(plan_seed_rows !seed_reports)
+      ~rewrites:(Rewrite.slugs !rewrite_steps)
       ~gc:(Obs.Resource.gc_since gc0) ~stats answer
   in
   let finish ?(status = Obs.Query_log.Ok) answer =
@@ -734,9 +754,24 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
     (answer, stats)
   in
   try
+    (* The rewritten clause drives decomposition and matching; the
+       original [ast] keeps naming the projection and the flight
+       record, so substituted projected variables come back via
+       [reattach_bindings]. *)
+    let rast, bindings =
+      if not rewrite then (ast, [])
+      else
+        phase "rewrite" (fun () ->
+            let r =
+              Rewrite.apply ?open_objects ~db:t.db ~attribute:t.attribute
+                ~stats:t.statistics ast
+            in
+            rewrite_steps := r.Rewrite.steps;
+            (r.Rewrite.ast, r.Rewrite.bindings))
+    in
     match
       phase "decompose" (fun () ->
-          match Query_graph.build ?open_objects t.db ast with
+          match Query_graph.build ?open_objects t.db rast with
           | Query_graph.Unsatisfiable _ -> None
           | Query_graph.Query q ->
               let strategy = order_strategy ~strategy ~model q in
@@ -753,7 +788,7 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
           if not analyze then None
           else
             phase "analyze" (fun () ->
-                let proof = screen_proof t q ast in
+                let proof = screen_proof t q rast in
                 analysis_note :=
                   Some (match proof with Some _ -> "unsat" | None -> "ok");
                 proof)
@@ -768,8 +803,9 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
                all be dropped at enumeration. Cap only the final row
                count then. *)
             let solution_cap =
-              if ast.distinct || q.Query_graph.opens <> [] then None
-              else gather_cap ast effective_limit
+              if rast.Sparql.Ast.distinct || q.Query_graph.opens <> [] then
+                None
+              else gather_cap rast effective_limit
             in
             match
               phase "match" (fun () ->
@@ -779,24 +815,25 @@ let query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
             | None -> finish (empty_answer selected)
             | Some solutions ->
                 finish
-                  (phase "enumerate" (fun () ->
-                       project_answer t ~q ~ast ~deadline ~selected
-                         ~effective_limit ~solutions))))
+                  (reattach_bindings ~selected bindings
+                     (phase "enumerate" (fun () ->
+                          project_answer t ~q ~ast:rast ~deadline ~selected
+                            ~effective_limit ~solutions)))))
   with e ->
     let bt = Printexc.get_raw_backtrace () in
     flight (status_of_exn e) None;
     Printexc.raise_with_backtrace e bt
 
 let query ?timeout ?limit ?strategy ?satellites ?open_objects ?caches ?analyze
-    ?domains ?plan t ast =
+    ?domains ?plan ?rewrite t ast =
   fst
     (query_with_stats ?timeout ?limit ?strategy ?satellites ?open_objects
-       ?caches ?analyze ?domains ?plan t ast)
+       ?caches ?analyze ?domains ?plan ?rewrite t ast)
 
 let query_string ?timeout ?limit ?strategy ?satellites ?open_objects ?namespaces
-    ?analyze ?domains ?plan t src =
+    ?analyze ?domains ?plan ?rewrite t src =
   query ?timeout ?limit ?strategy ?satellites ?open_objects ?analyze ?domains
-    ?plan t (Sparql.Parser.parse ?namespaces src)
+    ?plan ?rewrite t (Sparql.Parser.parse ?namespaces src)
 
 let count_embeddings ?timeout ?open_objects t ast =
   let deadline = deadline_of timeout in
@@ -847,9 +884,20 @@ type explanation =
       plan_mode : string;
       components : core_step list list;
       open_objects : (string * string) list;
+      rewrites : Rewrite.step list;
     }
 
-let explain ?strategy ?satellites ?open_objects ?(plan = Stats.Adaptive) t ast =
+let explain ?strategy ?satellites ?open_objects ?(plan = Stats.Adaptive)
+    ?(rewrite = true) t ast =
+  let ast, rewrites =
+    if not rewrite then (ast, [])
+    else
+      let r =
+        Rewrite.apply ?open_objects ~db:t.db ~attribute:t.attribute
+          ~stats:t.statistics ast
+      in
+      (r.Rewrite.ast, r.Rewrite.steps)
+  in
   match Query_graph.build ?open_objects t.db ast with
   | Query_graph.Unsatisfiable { proof; _ } ->
       Unsat (Analysis.proof_to_string proof)
@@ -922,13 +970,21 @@ let explain ?strategy ?satellites ?open_objects ?(plan = Stats.Adaptive) t ast =
               (fun (o : Query_graph.open_object) ->
                 (q.Query_graph.var_names.(o.subject), o.pred))
               q.Query_graph.opens;
+          rewrites;
         }
 
 let pp_explanation ppf = function
   | Unsat reason -> Format.fprintf ppf "unsatisfiable: %s" reason
-  | Plan { plan_mode; components; open_objects } ->
+  | Plan { plan_mode; components; open_objects; rewrites } ->
       Format.fprintf ppf "@[<v>";
       Format.fprintf ppf "plan: %s@," plan_mode;
+      (match rewrites with
+      | [] -> ()
+      | steps ->
+          Format.fprintf ppf "rewrites:@,";
+          List.iter
+            (fun s -> Format.fprintf ppf "  @[<v>%a@]@," Rewrite.pp_step s)
+            steps);
       List.iteri
         (fun i steps ->
           Format.fprintf ppf "component %d:@," i;
@@ -965,10 +1021,11 @@ let explanation_to_json e =
       Buffer.add_string buf
         (Printf.sprintf {|{"unsat":true,"reason":%s}|}
            (Profile.json_string reason))
-  | Plan { plan_mode; components; open_objects } ->
+  | Plan { plan_mode; components; open_objects; rewrites } ->
       Buffer.add_string buf
-        (Printf.sprintf {|{"unsat":false,"plan":%s,"components":[|}
-           (Profile.json_string plan_mode));
+        (Printf.sprintf {|{"unsat":false,"plan":%s,"rewrites":%s,"components":[|}
+           (Profile.json_string plan_mode)
+           (Rewrite.steps_to_json rewrites));
       List.iteri
         (fun i steps ->
           if i > 0 then Buffer.add_char buf ',';
@@ -1037,14 +1094,33 @@ let vertex_reports t q (plan : Decompose.plan) =
 (* The profiled pipeline, run under an already-open root span: returns
    the answer plus the [(q, plan, vertices)] shape when matching ran. *)
 let profiled_body ?limit ?strategy ?satellites ?open_objects ?caches ~analyze
-    ~domains ~deadline ~stats ~analysis ~plan_mode ~model ~seed_reports t
-    (ast : Sparql.Ast.t) =
+    ~domains ~deadline ~stats ~analysis ~plan_mode ~model ~seed_reports
+    ~rewrite ~rewrite_steps t (ast : Sparql.Ast.t) =
         let selected = Sparql.Ast.selected_variables ast in
         let effective_limit =
           match (limit, ast.Sparql.Ast.limit) with
           | None, None -> None
           | Some l, None | None, Some l -> Some l
           | Some a, Some b -> Some (min a b)
+        in
+        (* Shadowing: downstream phases see the rewritten clause while
+           [selected] keeps the original projection; substituted
+           projected variables are patched back in at the end. *)
+        let ast, bindings =
+          if not rewrite then (ast, [])
+          else
+            Obs.Span.with_ ~name:"rewrite" (fun () ->
+                let r =
+                  Rewrite.apply ?open_objects ~db:t.db ~attribute:t.attribute
+                    ~stats:t.statistics ast
+                in
+                rewrite_steps := r.Rewrite.steps;
+                (match r.Rewrite.steps with
+                | [] -> ()
+                | steps ->
+                    Obs.Span.annotate "steps"
+                      (String.concat "," (Rewrite.slugs steps)));
+                (r.Rewrite.ast, r.Rewrite.bindings))
         in
         let built =
           Obs.Span.with_ ~name:"decompose" (fun () ->
@@ -1119,8 +1195,9 @@ let profiled_body ?limit ?strategy ?satellites ?open_objects ?caches ~analyze
               | Some solutions ->
                   Obs.Span.with_ ~name:"enumerate" (fun () ->
                       let a =
-                        project_answer t ~q ~ast ~deadline ~selected
-                          ~effective_limit ~solutions
+                        reattach_bindings ~selected bindings
+                          (project_answer t ~q ~ast ~deadline ~selected
+                             ~effective_limit ~solutions)
                       in
                       Obs.Span.annotate "rows"
                         (string_of_int (List.length a.rows));
@@ -1135,8 +1212,8 @@ let profiled_body ?limit ?strategy ?satellites ?open_objects ?caches ~analyze
    per-domain merge. [parse] runs under the root span so
    query_string_profiled attributes parsing time too. *)
 let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
-    ?(analyze = true) ?(domains = 1) ?(plan = Stats.Adaptive) t
-    ~(parse : unit -> Sparql.Ast.t) =
+    ?(analyze = true) ?(domains = 1) ?(plan = Stats.Adaptive)
+    ?(rewrite = true) t ~(parse : unit -> Sparql.Ast.t) =
   let t0 = Unix.gettimeofday () in
   let gc0 = Obs.Resource.gc_mark () in
   let domains = max 1 domains in
@@ -1150,6 +1227,7 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
   in
   let seed_reports = ref [] in
   let analysis = ref None in
+  let rewrite_steps = ref [] in
   let parsed = ref None in
   let (answer, shape), span =
     try
@@ -1158,7 +1236,7 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
           parsed := Some ast;
           profiled_body ?limit ?strategy ?satellites ?open_objects ?caches
             ~analyze ~domains ~deadline ~stats ~analysis ~plan_mode ~model
-            ~seed_reports t ast)
+            ~seed_reports ~rewrite ~rewrite_steps t ast)
     with e ->
       let bt = Printexc.get_raw_backtrace () in
       (* The span tree of a raising run is lost (the root unwinds), but
@@ -1173,6 +1251,7 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
             ~analysis:(Option.map analysis_slug !analysis)
             ~plan_mode:(Stats.mode_to_string plan_mode)
             ~plan_seeds:(plan_seed_rows !seed_reports)
+            ~rewrites:(Rewrite.slugs !rewrite_steps)
             ~gc:(Obs.Resource.gc_since gc0) ~stats None
       | None -> ());
       Printexc.raise_with_backtrace e bt
@@ -1208,6 +1287,7 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
         ~analysis:(Option.map analysis_slug !analysis)
         ~plan_mode:(Stats.mode_to_string plan_mode)
         ~plan_seeds:(plan_seed_rows !seed_reports)
+        ~rewrites:(Rewrite.slugs !rewrite_steps)
         ~gc:(Obs.Resource.gc_since gc0) ~stats (Some answer)
   | None -> ());
   ( answer,
@@ -1221,29 +1301,31 @@ let profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
       analysis = !analysis;
       plan_mode = Stats.mode_to_string plan_mode;
       plan_seeds = List.rev !seed_reports;
+      rewrites = !rewrite_steps;
     } )
 
 let query_profiled ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
-    ?analyze ?domains ?plan t ast =
+    ?analyze ?domains ?plan ?rewrite t ast =
   profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?caches
-    ?analyze ?domains ?plan t ~parse:(fun () -> ast)
+    ?analyze ?domains ?plan ?rewrite t ~parse:(fun () -> ast)
 
 let query_string_profiled ?timeout ?limit ?strategy ?satellites ?open_objects
-    ?namespaces ?analyze ?domains ?plan t src =
+    ?namespaces ?analyze ?domains ?plan ?rewrite t src =
   profiled_run ?timeout ?limit ?strategy ?satellites ?open_objects ?analyze
-    ?domains ?plan t ~parse:(fun () -> Sparql.Parser.parse ?namespaces src)
+    ?domains ?plan ?rewrite t
+    ~parse:(fun () -> Sparql.Parser.parse ?namespaces src)
 
 let recommended_domains () = max 1 (min 8 (Domain.recommended_domain_count () - 1))
 
 (* Kept for callers of the pre-pool API: [query] with [domains]
    defaulting to the machine's recommended count. *)
 let query_parallel ?timeout ?limit ?strategy ?satellites ?open_objects ?analyze
-    ?domains ?plan t ast =
+    ?domains ?plan ?rewrite t ast =
   let domains =
     match domains with Some d -> max 1 d | None -> recommended_domains ()
   in
   query ?timeout ?limit ?strategy ?satellites ?open_objects ?analyze ~domains
-    ?plan t ast
+    ?plan ?rewrite t ast
 
 (* ------------------------------------------------------------------ *)
 (* Persistence                                                         *)
@@ -1285,13 +1367,15 @@ let load_snapshot path =
 (* ASK and CONSTRUCT forms                                             *)
 (* ------------------------------------------------------------------ *)
 
-let ask ?timeout ?open_objects ?domains ?plan t ast =
-  let answer = query ?timeout ~limit:1 ?open_objects ?domains ?plan t ast in
+let ask ?timeout ?open_objects ?domains ?plan ?rewrite t ast =
+  let answer =
+    query ?timeout ~limit:1 ?open_objects ?domains ?plan ?rewrite t ast
+  in
   answer.rows <> []
 
-let construct ?timeout ?limit ?open_objects ?domains ?plan t ~template
+let construct ?timeout ?limit ?open_objects ?domains ?plan ?rewrite t ~template
     (ast : Sparql.Ast.t) =
-  let answer = query ?timeout ?limit ?open_objects ?domains ?plan t ast in
+  let answer = query ?timeout ?limit ?open_objects ?domains ?plan ?rewrite t ast in
   let vars = answer.variables in
   let instantiate binding term =
     match term with

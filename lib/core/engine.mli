@@ -83,6 +83,7 @@ val query :
   ?analyze:bool ->
   ?domains:int ->
   ?plan:Stats.mode ->
+  ?rewrite:bool ->
   t ->
   Sparql.Ast.t ->
   answer
@@ -124,6 +125,15 @@ val query :
     stays cardinality-driven). All strategies materialize the same
     candidate sets, so plans never change answers — only the work done
     to reach them.
+    @param rewrite [true] (the default) runs the semantic rewriter
+    ({!Rewrite.apply}) over the WHERE clause before decomposition:
+    duplicate and homomorphically redundant patterns are removed,
+    data-forced variables are substituted (and re-attached to projected
+    rows), and Cartesian products are flagged. Every pass is
+    equivalence-preserving, so the answer is identical either way —
+    [false] is the ablation/debugging escape hatch. Applied steps land
+    in [amber_rewrite_steps_total{kind=…}], the flight record and the
+    profile.
     @raise Unsupported on out-of-fragment queries.
     @raise Deadline.Expired on timeout (each domain polls its own
     deadline clone; the run joins every chunk before re-raising). *)
@@ -138,6 +148,7 @@ val query_string :
   ?analyze:bool ->
   ?domains:int ->
   ?plan:Stats.mode ->
+  ?rewrite:bool ->
   t ->
   string ->
   answer
@@ -157,6 +168,7 @@ val query_with_stats :
   ?analyze:bool ->
   ?domains:int ->
   ?plan:Stats.mode ->
+  ?rewrite:bool ->
   t ->
   Sparql.Ast.t ->
   answer * Matcher.stats
@@ -187,6 +199,7 @@ val query_profiled :
   ?analyze:bool ->
   ?domains:int ->
   ?plan:Stats.mode ->
+  ?rewrite:bool ->
   t ->
   Sparql.Ast.t ->
   answer * Profile.t
@@ -201,6 +214,7 @@ val query_string_profiled :
   ?analyze:bool ->
   ?domains:int ->
   ?plan:Stats.mode ->
+  ?rewrite:bool ->
   t ->
   string ->
   answer * Profile.t
@@ -250,6 +264,7 @@ val query_parallel :
   ?analyze:bool ->
   ?domains:int ->
   ?plan:Stats.mode ->
+  ?rewrite:bool ->
   t ->
   Sparql.Ast.t ->
   answer
@@ -301,6 +316,9 @@ type explanation =
       plan_mode : string;  (** {!Stats.mode_to_string} of the policy *)
       components : core_step list list;  (** matching order per component *)
       open_objects : (string * string) list;  (** (subject var, predicate) *)
+      rewrites : Rewrite.step list;
+          (** rewrite steps the query would run under (the plan describes
+              the rewritten clause); empty with [?rewrite:false] *)
     }
 
 val explain :
@@ -308,6 +326,7 @@ val explain :
   ?satellites:bool ->
   ?open_objects:bool ->
   ?plan:Stats.mode ->
+  ?rewrite:bool ->
   t ->
   Sparql.Ast.t ->
   explanation
@@ -371,6 +390,7 @@ val ask :
   ?open_objects:bool ->
   ?domains:int ->
   ?plan:Stats.mode ->
+  ?rewrite:bool ->
   t ->
   Sparql.Ast.t ->
   bool
@@ -383,6 +403,7 @@ val construct :
   ?open_objects:bool ->
   ?domains:int ->
   ?plan:Stats.mode ->
+  ?rewrite:bool ->
   t ->
   template:Sparql.Ast.triple_pattern list ->
   Sparql.Ast.t ->

@@ -84,6 +84,7 @@ let record_event status text ~phase ~seconds =
       core_order = [];
       plan_mode = "";
       plan_seeds = [];
+      rewrites = [];
       phases = [ (phase, seconds) ];
       candidates_scanned = 0;
       solutions = 0;

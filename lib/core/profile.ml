@@ -15,6 +15,7 @@ type t = {
   analysis : Amber_analysis.report option;
   plan_mode : string;
   plan_seeds : Stats.seed_report list;
+  rewrites : Amber_rewrite.step list;
 }
 
 let pp ppf t =
@@ -42,6 +43,12 @@ let pp ppf t =
          else String.concat " -> " (List.map (fun v -> "?" ^ v) order)))
     t.core_order;
   Format.fprintf ppf "plan: %s@," t.plan_mode;
+  if t.rewrites <> [] then begin
+    Format.fprintf ppf "rewrites:@,";
+    List.iter
+      (fun s -> Format.fprintf ppf "  @[<v>%a@]@," Amber_rewrite.pp_step s)
+      t.rewrites
+  end;
   if t.plan_seeds <> [] then begin
     Format.fprintf ppf "seed strategies (est -> actual):@,";
     List.iter
@@ -141,6 +148,8 @@ let to_json t =
   Buffer.add_string buf {|,"plan":|};
   Buffer.add_string buf
     (plan_to_json ~plan_mode:t.plan_mode ~plan_seeds:t.plan_seeds);
+  Buffer.add_string buf {|,"rewrites":|};
+  Buffer.add_string buf (Amber_rewrite.steps_to_json t.rewrites);
   Buffer.add_string buf {|,"analysis":|};
   (match t.analysis with
   | None -> Buffer.add_string buf "null"

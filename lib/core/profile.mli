@@ -37,6 +37,10 @@ type t = {
       (** per-component seed-strategy decisions (choice, cost estimates
           and the actual candidate count) — empty under the paper plan,
           which carries no cost model *)
+  rewrites : Amber_rewrite.step list;
+      (** rewrite steps applied before decomposition, in application
+          order — empty when the run passed [?rewrite:false] or the
+          rewriter found nothing to simplify *)
 }
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+(** Engine-aware half of the semantic query rewriter.
+
+    Re-exports the pure pass machinery ({!Amber_rewrite}) and supplies
+    the two data-backed ingredients it is parameterized over: the
+    {e singleton} certificates behind constant propagation (dictionary,
+    adjacency and attribute-index lookups proving a variable has
+    exactly one possible binding in a pattern) and the {!Stats}-based
+    row estimate attached to Cartesian-product hints. Every applied
+    step bumps [amber_rewrite_steps_total{kind=…}] in the default
+    metric registry. *)
+
+type step = Amber_rewrite.step
+type kind = Amber_rewrite.kind
+
+val kind_slug : kind -> string
+val slugs : step list -> string list
+val pp_step : Format.formatter -> step -> unit
+val step_to_json : step -> string
+val steps_to_json : step list -> string
+
+type outcome = {
+  ast : Sparql.Ast.t;  (** rewritten query; only [where] ever changes *)
+  bindings : (string * Rdf.Term.t) list;
+      (** values forced by constant propagation, keyed by variable —
+          re-attach to projected rows, the variables no longer occur in
+          the rewritten clause *)
+  steps : step list;  (** applied rewrites, in application order *)
+}
+
+val apply :
+  ?open_objects:bool ->
+  ?max_patterns:int ->
+  db:Database.t ->
+  attribute:Attribute_index.t ->
+  stats:Stats.t Lazy.t ->
+  Sparql.Ast.t ->
+  outcome
+(** Rewrite a query against this database's dictionaries and indexes.
+
+    [open_objects] must match the flag the query will run under: with
+    the literal-binding extension on, an [<s> p ?o] pattern's object
+    may also bind literals, so the adjacency-singleton certificate for
+    that shape is unsound and is skipped. [stats] is only forced when
+    the clause actually splits into disconnected groups (the blow-up
+    estimate); [max_patterns] as in {!Amber_rewrite.rewrite}. *)

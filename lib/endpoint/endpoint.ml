@@ -11,12 +11,14 @@ type config = {
   log_sample : float;
   log_sink : string option;
   plan : Amber.Stats.mode option;
+  rewrite : bool;
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 8080; timeout = Some 30.0; limit = Some 100_000;
     open_objects = true; domains = None; snapshot = None; live_dir = None;
-    slow_query = Some 1.0; log_sample = 1.0; log_sink = None; plan = None }
+    slow_query = Some 1.0; log_sample = 1.0; log_sink = None; plan = None;
+    rewrite = true }
 
 type source = Static of Amber.Engine.t | Live of Amber.Live_engine.t
 
@@ -121,6 +123,8 @@ domains=N matches on up to N domains of the shared pool (1-8;
 overrides the server's configured default).
 plan=paper|adaptive|forced:<rtree|attrs|scan> picks the seed/ordering
 policy (default adaptive; answers are identical across plans).
+rewrite=on|off toggles the semantic query rewriter (default on;
+equivalence-preserving, so answers are identical either way).
 |}
 
 (* --- metrics --------------------------------------------------------- *)
@@ -298,6 +302,21 @@ let handle_request_inner config source ~meth ~target ~headers ~body =
                 | None -> Error v)
             | None, None -> Ok config.plan
           in
+          (* ?rewrite=on|off (request) overrides the server default;
+             like ?plan=, an unknown value is a 400, not a silent
+             fallback. *)
+          let rewrite =
+            match
+              ( List.assoc_opt "rewrite" params,
+                List.assoc_opt "rewrite" form_params )
+            with
+            | Some v, _ | None, Some v -> (
+                match String.lowercase_ascii v with
+                | "on" | "1" | "true" | "yes" -> Ok true
+                | "off" | "0" | "false" | "no" -> Ok false
+                | _ -> Error v)
+            | None, None -> Ok config.rewrite
+          in
           let render_rows answer =
             match fmt with
             | `Json ->
@@ -305,7 +324,7 @@ let handle_request_inner config source ~meth ~target ~headers ~body =
             | `Csv -> (200, "text/csv", Amber.Results.to_csv answer)
             | `Tsv -> (200, "text/tab-separated-values", Amber.Results.to_tsv answer)
           in
-          let respond plan =
+          let respond plan rewrite =
             if needs_algebra src then
               render_rows
                 (Amber.Extended.query_string ?timeout:config.timeout
@@ -325,8 +344,8 @@ let handle_request_inner config source ~meth ~target ~headers ~body =
                   if profile_requested && fmt = `Json then begin
                     let answer, profile =
                       Amber.Engine.query_profiled ?timeout:config.timeout
-                        ?limit:config.limit ~open_objects ?domains ?plan engine
-                        ast
+                        ?limit:config.limit ~open_objects ?domains ?plan
+                        ~rewrite engine ast
                     in
                     ( 200,
                       "application/sparql-results+json",
@@ -340,36 +359,41 @@ let handle_request_inner config source ~meth ~target ~headers ~body =
                         (Amber.Results.to_json
                            (Amber.Engine.query ?timeout:config.timeout
                               ?limit:config.limit ~open_objects ?domains ?plan
-                              engine ast)) )
+                              ~rewrite engine ast)) )
                   else
                     render_rows
                       (Amber.Engine.query ?timeout:config.timeout
-                         ?limit:config.limit ~open_objects ?domains ?plan engine
-                         ast)
+                         ?limit:config.limit ~open_objects ?domains ?plan
+                         ~rewrite engine ast)
               | Sparql.Parser.Q_ask ast ->
                   ( 200,
                     "application/sparql-results+json",
                     Amber.Results.ask_json
                       (Amber.Engine.ask ?timeout:config.timeout ~open_objects
-                         ?domains ?plan engine ast) )
+                         ?domains ?plan ~rewrite engine ast) )
               | Sparql.Parser.Q_construct (template, ast) ->
                   ( 200,
                     "application/n-triples",
                     Rdf.Ntriples.to_string
                       (Amber.Engine.construct ?timeout:config.timeout
-                         ?limit:config.limit ~open_objects ?domains ?plan engine
-                         ~template ast) )
+                         ?limit:config.limit ~open_objects ?domains ?plan
+                         ~rewrite engine ~template ast) )
           in
           match
-            match plan with
-            | Error v ->
+            match (plan, rewrite) with
+            | Error v, _ ->
                 ( 400,
                   "text/plain",
                   Printf.sprintf
                     "unknown plan %S (expected paper, adaptive or \
                      forced:<rtree|attrs|scan>)\n"
                     v )
-            | Ok plan -> respond plan
+            | _, Error v ->
+                ( 400,
+                  "text/plain",
+                  Printf.sprintf "unknown rewrite %S (expected on or off)\n" v
+                )
+            | Ok plan, Ok rewrite -> respond plan rewrite
           with
           | response -> response
           | exception Sparql.Parser.Error { line; col; message } ->

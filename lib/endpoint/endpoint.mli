@@ -69,6 +69,12 @@ type config = {
           [plan=paper|adaptive|forced:<strategy>] parameter overrides
           it (an unknown value answers 400). [None] = the engine
           default ([Adaptive]). *)
+  rewrite : bool;
+      (** default semantic-rewriter toggle for every query (default
+          [true]); a request's [rewrite=on|off] parameter overrides it
+          (an unknown value answers 400). The rewriter is
+          equivalence-preserving, so answers are identical either
+          way. *)
 }
 
 val default_config : config

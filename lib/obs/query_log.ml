@@ -21,6 +21,7 @@ type record = {
   core_order : string list list;
   plan_mode : string;
   plan_seeds : (string * string * int * int) list;
+  rewrites : string list;
   phases : (string * float) list;
   candidates_scanned : int;
   solutions : int;
@@ -137,6 +138,7 @@ let record_to_value r =
                    ("actual", Json.Num (float_of_int actual));
                  ])
              r.plan_seeds) );
+      ("rewrites", Json.Arr (List.map (fun s -> Json.Str s) r.rewrites));
       ( "phases",
         Json.Obj (List.map (fun (name, s) -> (name, Json.Num s)) r.phases) );
       ("candidates_scanned", Json.Num (float_of_int r.candidates_scanned));

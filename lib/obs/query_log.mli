@@ -43,6 +43,11 @@ type record = {
       (** per-component seed decisions:
           [(variable, strategy_slug, estimate, actual)] — kept as plain
           strings/ints so the recorder stays engine-agnostic *)
+  rewrites : string list;
+      (** kind slugs of the rewrite steps applied before planning
+          (["duplicate-pattern"], ["core-minimization"],
+          ["constant-propagation"], ["cartesian-product"]); [[]] when
+          the rewriter was off or found nothing *)
   phases : (string * float) list;  (** phase name, seconds; query order *)
   candidates_scanned : int;
   solutions : int;

@@ -64,6 +64,9 @@ let pp_term ppf = function
 let pp_pattern ppf { subject; predicate; obj } =
   Format.fprintf ppf "%a %a %a ." pp_term subject pp_term predicate pp_term obj
 
+let term_to_string t = Format.asprintf "%a" pp_term t
+let pattern_to_string p = Format.asprintf "%a" pp_pattern p
+
 let pp ppf q =
   Format.fprintf ppf "@[<v>SELECT %s%s@,WHERE {@,"
     (if q.distinct then "DISTINCT " else "")

@@ -50,6 +50,14 @@ val is_basic : t -> bool
 val term_equal : term -> term -> bool
 val pp_term : Format.formatter -> term -> unit
 val pp_pattern : Format.formatter -> triple_pattern -> unit
+
+val term_to_string : term -> string
+(** One-line concrete-syntax rendering of a term. *)
+
+val pattern_to_string : triple_pattern -> string
+(** One-line concrete-syntax rendering of a pattern — the span text the
+    analyzer and rewriter report diagnostics against. *)
+
 val pp : Format.formatter -> t -> unit
 (** Print as concrete SPARQL syntax (re-parseable by {!Parser}). *)
 

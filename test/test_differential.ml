@@ -1,7 +1,9 @@
 (* Differential correctness harness: on randomized small multigraphs
    and generated workloads, sequential AMbER, parallel AMbER (4 domains),
-   every planner policy (paper, adaptive, each forced seed strategy) and
-   the brute-force oracle must produce identical canonical row sets —
+   every planner policy (paper, adaptive, each forced seed strategy),
+   the semantic rewriter on and off (including a redundancy-biased
+   generator that makes core minimization actually fire) and the
+   brute-force oracle must produce identical canonical row sets —
    both on frozen engines (uniform and skewed graph shapes) and under
    randomized schedules of inserts, deletes and compactions against a
    live engine, where a query pinned before a write must never observe
@@ -67,6 +69,12 @@ let check_one seed triples ast =
     Reference.canonical_rows
       (Amber.Engine.query ~domains:4 engine ast).Amber.Engine.rows
   in
+  (* The semantic rewriter (on by default above) must be invisible in
+     the canonical answer set. *)
+  let unrewritten =
+    Reference.canonical_rows
+      (Amber.Engine.query ~rewrite:false engine ast).Amber.Engine.rows
+  in
   (* The static screen must be invisible: with analysis disabled the
      answer record must be identical, field for field. *)
   let unscreened = Amber.Engine.query ~analyze:false engine ast in
@@ -76,6 +84,12 @@ let check_one seed triples ast =
       (List.length screened.Amber.Engine.rows)
       (List.length unscreened.Amber.Engine.rows)
       (Sparql.Ast.to_string ast)
+  else if unrewritten <> expected then
+    Qseed.fail_reportf
+      "seed %d: rewrite=off disagrees with oracle (%d vs %d rows) on:@.%s"
+      seed
+      (List.length unrewritten)
+      (List.length expected) (Sparql.Ast.to_string ast)
   else if seq <> expected then
     Qseed.fail_reportf
       "seed %d: sequential AMbER disagrees with oracle (%d vs %d rows) on:@.%s"
@@ -212,6 +226,109 @@ let test_plan_coverage () =
     true
     (!plan_cases >= 500)
 
+(* --- rewriter differential ---------------------------------------------- *)
+
+(* Redundancy-biased transform: wrap a generated query in DISTINCT,
+   project a subset of its variables, then graft verbatim duplicates and
+   a variable-renamed partial copy of the clause — material the rewriter
+   provably may remove (the copy folds back onto the originals under the
+   homomorphism sending each renamed variable home). Biased, not rigged:
+   whether anything actually fires still depends on the draw. *)
+let redundant_variant rng ast =
+  let open Sparql.Ast in
+  let vars = variables ast in
+  let keep =
+    List.filteri (fun i _ -> i = 0 || Datagen.Prng.bool rng 0.4) vars
+  in
+  let rename = function Var v -> Var (v ^ "_r") | t -> t in
+  let copy =
+    List.filter_map
+      (fun p ->
+        if Datagen.Prng.bool rng 0.7 then
+          Some
+            {
+              subject = rename p.subject;
+              predicate = p.predicate;
+              obj = rename p.obj;
+            }
+        else None)
+      ast.where
+  in
+  let dups = List.filter (fun _ -> Datagen.Prng.bool rng 0.4) ast.where in
+  make ~distinct:true (Select_vars keep) (ast.where @ dups @ copy)
+
+let redundant_variants_for seed triples =
+  let rng = Datagen.Prng.create (0x2e11 + seed) in
+  List.concat_map
+    (fun ast -> [ redundant_variant rng ast; redundant_variant rng ast ])
+    (queries_for seed triples)
+
+let rewrite_cases = ref 0
+let minimizations_fired = ref 0
+
+let check_rewrite seed engine triples ast =
+  incr rewrite_cases;
+  List.iter
+    (fun (s : Amber.Rewrite.step) ->
+      match s.Amber_rewrite.kind with
+      | Amber_rewrite.Core_minimization _ -> incr minimizations_fired
+      | _ -> ())
+    (Amber.Rewrite.apply ~db:(Amber.Engine.db engine)
+       ~attribute:(Amber.Engine.attribute_index engine)
+       ~stats:(lazy (Amber.Engine.statistics engine))
+       ast)
+      .Amber.Rewrite.steps;
+  let expected = Reference.canonical_answer triples ast in
+  let on =
+    Reference.canonical_rows (Amber.Engine.query engine ast).Amber.Engine.rows
+  in
+  let off =
+    Reference.canonical_rows
+      (Amber.Engine.query ~rewrite:false engine ast).Amber.Engine.rows
+  in
+  if on <> expected then
+    Qseed.fail_reportf
+      "seed %d: rewritten run disagrees with oracle (%d vs %d rows) on:@.%s"
+      seed (List.length on) (List.length expected) (Sparql.Ast.to_string ast)
+  else if off <> expected then
+    Qseed.fail_reportf
+      "seed %d: rewrite=off disagrees with oracle (%d vs %d rows) on:@.%s"
+      seed (List.length off) (List.length expected)
+      (Sparql.Ast.to_string ast)
+  else true
+
+let prop_rewrite_differential =
+  QCheck.Test.make
+    ~name:"rewritten = unrewritten = oracle on redundancy-biased queries"
+    ~count:80
+    (QCheck.make
+       ~print:(fun seed ->
+         let triples = random_triples seed in
+         Printf.sprintf "seed %d (%d triples):\n%s" seed (List.length triples)
+           (String.concat "\n"
+              (List.map Sparql.Ast.to_string
+                 (redundant_variants_for seed triples))))
+       ~shrink:QCheck.Shrink.int
+       QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let triples = random_triples seed in
+      let engine = Amber.Engine.build triples in
+      List.for_all
+        (check_rewrite seed engine triples)
+        (redundant_variants_for seed triples))
+
+(* 80 seeds x 4 queries x 2 variants = 640 cases; the firing floor
+   guards the property against vacuity — a generator that stopped
+   producing removable redundancy would pass trivially. *)
+let test_rewrite_coverage () =
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "rewriter differential checked %d cases (>= 600), core minimization \
+        fired %d times (>= 50)"
+       !rewrite_cases !minimizations_fired)
+    true
+    (!rewrite_cases >= 600 && !minimizations_fired >= 50)
+
 (* --- update-interleaving schedules -------------------------------------- *)
 
 let canonical engine ast =
@@ -292,7 +409,18 @@ let run_schedule seed =
             (Amber.Engine.query ~plan:Amber.Stats.Paper engine ast)
               .Amber.Engine.rows
         in
-        if seq <> expected then
+        let unrewritten =
+          Reference.canonical_rows
+            (Amber.Engine.query ~rewrite:false engine ast).Amber.Engine.rows
+        in
+        if unrewritten <> expected then
+          Qseed.fail_reportf
+            "seed %d step %d: rewrite=off on live engine disagrees with \
+             oracle (%d vs %d rows) on:@.%s"
+            seed step
+            (List.length unrewritten)
+            (List.length expected) (Sparql.Ast.to_string ast)
+        else if seq <> expected then
           Qseed.fail_reportf
             "seed %d step %d: live engine disagrees with oracle (%d vs %d \
              rows) on:@.%s"
@@ -375,6 +503,9 @@ let suite =
         Qseed.to_alcotest prop_plan_agreement;
         Alcotest.test_case "plan coverage >= 500 cases" `Quick
           test_plan_coverage;
+        Qseed.to_alcotest prop_rewrite_differential;
+        Alcotest.test_case "rewrite coverage >= 600 cases, >= 50 fired"
+          `Quick test_rewrite_coverage;
         Qseed.to_alcotest prop_update_interleaving;
         Alcotest.test_case "schedule coverage >= 200" `Quick
           test_schedule_coverage;

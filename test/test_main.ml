@@ -34,4 +34,5 @@ let () =
          Test_differential.suite;
          Test_delta.suite;
          Test_analysis.suite;
+         Test_rewrite.suite;
        ])
